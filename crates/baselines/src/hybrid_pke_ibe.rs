@@ -1,0 +1,257 @@
+//! The footnote-3 baseline: generic composition of a public-key encryption
+//! with an identity-based encryption.
+//!
+//! "We could use a public key encryption scheme to encrypt a sub-key K₁
+//! and use an identity based encryption scheme to encrypt another sub-key
+//! K₂. These two sub-keys are then combined to feed into a symmetric key
+//! encryption scheme" — and the paper claims its integrated scheme "could
+//! have 50% reduction in most cases" over this. Experiment E1 measures
+//! that claim: this construction carries **two** ephemeral group elements
+//! and two encapsulations where TRE carries one.
+//!
+//! Instantiation: ElGamal KEM over G1 (PKE half) + Boneh-Franklin with the
+//! release tag as the identity (IBE half — its extraction key for tag `T`
+//! is exactly the TRE key update `s·H1(T)`).
+
+use rand::RngCore;
+use tre_core::{KeyUpdate, ReleaseTag, ServerPublicKey, TreError};
+use tre_hashes::{xof, Sha256};
+use tre_pairing::{Curve, G1Affine};
+use tre_sym::ChaCha20Poly1305;
+
+const PKE_DOMAIN: &[u8] = b"baseline/hyb/pke";
+const IBE_DOMAIN: &[u8] = b"baseline/hyb/ibe";
+const DEM_DOMAIN: &[u8] = b"baseline/hyb/dem";
+const SUBKEY_LEN: usize = 32;
+
+/// Receiver key pair for the PKE half (plain ElGamal, *independent* of the
+/// time server — that independence is why two encapsulations are needed).
+#[derive(Clone, Debug)]
+pub struct PkeKeyPair<const L: usize> {
+    secret: tre_bigint::U256,
+    public: G1Affine<L>,
+}
+
+impl<const L: usize> PkeKeyPair<L> {
+    /// Generates an ElGamal key pair.
+    pub fn generate(curve: &Curve<L>, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let secret = curve.random_scalar(rng);
+        let public = curve.g1_mul(&curve.generator(), &secret);
+        Self { secret, public }
+    }
+
+    /// The public point `u·G`.
+    pub fn public(&self) -> &G1Affine<L> {
+        &self.public
+    }
+}
+
+/// The two-encapsulation ciphertext:
+/// `⟨r₁G, K₁⊕mask₁, r₂G, K₂⊕mask₂, AEAD_{H(K₁‖K₂)}(M)⟩`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HybridBaselineCiphertext<const L: usize> {
+    c1_point: G1Affine<L>,
+    c1_key: [u8; SUBKEY_LEN],
+    c2_point: G1Affine<L>,
+    c2_key: [u8; SUBKEY_LEN],
+    body: Vec<u8>,
+    tag: ReleaseTag,
+}
+
+impl<const L: usize> HybridBaselineCiphertext<L> {
+    /// The release tag.
+    pub fn tag(&self) -> &ReleaseTag {
+        &self.tag
+    }
+
+    /// Wire size in bytes — note the **two** group elements (compare
+    /// [`tre_core::hybrid::HybridCiphertext::size`]'s one).
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        self.tag.to_bytes().len() + 2 * curve.point_len() + 2 * SUBKEY_LEN + 4 + self.body.len()
+    }
+}
+
+/// Encrypts with the PKE+IBE composition: two independent encapsulations,
+/// then a DEM under the combined key.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    receiver_pke: &G1Affine<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> HybridBaselineCiphertext<L> {
+    // PKE half: ElGamal KEM for K1.
+    let mut k1 = [0u8; SUBKEY_LEN];
+    rng.fill_bytes(&mut k1);
+    let r1 = curve.random_scalar(rng);
+    let c1_point = curve.g1_mul(&curve.generator(), &r1);
+    let shared1 = curve.g1_mul(receiver_pke, &r1);
+    let mask1 = xof::<Sha256>(PKE_DOMAIN, &curve.g1_to_bytes(&shared1), SUBKEY_LEN);
+    let mut c1_key = [0u8; SUBKEY_LEN];
+    for i in 0..SUBKEY_LEN {
+        c1_key[i] = k1[i] ^ mask1[i];
+    }
+
+    // IBE half: Boneh-Franklin with identity = release tag, for K2.
+    let mut k2 = [0u8; SUBKEY_LEN];
+    rng.fill_bytes(&mut k2);
+    let r2 = curve.random_scalar(rng);
+    let c2_point = curve.g1_mul(server.g(), &r2);
+    let h_t = curve.hash_to_g1(tag.h1_domain(), tag.value());
+    let gt = curve.pairing(server.s_g(), &h_t).pow(&r2, curve);
+    let mask2 = curve.gt_kdf(&gt, IBE_DOMAIN, SUBKEY_LEN);
+    let mut c2_key = [0u8; SUBKEY_LEN];
+    for i in 0..SUBKEY_LEN {
+        c2_key[i] = k2[i] ^ mask2[i];
+    }
+
+    // DEM under the combined key.
+    let dem_key: [u8; 32] = xof::<Sha256>(DEM_DOMAIN, &[&k1[..], &k2[..]].concat(), 32)
+        .try_into()
+        .unwrap();
+    let body = ChaCha20Poly1305::new(&dem_key).seal(&[0u8; 12], &tag.to_bytes(), msg);
+    HybridBaselineCiphertext {
+        c1_point,
+        c1_key,
+        c2_point,
+        c2_key,
+        body,
+        tag: tag.clone(),
+    }
+}
+
+/// Decrypts: recover K₁ with the PKE secret, K₂ with the time-server key
+/// update, recombine, open the DEM.
+///
+/// # Errors
+/// * [`TreError::UpdateTagMismatch`] / [`TreError::InvalidUpdate`] on
+///   update problems;
+/// * [`TreError::DecryptionFailed`] if the DEM rejects.
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    receiver: &PkeKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &HybridBaselineCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if update.tag() != &ct.tag {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    if !update.verify(curve, server) {
+        return Err(TreError::InvalidUpdate);
+    }
+    let shared1 = curve.g1_mul(&ct.c1_point, &receiver.secret);
+    let mask1 = xof::<Sha256>(PKE_DOMAIN, &curve.g1_to_bytes(&shared1), SUBKEY_LEN);
+    let mut k1 = [0u8; SUBKEY_LEN];
+    for i in 0..SUBKEY_LEN {
+        k1[i] = ct.c1_key[i] ^ mask1[i];
+    }
+    let gt = curve.pairing(&ct.c2_point, update.sig());
+    let mask2 = curve.gt_kdf(&gt, IBE_DOMAIN, SUBKEY_LEN);
+    let mut k2 = [0u8; SUBKEY_LEN];
+    for i in 0..SUBKEY_LEN {
+        k2[i] = ct.c2_key[i] ^ mask2[i];
+    }
+    let dem_key: [u8; 32] = xof::<Sha256>(DEM_DOMAIN, &[&k1[..], &k2[..]].concat(), 32)
+        .try_into()
+        .unwrap();
+    ChaCha20Poly1305::new(&dem_key)
+        .open(&[0u8; 12], &ct.tag.to_bytes(), &ct.body)
+        .map_err(|_| TreError::DecryptionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_core::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let receiver = PkeKeyPair::generate(curve, &mut rng);
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            receiver.public(),
+            &tag,
+            b"composed",
+            &mut rng,
+        );
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &receiver, &update, &ct).unwrap(),
+            b"composed"
+        );
+    }
+
+    #[test]
+    fn needs_both_halves() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let receiver = PkeKeyPair::generate(curve, &mut rng);
+        let eve = PkeKeyPair::generate(curve, &mut rng);
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            receiver.public(),
+            &tag,
+            b"m",
+            &mut rng,
+        );
+        let update = server.issue_update(curve, &tag);
+        // Wrong PKE secret: fails even with the right update.
+        assert_eq!(
+            decrypt(curve, server.public(), &eve, &update, &ct),
+            Err(TreError::DecryptionFailed)
+        );
+        // Right secret, wrong-tag update: structural failure.
+        let wrong = server.issue_update(curve, &ReleaseTag::time("u"));
+        assert_eq!(
+            decrypt(curve, server.public(), &receiver, &wrong, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    fn ciphertext_carries_two_points() {
+        // The E1 size claim, structurally: baseline = 2 points + 2 subkeys;
+        // the paper's hybrid TRE = 1 point.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let receiver = PkeKeyPair::generate(curve, &mut rng);
+        let tre_user = tre_core::UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("t");
+        let msg = b"same message";
+        let baseline = encrypt(
+            curve,
+            server.public(),
+            receiver.public(),
+            &tag,
+            msg,
+            &mut rng,
+        );
+        let ours = tre_core::hybrid::encrypt(
+            curve,
+            server.public(),
+            tre_user.public(),
+            &tag,
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+        let overhead_baseline = baseline.size(curve) - msg.len();
+        let overhead_ours = ours.size(curve) - msg.len();
+        assert!(
+            overhead_baseline as f64 >= 1.5 * overhead_ours as f64,
+            "baseline overhead {overhead_baseline} should be ≥1.5× ours {overhead_ours}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # tre-baselines
+//!
+//! Every prior scheme the paper compares against (§2), implemented so the
+//! comparative experiments can be *run* rather than asserted:
+//!
+//! * [`rsw`] — the Rivest-Shamir-Wagner time-lock puzzle (relative time,
+//!   machine-dependent release);
+//! * [`may_escrow`] — May's trusted escrow agent (stores plaintext, zero
+//!   anonymity);
+//! * [`rivest`] — Rivest's interactive symmetric server and the offline
+//!   published-key-list variant (horizon-bounded);
+//! * [`mont_ibe`] — Mont et al.'s per-user IBE time vault (O(N) unicast
+//!   per epoch, inherent escrow);
+//! * [`cot`] — Di Crescenzo et al.'s conditional oblivious transfer
+//!   (receiver-interactive, DoS-prone per footnote 5);
+//! * [`hybrid_pke_ibe`] — the footnote-3 generic PKE+IBE composition the
+//!   paper's "50% reduction" claim is measured against.
+
+pub mod cot;
+pub mod hybrid_pke_ibe;
+pub mod may_escrow;
+pub mod mont_ibe;
+pub mod rivest;
+pub mod rsw;

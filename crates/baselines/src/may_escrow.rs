@@ -1,0 +1,195 @@
+//! May's trusted escrow agent (§2.2): the third party simply *stores* every
+//! message and hands it over when the release time passes.
+//!
+//! Implemented as the paper describes it so experiment E8 can tabulate its
+//! costs: the agent's storage grows with every escrowed message, and it
+//! learns the plaintext, the release time, and both identities — zero
+//! anonymity.
+
+use std::collections::HashMap;
+
+/// What the escrow agent learns about every deposit — the anti-privacy
+/// ledger experiment E8 reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscrowRecord {
+    /// Sender identity (the agent sees it).
+    pub sender: String,
+    /// Receiver identity (the agent sees it).
+    pub receiver: String,
+    /// Release time (the agent sees it).
+    pub release_at: u64,
+    /// The message itself — *in the clear*.
+    pub message: Vec<u8>,
+}
+
+/// Error returned when a withdrawal is premature or missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscrowError {
+    /// No deposit under that handle.
+    Unknown,
+    /// Release time not yet reached.
+    NotYetReleased {
+        /// When the deposit unlocks.
+        release_at: u64,
+        /// The agent's current time.
+        now: u64,
+    },
+    /// Withdrawal attempted by a party other than the named receiver.
+    WrongReceiver,
+}
+
+impl core::fmt::Display for EscrowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Unknown => write!(f, "unknown escrow handle"),
+            Self::NotYetReleased { release_at, now } => {
+                write!(f, "not released until {release_at} (now {now})")
+            }
+            Self::WrongReceiver => write!(f, "withdrawal by wrong receiver"),
+        }
+    }
+}
+
+impl std::error::Error for EscrowError {}
+
+/// The escrow agent: a stateful, all-knowing middleman.
+#[derive(Debug, Default)]
+pub struct EscrowAgent {
+    deposits: HashMap<u64, EscrowRecord>,
+    next_handle: u64,
+    interactions: u64,
+}
+
+impl EscrowAgent {
+    /// A fresh agent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sender deposits a message (an interactive step — the agent now knows
+    /// everything). Returns the withdrawal handle.
+    pub fn deposit(
+        &mut self,
+        sender: &str,
+        receiver: &str,
+        release_at: u64,
+        message: &[u8],
+    ) -> u64 {
+        self.interactions += 1;
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.deposits.insert(
+            handle,
+            EscrowRecord {
+                sender: sender.to_string(),
+                receiver: receiver.to_string(),
+                release_at,
+                message: message.to_vec(),
+            },
+        );
+        handle
+    }
+
+    /// Receiver withdraws after the release time (another interactive
+    /// step).
+    ///
+    /// # Errors
+    /// See [`EscrowError`].
+    pub fn withdraw(
+        &mut self,
+        handle: u64,
+        receiver: &str,
+        now: u64,
+    ) -> Result<Vec<u8>, EscrowError> {
+        self.interactions += 1;
+        let rec = self.deposits.get(&handle).ok_or(EscrowError::Unknown)?;
+        if rec.receiver != receiver {
+            return Err(EscrowError::WrongReceiver);
+        }
+        if now < rec.release_at {
+            return Err(EscrowError::NotYetReleased {
+                release_at: rec.release_at,
+                now,
+            });
+        }
+        Ok(rec.message.clone())
+    }
+
+    /// Bytes of plaintext the agent is holding — grows with every deposit
+    /// until release (the scalability failure the paper calls out).
+    pub fn stored_bytes(&self) -> usize {
+        self.deposits.values().map(|r| r.message.len()).sum()
+    }
+
+    /// Number of messages currently escrowed.
+    pub fn stored_count(&self) -> usize {
+        self.deposits.len()
+    }
+
+    /// Interactive round trips the agent has served (senders + receivers).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Everything the agent knows — for the E8 anonymity table. A passive
+    /// TRE server's equivalent of this method would return nothing.
+    pub fn surveillance_ledger(&self) -> Vec<&EscrowRecord> {
+        self.deposits.values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_withdraw_after_release() {
+        let mut agent = EscrowAgent::new();
+        let h = agent.deposit("alice", "bob", 100, b"the goods");
+        assert_eq!(
+            agent.withdraw(h, "bob", 50),
+            Err(EscrowError::NotYetReleased {
+                release_at: 100,
+                now: 50
+            })
+        );
+        assert_eq!(agent.withdraw(h, "bob", 100).unwrap(), b"the goods");
+    }
+
+    #[test]
+    fn wrong_receiver_and_unknown_handle() {
+        let mut agent = EscrowAgent::new();
+        let h = agent.deposit("alice", "bob", 0, b"x");
+        assert_eq!(
+            agent.withdraw(h, "eve", 10),
+            Err(EscrowError::WrongReceiver)
+        );
+        assert_eq!(agent.withdraw(999, "bob", 10), Err(EscrowError::Unknown));
+    }
+
+    #[test]
+    fn storage_grows_with_deposits() {
+        let mut agent = EscrowAgent::new();
+        for i in 0..10 {
+            agent.deposit("a", "b", 1000, &vec![0u8; 100 * (i + 1)]);
+        }
+        assert_eq!(agent.stored_count(), 10);
+        assert_eq!(
+            agent.stored_bytes(),
+            (1..=10).map(|i| 100 * i).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn agent_sees_everything() {
+        let mut agent = EscrowAgent::new();
+        agent.deposit("alice", "bob", 42, b"secret plan");
+        let ledger = agent.surveillance_ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].sender, "alice");
+        assert_eq!(ledger[0].receiver, "bob");
+        assert_eq!(ledger[0].release_at, 42);
+        assert_eq!(ledger[0].message, b"secret plan");
+        assert_eq!(agent.interactions(), 1);
+    }
+}

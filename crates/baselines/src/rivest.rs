@@ -1,0 +1,295 @@
+//! Rivest-Shamir-Wagner's two server-based variants (§2.2):
+//!
+//! * [`RivestOnlineServer`] — the symmetric-key variant: the **sender
+//!   interacts** with the server, which encrypts the message under a
+//!   secret epoch key it will publish at release time. The server sees the
+//!   message, the release time, and the sender.
+//! * [`RivestOfflineServer`] — the public-key variant: the server
+//!   pre-publishes a *finite list* of epoch public keys and later releases
+//!   the matching private scalars. No interaction, but senders cannot
+//!   target any epoch beyond the published horizon (the scalability gap
+//!   the paper's scheme closes).
+
+use rand::RngCore;
+use tre_bigint::U256;
+use tre_hashes::{xof, Sha256};
+use tre_pairing::{Curve, G1Affine};
+use tre_sym::ChaCha20Poly1305;
+
+/// Error type shared by the Rivest baseline variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RivestError {
+    /// Requested epoch has not been released yet.
+    NotYetReleased,
+    /// Requested epoch is beyond the pre-published horizon.
+    BeyondHorizon {
+        /// Last epoch with a published key.
+        horizon: u64,
+    },
+    /// Ciphertext failed authentication.
+    DecryptionFailed,
+}
+
+impl core::fmt::Display for RivestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotYetReleased => write!(f, "epoch key not yet released"),
+            Self::BeyondHorizon { horizon } => {
+                write!(f, "epoch beyond the published horizon {horizon}")
+            }
+            Self::DecryptionFailed => write!(f, "decryption failed"),
+        }
+    }
+}
+
+impl std::error::Error for RivestError {}
+
+/// The interactive symmetric-key server. Epoch keys derive from a seed, so
+/// the server remembers only the seed — but it must *see every message*.
+pub struct RivestOnlineServer {
+    seed: [u8; 32],
+    interactions: u64,
+    observed: Vec<(u64, usize)>,
+}
+
+impl RivestOnlineServer {
+    /// Boots the server with a random seed.
+    pub fn new(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self {
+            seed,
+            interactions: 0,
+            observed: Vec::new(),
+        }
+    }
+
+    fn key_for(&self, epoch: u64) -> [u8; 32] {
+        xof::<Sha256>(
+            b"rivest/epoch-key",
+            &[&self.seed[..], &epoch.to_be_bytes()].concat(),
+            32,
+        )
+        .try_into()
+        .unwrap()
+    }
+
+    /// Sender hands the server its plaintext (the interactive step the
+    /// paper criticizes); the server returns the epoch-locked ciphertext.
+    pub fn escrow_encrypt(&mut self, epoch: u64, msg: &[u8]) -> Vec<u8> {
+        self.interactions += 1;
+        self.observed.push((epoch, msg.len()));
+        ChaCha20Poly1305::new(&self.key_for(epoch)).seal(&[0u8; 12], &epoch.to_be_bytes(), msg)
+    }
+
+    /// The server publishes the key for `epoch` once `now` has passed it.
+    ///
+    /// # Errors
+    /// Returns [`RivestError::NotYetReleased`] for future epochs.
+    pub fn release_key(&self, epoch: u64, now: u64) -> Result<[u8; 32], RivestError> {
+        if epoch > now {
+            return Err(RivestError::NotYetReleased);
+        }
+        Ok(self.key_for(epoch))
+    }
+
+    /// Receiver-side decryption with a released key.
+    ///
+    /// # Errors
+    /// Returns [`RivestError::DecryptionFailed`] on a bad key/ciphertext.
+    pub fn decrypt(key: &[u8; 32], epoch: u64, ct: &[u8]) -> Result<Vec<u8>, RivestError> {
+        ChaCha20Poly1305::new(key)
+            .open(&[0u8; 12], &epoch.to_be_bytes(), ct)
+            .map_err(|_| RivestError::DecryptionFailed)
+    }
+
+    /// Interactions served (each one leaks sender identity + message).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// What the server observed: (release epoch, message length) pairs.
+    pub fn observed(&self) -> &[(u64, usize)] {
+        &self.observed
+    }
+}
+
+/// The non-interactive public-key variant: one ElGamal-style key pair per
+/// epoch, pre-published up to a horizon.
+pub struct RivestOfflineServer<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    secrets: Vec<U256>,
+    publics: Vec<G1Affine<L>>,
+}
+
+impl<'c, const L: usize> RivestOfflineServer<'c, L> {
+    /// Pre-generates and "publishes" key pairs for epochs `0..horizon`.
+    /// The cost of this call — and the size of [`Self::published_bytes`] —
+    /// grows linearly in the horizon, which is the paper's §2.2 objection.
+    pub fn new(curve: &'c Curve<L>, horizon: u64, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let g = curve.generator();
+        let mut secrets = Vec::with_capacity(horizon as usize);
+        let mut publics = Vec::with_capacity(horizon as usize);
+        for _ in 0..horizon {
+            let sk = curve.random_scalar(rng);
+            publics.push(curve.g1_mul(&g, &sk));
+            secrets.push(sk);
+        }
+        Self {
+            curve,
+            secrets,
+            publics,
+        }
+    }
+
+    /// The published horizon (number of epochs senders can target).
+    pub fn horizon(&self) -> u64 {
+        self.publics.len() as u64
+    }
+
+    /// Total bytes of the advance publication senders must obtain.
+    pub fn published_bytes(&self) -> usize {
+        self.publics.len() * self.curve.point_len()
+    }
+
+    /// Sender-side encryption to `epoch` (non-interactive, but bounded by
+    /// the horizon).
+    ///
+    /// # Errors
+    /// Returns [`RivestError::BeyondHorizon`] past the published list —
+    /// the failure mode TRE does not have.
+    pub fn encrypt(
+        &self,
+        epoch: u64,
+        msg: &[u8],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(G1Affine<L>, Vec<u8>), RivestError> {
+        let pk = self
+            .publics
+            .get(epoch as usize)
+            .ok_or(RivestError::BeyondHorizon {
+                horizon: self.horizon(),
+            })?;
+        let r = self.curve.random_scalar(rng);
+        let c1 = self.curve.g1_mul(&self.curve.generator(), &r);
+        let shared = self.curve.g1_mul(pk, &r);
+        let key: [u8; 32] = xof::<Sha256>(b"rivest/offline", &self.curve.g1_to_bytes(&shared), 32)
+            .try_into()
+            .unwrap();
+        let body = ChaCha20Poly1305::new(&key).seal(&[0u8; 12], &epoch.to_be_bytes(), msg);
+        Ok((c1, body))
+    }
+
+    /// The server releases the private scalar for a past epoch.
+    ///
+    /// # Errors
+    /// [`RivestError::NotYetReleased`] for future epochs;
+    /// [`RivestError::BeyondHorizon`] past the list.
+    pub fn release_secret(&self, epoch: u64, now: u64) -> Result<U256, RivestError> {
+        if epoch as usize >= self.secrets.len() {
+            return Err(RivestError::BeyondHorizon {
+                horizon: self.horizon(),
+            });
+        }
+        if epoch > now {
+            return Err(RivestError::NotYetReleased);
+        }
+        Ok(self.secrets[epoch as usize])
+    }
+
+    /// Receiver-side decryption with a released epoch secret.
+    ///
+    /// # Errors
+    /// Returns [`RivestError::DecryptionFailed`] on bad inputs.
+    pub fn decrypt(
+        &self,
+        epoch: u64,
+        secret: &U256,
+        c1: &G1Affine<L>,
+        body: &[u8],
+    ) -> Result<Vec<u8>, RivestError> {
+        let shared = self.curve.g1_mul(c1, secret);
+        let key: [u8; 32] = xof::<Sha256>(b"rivest/offline", &self.curve.g1_to_bytes(&shared), 32)
+            .try_into()
+            .unwrap();
+        ChaCha20Poly1305::new(&key)
+            .open(&[0u8; 12], &epoch.to_be_bytes(), body)
+            .map_err(|_| RivestError::DecryptionFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn online_roundtrip_and_surveillance() {
+        let mut rng = rand::thread_rng();
+        let mut server = RivestOnlineServer::new(&mut rng);
+        let ct = server.escrow_encrypt(5, b"interactive secret");
+        assert_eq!(server.release_key(5, 4), Err(RivestError::NotYetReleased));
+        let key = server.release_key(5, 5).unwrap();
+        assert_eq!(
+            RivestOnlineServer::decrypt(&key, 5, &ct).unwrap(),
+            b"interactive secret"
+        );
+        // The server observed the deposit — no sender anonymity.
+        assert_eq!(server.interactions(), 1);
+        assert_eq!(server.observed(), &[(5, 18)]);
+    }
+
+    #[test]
+    fn online_wrong_epoch_key_fails() {
+        let mut rng = rand::thread_rng();
+        let mut server = RivestOnlineServer::new(&mut rng);
+        let ct = server.escrow_encrypt(5, b"x");
+        let wrong = server.release_key(4, 10).unwrap();
+        assert_eq!(
+            RivestOnlineServer::decrypt(&wrong, 5, &ct),
+            Err(RivestError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn offline_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = RivestOfflineServer::new(curve, 10, &mut rng);
+        let (c1, body) = server.encrypt(3, b"no interaction", &mut rng).unwrap();
+        let sk = server.release_secret(3, 3).unwrap();
+        assert_eq!(
+            server.decrypt(3, &sk, &c1, &body).unwrap(),
+            b"no interaction"
+        );
+    }
+
+    #[test]
+    fn offline_horizon_limits_senders() {
+        // The paper's complaint: release times beyond the published list
+        // simply cannot be targeted.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = RivestOfflineServer::new(curve, 4, &mut rng);
+        assert_eq!(
+            server.encrypt(4, b"x", &mut rng).unwrap_err(),
+            RivestError::BeyondHorizon { horizon: 4 }
+        );
+        assert_eq!(
+            server.release_secret(9, 100).unwrap_err(),
+            RivestError::BeyondHorizon { horizon: 4 }
+        );
+        assert!(server.published_bytes() > 0);
+    }
+
+    #[test]
+    fn offline_future_secret_withheld() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = RivestOfflineServer::new(curve, 10, &mut rng);
+        assert_eq!(
+            server.release_secret(7, 6),
+            Err(RivestError::NotYetReleased)
+        );
+    }
+}

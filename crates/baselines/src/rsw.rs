@@ -1,0 +1,355 @@
+//! The Rivest-Shamir-Wagner time-lock puzzle (§2.1 of the paper).
+//!
+//! A secret is locked behind `t` *sequential* modular squarings
+//! `a^(2^t) mod n`: the creator, knowing `φ(n)`, takes a shortcut
+//! (`2^t mod φ(n)` first); the solver must grind all `t` squarings. This is
+//! the canonical *relative-time* baseline: release time depends on the
+//! solver's machine speed and on when it bothers to start — exactly the
+//! imprecision experiment E4 quantifies against absolute-time TRE.
+
+use rand::RngCore;
+use tre_bigint::{numtheory, prime, MontyParams, Uint};
+use tre_hashes::{xof, Sha256};
+use tre_sym::ChaCha20Poly1305;
+
+/// A time-lock puzzle locking an AEAD key behind `t` sequential squarings.
+#[derive(Clone, Debug)]
+pub struct TimeLockPuzzle<const L: usize> {
+    n: Uint<L>,
+    a: Uint<L>,
+    t: u64,
+    body: Vec<u8>,
+}
+
+/// Error returned when opening a solved puzzle fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PuzzleError(&'static str);
+
+impl core::fmt::Display for PuzzleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "time-lock puzzle error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PuzzleError {}
+
+impl<const L: usize> TimeLockPuzzle<L> {
+    /// Creates a puzzle hiding `msg` behind `t` sequential squarings.
+    ///
+    /// The creator's cost is two primes + one short exponentiation — *not*
+    /// `t` squarings (the `φ(n)` trapdoor).
+    ///
+    /// # Panics
+    /// Panics if `modulus_bits` exceeds the width or `t == 0`.
+    pub fn create(
+        msg: &[u8],
+        t: u64,
+        modulus_bits: u32,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        Self::create_with_unlock(msg, t, modulus_bits, rng).0
+    }
+
+    /// As [`TimeLockPuzzle::create`], additionally returning the unlock
+    /// value `a^(2^t) mod n` — which the creator gets for free via the
+    /// `φ(n)` trapdoor (needed e.g. to open a [`TimedCommitment`]
+    /// voluntarily).
+    pub fn create_with_unlock(
+        msg: &[u8],
+        t: u64,
+        modulus_bits: u32,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> (Self, Uint<L>) {
+        assert!(t > 0, "need at least one squaring");
+        assert!(modulus_bits <= Uint::<L>::BITS, "modulus too wide");
+        let half = modulus_bits / 2;
+        let (p, q) = loop {
+            let p: Uint<L> = prime::gen_prime(half, rng);
+            let q: Uint<L> = prime::gen_prime(modulus_bits - half, rng);
+            if p != q {
+                break (p, q);
+            }
+        };
+        let n = p.wrapping_mul(&q);
+        let a = loop {
+            let a = Uint::random_below(rng, &n);
+            if a > Uint::ONE && !a.rem(&p).is_zero() && !a.rem(&q).is_zero() {
+                break a;
+            }
+        };
+        // CRT-accelerated trapdoor: b = a^(2^t) mod n computed as two
+        // half-size exponentiations with exponents reduced mod p−1 / q−1,
+        // recombined with `crt_pair` — the creator-side speedup that makes
+        // puzzle *creation* cheap while *solving* stays sequential.
+        let b = {
+            let pctx = MontyParams::new(p).expect("p odd");
+            let qctx = MontyParams::new(q).expect("q odd");
+            let ep = pow2_mod(t, &p.wrapping_sub(&Uint::ONE));
+            let eq = pow2_mod(t, &q.wrapping_sub(&Uint::ONE));
+            let bp = pctx.pow_plain(&a.rem(&p), &ep);
+            let bq = qctx.pow_plain(&a.rem(&q), &eq);
+            numtheory::crt_pair(&bp, &p, &bq, &q).expect("p, q coprime")
+        };
+        debug_assert!(b < n);
+        let key = kdf(&b);
+        let body = ChaCha20Poly1305::new(&key).seal(&[0u8; 12], b"rsw", msg);
+        (Self { n, a, t, body }, b)
+    }
+
+    /// The advertised number of sequential squarings.
+    pub fn difficulty(&self) -> u64 {
+        self.t
+    }
+
+    /// Solves the puzzle the hard way: `t` sequential squarings, then opens
+    /// the AEAD body.
+    ///
+    /// # Errors
+    /// Returns [`PuzzleError`] if the body fails authentication (corrupted
+    /// puzzle).
+    pub fn solve(&self) -> Result<Vec<u8>, PuzzleError> {
+        let nctx = MontyParams::new(self.n).expect("n odd");
+        let mut x = nctx.to_monty(&self.a);
+        for _ in 0..self.t {
+            x = nctx.square(&x);
+        }
+        let b = nctx.from_monty(&x);
+        self.open_with(&b)
+    }
+
+    /// Opens with a known `a^(2^t) mod n` value (creator-side check, or a
+    /// solver that checkpointed).
+    ///
+    /// # Errors
+    /// Returns [`PuzzleError`] if the value is wrong.
+    pub fn open_with(&self, b: &Uint<L>) -> Result<Vec<u8>, PuzzleError> {
+        let key = kdf(b);
+        ChaCha20Poly1305::new(&key)
+            .open(&[0u8; 12], b"rsw", &self.body)
+            .map_err(|_| PuzzleError("authentication failed"))
+    }
+
+    /// Measures this machine's sequential squaring rate (squarings/second)
+    /// for the puzzle's modulus size — the calibration step a sender must
+    /// perform to target a wall-clock delay, and the quantity that varies
+    /// across machines (the source of release-time imprecision).
+    pub fn calibrate(&self, samples: u64) -> f64 {
+        let nctx = MontyParams::new(self.n).expect("n odd");
+        let mut x = nctx.to_monty(&self.a);
+        let start = std::time::Instant::now();
+        for _ in 0..samples {
+            x = nctx.square(&x);
+        }
+        let dt = start.elapsed().as_secs_f64();
+        std::hint::black_box(x);
+        samples as f64 / dt
+    }
+}
+
+/// `2^t mod m` for arbitrary (possibly even) `m`, via repeated doubling of
+/// the exponent: square `2`, reduce with full division each step.
+fn pow2_mod<const L: usize>(t: u64, m: &Uint<L>) -> Uint<L> {
+    // Square-and-multiply computing 2^t mod m with general reduction.
+    let mut result = Uint::<L>::ONE.rem(m);
+    let mut base = Uint::<L>::from_u64(2).rem(m);
+    let mut e = t;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod_general(&result, &base, m);
+        }
+        base = mul_mod_general(&base, &base, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// `a·b mod m` via widening multiply + binary long division (no parity
+/// constraint on `m`). Slow but used only during puzzle creation.
+pub(crate) fn mul_mod_general<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    let (lo, hi) = a.widening_mul(b);
+    // Reduce the double-width value through the byte-level reducer.
+    let mut bytes = hi.to_be_bytes();
+    bytes.extend_from_slice(&lo.to_be_bytes());
+    Uint::from_be_bytes_mod(&bytes, m)
+}
+
+fn kdf<const L: usize>(b: &Uint<L>) -> [u8; 32] {
+    xof::<Sha256>(b"rsw/key", &b.to_be_bytes(), 32)
+        .try_into()
+        .unwrap()
+}
+
+/// A (simplified) Boneh-Naor timed commitment built on the same sequential-
+/// squaring assumption: binding and hiding now, **forcibly openable** after
+/// `t` squarings if the committer refuses to open.
+///
+/// The committer locks the opening key in a [`TimeLockPuzzle`]; the
+/// commitment value binds the message under that key. Anyone can verify a
+/// voluntary opening instantly; a stonewalled verifier grinds the puzzle.
+#[derive(Clone, Debug)]
+pub struct TimedCommitment<const L: usize> {
+    puzzle: TimeLockPuzzle<L>,
+    binding: [u8; 32],
+}
+
+/// The committer's voluntary opening: the puzzle's unlock value.
+#[derive(Clone, Debug)]
+pub struct CommitmentOpening<const L: usize> {
+    unlock: Uint<L>,
+}
+
+impl<const L: usize> TimedCommitment<L> {
+    /// Commits to `msg`, forcibly openable after `t` squarings.
+    ///
+    /// Returns the commitment and the committer's opening hint.
+    ///
+    /// # Panics
+    /// As [`TimeLockPuzzle::create`].
+    pub fn commit(
+        msg: &[u8],
+        t: u64,
+        modulus_bits: u32,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> (Self, CommitmentOpening<L>) {
+        // The puzzle body carries the message; the creator keeps the unlock
+        // value (free via the φ(n) trapdoor) as the opening hint.
+        let (puzzle, unlock) = TimeLockPuzzle::create_with_unlock(msg, t, modulus_bits, rng);
+        let binding = xof::<Sha256>(b"rsw/commit", &[&puzzle.body[..], msg].concat(), 32)
+            .try_into()
+            .unwrap();
+        (Self { puzzle, binding }, CommitmentOpening { unlock })
+    }
+
+    /// Verifies a voluntary opening against a claimed message — instant.
+    pub fn verify_opening(&self, msg: &[u8], opening: &CommitmentOpening<L>) -> bool {
+        match self.puzzle.open_with(&opening.unlock) {
+            Ok(recovered) => {
+                recovered == msg
+                    && xof::<Sha256>(b"rsw/commit", &[&self.puzzle.body[..], msg].concat(), 32)
+                        == self.binding.to_vec()
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Forced opening: grind the `t` squarings, recover the message, check
+    /// the binding.
+    ///
+    /// # Errors
+    /// Returns [`PuzzleError`] if the commitment is malformed or the
+    /// binding check fails.
+    pub fn force_open(&self) -> Result<Vec<u8>, PuzzleError> {
+        let msg = self.puzzle.solve()?;
+        let expect: Vec<u8> =
+            xof::<Sha256>(b"rsw/commit", &[&self.puzzle.body[..], &msg].concat(), 32);
+        if expect != self.binding {
+            return Err(PuzzleError("binding check failed"));
+        }
+        Ok(msg)
+    }
+
+    /// The advertised difficulty.
+    pub fn difficulty(&self) -> u64 {
+        self.puzzle.difficulty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_mod_matches_naive() {
+        let m = Uint::<4>::from_u64(1_000_000); // even modulus
+        for t in [1u64, 2, 5, 17, 64, 100] {
+            let mut naive = 1u64;
+            for _ in 0..t {
+                naive = naive * 2 % 1_000_000;
+            }
+            assert_eq!(pow2_mod(t, &m), Uint::from_u64(naive), "t={t}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_general_matches_u128() {
+        let m = Uint::<4>::from_u64(999_999_937);
+        let a = Uint::<4>::from_u64(123_456_789);
+        let b = Uint::<4>::from_u64(987_654_321);
+        let expect = (123_456_789u128 * 987_654_321u128 % 999_999_937) as u64;
+        assert_eq!(mul_mod_general(&a, &b, &m), Uint::from_u64(expect));
+    }
+
+    #[test]
+    fn puzzle_roundtrip() {
+        let mut rng = rand::thread_rng();
+        let msg = b"locked for 1000 squarings";
+        let puzzle: TimeLockPuzzle<8> = TimeLockPuzzle::create(msg, 1000, 256, &mut rng);
+        assert_eq!(puzzle.difficulty(), 1000);
+        assert_eq!(puzzle.solve().unwrap(), msg);
+    }
+
+    #[test]
+    fn trapdoor_matches_grind() {
+        // The creator's shortcut must produce the same unlock value the
+        // solver grinds out; verified implicitly by solve() succeeding on a
+        // body sealed with the shortcut-derived key.
+        let mut rng = rand::thread_rng();
+        let puzzle: TimeLockPuzzle<8> = TimeLockPuzzle::create(b"x", 257, 256, &mut rng);
+        assert!(puzzle.solve().is_ok());
+    }
+
+    #[test]
+    fn corrupted_body_rejected() {
+        let mut rng = rand::thread_rng();
+        let mut puzzle: TimeLockPuzzle<8> = TimeLockPuzzle::create(b"x", 64, 256, &mut rng);
+        let last = puzzle.body.len() - 1;
+        puzzle.body[last] ^= 1;
+        assert!(puzzle.solve().is_err());
+    }
+
+    #[test]
+    fn wrong_unlock_value_rejected() {
+        let mut rng = rand::thread_rng();
+        let puzzle: TimeLockPuzzle<8> = TimeLockPuzzle::create(b"x", 64, 256, &mut rng);
+        assert!(puzzle.open_with(&Uint::from_u64(12345)).is_err());
+    }
+
+    #[test]
+    fn timed_commitment_voluntary_open() {
+        let mut rng = rand::thread_rng();
+        let (commitment, opening) = TimedCommitment::<8>::commit(b"I bid $100", 500, 256, &mut rng);
+        assert!(commitment.verify_opening(b"I bid $100", &opening));
+        // Binding: the opening does not verify for a different message.
+        assert!(!commitment.verify_opening(b"I bid $999", &opening));
+        // A wrong unlock value does not verify either.
+        let bogus = CommitmentOpening {
+            unlock: Uint::from_u64(7),
+        };
+        assert!(!commitment.verify_opening(b"I bid $100", &bogus));
+    }
+
+    #[test]
+    fn timed_commitment_forced_open() {
+        let mut rng = rand::thread_rng();
+        let (commitment, _withheld) =
+            TimedCommitment::<8>::commit(b"stonewalled", 300, 256, &mut rng);
+        // The committer refuses to open; the verifier grinds the squarings.
+        assert_eq!(commitment.force_open().unwrap(), b"stonewalled");
+        assert_eq!(commitment.difficulty(), 300);
+    }
+
+    #[test]
+    fn create_with_unlock_matches_grind() {
+        let mut rng = rand::thread_rng();
+        let (puzzle, unlock) = TimeLockPuzzle::<8>::create_with_unlock(b"x", 64, 256, &mut rng);
+        assert_eq!(puzzle.open_with(&unlock).unwrap(), b"x");
+        assert_eq!(puzzle.solve().unwrap(), b"x");
+    }
+
+    #[test]
+    fn calibration_returns_positive_rate() {
+        let mut rng = rand::thread_rng();
+        let puzzle: TimeLockPuzzle<8> = TimeLockPuzzle::create(b"x", 10, 256, &mut rng);
+        assert!(puzzle.calibrate(500) > 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! E2 Criterion benches: per-epoch server cost vs receiver count — the
+//! TRE broadcast is O(1), Mont et al.'s per-user IBE rollover is O(N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_baselines::mont_ibe::MontServer;
+use tre_bench::{rng, Fixture};
+use tre_core::ReleaseTag;
+use tre_pairing::toy64;
+
+fn benches(c: &mut Criterion) {
+    let curve = toy64();
+    let fx = Fixture::new(curve);
+    let mut grp = c.benchmark_group("broadcast_per_epoch");
+    grp.sample_size(10);
+
+    // TRE: one signature regardless of N (no N parameter at all).
+    grp.bench_function("tre_single_update", |b| {
+        b.iter(|| fx.server.issue_update(curve, &ReleaseTag::time("e")))
+    });
+
+    for n in [1usize, 4, 16, 64] {
+        let mut r = rng();
+        let mut mont = MontServer::new(curve, &mut r);
+        for i in 0..n {
+            mont.register(&format!("user{i}"));
+        }
+        grp.bench_with_input(BenchmarkId::new("mont_ibe_rollover", n), &n, |b, _| {
+            b.iter(|| mont.epoch_rollover(0))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(broadcast_benches, benches);
+criterion_main!(broadcast_benches);

@@ -1,0 +1,40 @@
+//! E7 Criterion benches: multi-server TRE encryption/decryption scaling in
+//! the number of servers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_bench::rng;
+use tre_core::{multi_server, ReleaseTag, ServerKeyPair, UserKeyPair};
+use tre_pairing::toy64;
+
+fn benches(c: &mut Criterion) {
+    let curve = toy64();
+    let mut grp = c.benchmark_group("multi_server/toy64");
+    grp.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let mut r = rng();
+        let servers: Vec<ServerKeyPair<8>> = (0..n)
+            .map(|_| ServerKeyPair::generate(curve, &mut r))
+            .collect();
+        let pks: Vec<_> = servers.iter().map(|s| *s.public()).collect();
+        let a = curve.random_scalar(&mut r);
+        let user = UserKeyPair::from_secret(curve, &pks[0], a);
+        let mpk = multi_server::MultiServerUserKey::derive(curve, &pks, &a);
+        let tag = ReleaseTag::time("bench");
+        let msg = vec![0u8; 64];
+        grp.bench_with_input(BenchmarkId::new("encrypt", n), &n, |b, _| {
+            b.iter(|| multi_server::encrypt(curve, &pks, &mpk, &tag, &msg, &mut r).unwrap())
+        });
+        let ct = multi_server::encrypt(curve, &pks, &mpk, &tag, &msg, &mut r).unwrap();
+        let updates: Vec<_> = servers
+            .iter()
+            .map(|s| s.issue_update(curve, &tag))
+            .collect();
+        grp.bench_with_input(BenchmarkId::new("decrypt", n), &n, |b, _| {
+            b.iter(|| multi_server::decrypt(curve, &pks, &user, &updates, &ct).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(multi_server_benches, benches);
+criterion_main!(multi_server_benches);

@@ -1,0 +1,50 @@
+//! E9 Criterion benches: pairing-stack primitives across parameter sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tre_bench::rng;
+use tre_pairing::{high128, mid96, toy64, Curve};
+
+fn bench_curve<const L: usize>(c: &mut Criterion, curve: &'static Curve<L>, name: &str) {
+    let mut r = rng();
+    let g = curve.generator();
+    let k = curve.random_scalar(&mut r);
+    let p = curve.g1_mul(&g, &k);
+    let e = curve.pairing(&g, &p);
+
+    let mut grp = c.benchmark_group(format!("pairing/{name}"));
+    grp.sample_size(10);
+    grp.bench_function("tate_pairing", |b| b.iter(|| curve.pairing(&g, &p)));
+    grp.bench_function("g1_scalar_mul_wnaf", |b| b.iter(|| curve.g1_mul(&g, &k)));
+    grp.bench_function("g1_scalar_mul_binary_ablation", |b| {
+        b.iter(|| curve.g1_mul_binary(&g, &k))
+    });
+    let pairs: Vec<_> = (0..4)
+        .map(|i| {
+            let s = curve.random_scalar(&mut r);
+            let _ = i;
+            (curve.g1_mul(&g, &s), p)
+        })
+        .collect();
+    grp.bench_function("multi_pairing_4_shared", |b| {
+        b.iter(|| curve.multi_pairing(&pairs))
+    });
+    grp.bench_function("multi_pairing_4_naive_ablation", |b| {
+        b.iter(|| curve.multi_pairing_naive(&pairs))
+    });
+    grp.bench_function("g1_add", |b| b.iter(|| curve.g1_add(&g, &p)));
+    grp.bench_function("hash_to_g1", |b| {
+        b.iter(|| curve.hash_to_g1(b"bench", b"msg"))
+    });
+    grp.bench_function("gt_pow", |b| b.iter(|| e.pow(&k, curve)));
+    grp.bench_function("gt_kdf_32B", |b| b.iter(|| curve.gt_kdf(&e, b"bench", 32)));
+    grp.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_curve(c, toy64(), "toy64");
+    bench_curve(c, mid96(), "mid96");
+    bench_curve(c, high128(), "high128");
+}
+
+criterion_group!(pairing_benches, benches);
+criterion_main!(pairing_benches);

@@ -1,0 +1,27 @@
+//! E4 Criterion benches: RSW time-lock puzzle — creation (trapdoor) vs
+//! solving (sequential squarings), and the raw squaring rate that
+//! calibration depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_baselines::rsw::TimeLockPuzzle;
+use tre_bench::rng;
+
+fn benches(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("rsw_puzzle");
+    grp.sample_size(10);
+    grp.bench_function("create_1024bit_t1000", |b| {
+        let mut r = rng();
+        b.iter(|| TimeLockPuzzle::<16>::create(b"msg", 1_000, 1024, &mut r))
+    });
+    for t in [100u64, 1_000, 10_000] {
+        let mut r = rng();
+        let puzzle = TimeLockPuzzle::<16>::create(b"msg", t, 1024, &mut r);
+        grp.bench_with_input(BenchmarkId::new("solve_1024bit", t), &t, |b, _| {
+            b.iter(|| puzzle.solve().unwrap())
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(puzzle_benches, benches);
+criterion_main!(puzzle_benches);

@@ -1,0 +1,58 @@
+//! E11 Criterion benches: the §6 cover-tree extension — broadcast
+//! issuance, encryption, and single-broadcast decryption vs tree depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_bench::{rng, Fixture};
+use tre_core::resilient::{self, EpochTree, ResilientBroadcast};
+use tre_pairing::toy64;
+
+fn benches(c: &mut Criterion) {
+    let curve = toy64();
+    let fx = Fixture::new(curve);
+    let mut grp = c.benchmark_group("resilient/toy64");
+    grp.sample_size(10);
+    for depth in [6u32, 10, 14] {
+        let tree = EpochTree::new(depth);
+        let now = tree.epochs() - 2;
+        grp.bench_with_input(
+            BenchmarkId::new("issue_broadcast", depth),
+            &depth,
+            |b, _| b.iter(|| ResilientBroadcast::issue(curve, &fx.server, &tree, now)),
+        );
+        let bc = ResilientBroadcast::issue(curve, &fx.server, &tree, now);
+        let mut r = rng();
+        grp.bench_with_input(BenchmarkId::new("encrypt_64B", depth), &depth, |b, _| {
+            b.iter(|| {
+                resilient::encrypt(
+                    curve,
+                    fx.server.public(),
+                    fx.user.public(),
+                    &tree,
+                    tree.epochs() / 2,
+                    &[0u8; 64],
+                    &mut r,
+                )
+                .unwrap()
+            })
+        });
+        let ct = resilient::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tree,
+            tree.epochs() / 2,
+            &[0u8; 64],
+            &mut r,
+        )
+        .unwrap();
+        grp.bench_with_input(BenchmarkId::new("decrypt", depth), &depth, |b, _| {
+            b.iter(|| {
+                resilient::decrypt(curve, fx.server.public(), &fx.user, &tree, &bc, &ct).unwrap()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(resilient_benches, benches);
+criterion_main!(resilient_benches);

@@ -1,0 +1,52 @@
+//! E10 Criterion benches: basic scheme vs FO vs REACT vs hybrid KEM-DEM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tre_bench::{rng, Fixture};
+use tre_core::{fo, hybrid, react, tre as basic, ReleaseTag};
+use tre_pairing::toy64;
+
+fn benches(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let tag = ReleaseTag::time("bench");
+    let update = fx.server.issue_update(curve, &tag);
+    let msg = vec![0x55u8; 64];
+    let spk = fx.server.public();
+    let upk = fx.user.public();
+
+    let mut grp = c.benchmark_group("transforms/toy64/64B");
+    grp.sample_size(10);
+    grp.bench_function("basic_encrypt", |b| {
+        b.iter(|| basic::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())
+    });
+    let ct = basic::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap();
+    grp.bench_function("basic_decrypt", |b| {
+        b.iter(|| basic::decrypt(curve, spk, &fx.user, &update, &ct).unwrap())
+    });
+    grp.bench_function("fo_encrypt", |b| {
+        b.iter(|| fo::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())
+    });
+    let ct = fo::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap();
+    grp.bench_function("fo_decrypt", |b| {
+        b.iter(|| fo::decrypt(curve, spk, &fx.user, &update, &ct).unwrap())
+    });
+    grp.bench_function("react_encrypt", |b| {
+        b.iter(|| react::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())
+    });
+    let ct = react::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap();
+    grp.bench_function("react_decrypt", |b| {
+        b.iter(|| react::decrypt(curve, spk, &fx.user, &update, &ct).unwrap())
+    });
+    grp.bench_function("hybrid_encrypt", |b| {
+        b.iter(|| hybrid::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())
+    });
+    let ct = hybrid::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap();
+    grp.bench_function("hybrid_decrypt", |b| {
+        b.iter(|| hybrid::decrypt(curve, spk, &fx.user, &update, &ct).unwrap())
+    });
+    grp.finish();
+}
+
+criterion_group!(transform_benches, benches);
+criterion_main!(transform_benches);

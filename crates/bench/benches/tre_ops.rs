@@ -1,0 +1,80 @@
+//! E1 Criterion benches: the paper's hybrid TRE vs the footnote-3 PKE+IBE
+//! composition, plus key generation and update issuance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tre_baselines::hybrid_pke_ibe;
+use tre_bench::{rng, Fixture};
+use tre_core::{hybrid, ReleaseTag, ServerKeyPair, UserKeyPair};
+use tre_pairing::toy64;
+
+fn benches(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let pke = hybrid_pke_ibe::PkeKeyPair::generate(curve, &mut r);
+    let tag = ReleaseTag::time("bench");
+    let update = fx.server.issue_update(curve, &tag);
+    let msg = vec![0xabu8; 256];
+
+    let mut grp = c.benchmark_group("tre_ops/toy64");
+    grp.sample_size(10);
+    grp.bench_function("server_keygen", |b| {
+        b.iter(|| ServerKeyPair::generate(curve, &mut r))
+    });
+    grp.bench_function("user_keygen", |b| {
+        b.iter(|| UserKeyPair::generate(curve, fx.server.public(), &mut r))
+    });
+    grp.bench_function("issue_update", |b| {
+        b.iter(|| fx.server.issue_update(curve, &tag))
+    });
+    grp.bench_function("verify_update", |b| {
+        b.iter(|| update.verify(curve, fx.server.public()))
+    });
+    grp.bench_function("validate_user_key", |b| {
+        b.iter(|| {
+            fx.user
+                .public()
+                .validate(curve, fx.server.public())
+                .unwrap()
+        })
+    });
+
+    grp.bench_function("ours_encrypt_256B", |b| {
+        b.iter(|| {
+            hybrid::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        })
+    });
+    let ct = hybrid::encrypt(
+        curve,
+        fx.server.public(),
+        fx.user.public(),
+        &tag,
+        &msg,
+        &mut r,
+    )
+    .unwrap();
+    grp.bench_function("ours_decrypt_256B", |b| {
+        b.iter(|| hybrid::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap())
+    });
+    grp.bench_function("baseline_pke_ibe_encrypt_256B", |b| {
+        b.iter(|| {
+            hybrid_pke_ibe::encrypt(curve, fx.server.public(), pke.public(), &tag, &msg, &mut r)
+        })
+    });
+    let bct = hybrid_pke_ibe::encrypt(curve, fx.server.public(), pke.public(), &tag, &msg, &mut r);
+    grp.bench_function("baseline_pke_ibe_decrypt_256B", |b| {
+        b.iter(|| hybrid_pke_ibe::decrypt(curve, fx.server.public(), &pke, &update, &bct).unwrap())
+    });
+    grp.finish();
+}
+
+criterion_group!(tre_ops_benches, benches);
+criterion_main!(tre_ops_benches);

@@ -1,0 +1,831 @@
+//! The experiment harness: regenerates every quantitative/comparative
+//! claim of the paper (experiments E1–E10, see DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p tre-bench --bin tables            # all experiments
+//! cargo run --release -p tre-bench --bin tables -- --exp e1
+//! ```
+
+use tre_baselines::{
+    hybrid_pke_ibe, may_escrow::EscrowAgent, mont_ibe, rivest, rsw::TimeLockPuzzle,
+};
+use tre_bench::{header, rng, row, time_ms, Fixture};
+use tre_core::{fo, hybrid, insulated::EpochKey, multi_server, react, server_change::ReboundKey};
+use tre_core::{tre as basic, ReleaseTag, ServerKeyPair, UserKeyPair};
+use tre_pairing::{mid96, toy64, Curve};
+use tre_server::{BroadcastNet, Granularity, NetConfig, SimClock, TimeServer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let want = |name: &str| filter.as_deref().is_none_or(|f| f == name);
+
+    println!("# TRE reproduction — experiment tables\n");
+    if want("e1") {
+        e1();
+    }
+    if want("e2") {
+        e2();
+    }
+    if want("e3") {
+        e3();
+    }
+    if want("e4") {
+        e4();
+    }
+    if want("e5") {
+        e5();
+    }
+    if want("e6") {
+        e6();
+    }
+    if want("e7") {
+        e7();
+    }
+    if want("e8") {
+        e8();
+    }
+    if want("e9") {
+        e9();
+    }
+    if want("e10") {
+        e10();
+    }
+    if want("e11") {
+        e11();
+    }
+    if want("e12") {
+        e12();
+    }
+}
+
+/// E1: "50% reduction in most cases" vs the footnote-3 PKE+IBE hybrid.
+fn e1() {
+    println!("## E1 — integrated TRE vs generic PKE+IBE composition\n");
+    header(&[
+        "params",
+        "msg bytes",
+        "ours: ovh B / enc ms / dec ms",
+        "baseline: ovh B / enc ms / dec ms",
+        "overhead reduction",
+    ]);
+    e1_on(toy64(), "toy64");
+    e1_on(mid96(), "mid96");
+    println!();
+    println!(
+        "(Our encrypt includes the sender-side ê(aG,sG)=ê(G,asG) key check — 2 pairings,\n\
+         cacheable per receiver; the baseline's PKE half performs no such validation.\n\
+         The paper's \"50%\" claim concerns ciphertext overhead and total encapsulation\n\
+         work: one pairing encapsulation here vs PKE + IBE encapsulations there.)\n"
+    );
+}
+
+fn e1_on<const L: usize>(curve: &Curve<L>, name: &str) {
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let pke = hybrid_pke_ibe::PkeKeyPair::generate(curve, &mut r);
+    let tag = ReleaseTag::time("e1");
+    let update = fx.server.issue_update(curve, &tag);
+    let iters = if L <= 8 { 5 } else { 2 };
+    for msg_len in [32usize, 1024] {
+        let msg = vec![0xabu8; msg_len];
+        let ours_ct = hybrid::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tag,
+            &msg,
+            &mut r,
+        )
+        .unwrap();
+        let ours_ovh = ours_ct.size(curve) - msg_len;
+        let ours_enc = time_ms(iters, || {
+            hybrid::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let ours_dec = time_ms(iters, || {
+            hybrid::decrypt(curve, fx.server.public(), &fx.user, &update, &ours_ct).unwrap()
+        });
+        let base_ct =
+            hybrid_pke_ibe::encrypt(curve, fx.server.public(), pke.public(), &tag, &msg, &mut r);
+        let base_ovh = base_ct.size(curve) - msg_len;
+        let base_enc = time_ms(iters, || {
+            hybrid_pke_ibe::encrypt(curve, fx.server.public(), pke.public(), &tag, &msg, &mut r)
+        });
+        let base_dec = time_ms(iters, || {
+            hybrid_pke_ibe::decrypt(curve, fx.server.public(), &pke, &update, &base_ct).unwrap()
+        });
+        let reduction = 100.0 * (1.0 - ours_ovh as f64 / base_ovh as f64);
+        row(&[
+            name.into(),
+            format!("{msg_len}"),
+            format!("{ours_ovh} / {ours_enc:.1} / {ours_dec:.1}"),
+            format!("{base_ovh} / {base_enc:.1} / {base_dec:.1}"),
+            format!("{reduction:.0}%"),
+        ]);
+    }
+}
+
+/// E2: server cost per epoch vs number of receivers — O(1) broadcast vs
+/// Mont et al.'s O(N) per-user unicast.
+fn e2() {
+    println!("## E2 — per-epoch server cost vs receiver count\n");
+    let curve = toy64();
+    let mut r = rng();
+    // Measure Mont per-user cost once, extrapolate for large N (each user
+    // costs one hash-to-curve + one scalar multiplication + one unicast).
+    let mut mont = mont_ibe::MontServer::new(curve, &mut r);
+    for i in 0..20 {
+        mont.register(&format!("u{i}"));
+    }
+    let per_user_ms = time_ms(3, || mont.epoch_rollover(0)) / 20.0;
+
+    // TRE server cost is one signature regardless of N.
+    let fx = Fixture::new(curve);
+    let tre_ms = time_ms(5, || fx.server.issue_update(curve, &ReleaseTag::time("e2")));
+    let update_bytes = fx
+        .server
+        .issue_update(curve, &ReleaseTag::time("e2"))
+        .to_bytes(curve)
+        .len();
+
+    header(&[
+        "receivers N",
+        "TRE: bytes / ms per epoch",
+        "Mont IBE: bytes / ms per epoch",
+        "ratio",
+    ]);
+    for n in [1u64, 10, 100, 1_000, 10_000] {
+        let mont_bytes = n as usize * curve.point_len();
+        let mont_ms = per_user_ms * n as f64;
+        row(&[
+            format!("{n}"),
+            format!("{update_bytes} / {tre_ms:.1}"),
+            format!("{mont_bytes} / {mont_ms:.1}"),
+            format!("{:.0}×", mont_ms / tre_ms),
+        ]);
+    }
+    println!("\n(TRE row is constant: a single update serves every receiver — §5.3.1.)\n");
+}
+
+/// E3: the update is a self-authenticating short signature.
+fn e3() {
+    println!("## E3 — key-update size & self-authentication\n");
+    let curve = toy64();
+    let fx = Fixture::new(curve);
+    let tag = ReleaseTag::time("2026-07-04T12:00:00Z");
+    let update = fx.server.issue_update(curve, &tag);
+    let update_bytes = update.to_bytes(curve).len();
+    let tag_bytes = tag.to_bytes().len();
+    let point = curve.point_len();
+    // Baseline: an unauthenticated timestamp token + a separate BLS
+    // signature over it would carry the same tag + TWO points.
+    let separate_sig = tag_bytes + 2 * point;
+    let verify_ms = time_ms(5, || update.verify(curve, fx.server.public()));
+    header(&["quantity", "value"]);
+    row(&["tag".into(), format!("{tag_bytes} B")]);
+    row(&["signature point (compressed)".into(), format!("{point} B")]);
+    row(&[
+        "TRE update total (self-authenticated)".into(),
+        format!("{update_bytes} B"),
+    ]);
+    row(&[
+        "update + separate-signature baseline".into(),
+        format!("{separate_sig} B"),
+    ]);
+    row(&[
+        "verification (2 pairings)".into(),
+        format!("{verify_ms:.1} ms"),
+    ]);
+    println!();
+}
+
+/// E4: release-time precision — RSW puzzles vs absolute-time TRE.
+fn e4() {
+    println!("## E4 — release-time precision: time-lock puzzle vs TRE\n");
+    let mut r = rng();
+    // Calibrate this machine's squaring rate with a 512-bit modulus.
+    let probe: TimeLockPuzzle<8> = TimeLockPuzzle::create(b"probe", 10, 512, &mut r);
+    let rate = probe.calibrate(20_000);
+    let target_s = 2.0;
+    let t = (rate * target_s) as u64;
+    println!(
+        "reference machine: {rate:.0} squarings/s (512-bit modulus); \
+         puzzle difficulty t = {t} targets a {target_s}s delay\n"
+    );
+    header(&[
+        "solver machine",
+        "starts solving",
+        "message readable at",
+        "error vs 2.0s target",
+    ]);
+    for (speed, label) in [
+        (0.25, "4× slower"),
+        (0.5, "2× slower"),
+        (1.0, "reference"),
+        (2.0, "2× faster"),
+        (4.0, "4× faster"),
+    ] {
+        for start in [0.0f64, 1.0] {
+            let done = start + target_s / speed;
+            row(&[
+                label.into(),
+                format!("t+{start:.1}s"),
+                format!("t+{done:.1}s"),
+                format!("{:+.1}s", done - target_s),
+            ]);
+        }
+    }
+    // TRE: error bounded by update delivery latency+jitter, independent of
+    // machine speed and start time. Simulate 200 receivers on a
+    // millisecond-resolution clock.
+    let curve = toy64();
+    let clock = SimClock::new();
+    let mut net: BroadcastNet<8> = BroadcastNet::new(
+        clock.clone(),
+        NetConfig {
+            base_latency: 20,
+            jitter: 60,
+            loss_prob: 0.0,
+        },
+        4,
+    );
+    let subs: Vec<_> = (0..200).map(|_| net.subscribe()).collect();
+    let fx = Fixture::new(curve);
+    let mut server = TimeServer::new(
+        curve,
+        fx.server.clone(),
+        clock.clone(),
+        Granularity::Custom(2_000),
+    );
+    server.poll(); // epoch 0
+    clock.set(2_000); // the 2.0s release instant (ms ticks)
+    for u in server.poll() {
+        let b = u.to_bytes(curve).len();
+        net.broadcast(&u, b);
+    }
+    clock.set(2_100);
+    let mut worst = 0u64;
+    for s in subs {
+        for (at, _) in net.poll(s) {
+            worst = worst.max(at - 2_000);
+        }
+    }
+    println!("\nTRE (200 receivers, 20 ms latency + ≤60 ms jitter broadcast):");
+    println!("  every receiver can open within +{worst} ms of the absolute release instant,");
+    println!("  independent of machine speed and of when it starts decrypting; the");
+    println!("  puzzle's error above is unbounded in both directions.\n");
+}
+
+/// E5: key insulation — epoch-key derivation cost and isolation.
+fn e5() {
+    println!("## E5 — key insulation (epoch keys)\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let t5 = ReleaseTag::time("epoch-5");
+    let t6 = ReleaseTag::time("epoch-6");
+    let u5 = fx.server.issue_update(curve, &t5);
+    let ct5 = basic::encrypt(
+        curve,
+        fx.server.public(),
+        fx.user.public(),
+        &t5,
+        b"epoch 5 msg",
+        &mut r,
+    )
+    .unwrap();
+    let derive_ms = time_ms(5, || {
+        EpochKey::derive(curve, fx.server.public(), &fx.user, &u5).unwrap()
+    });
+    let epoch5 = EpochKey::derive(curve, fx.server.public(), &fx.user, &u5).unwrap();
+    let dec_epoch_ms = time_ms(5, || epoch5.decrypt(curve, &ct5).unwrap());
+    let dec_full_ms = time_ms(5, || {
+        basic::decrypt(curve, fx.server.public(), &fx.user, &u5, &ct5).unwrap()
+    });
+    let ct6 = basic::encrypt(
+        curve,
+        fx.server.public(),
+        fx.user.public(),
+        &t6,
+        b"epoch 6 msg",
+        &mut r,
+    )
+    .unwrap();
+    let cross_rejected = epoch5.decrypt(curve, &ct6).is_err();
+    header(&["quantity", "value"]);
+    row(&[
+        "epoch-key derivation (safe device: verify + 1 scalar mult)".into(),
+        format!("{derive_ms:.1} ms"),
+    ]);
+    row(&[
+        "decrypt with epoch key (no long-term secret)".into(),
+        format!("{dec_epoch_ms:.1} ms"),
+    ]);
+    row(&[
+        "decrypt with long-term secret (reference)".into(),
+        format!("{dec_full_ms:.1} ms"),
+    ]);
+    row(&[
+        "epoch-5 key rejected for epoch-6 ciphertext".into(),
+        format!("{cross_rejected}"),
+    ]);
+    println!();
+}
+
+/// E6: changing time servers without re-certification.
+fn e6() {
+    println!("## E6 — server change without re-certification\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let new_server = ServerKeyPair::generate(curve, &mut r);
+    let rebound = ReboundKey::derive(curve, fx.user.public(), new_server.public(), &fx.user);
+    let verify_ms = time_ms(5, || {
+        rebound
+            .verify(curve, fx.server.public(), new_server.public())
+            .unwrap()
+    });
+    // "Full re-certification" baseline: fresh keygen + validation (and an
+    // out-of-band CA round trip, avoided structurally).
+    let recert_ms = time_ms(5, || {
+        let u = UserKeyPair::generate(curve, new_server.public(), &mut r);
+        u.public().validate(curve, new_server.public()).unwrap();
+        u
+    });
+    header(&["path", "crypto cost", "CA involvement"]);
+    row(&[
+        "re-bound key verification (§5.3.4)".into(),
+        format!("{verify_ms:.1} ms"),
+        "none".into(),
+    ]);
+    row(&[
+        "fresh key + re-certification".into(),
+        format!("{recert_ms:.1} ms"),
+        "full round trip".into(),
+    ]);
+    println!();
+}
+
+/// E7: multi-server overhead scaling.
+fn e7() {
+    println!("## E7 — multi-server TRE scaling\n");
+    let curve = toy64();
+    let mut r = rng();
+    header(&[
+        "servers N",
+        "ciphertext bytes",
+        "encrypt ms",
+        "decrypt ms",
+        "missing-1-update decrypts?",
+    ]);
+    for n in [1usize, 2, 3, 5, 8] {
+        let servers: Vec<ServerKeyPair<8>> = (0..n)
+            .map(|_| ServerKeyPair::generate(curve, &mut r))
+            .collect();
+        let pks: Vec<_> = servers.iter().map(|s| *s.public()).collect();
+        let a = curve.random_scalar(&mut r);
+        let user = UserKeyPair::from_secret(curve, &pks[0], a);
+        let mpk = multi_server::MultiServerUserKey::derive(curve, &pks, &a);
+        let tag = ReleaseTag::time("e7");
+        let msg = vec![0u8; 64];
+        let ct = multi_server::encrypt(curve, &pks, &mpk, &tag, &msg, &mut r).unwrap();
+        let enc_ms = time_ms(2, || {
+            multi_server::encrypt(curve, &pks, &mpk, &tag, &msg, &mut r).unwrap()
+        });
+        let updates: Vec<_> = servers
+            .iter()
+            .map(|s| s.issue_update(curve, &tag))
+            .collect();
+        let dec_ms = time_ms(2, || {
+            multi_server::decrypt(curve, &pks, &user, &updates, &ct).unwrap()
+        });
+        let partial = multi_server::decrypt(curve, &pks, &user, &updates[..n - 1], &ct).is_ok();
+        row(&[
+            format!("{n}"),
+            format!("{}", ct.size(curve)),
+            format!("{enc_ms:.1}"),
+            format!("{dec_ms:.1}"),
+            format!("{partial}"),
+        ]);
+    }
+    println!();
+}
+
+/// E8: the qualitative comparison matrix of §2, backed by running code.
+fn e8() {
+    println!(
+        "## E8 — scheme comparison matrix (every row produced by running the implementation)\n"
+    );
+    let curve = toy64();
+    let mut r = rng();
+
+    // May escrow: deposit one message, inspect the ledger.
+    let mut may = EscrowAgent::new();
+    may.deposit("alice", "bob", 10, b"m");
+    let may_sees_all = !may.surveillance_ledger().is_empty();
+
+    // Rivest online: escrow-encrypt one message.
+    let mut ron = rivest::RivestOnlineServer::new(&mut r);
+    ron.escrow_encrypt(1, b"m");
+    let ron_interactions = ron.interactions();
+    let ron_sees = !ron.observed().is_empty();
+
+    // Rivest offline: horizon-bounded publication.
+    let roff = rivest::RivestOfflineServer::new(curve, 100, &mut r);
+    let roff_advance_bytes = roff.published_bytes();
+
+    // Mont IBE: escrow + O(N) unicast.
+    let mut mont = mont_ibe::MontServer::new(curve, &mut r);
+    mont.register("alice");
+    let ct = mont_ibe::encrypt(curve, mont.public_key(), "alice", 1, b"m", &mut r);
+    let mont_escrow = mont.escrow_decrypt("alice", 1, &ct) == b"m";
+    mont.epoch_rollover(1);
+    let mont_unicasts = mont.unicasts();
+
+    // TRE: passive server, escrow-freeness demonstrated in the adversarial
+    // test suite; round-trip re-run here.
+    let fx = Fixture::new(curve);
+    let tag = ReleaseTag::time("e8");
+    let ct = basic::encrypt(
+        curve,
+        fx.server.public(),
+        fx.user.public(),
+        &tag,
+        b"m",
+        &mut r,
+    )
+    .unwrap();
+    let update = fx.server.issue_update(curve, &tag);
+    let tre_ok = basic::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).is_ok();
+
+    header(&[
+        "scheme",
+        "server interaction per msg",
+        "server sees msg/identities",
+        "escrow-free",
+        "precise absolute time",
+        "any future instant",
+    ]);
+    row(&[
+        "May escrow".into(),
+        "2 (deposit + withdraw)".into(),
+        format!("{may_sees_all}"),
+        "false".into(),
+        "true".into(),
+        "true".into(),
+    ]);
+    row(&[
+        "RSW puzzle".into(),
+        "0 (no server)".into(),
+        "false".into(),
+        "true".into(),
+        "false (relative, machine-dependent)".into(),
+        "true".into(),
+    ]);
+    row(&[
+        "Rivest online".into(),
+        format!("{ron_interactions} (sender side)"),
+        format!("{ron_sees}"),
+        "false".into(),
+        "true".into(),
+        "true".into(),
+    ]);
+    row(&[
+        "Rivest offline".into(),
+        "0".into(),
+        "false".into(),
+        "true".into(),
+        "true".into(),
+        format!("false ({roff_advance_bytes} B advance publication per 100 epochs)"),
+    ]);
+    // Di Crescenzo COT: receiver-interactive, log-round, DoS-prone.
+    let mut cot_server = tre_baselines::cot::CotServer::new();
+    let cot_ct = tre_baselines::cot::encrypt(5, b"m", &mut r);
+    let key = cot_server.transfer(&cot_ct, 5, &mut r);
+    let cot_ok = tre_baselines::cot::open(&cot_ct, &key).is_ok();
+    let dos_rounds = tre_baselines::cot::dos_attack(&mut cot_server, 1_000, &mut r);
+    row(&[
+        "Di Crescenzo COT".into(),
+        format!(
+            "{} rounds (receiver side)",
+            cot_server.rounds_per_transfer()
+        ),
+        "false (oblivious)".into(),
+        format!("{cot_ok}"),
+        "true".into(),
+        format!("true, but DoS: 1k spam queries burn {dos_rounds} rounds"),
+    ]);
+    row(&[
+        "Mont et al. IBE".into(),
+        format!("{mont_unicasts} unicast per user per epoch"),
+        "identities only".into(),
+        format!("{}", !mont_escrow),
+        "true".into(),
+        "true".into(),
+    ]);
+    row(&[
+        "**TRE (this paper)**".into(),
+        "0".into(),
+        "false".into(),
+        format!("{tre_ok}"),
+        "true".into(),
+        "true".into(),
+    ]);
+    println!();
+}
+
+/// E9: primitive micro-costs across parameter sets.
+fn e9() {
+    println!("## E9 — primitive micro-costs\n");
+    header(&[
+        "params",
+        "pairing ms",
+        "G1 scalar mult ms",
+        "hash-to-G1 ms",
+        "Gt pow ms",
+        "update verify ms",
+    ]);
+    e9_on(toy64(), "toy64 (|p|=512)", 5);
+    e9_on(mid96(), "mid96 (|p|=1024)", 2);
+    e9_on(tre_pairing::high128(), "high128 (|p|=1536)", 1);
+    println!();
+}
+
+fn e9_on<const L: usize>(curve: &Curve<L>, name: &str, iters: u32) {
+    let mut r = rng();
+    let g = curve.generator();
+    let k = curve.random_scalar(&mut r);
+    let p = curve.g1_mul(&g, &k);
+    let fx = Fixture::new(curve);
+    let update = fx.server.issue_update(curve, &ReleaseTag::time("e9"));
+    let e = curve.pairing(&g, &p);
+    let pairing_ms = time_ms(iters, || curve.pairing(&g, &p));
+    let mul_ms = time_ms(iters, || curve.g1_mul(&g, &k));
+    let h2c_ms = time_ms(iters, || curve.hash_to_g1(b"e9", b"msg"));
+    let pow_ms = time_ms(iters, || e.pow(&k, curve));
+    let verify_ms = time_ms(iters, || update.verify(curve, fx.server.public()));
+    row(&[
+        name.into(),
+        format!("{pairing_ms:.1}"),
+        format!("{mul_ms:.1}"),
+        format!("{h2c_ms:.1}"),
+        format!("{pow_ms:.1}"),
+        format!("{verify_ms:.1}"),
+    ]);
+}
+
+/// E10: cost of the CCA hardenings relative to the basic scheme.
+fn e10() {
+    println!("## E10 — CPA→CCA transform costs (toy64, 64-byte message)\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let tag = ReleaseTag::time("e10");
+    let update = fx.server.issue_update(curve, &tag);
+    let msg = vec![0x55u8; 64];
+
+    header(&[
+        "scheme",
+        "ciphertext overhead B",
+        "encrypt ms",
+        "decrypt ms",
+        "integrity",
+    ]);
+    {
+        let ct = basic::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tag,
+            &msg,
+            &mut r,
+        )
+        .unwrap();
+        let e = time_ms(3, || {
+            basic::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let d = time_ms(3, || {
+            basic::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap()
+        });
+        row(&[
+            "basic §5.1".into(),
+            format!("{}", ct.size(curve) - msg.len()),
+            format!("{e:.1}"),
+            format!("{d:.1}"),
+            "none (CPA)".into(),
+        ]);
+    }
+    {
+        let ct = fo::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tag,
+            &msg,
+            &mut r,
+        )
+        .unwrap();
+        let e = time_ms(3, || {
+            fo::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let d = time_ms(3, || {
+            fo::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap()
+        });
+        row(&[
+            "Fujisaki-Okamoto".into(),
+            format!("{}", ct.size(curve) - msg.len()),
+            format!("{e:.1}"),
+            format!("{d:.1}"),
+            "re-encryption check".into(),
+        ]);
+    }
+    {
+        let ct = react::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tag,
+            &msg,
+            &mut r,
+        )
+        .unwrap();
+        let e = time_ms(3, || {
+            react::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let d = time_ms(3, || {
+            react::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap()
+        });
+        row(&[
+            "REACT".into(),
+            format!("{}", ct.size(curve) - msg.len()),
+            format!("{e:.1}"),
+            format!("{d:.1}"),
+            "validity tag".into(),
+        ]);
+    }
+    {
+        let ct = hybrid::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tag,
+            &msg,
+            &mut r,
+        )
+        .unwrap();
+        let e = time_ms(3, || {
+            hybrid::encrypt(
+                curve,
+                fx.server.public(),
+                fx.user.public(),
+                &tag,
+                &msg,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let d = time_ms(3, || {
+            hybrid::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap()
+        });
+        row(&[
+            "hybrid KEM-DEM".into(),
+            format!("{}", ct.size(curve) - msg.len()),
+            format!("{e:.1}"),
+            format!("{d:.1}"),
+            "AEAD".into(),
+        ]);
+    }
+    println!();
+}
+
+/// E12 (extension): k-of-N threshold multi-server mode vs the paper's
+/// all-N §5.3.5 construction.
+fn e12() {
+    use tre_core::threshold;
+    println!("## E12 — k-of-N threshold multi-server (extension of §5.3.5)\n");
+    let curve = toy64();
+    let mut r = rng();
+    header(&[
+        "mode",
+        "ciphertext bytes",
+        "decrypts with k updates?",
+        "decrypts with k−1?",
+        "tolerates N−k server outages",
+    ]);
+    for (k, n) in [(3usize, 3usize), (2, 3), (3, 5)] {
+        let servers: Vec<ServerKeyPair<8>> = (0..n)
+            .map(|_| ServerKeyPair::generate(curve, &mut r))
+            .collect();
+        let pks: Vec<_> = servers.iter().map(|s| *s.public()).collect();
+        let a = curve.random_scalar(&mut r);
+        let user = UserKeyPair::from_secret(curve, &pks[0], a);
+        let mpk = multi_server::MultiServerUserKey::derive(curve, &pks, &a);
+        let tag = ReleaseTag::time("e12");
+        let ct = threshold::encrypt(curve, &pks, &mpk, k as u32, &tag, &[0u8; 64], &mut r).unwrap();
+        let mut k_updates: Vec<Option<_>> = vec![None; n];
+        for (i, upd) in k_updates.iter_mut().enumerate().take(k) {
+            *upd = Some(servers[i].issue_update(curve, &tag));
+        }
+        let with_k = threshold::decrypt(curve, &pks, &user, &k_updates, &ct).is_ok();
+        let mut fewer = k_updates.clone();
+        fewer[k - 1] = None;
+        let with_k1 = threshold::decrypt(curve, &pks, &user, &fewer, &ct).is_ok();
+        row(&[
+            format!("{k}-of-{n}"),
+            format!("{}", ct.size(curve)),
+            format!("{with_k}"),
+            format!("{with_k1}"),
+            format!("{}", n - k),
+        ]);
+    }
+    println!("\n(k−1 shares are information-theoretically independent of the DEM key.)\n");
+}
+
+/// E11 (extension): the §6 future-work cover-tree scheme — missing-update
+/// resilience costs vs plain TRE + archive catch-up.
+fn e11() {
+    use tre_core::resilient::{self, EpochTree, ResilientBroadcast};
+    println!("## E11 — missing-update resilience (§6 future work, cover-tree extension)\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let update_bytes = fx
+        .server
+        .issue_update(curve, &ReleaseTag::time("x"))
+        .to_bytes(curve)
+        .len();
+
+    header(&[
+        "epochs covered",
+        "plain TRE: archive catch-up after missing all",
+        "cover tree: latest broadcast only",
+        "cover-tree ciphertext bytes (64 B msg)",
+    ]);
+    for depth in [6u32, 10, 16] {
+        let tree = EpochTree::new(depth);
+        let n = tree.epochs();
+        let now = n - 2;
+        let bc = ResilientBroadcast::issue(curve, &fx.server, &tree, now);
+        let ct = resilient::encrypt(
+            curve,
+            fx.server.public(),
+            fx.user.public(),
+            &tree,
+            n / 2,
+            &[0u8; 64],
+            &mut r,
+        )
+        .unwrap();
+        // Sanity: the latest broadcast opens the mid-range message.
+        assert!(resilient::decrypt(curve, fx.server.public(), &fx.user, &tree, &bc, &ct).is_ok());
+        row(&[
+            format!("2^{depth} = {n}"),
+            format!(
+                "{} updates ≈ {} B",
+                now + 1,
+                (now + 1) * update_bytes as u64
+            ),
+            format!("{} sigs = {} B", bc.len(), bc.size(curve)),
+            format!("{}", ct.size(curve)),
+        ]);
+    }
+    println!("\n(One O(log T) broadcast replaces O(T) archive fetches; release-time");
+    println!("soundness is preserved — every cover node is signed only after its whole");
+    println!("leaf range has passed.)\n");
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! Shared helpers for the experiment harness (`tables` binary) and the
+//! Criterion benches: fixture construction and wall-clock measurement.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tre_core::{ServerKeyPair, UserKeyPair};
+use tre_pairing::Curve;
+
+/// A deterministic RNG for reproducible experiment runs.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(20260704)
+}
+
+/// A server + user fixture on the given curve.
+pub struct Fixture<const L: usize> {
+    /// The time server key pair.
+    pub server: ServerKeyPair<L>,
+    /// A receiver bound to that server.
+    pub user: UserKeyPair<L>,
+}
+
+impl<const L: usize> Fixture<L> {
+    /// Builds the fixture deterministically.
+    pub fn new(curve: &Curve<L>) -> Self {
+        let mut rng = rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        Self { server, user }
+    }
+}
+
+/// Runs `f` `iters` times and returns the mean wall-clock milliseconds.
+pub fn time_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let curve = tre_pairing::toy64();
+        let a = Fixture::new(curve);
+        let b = Fixture::new(curve);
+        assert_eq!(a.server.public(), b.server.public());
+        assert_eq!(a.user.public(), b.user.public());
+    }
+
+    #[test]
+    fn time_ms_measures_positive() {
+        let ms = time_ms(3, || std::hint::black_box(41 + 1));
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_ms_rejects_zero_iters() {
+        let _ = time_ms(0, || ());
+    }
+}

@@ -1,0 +1,160 @@
+//! Number-theory utilities: GCD, LCM, and CRT recombination.
+//!
+//! Used by the RSW time-lock baseline (CRT-accelerated puzzle creation:
+//! exponentiate mod `p` and mod `q` separately, then recombine) and
+//! available to downstream parameter tooling.
+
+use crate::modinv::mod_inverse;
+use crate::uint::Uint;
+
+/// Greatest common divisor (binary GCD; handles zeros).
+pub fn gcd<const L: usize>(a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+    let mut a = *a;
+    let mut b = *b;
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    // Factor out common powers of two.
+    let mut shift = 0u32;
+    while a.is_even() && b.is_even() {
+        a = a.shr1();
+        b = b.shr1();
+        shift += 1;
+    }
+    while a.is_even() {
+        a = a.shr1();
+    }
+    loop {
+        while b.is_even() {
+            b = b.shr1();
+        }
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b = b.wrapping_sub(&a);
+        if b.is_zero() {
+            return a.shl_vartime(shift);
+        }
+    }
+}
+
+/// Least common multiple.
+///
+/// # Panics
+/// Panics if the LCM overflows `L` limbs.
+pub fn lcm<const L: usize>(a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+    if a.is_zero() || b.is_zero() {
+        return Uint::ZERO;
+    }
+    let g = gcd(a, b);
+    let (q, _) = a.div_rem(&g);
+    q.checked_mul(b).expect("lcm overflow")
+}
+
+/// Chinese-remainder recombination for two **coprime, odd** moduli:
+/// returns the unique `x mod p·q` with `x ≡ rp (mod p)` and
+/// `x ≡ rq (mod q)`.
+///
+/// Returns `None` if the moduli are not coprime (or not odd, since the
+/// inversion path requires odd moduli).
+pub fn crt_pair<const L: usize>(
+    rp: &Uint<L>,
+    p: &Uint<L>,
+    rq: &Uint<L>,
+    q: &Uint<L>,
+) -> Option<Uint<L>> {
+    // x = rp + p·((rq − rp)·p⁻¹ mod q)
+    let p_inv = mod_inverse(p, q)?;
+    let rp_mod_q = rp.rem(q);
+    let diff = {
+        let (d, borrow) = rq.rem(q).overflowing_sub(&rp_mod_q);
+        if borrow {
+            d.wrapping_add(q)
+        } else {
+            d
+        }
+    };
+    // (diff · p_inv) mod q via widening multiply + byte reduction.
+    let (lo, hi) = diff.widening_mul(&p_inv);
+    let mut bytes = hi.to_be_bytes();
+    bytes.extend_from_slice(&lo.to_be_bytes());
+    let t = Uint::from_be_bytes_mod(&bytes, q);
+    let correction = p.checked_mul(&t)?;
+    rp.checked_add(&correction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::U256;
+
+    #[test]
+    fn gcd_small() {
+        for (a, b, g) in [
+            (12u64, 18, 6),
+            (17, 5, 1),
+            (0, 9, 9),
+            (9, 0, 9),
+            (48, 64, 16),
+        ] {
+            assert_eq!(
+                gcd(&U256::from_u64(a), &U256::from_u64(b)),
+                U256::from_u64(g),
+                "gcd({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_large_common_factor() {
+        let f = U256::from_u64(0xffff_fffb); // prime
+        let a = f.wrapping_mul(&U256::from_u64(1234567));
+        let b = f.wrapping_mul(&U256::from_u64(7654321));
+        // 1234567 and 7654321 share a factor of 127? gcd(1234567,7654321)=1
+        assert_eq!(gcd(&a, &b), f);
+    }
+
+    #[test]
+    fn lcm_small() {
+        assert_eq!(
+            lcm(&U256::from_u64(4), &U256::from_u64(6)),
+            U256::from_u64(12)
+        );
+        assert_eq!(lcm(&U256::from_u64(0), &U256::from_u64(5)), U256::ZERO);
+        assert_eq!(
+            lcm(&U256::from_u64(7), &U256::from_u64(11)),
+            U256::from_u64(77)
+        );
+    }
+
+    #[test]
+    fn crt_recombines() {
+        let p = U256::from_u64(101);
+        let q = U256::from_u64(103);
+        // x = 7777 mod 101·103 = 10403
+        let x = 7777u64;
+        let rp = U256::from_u64(x % 101);
+        let rq = U256::from_u64(x % 103);
+        assert_eq!(crt_pair(&rp, &p, &rq, &q), Some(U256::from_u64(x)));
+    }
+
+    #[test]
+    fn crt_rejects_non_coprime() {
+        let p = U256::from_u64(15);
+        let q = U256::from_u64(9);
+        assert_eq!(crt_pair(&U256::ONE, &p, &U256::ONE, &q), None);
+    }
+
+    #[test]
+    fn crt_exhaustive_small() {
+        let p = U256::from_u64(11);
+        let q = U256::from_u64(13);
+        for x in 0u64..143 {
+            let got = crt_pair(&U256::from_u64(x % 11), &p, &U256::from_u64(x % 13), &q).unwrap();
+            assert_eq!(got, U256::from_u64(x), "x={x}");
+        }
+    }
+}

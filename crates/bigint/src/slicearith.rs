@@ -1,0 +1,158 @@
+//! Little-endian limb-slice helpers shared by [`crate::Uint`] and the
+//! Montgomery machinery: comparison, in-place subtraction, and binary long
+//! division. These run on raw `&[u64]` so the same code serves every width,
+//! including double-width intermediate products.
+
+use core::cmp::Ordering;
+
+/// Compares two little-endian limb slices (of possibly different lengths).
+pub(crate) fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    let n = a.len().max(b.len());
+    for i in (0..n).rev() {
+        let ai = a.get(i).copied().unwrap_or(0);
+        let bi = b.get(i).copied().unwrap_or(0);
+        match ai.cmp(&bi) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a -= b` in place. `b` may be shorter than `a`.
+///
+/// # Panics
+/// Debug-asserts that no final borrow remains (i.e. `a >= b`).
+pub(crate) fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let t = (*ai as u128).wrapping_sub(bi as u128 + borrow as u128);
+        *ai = t as u64;
+        borrow = ((t >> 64) as u64) & 1;
+    }
+    debug_assert_eq!(borrow, 0, "sub_in_place underflow");
+}
+
+/// Shifts `a` left by one bit in place, discarding overflow.
+pub(crate) fn shl1_in_place(a: &mut [u64]) {
+    let mut carry = 0u64;
+    for limb in a.iter_mut() {
+        let next = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = next;
+    }
+}
+
+fn bit_len(a: &[u64]) -> u32 {
+    for i in (0..a.len()).rev() {
+        if a[i] != 0 {
+            return 64 * i as u32 + (64 - a[i].leading_zeros());
+        }
+    }
+    0
+}
+
+fn get_bit(a: &[u64], i: u32) -> bool {
+    let limb = (i / 64) as usize;
+    limb < a.len() && (a[limb] >> (i % 64)) & 1 == 1
+}
+
+/// Binary long division. Returns `(quotient, remainder)`, each as a vector
+/// with the same length as `dividend`.
+///
+/// # Panics
+/// Panics if `divisor` is zero.
+pub(crate) fn div_rem(dividend: &[u64], divisor: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(divisor.iter().any(|&l| l != 0), "division by zero");
+    let n = dividend.len();
+    let mut quot = vec![0u64; n];
+    let mut rem = vec![0u64; n.max(divisor.len())];
+    let bits = bit_len(dividend);
+    for i in (0..bits).rev() {
+        shl1_in_place(&mut rem);
+        if get_bit(dividend, i) {
+            rem[0] |= 1;
+        }
+        if cmp(&rem, divisor) != Ordering::Less {
+            sub_in_place(&mut rem, divisor);
+            quot[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+    }
+    rem.truncate(n.max(1));
+    (quot, rem)
+}
+
+/// Reduces a big-endian byte string modulo `m` (little-endian limbs),
+/// returning limbs with `m.len()` entries.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub(crate) fn rem_bytes(bytes: &[u8], m: &[u64]) -> Vec<u64> {
+    assert!(m.iter().any(|&l| l != 0), "division by zero");
+    // One extra limb of headroom so the shift-in-8-bits step cannot overflow.
+    let mut rem = vec![0u64; m.len() + 1];
+    for &byte in bytes {
+        // rem = (rem << 8) | byte, then conditional subtract (at most 256/1 ≈
+        // a few times; loop until rem < m).
+        let mut carry = byte as u64;
+        for limb in rem.iter_mut() {
+            let v = (*limb as u128) << 8 | carry as u128;
+            *limb = v as u64;
+            carry = (v >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0);
+        while cmp(&rem, m) != Ordering::Less {
+            sub_in_place(&mut rem, m);
+        }
+    }
+    rem.truncate(m.len());
+    rem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_mixed_lengths() {
+        assert_eq!(cmp(&[1, 2], &[1, 2, 0]), Ordering::Equal);
+        assert_eq!(cmp(&[1], &[0, 1]), Ordering::Less);
+        assert_eq!(cmp(&[5, 7], &[9, 6]), Ordering::Greater);
+    }
+
+    #[test]
+    fn div_small() {
+        let (q, r) = div_rem(&[100], &[7]);
+        assert_eq!(q[0], 14);
+        assert_eq!(r[0], 2);
+    }
+
+    #[test]
+    fn div_multi_limb() {
+        // dividend = 2^128 - 1, divisor = 2^64 + 1
+        let (q, r) = div_rem(&[u64::MAX, u64::MAX], &[1, 1]);
+        // (2^128-1) = (2^64+1)(2^64-1) + 0
+        assert_eq!(q, vec![u64::MAX, 0]);
+        assert_eq!(r, vec![0, 0]);
+    }
+
+    #[test]
+    fn rem_bytes_small() {
+        // 0x0102 mod 0xff = 258 mod 255 = 3
+        let r = rem_bytes(&[0x01, 0x02], &[0xff]);
+        assert_eq!(r, vec![3]);
+    }
+
+    #[test]
+    fn rem_bytes_wide_shift_carry() {
+        // 2^64 mod (2^64 - 1) = 1 exercises the cross-limb carry path.
+        let bytes = {
+            let mut b = vec![1u8];
+            b.extend_from_slice(&[0u8; 8]);
+            b
+        };
+        let r = rem_bytes(&bytes, &[u64::MAX]);
+        assert_eq!(r, vec![1]);
+    }
+}

@@ -1,0 +1,758 @@
+//! Fixed-width unsigned big integers.
+//!
+//! [`Uint<L>`] is an `L`-limb (64-bit limbs, little-endian order) unsigned
+//! integer. It is the storage type for every field element, scalar, and
+//! modulus in this workspace. The arithmetic here is *variable time*; this
+//! library is a research reproduction, not hardened production cryptography.
+
+// Limb arithmetic is naturally expressed with index loops over fixed-size
+// arrays; the iterator forms obscure the carry chains.
+#![allow(clippy::needless_range_loop)]
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use rand::RngCore;
+
+use crate::slicearith;
+
+/// Maximum limb count supported by scratch buffers in this crate.
+///
+/// 32 limbs = 2048 bits, enough for the largest modulus we use (the RSW
+/// time-lock puzzle RSA modulus).
+pub const MAX_LIMBS: usize = 32;
+
+/// A fixed-width unsigned integer with `L` little-endian 64-bit limbs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Uint<const L: usize> {
+    limbs: [u64; L],
+}
+
+/// Error returned when a byte or hex string does not fit in a [`Uint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUintError {
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid uint encoding: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseUintError {}
+
+#[inline(always)]
+pub(crate) const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+pub(crate) const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + (borrow >> 63) as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+pub(crate) const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+impl<const L: usize> Uint<L> {
+    /// The value `0`.
+    pub const ZERO: Self = Self { limbs: [0; L] };
+
+    /// The value `1`.
+    pub const ONE: Self = {
+        let mut limbs = [0; L];
+        limbs[0] = 1;
+        Self { limbs }
+    };
+
+    /// The all-ones value `2^(64·L) − 1`.
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; L],
+    };
+
+    /// Number of bits in the representation.
+    pub const BITS: u32 = 64 * L as u32;
+
+    /// Number of bytes in the canonical big-endian encoding.
+    pub const BYTES: usize = 8 * L;
+
+    /// Constructs a value from little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; L]) -> Self {
+        Self { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    #[inline]
+    pub const fn limbs(&self) -> &[u64; L] {
+        &self.limbs
+    }
+
+    /// Mutable access to the little-endian limbs.
+    ///
+    /// Useful for in-place bit twiddling such as forcing a candidate odd
+    /// during prime generation.
+    #[inline]
+    pub fn limbs_mut(&mut self) -> &mut [u64; L] {
+        &mut self.limbs
+    }
+
+    /// Constructs a value from a `u64`.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0; L];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// Constructs a value from a `u128`.
+    ///
+    /// # Panics
+    /// Panics if `L < 2` and the value does not fit.
+    pub const fn from_u128(v: u128) -> Self {
+        let mut limbs = [0; L];
+        limbs[0] = v as u64;
+        let hi = (v >> 64) as u64;
+        if hi != 0 {
+            assert!(L >= 2, "u128 value does not fit");
+            limbs[1] = hi;
+        }
+        Self { limbs }
+    }
+
+    /// Parses a big-endian hex string (no `0x` prefix, any length that fits).
+    ///
+    /// # Errors
+    /// Returns an error on non-hex characters or overflow.
+    pub fn from_be_hex(s: &str) -> Result<Self, ParseUintError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseUintError {
+                reason: "empty string",
+            });
+        }
+        if s.len() > 2 * Self::BYTES {
+            // Allow leading zeros beyond capacity.
+            let (extra, rest) = s.split_at(s.len() - 2 * Self::BYTES);
+            if extra.bytes().any(|b| b != b'0') {
+                return Err(ParseUintError {
+                    reason: "hex string overflows width",
+                });
+            }
+            return Self::from_be_hex(rest);
+        }
+        let mut out = Self::ZERO;
+        for ch in s.bytes() {
+            let d = match ch {
+                b'0'..=b'9' => ch - b'0',
+                b'a'..=b'f' => ch - b'a' + 10,
+                b'A'..=b'F' => ch - b'A' + 10,
+                _ => {
+                    return Err(ParseUintError {
+                        reason: "non-hex character",
+                    })
+                }
+            };
+            out = out.shl_vartime(4);
+            out.limbs[0] |= d as u64;
+        }
+        Ok(out)
+    }
+
+    /// Parses big-endian bytes. Inputs shorter than [`Self::BYTES`] are
+    /// zero-padded on the left; longer inputs must have zero leading bytes.
+    ///
+    /// # Errors
+    /// Returns an error if the value overflows the width.
+    pub fn from_be_bytes(bytes: &[u8]) -> Result<Self, ParseUintError> {
+        let n = bytes.len();
+        if n > Self::BYTES && bytes[..n - Self::BYTES].iter().any(|&b| b != 0) {
+            return Err(ParseUintError {
+                reason: "byte string overflows width",
+            });
+        }
+        let bytes = if n > Self::BYTES {
+            &bytes[n - Self::BYTES..]
+        } else {
+            bytes
+        };
+        let mut limbs = [0u64; L];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Ok(Self { limbs })
+    }
+
+    /// Canonical fixed-length big-endian encoding.
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; Self::BYTES];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[Self::BYTES - 8 * (i + 1)..Self::BYTES - 8 * i]
+                .copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Whether the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Whether the value is odd.
+    #[inline]
+    pub const fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Whether the value is even.
+    #[inline]
+    pub const fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Returns bit `i` (0 = least significant). Bits past the width read 0.
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= L {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Bit length: index of the highest set bit plus one (0 for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..L).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i as u32 + (64 - self.limbs[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Addition returning the sum and the carry-out.
+    #[inline]
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in 0..L {
+            let (s, c) = adc(self.limbs[i], rhs.limbs[i], carry);
+            out[i] = s;
+            carry = c;
+        }
+        (Self { limbs: out }, carry != 0)
+    }
+
+    /// Wrapping addition, discarding carry-out.
+    #[inline]
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtraction returning the difference and whether a borrow occurred.
+    #[inline]
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut borrow = 0u64;
+        for i in 0..L {
+            let (d, b) = sbb(self.limbs[i], rhs.limbs[i], borrow);
+            out[i] = d;
+            borrow = b;
+        }
+        (Self { limbs: out }, borrow != 0)
+    }
+
+    /// Wrapping subtraction, discarding borrow.
+    #[inline]
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full schoolbook multiplication, returning `(lo, hi)` halves of the
+    /// `2·L`-limb product.
+    pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
+        let mut t = [0u64; { 2 * MAX_LIMBS }];
+        debug_assert!(L <= MAX_LIMBS);
+        for i in 0..L {
+            let mut carry = 0u64;
+            for j in 0..L {
+                let (v, c) = mac(t[i + j], self.limbs[i], rhs.limbs[j], carry);
+                t[i + j] = v;
+                carry = c;
+            }
+            t[i + L] = carry;
+        }
+        let mut lo = [0u64; L];
+        let mut hi = [0u64; L];
+        lo.copy_from_slice(&t[..L]);
+        hi.copy_from_slice(&t[L..2 * L]);
+        (Self { limbs: lo }, Self { limbs: hi })
+    }
+
+    /// Wrapping multiplication (low half only).
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Checked multiplication: `None` if the product overflows `L` limbs.
+    pub fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Multiplies by a single limb, returning `(lo, carry_limb)`.
+    pub fn mul_limb(&self, rhs: u64) -> (Self, u64) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in 0..L {
+            let (v, c) = mac(0, self.limbs[i], rhs, carry);
+            out[i] = v.wrapping_add(0);
+            carry = c;
+        }
+        (Self { limbs: out }, carry)
+    }
+
+    /// Left shift by `k` bits, discarding bits shifted out of the width.
+    pub fn shl_vartime(&self, k: u32) -> Self {
+        if k >= Self::BITS {
+            return Self::ZERO;
+        }
+        let words = (k / 64) as usize;
+        let bits = k % 64;
+        let mut out = [0u64; L];
+        for i in (words..L).rev() {
+            let mut v = self.limbs[i - words] << bits;
+            if bits > 0 && i - words > 0 {
+                v |= self.limbs[i - words - 1] >> (64 - bits);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Right shift by `k` bits.
+    pub fn shr_vartime(&self, k: u32) -> Self {
+        if k >= Self::BITS {
+            return Self::ZERO;
+        }
+        let words = (k / 64) as usize;
+        let bits = k % 64;
+        let mut out = [0u64; L];
+        for i in 0..L - words {
+            let mut v = self.limbs[i + words] >> bits;
+            if bits > 0 && i + words + 1 < L {
+                v |= self.limbs[i + words + 1] << (64 - bits);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Halves the value (shift right by one bit).
+    #[inline]
+    pub fn shr1(&self) -> Self {
+        self.shr_vartime(1)
+    }
+
+    /// Doubles the value, discarding overflow.
+    #[inline]
+    pub fn shl1(&self) -> Self {
+        self.shl_vartime(1)
+    }
+
+    /// Long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let (q, r) = slicearith::div_rem(&self.limbs, &divisor.limbs);
+        let mut qq = [0u64; L];
+        let mut rr = [0u64; L];
+        qq.copy_from_slice(&q[..L]);
+        rr.copy_from_slice(&r[..L]);
+        (Self { limbs: qq }, Self { limbs: rr })
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// Reduces an arbitrary-length big-endian byte string modulo `m`.
+    ///
+    /// Used to map hash outputs into `Z_m` with negligible bias when the
+    /// input is at least 128 bits longer than `m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn from_be_bytes_mod(bytes: &[u8], m: &Self) -> Self {
+        assert!(!m.is_zero(), "division by zero");
+        let r = slicearith::rem_bytes(bytes, &m.limbs);
+        let mut limbs = [0u64; L];
+        limbs.copy_from_slice(&r[..L]);
+        Self { limbs }
+    }
+
+    /// Uniform random value over the full width.
+    pub fn random(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        let mut limbs = [0u64; L];
+        for l in &mut limbs {
+            *l = rng.next_u64();
+        }
+        Self { limbs }
+    }
+
+    /// Uniform random value with exactly `bits` bits (top bit set), for
+    /// prime generation. `bits` must be in `1..=Self::BITS`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is out of range.
+    pub fn random_bits(rng: &mut (impl RngCore + ?Sized), bits: u32) -> Self {
+        assert!((1..=Self::BITS).contains(&bits), "bit count out of range");
+        let mut v = Self::random(rng);
+        // Mask above `bits`.
+        let top = bits - 1;
+        let top_limb = (top / 64) as usize;
+        let top_bit = top % 64;
+        for i in top_limb + 1..L {
+            v.limbs[i] = 0;
+        }
+        let mask = if top_bit == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (top_bit + 1)) - 1
+        };
+        v.limbs[top_limb] &= mask;
+        v.limbs[top_limb] |= 1u64 << top_bit;
+        v
+    }
+
+    /// Uniform random value in `[0, bound)` via rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below(rng: &mut (impl RngCore + ?Sized), bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bits();
+        loop {
+            let mut v = Self::random(rng);
+            // Mask to the bound's bit length to keep the acceptance rate ≥ 1/2.
+            let top_limb = bits.div_ceil(64) as usize;
+            for i in top_limb..L {
+                v.limbs[i] = 0;
+            }
+            if !bits.is_multiple_of(64) && top_limb > 0 {
+                v.limbs[top_limb - 1] &= (1u64 << (bits % 64)) - 1;
+            }
+            if v < *bound {
+                return v;
+            }
+        }
+    }
+
+    /// Widens to a larger limb count.
+    ///
+    /// # Panics
+    /// Panics if `M < L`.
+    pub fn resize<const M: usize>(&self) -> Uint<M> {
+        assert!(M >= L, "cannot narrow with resize; use try_narrow");
+        let mut limbs = [0u64; M];
+        limbs[..L].copy_from_slice(&self.limbs);
+        Uint { limbs }
+    }
+
+    /// Narrows to a smaller limb count if the value fits.
+    pub fn try_narrow<const M: usize>(&self) -> Option<Uint<M>> {
+        if M < L && self.limbs[M..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let mut limbs = [0u64; M];
+        let n = M.min(L);
+        limbs[..n].copy_from_slice(&self.limbs[..n]);
+        Some(Uint { limbs })
+    }
+
+    /// Interprets the low limb as `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().any(|&l| l != 0) {
+            None
+        } else {
+            Some(self.limbs[0])
+        }
+    }
+}
+
+impl<const L: usize> Default for Uint<L> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const L: usize> Ord for Uint<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..L).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const L: usize> PartialOrd for Uint<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> From<u64> for Uint<L> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl<const L: usize> fmt::Debug for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint(0x{:x})", self)
+    }
+}
+
+impl<const L: usize> fmt::Display for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self)
+    }
+}
+
+impl<const L: usize> fmt::LowerHex for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for i in (0..L).rev() {
+            if started {
+                write!(f, "{:016x}", self.limbs[i])?;
+            } else if self.limbs[i] != 0 || i == 0 {
+                write!(f, "{:x}", self.limbs[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<const L: usize> fmt::UpperHex for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{:x}", self);
+        write!(f, "{}", s.to_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type U256 = Uint<4>;
+
+    #[test]
+    fn constants() {
+        assert!(U256::ZERO.is_zero());
+        assert!(!U256::ONE.is_zero());
+        assert!(U256::ONE.is_odd());
+        assert_eq!(U256::BITS, 256);
+        assert_eq!(U256::BYTES, 32);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let b = U256::from_u64(0xdead_beef);
+        let s = a.wrapping_add(&b);
+        assert_eq!(s.wrapping_sub(&b), a);
+        assert_eq!(s.wrapping_sub(&a), b);
+    }
+
+    #[test]
+    fn overflow_flags() {
+        let (v, c) = U256::MAX.overflowing_add(&U256::ONE);
+        assert!(c);
+        assert!(v.is_zero());
+        let (v, b) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(b);
+        assert_eq!(v, U256::MAX);
+        assert_eq!(U256::MAX.checked_add(&U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(&U256::ONE), None);
+    }
+
+    #[test]
+    fn widening_mul_known() {
+        let a = U256::from_u64(u64::MAX);
+        let (lo, hi) = a.widening_mul(&a);
+        assert!(hi.is_zero());
+        assert_eq!(lo, U256::from_u128((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn mul_overflow_hi() {
+        let a = U256::MAX;
+        let (lo, hi) = a.widening_mul(&a);
+        // (2^256-1)^2 = 2^512 - 2^257 + 1
+        assert_eq!(lo, U256::ONE);
+        assert_eq!(hi, U256::MAX.wrapping_sub(&U256::ONE));
+        assert_eq!(a.checked_mul(&a), None);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = U256::from_u64(1);
+        assert_eq!(a.shl_vartime(255).shr_vartime(255), a);
+        assert_eq!(a.shl_vartime(256), U256::ZERO);
+        let b = U256::from_be_hex("ff00ff00ff00ff00ff00ff00ff00ff00").unwrap();
+        assert_eq!(b.shl_vartime(8).shr_vartime(8), b);
+        assert_eq!(b.shl1(), b.shl_vartime(1));
+        assert_eq!(b.shr1(), b.shr_vartime(1));
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let a = U256::from_u64(1000);
+        let b = U256::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, U256::from_u64(142));
+        assert_eq!(r, U256::from_u64(6));
+    }
+
+    #[test]
+    fn div_rem_reconstruct() {
+        let a = U256::from_be_hex("fedcba9876543210fedcba9876543210fedcba9876543210").unwrap();
+        let b = U256::from_be_hex("123456789abcdef").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        let qb = q.checked_mul(&b).unwrap();
+        assert_eq!(qb.wrapping_add(&r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = U256::ONE.div_rem(&U256::ZERO);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = "1234567890abcdef00000000000000000000000000000000fedcba0987654321";
+        let v = U256::from_be_hex(h).unwrap();
+        assert_eq!(format!("{:x}", v), h.trim_start_matches('0'));
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(U256::from_be_hex("xyz").is_err());
+        assert!(U256::from_be_hex("").is_err());
+        // 65 hex chars with a significant top digit overflows 256 bits.
+        let too_big = format!("1{}", "0".repeat(64));
+        assert!(U256::from_be_hex(&too_big).is_err());
+        // But leading zeros are fine.
+        let padded = format!("0{}", "f".repeat(64));
+        assert!(U256::from_be_hex(&padded).is_ok());
+    }
+
+    #[test]
+    fn bytes_mod() {
+        let m = U256::from_u64(97);
+        let bytes = [0xffu8; 40];
+        let r = U256::from_be_bytes_mod(&bytes, &m);
+        // value = 2^320 - 1; compute expected with pow_mod-style reduction
+        // 2^320 mod 97: verified against an independent calculation.
+        let mut acc: u64 = 1;
+        for _ in 0..320 {
+            acc = (acc * 2) % 97;
+        }
+        let expected = (acc + 97 - 1) % 97;
+        assert_eq!(r, U256::from_u64(expected));
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = U256::from_u64(0b1010);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(300));
+        assert_eq!(v.bits(), 4);
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::MAX.bits(), 256);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = U256::from_u64(5);
+        let b = U256::from_u64(6);
+        assert!(a < b);
+        assert!(b > a);
+        let hi = U256::ONE.shl_vartime(200);
+        assert!(hi > b);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = rand::thread_rng();
+        let bound = U256::from_u64(1000);
+        for _ in 0..100 {
+            let v = U256::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_top_bit() {
+        let mut rng = rand::thread_rng();
+        for bits in [1u32, 63, 64, 65, 130, 256] {
+            let v = U256::random_bits(&mut rng, bits);
+            assert_eq!(v.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn resize_narrow() {
+        let v = U256::from_u64(42);
+        let w: Uint<8> = v.resize();
+        assert_eq!(w.to_u64(), Some(42));
+        let back: Option<U256> = w.try_narrow();
+        assert_eq!(back, Some(v));
+        let big = Uint::<8>::ONE.shl_vartime(300);
+        assert_eq!(big.try_narrow::<4>(), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the timed-release schemes.
+
+use core::fmt;
+
+/// Errors returned by the TRE scheme operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreError {
+    /// The receiver public key failed the sender-side pairing check
+    /// `ê(aG, sG) = ê(G, asG)` (§5.1 Encryption step 1) — the key is not of
+    /// the required form `(aG, a·sG)`, so the time lock could be bypassed.
+    InvalidUserKey,
+    /// A time-bound key update failed its self-authentication check
+    /// `ê(sG, H1(T)) = ê(G, I_T)` against the server public key.
+    InvalidUpdate,
+    /// The supplied key update is authentic but for a different release tag
+    /// than the ciphertext's.
+    UpdateTagMismatch,
+    /// Ciphertext integrity check failed (FO/REACT re-encryption check or
+    /// AEAD tag) — the ciphertext was modified or the wrong key material was
+    /// used.
+    DecryptionFailed,
+    /// A serialized object could not be parsed.
+    Malformed(&'static str),
+    /// Mismatched parameter sets or server bindings (e.g. a user key bound
+    /// to a different time server than the one supplied).
+    Binding(&'static str),
+    /// A multi-server operation received the wrong number of components.
+    ArityMismatch {
+        /// Number of servers the object was built for.
+        expected: usize,
+        /// Number of components supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidUserKey => write!(f, "receiver public key failed the pairing check"),
+            Self::InvalidUpdate => write!(f, "time-bound key update failed verification"),
+            Self::UpdateTagMismatch => write!(f, "key update is for a different release tag"),
+            Self::DecryptionFailed => write!(f, "decryption integrity check failed"),
+            Self::Malformed(what) => write!(f, "malformed encoding: {what}"),
+            Self::Binding(what) => write!(f, "mismatched binding: {what}"),
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} multi-server components, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            TreError::InvalidUserKey,
+            TreError::InvalidUpdate,
+            TreError::UpdateTagMismatch,
+            TreError::DecryptionFailed,
+            TreError::Malformed("x"),
+            TreError::Binding("y"),
+            TreError::ArityMismatch {
+                expected: 3,
+                got: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Fujisaki-Okamoto transform of the basic TRE scheme — chosen-ciphertext
+//! security in the random-oracle model (the hardening §5 of the paper
+//! defers to \[11\]).
+//!
+//! Standard FO with a DEM for arbitrary-length messages:
+//!
+//! ```text
+//! Encrypt: σ ←$ {0,1}^256
+//!          r  = H3(σ ‖ tag ‖ M)  (mod q)          — derandomized
+//!          C1 = rG
+//!          C2 = σ ⊕ H2(ê(r·asG, H1(T)))
+//!          C3 = AEAD_{H4(σ)}(M)  with AAD = tag ‖ C1 ‖ C2
+//! Decrypt: σ' = C2 ⊕ H2(ê(C1, I_T)^a);  M = AEAD⁻¹;  check C1 = H3(σ'‖tag‖M)·G
+//! ```
+//!
+//! The re-encryption check makes any mauled ciphertext decrypt to ⊥.
+
+use rand::RngCore;
+use tre_hashes::{xof, Sha256};
+use tre_pairing::{Curve, G1Affine};
+use tre_sym::ChaCha20Poly1305;
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::tag::ReleaseTag;
+use crate::tre::{receiver_key, sender_key};
+
+/// Length of the FO seed σ in bytes.
+const SEED_LEN: usize = 32;
+const MASK_DOMAIN: &[u8] = b"tre/fo/mask";
+const R_DOMAIN: &[u8] = b"tre/fo/r";
+const DEM_DOMAIN: &[u8] = b"tre/fo/dem";
+
+/// An FO-transformed (CCA-secure) timed-release ciphertext.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FoCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    c2: [u8; SEED_LEN],
+    body: Vec<u8>,
+    tag: ReleaseTag,
+}
+
+impl<const L: usize> FoCiphertext<L> {
+    /// The release tag the ciphertext is locked to.
+    pub fn tag(&self) -> &ReleaseTag {
+        &self.tag
+    }
+
+    /// Total wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        self.to_bytes(curve).len()
+    }
+
+    /// Serializes as `tag ‖ U ‖ C2 ‖ len ‖ body`.
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = self.tag.to_bytes();
+        out.extend_from_slice(&curve.g1_to_bytes(&self.u));
+        out.extend_from_slice(&self.c2);
+        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let (tag, mut off) = ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("fo tag"))?;
+        let plen = curve.point_len();
+        if bytes.len() < off + plen + SEED_LEN + 4 {
+            return Err(TreError::Malformed("fo ciphertext truncated"));
+        }
+        let u = curve
+            .g1_from_bytes(&bytes[off..off + plen])
+            .map_err(|_| TreError::Malformed("fo U"))?;
+        off += plen;
+        let c2: [u8; SEED_LEN] = bytes[off..off + SEED_LEN].try_into().unwrap();
+        off += SEED_LEN;
+        let blen = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if bytes.len() != off + blen {
+            return Err(TreError::Malformed("fo body length"));
+        }
+        Ok(Self {
+            u,
+            c2,
+            body: bytes[off..].to_vec(),
+            tag,
+        })
+    }
+}
+
+fn derive_r<const L: usize>(
+    curve: &Curve<L>,
+    sigma: &[u8],
+    tag: &ReleaseTag,
+    msg: &[u8],
+) -> tre_bigint::U256 {
+    let mut input = sigma.to_vec();
+    input.extend_from_slice(&tag.to_bytes());
+    input.extend_from_slice(msg);
+    // 48 bytes -> negligible bias mod the ≤256-bit q.
+    let wide = xof::<Sha256>(R_DOMAIN, &input, 48);
+    let r = curve.scalar_from_bytes_mod(&wide);
+    if r.is_zero() {
+        // Astronomically unlikely; map to 1 to stay in Z_q*.
+        tre_bigint::U256::ONE
+    } else {
+        r
+    }
+}
+
+fn dem_key(sigma: &[u8]) -> [u8; 32] {
+    xof::<Sha256>(DEM_DOMAIN, sigma, 32).try_into().unwrap()
+}
+
+fn aad<const L: usize>(curve: &Curve<L>, tag: &ReleaseTag, u: &G1Affine<L>, c2: &[u8]) -> Vec<u8> {
+    let mut out = tag.to_bytes();
+    out.extend_from_slice(&curve.g1_to_bytes(u));
+    out.extend_from_slice(c2);
+    out
+}
+
+/// CCA-secure timed-release encryption (FO transform).
+///
+/// # Errors
+/// Returns [`TreError::InvalidUserKey`] if the receiver key fails the
+/// pairing check.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<FoCiphertext<L>, TreError> {
+    user.validate(curve, server)?;
+    let mut sigma = [0u8; SEED_LEN];
+    rng.fill_bytes(&mut sigma);
+    let r = derive_r(curve, &sigma, tag, msg);
+    let k = sender_key(curve, user, tag, &r);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+    let mut c2 = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        c2[i] = sigma[i] ^ mask[i];
+    }
+    let u = curve.g1_mul(server.g(), &r);
+    let body =
+        ChaCha20Poly1305::new(&dem_key(&sigma)).seal(&[0u8; 12], &aad(curve, tag, &u, &c2), msg);
+    Ok(FoCiphertext {
+        u,
+        c2,
+        body,
+        tag: tag.clone(),
+    })
+}
+
+/// CCA-secure timed-release decryption with FO re-encryption check.
+///
+/// # Errors
+/// * [`TreError::UpdateTagMismatch`] / [`TreError::InvalidUpdate`] on
+///   update problems;
+/// * [`TreError::DecryptionFailed`] if the ciphertext fails the AEAD tag or
+///   the `C1 = rG` re-encryption check (mauled or mis-keyed ciphertext).
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &FoCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if update.tag() != &ct.tag {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    if !update.verify(curve, server) {
+        return Err(TreError::InvalidUpdate);
+    }
+    let k = receiver_key(curve, &ct.u, update, user.secret_scalar());
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+    let mut sigma = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        sigma[i] = ct.c2[i] ^ mask[i];
+    }
+    let msg = ChaCha20Poly1305::new(&dem_key(&sigma))
+        .open(&[0u8; 12], &aad(curve, &ct.tag, &ct.u, &ct.c2), &ct.body)
+        .map_err(|_| TreError::DecryptionFailed)?;
+    // FO re-encryption check.
+    let r = derive_r(curve, &sigma, &ct.tag, &msg);
+    if curve.g1_mul(server.g(), &r) != ct.u {
+        return Err(TreError::DecryptionFailed);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    fn setup() -> (ServerKeyPair<8>, UserKeyPair<8>) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        (server, user)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let msg = b"CCA-protected secret";
+        let ct = encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn mauled_ciphertext_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tag,
+            b"msg",
+            &mut rng,
+        )
+        .unwrap();
+        let update = server.issue_update(curve, &tag);
+        let bytes = ct.to_bytes(curve);
+        // Flip every byte of the serialized ciphertext in turn; each variant
+        // must either fail to parse or fail to decrypt.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            match FoCiphertext::from_bytes(curve, &bad) {
+                Err(_) => {}
+                Ok(parsed) => {
+                    let r = decrypt(curve, server.public(), &user, &update, &parsed);
+                    assert!(r.is_err(), "mauled byte {} accepted", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected_not_garbage() {
+        // Unlike the basic scheme (garbage), FO fails closed.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let eve = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tag,
+            b"msg",
+            &mut rng,
+        )
+        .unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &eve, &update, &ct),
+            Err(TreError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(curve, server.public(), user.public(), &tag, b"m", &mut rng).unwrap();
+        let parsed = FoCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        assert_eq!(parsed, ct);
+    }
+
+    #[test]
+    fn update_checks() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(curve, server.public(), user.public(), &tag, b"m", &mut rng).unwrap();
+        let wrong_tag = server.issue_update(curve, &ReleaseTag::time("u"));
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &wrong_tag, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+        let forged = KeyUpdate::from_parts(
+            tag.clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &forged, &ct),
+            Err(TreError::InvalidUpdate)
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(curve, server.public(), user.public(), &tag, b"", &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+            Vec::<u8>::new()
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! ID-TRE (§5.2): identity-based timed release encryption — the Chen et
+//! al. multi-authority construction.
+//!
+//! The receiver's public key *is* its identity string; the trusted server
+//! issues the private key `s·H1(ID)` once, and the same time-bound key
+//! update `s·H1(T)` as in TRE unlocks every user's epoch. Decryption
+//! combines them additively: `K_D = s·H1(ID) + s·H1(T) = s·(H1(ID)+H1(T))`.
+//!
+//! Key escrow is **inherent** (the server can compute any `K_D`), which is
+//! exactly the weakness the paper's main (non-ID) scheme removes.
+
+use rand::RngCore;
+use tre_pairing::{Curve, G1Affine};
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerPublicKey};
+use crate::tag::ReleaseTag;
+
+const MASK_DOMAIN: &[u8] = b"tre/id/mask";
+
+/// A user's ID-TRE private key `s·H1(ID)`, issued by the server
+/// ([`crate::keys::ServerKeyPair::extract_identity_key`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IdentityKey<const L: usize> {
+    point: G1Affine<L>,
+}
+
+impl<const L: usize> IdentityKey<L> {
+    /// Wraps a key point received from the server.
+    pub fn new(point: G1Affine<L>) -> Self {
+        Self { point }
+    }
+
+    /// Verifies the issued key against the server public key and identity:
+    /// `ê(sG, H1(ID)) = ê(G, key)` — users should check what the server
+    /// hands them.
+    pub fn verify(&self, curve: &Curve<L>, server: &ServerPublicKey<L>, identity: &[u8]) -> bool {
+        let h = curve.hash_to_g1(b"identity", identity);
+        curve.pairing(server.s_g(), &h) == curve.pairing(server.g(), &self.point)
+    }
+
+    /// The raw key point.
+    pub fn point(&self) -> &G1Affine<L> {
+        &self.point
+    }
+}
+
+/// An ID-TRE ciphertext `⟨rG, M ⊕ H2(K)⟩`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IdCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    v: Vec<u8>,
+    tag: ReleaseTag,
+}
+
+impl<const L: usize> IdCiphertext<L> {
+    /// The release tag the ciphertext is locked to.
+    pub fn tag(&self) -> &ReleaseTag {
+        &self.tag
+    }
+
+    /// Total wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        self.tag.to_bytes().len() + curve.point_len() + 4 + self.v.len()
+    }
+
+    /// Serializes as `tag ‖ U ‖ len ‖ V`.
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = self.tag.to_bytes();
+        out.extend_from_slice(&curve.g1_to_bytes(&self.u));
+        out.extend_from_slice(&(self.v.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let (tag, mut off) =
+            ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("id ciphertext tag"))?;
+        let plen = curve.point_len();
+        if bytes.len() < off + plen + 4 {
+            return Err(TreError::Malformed("id ciphertext truncated"));
+        }
+        let u = curve
+            .g1_from_bytes(&bytes[off..off + plen])
+            .map_err(|_| TreError::Malformed("id ciphertext U"))?;
+        off += plen;
+        let vlen = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if bytes.len() != off + vlen {
+            return Err(TreError::Malformed("id ciphertext V length"));
+        }
+        Ok(Self {
+            u,
+            v: bytes[off..].to_vec(),
+            tag,
+        })
+    }
+}
+
+/// ID-TRE encryption: `K_E = H1(ID) + H1(T)`, `K = ê(sG, K_E)^r`,
+/// `C = ⟨rG, M ⊕ H2(K)⟩`.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    identity: &[u8],
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> IdCiphertext<L> {
+    let k_e = curve.g1_add(
+        &curve.hash_to_g1(b"identity", identity),
+        &curve.hash_to_g1(tag.h1_domain(), tag.value()),
+    );
+    let r = curve.random_scalar(rng);
+    let k = curve.pairing(server.s_g(), &k_e).pow(&r, curve);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, msg.len());
+    IdCiphertext {
+        u: curve.g1_mul(server.g(), &r),
+        v: msg.iter().zip(&mask).map(|(m, k)| m ^ k).collect(),
+        tag: tag.clone(),
+    }
+}
+
+/// ID-TRE decryption: `K_D = sk_ID + I_T`, `K' = ê(U, K_D)`.
+///
+/// # Errors
+/// * [`TreError::UpdateTagMismatch`] if the update is for another tag;
+/// * [`TreError::InvalidUpdate`] if the update fails self-authentication.
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    sk: &IdentityKey<L>,
+    update: &KeyUpdate<L>,
+    ct: &IdCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if update.tag() != &ct.tag {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    if !update.verify(curve, server) {
+        return Err(TreError::InvalidUpdate);
+    }
+    let k_d = curve.g1_add(sk.point(), update.sig());
+    let k = curve.pairing(&ct.u, &k_d);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
+    Ok(ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let id = b"alice@example.com";
+        let sk = IdentityKey::new(server.extract_identity_key(curve, id));
+        assert!(sk.verify(curve, server.public(), id));
+        let tag = ReleaseTag::time("2026-07-04T12:00Z");
+        let msg = b"press release";
+        let ct = encrypt(curve, server.public(), id, &tag, msg, &mut rng);
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &sk, &update, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn wrong_identity_gets_garbage() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let sk_bob = IdentityKey::new(server.extract_identity_key(curve, b"bob"));
+        assert!(!sk_bob.verify(curve, server.public(), b"alice"));
+        let tag = ReleaseTag::time("t");
+        let msg = b"for alice";
+        let ct = encrypt(curve, server.public(), b"alice", &tag, msg, &mut rng);
+        let update = server.issue_update(curve, &tag);
+        let pt = decrypt(curve, server.public(), &sk_bob, &update, &ct).unwrap();
+        assert_ne!(pt, msg);
+    }
+
+    #[test]
+    fn update_checks() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let sk = IdentityKey::new(server.extract_identity_key(curve, b"alice"));
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(curve, server.public(), b"alice", &tag, b"m", &mut rng);
+        let wrong = server.issue_update(curve, &ReleaseTag::time("u"));
+        assert_eq!(
+            decrypt(curve, server.public(), &sk, &wrong, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let ct = encrypt(
+            curve,
+            server.public(),
+            b"alice",
+            &ReleaseTag::time("t"),
+            b"m",
+            &mut rng,
+        );
+        let parsed = IdCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        assert_eq!(parsed, ct);
+        assert!(IdCiphertext::<8>::from_bytes(curve, &[]).is_err());
+        assert!(IdCiphertext::<8>::from_bytes(curve, &ct.to_bytes(curve)[..8]).is_err());
+    }
+    #[test]
+    fn key_escrow_is_inherent() {
+        // The server can decrypt any user's ciphertext — the documented
+        // weakness of the ID-based variant (§5.2 / §2.2 discussion).
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let tag = ReleaseTag::time("t");
+        let msg = b"supposedly private";
+        let ct = encrypt(curve, server.public(), b"alice", &tag, msg, &mut rng);
+        // Server recreates alice's key whenever it likes.
+        let escrowed = IdentityKey::new(server.extract_identity_key(curve, b"alice"));
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &escrowed, &update, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn single_update_serves_all_identities() {
+        // Scalability: one I_T decrypts ciphertexts for any number of
+        // distinct identities (§5.3.5 closing remark).
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let tag = ReleaseTag::time("t");
+        let update = server.issue_update(curve, &tag);
+        for id in [&b"alice"[..], b"bob", b"carol"] {
+            let sk = IdentityKey::new(server.extract_identity_key(curve, id));
+            let ct = encrypt(curve, server.public(), id, &tag, b"hello", &mut rng);
+            assert_eq!(
+                decrypt(curve, server.public(), &sk, &update, &ct).unwrap(),
+                b"hello"
+            );
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Key material: time-server keys, user keys, and the self-authenticating
+//! time-bound key update `I_T = s·H1(T)` (§5.1 of the paper).
+
+use rand::RngCore;
+use tre_bigint::U256;
+use tre_pairing::{Curve, G1Affine};
+
+use crate::error::TreError;
+use crate::tag::ReleaseTag;
+
+/// The time server's public key `PK_S = (G, sG)`.
+///
+/// The server picks its own generator `G` (a random point of order `q`), so
+/// distinct servers are independent even on shared curve parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerPublicKey<const L: usize> {
+    g: G1Affine<L>,
+    s_g: G1Affine<L>,
+}
+
+/// The time server's key pair `(s, PK_S)`.
+///
+/// The only party that can issue [`KeyUpdate`]s. Note what the server does
+/// **not** hold: any user keys, any messages, any release schedule — it is
+/// completely passive (§3).
+#[derive(Clone, Debug)]
+pub struct ServerKeyPair<const L: usize> {
+    secret: U256,
+    public: ServerPublicKey<L>,
+}
+
+/// A receiver's public key `PK_U = (aG, a·sG)`, bound to one time server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UserPublicKey<const L: usize> {
+    a_g: G1Affine<L>,
+    a_s_g: G1Affine<L>,
+}
+
+/// A receiver's key pair `(a, PK_U)`.
+#[derive(Clone, Debug)]
+pub struct UserKeyPair<const L: usize> {
+    secret: U256,
+    public: UserPublicKey<L>,
+}
+
+/// The time-bound key update `I_T = s·H1(T)` — a BLS short signature on the
+/// release tag, identical for every receiver, self-authenticating against
+/// `PK_S` (§5.3.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyUpdate<const L: usize> {
+    tag: ReleaseTag,
+    sig: G1Affine<L>,
+}
+
+impl<const L: usize> ServerKeyPair<L> {
+    /// Server key generation: random generator `G` and secret `s`; publishes
+    /// `(G, sG)`.
+    pub fn generate(curve: &Curve<L>, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        // A random generator: random scalar multiple of the curve generator
+        // (any non-identity point of prime order q generates the subgroup).
+        let g = curve.g1_mul(&curve.generator(), &curve.random_scalar(rng));
+        let secret = curve.random_scalar(rng);
+        let s_g = curve.g1_mul(&g, &secret);
+        Self {
+            secret,
+            public: ServerPublicKey { g, s_g },
+        }
+    }
+
+    /// Deterministic server keys from a seed (test fixtures / simulations).
+    pub fn from_secret(curve: &Curve<L>, g: G1Affine<L>, secret: U256) -> Self {
+        assert!(!g.is_infinity(), "generator must not be infinity");
+        let secret = secret.rem(curve.order());
+        assert!(!secret.is_zero(), "secret must be nonzero mod q");
+        let s_g = curve.g1_mul(&g, &secret);
+        Self {
+            secret,
+            public: ServerPublicKey { g, s_g },
+        }
+    }
+
+    /// The public key `(G, sG)`.
+    pub fn public(&self) -> &ServerPublicKey<L> {
+        &self.public
+    }
+
+    /// Issues the time-bound key update for `tag`: `I_T = s·H1(T)`.
+    ///
+    /// This is the **only** operation the server performs in steady state,
+    /// and its output is independent of who (or how many) the receivers are.
+    pub fn issue_update(&self, curve: &Curve<L>, tag: &ReleaseTag) -> KeyUpdate<L> {
+        let h = curve.hash_to_g1(tag.h1_domain(), tag.value());
+        KeyUpdate {
+            tag: tag.clone(),
+            sig: curve.g1_mul(&h, &self.secret),
+        }
+    }
+
+    /// ID-TRE key extraction (§5.2): the user's private key `s·H1(ID)`.
+    ///
+    /// Only meaningful for the identity-based scheme, where the server is
+    /// also the trusted key-issuing authority (and can therefore decrypt —
+    /// the key-escrow property the non-ID scheme avoids).
+    pub fn extract_identity_key(&self, curve: &Curve<L>, identity: &[u8]) -> G1Affine<L> {
+        let h = curve.hash_to_g1(b"identity", identity);
+        curve.g1_mul(&h, &self.secret)
+    }
+
+    /// Test/benchmark helper: exposes `s`. Real deployments never need it.
+    #[doc(hidden)]
+    pub fn secret_scalar(&self) -> &U256 {
+        &self.secret
+    }
+}
+
+impl<const L: usize> ServerPublicKey<L> {
+    /// The server's generator `G`.
+    pub fn g(&self) -> &G1Affine<L> {
+        &self.g
+    }
+
+    /// The point `sG`.
+    pub fn s_g(&self) -> &G1Affine<L> {
+        &self.s_g
+    }
+
+    /// Serializes as `G ‖ sG` (compressed points).
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = curve.g1_to_bytes(&self.g);
+        out.extend_from_slice(&curve.g1_to_bytes(&self.s_g));
+        out
+    }
+
+    /// Parses `G ‖ sG`, verifying both points.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let n = curve.point_len();
+        if bytes.len() != 2 * n {
+            return Err(TreError::Malformed("server public key length"));
+        }
+        let g = curve
+            .g1_from_bytes_checked(&bytes[..n])
+            .map_err(|_| TreError::Malformed("server generator"))?;
+        let s_g = curve
+            .g1_from_bytes_checked(&bytes[n..])
+            .map_err(|_| TreError::Malformed("server sG"))?;
+        if g.is_infinity() {
+            return Err(TreError::Malformed("server generator is infinity"));
+        }
+        Ok(Self { g, s_g })
+    }
+}
+
+impl<const L: usize> UserKeyPair<L> {
+    /// User key generation bound to `server`: secret `a`, public
+    /// `(aG, a·sG)` where `G, sG` come from the server's public key.
+    pub fn generate(
+        curve: &Curve<L>,
+        server: &ServerPublicKey<L>,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        let secret = curve.random_scalar(rng);
+        Self::from_secret(curve, server, secret)
+    }
+
+    /// Derives the key pair from an existing secret scalar — e.g. one
+    /// produced by hashing a human-memorable password (§5.1 notes this
+    /// option), or when re-binding to a new server (§5.3.4).
+    pub fn from_secret(curve: &Curve<L>, server: &ServerPublicKey<L>, secret: U256) -> Self {
+        let secret = secret.rem(curve.order());
+        assert!(!secret.is_zero(), "secret must be nonzero mod q");
+        let a_g = curve.g1_mul(server.g(), &secret);
+        let a_s_g = curve.g1_mul(server.s_g(), &secret);
+        Self {
+            secret,
+            public: UserPublicKey { a_g, a_s_g },
+        }
+    }
+
+    /// The public key `(aG, a·sG)`.
+    pub fn public(&self) -> &UserPublicKey<L> {
+        &self.public
+    }
+
+    /// The secret scalar `a` (needed by decryption).
+    pub fn secret_scalar(&self) -> &U256 {
+        &self.secret
+    }
+}
+
+impl<const L: usize> UserPublicKey<L> {
+    /// Assembles a public key from raw points (e.g. received over the wire).
+    /// Call [`UserPublicKey::validate`] before encrypting to it.
+    pub fn from_points(a_g: G1Affine<L>, a_s_g: G1Affine<L>) -> Self {
+        Self { a_g, a_s_g }
+    }
+
+    /// The point `aG`.
+    pub fn a_g(&self) -> &G1Affine<L> {
+        &self.a_g
+    }
+
+    /// The point `a·sG`.
+    pub fn a_s_g(&self) -> &G1Affine<L> {
+        &self.a_s_g
+    }
+
+    /// The sender-side check `ê(aG, sG) = ê(G, asG)` (§5.1 Encryption
+    /// step 1): confirms the key has the form `(aG, a·sG)`, i.e. the
+    /// receiver genuinely needs the server's key update to decrypt.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the check fails.
+    pub fn validate(&self, curve: &Curve<L>, server: &ServerPublicKey<L>) -> Result<(), TreError> {
+        if self.a_g.is_infinity() || self.a_s_g.is_infinity() {
+            return Err(TreError::InvalidUserKey);
+        }
+        let lhs = curve.pairing(&self.a_g, server.s_g());
+        let rhs = curve.pairing(server.g(), &self.a_s_g);
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(TreError::InvalidUserKey)
+        }
+    }
+
+    /// Serializes as `aG ‖ asG` (compressed points).
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = curve.g1_to_bytes(&self.a_g);
+        out.extend_from_slice(&curve.g1_to_bytes(&self.a_s_g));
+        out
+    }
+
+    /// Parses `aG ‖ asG`.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings. Does **not** run
+    /// the pairing validation; call [`UserPublicKey::validate`].
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let n = curve.point_len();
+        if bytes.len() != 2 * n {
+            return Err(TreError::Malformed("user public key length"));
+        }
+        let a_g = curve
+            .g1_from_bytes_checked(&bytes[..n])
+            .map_err(|_| TreError::Malformed("user aG"))?;
+        let a_s_g = curve
+            .g1_from_bytes_checked(&bytes[n..])
+            .map_err(|_| TreError::Malformed("user asG"))?;
+        Ok(Self { a_g, a_s_g })
+    }
+}
+
+impl<const L: usize> KeyUpdate<L> {
+    /// Reassembles an update from its parts (e.g. from an archive lookup).
+    pub fn from_parts(tag: ReleaseTag, sig: G1Affine<L>) -> Self {
+        Self { tag, sig }
+    }
+
+    /// The release tag this update unlocks.
+    pub fn tag(&self) -> &ReleaseTag {
+        &self.tag
+    }
+
+    /// The signature point `s·H1(T)`.
+    pub fn sig(&self) -> &G1Affine<L> {
+        &self.sig
+    }
+
+    /// Self-authentication (§5.3.1): checks `ê(sG, H1(T)) = ê(G, I_T)`.
+    /// No separate server signature is needed — this *is* a BLS short
+    /// signature under the server key.
+    pub fn verify(&self, curve: &Curve<L>, server: &ServerPublicKey<L>) -> bool {
+        let h = curve.hash_to_g1(self.tag.h1_domain(), self.tag.value());
+        curve.pairing(server.s_g(), &h) == curve.pairing(server.g(), &self.sig)
+    }
+
+    /// Serializes as `tag ‖ sig` (compressed point).
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = self.tag.to_bytes();
+        out.extend_from_slice(&curve.g1_to_bytes(&self.sig));
+        out
+    }
+
+    /// Parses `tag ‖ sig`.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let (tag, consumed) =
+            ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("update tag"))?;
+        let rest = &bytes[consumed..];
+        if rest.len() != curve.point_len() {
+            return Err(TreError::Malformed("update signature length"));
+        }
+        let sig = curve
+            .g1_from_bytes_checked(rest)
+            .map_err(|_| TreError::Malformed("update signature"))?;
+        Ok(Self { tag, sig })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn server_keygen_and_update_verify() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let tag = ReleaseTag::time("2026-07-04T12:00:00Z");
+        let update = server.issue_update(curve, &tag);
+        assert!(update.verify(curve, server.public()));
+        assert_eq!(update.tag(), &tag);
+    }
+
+    #[test]
+    fn update_fails_against_wrong_server() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server1 = ServerKeyPair::generate(curve, &mut rng);
+        let server2 = ServerKeyPair::generate(curve, &mut rng);
+        let update = server1.issue_update(curve, &ReleaseTag::time("t"));
+        assert!(!update.verify(curve, server2.public()));
+    }
+
+    #[test]
+    fn forged_update_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        // An adversary without s signs with a random scalar.
+        let forged_sig = curve.g1_mul(
+            &curve.hash_to_g1(b"time", b"t"),
+            &curve.random_scalar(&mut rng),
+        );
+        let forged = KeyUpdate::from_parts(ReleaseTag::time("t"), forged_sig);
+        assert!(!forged.verify(curve, server.public()));
+    }
+
+    #[test]
+    fn update_for_other_tag_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let update = server.issue_update(curve, &ReleaseTag::time("t1"));
+        // Re-labelling an authentic update as a different tag must fail.
+        let relabeled = KeyUpdate::from_parts(ReleaseTag::time("t2"), *update.sig());
+        assert!(!relabeled.verify(curve, server.public()));
+        // Policy tag with the same bytes is also distinct.
+        let cross_kind = KeyUpdate::from_parts(ReleaseTag::policy("t1"), *update.sig());
+        assert!(!cross_kind.verify(curve, server.public()));
+    }
+
+    #[test]
+    fn user_keygen_validates() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        assert!(user.public().validate(curve, server.public()).is_ok());
+    }
+
+    #[test]
+    fn malformed_user_key_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        // (aG, bG) with b != a·s fails the check — such a key would not
+        // need the update, so honest senders refuse it.
+        let a = curve.random_scalar(&mut rng);
+        let b = curve.random_scalar(&mut rng);
+        let bogus = UserPublicKey::from_points(
+            curve.g1_mul(server.public().g(), &a),
+            curve.g1_mul(server.public().g(), &b),
+        );
+        assert_eq!(
+            bogus.validate(curve, server.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn user_key_bound_to_server() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let s1 = ServerKeyPair::generate(curve, &mut rng);
+        let s2 = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, s1.public(), &mut rng);
+        assert!(user.public().validate(curve, s2.public()).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let spk = server.public();
+        assert_eq!(
+            ServerPublicKey::from_bytes(curve, &spk.to_bytes(curve)).unwrap(),
+            *spk
+        );
+        let user = UserKeyPair::generate(curve, spk, &mut rng);
+        let upk = user.public();
+        assert_eq!(
+            UserPublicKey::from_bytes(curve, &upk.to_bytes(curve)).unwrap(),
+            *upk
+        );
+        let update = server.issue_update(curve, &ReleaseTag::time("x"));
+        assert_eq!(
+            KeyUpdate::from_bytes(curve, &update.to_bytes(curve)).unwrap(),
+            update
+        );
+        // Truncations rejected.
+        assert!(ServerPublicKey::from_bytes(curve, &spk.to_bytes(curve)[1..]).is_err());
+        assert!(UserPublicKey::from_bytes(curve, &[]).is_err());
+        assert!(KeyUpdate::from_bytes(curve, &update.to_bytes(curve)[..4]).is_err());
+    }
+
+    #[test]
+    fn deterministic_from_secret() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let g = curve.generator();
+        let s1 = ServerKeyPair::from_secret(curve, g, tre_bigint::U256::from_u64(12345));
+        let s2 = ServerKeyPair::from_secret(curve, g, tre_bigint::U256::from_u64(12345));
+        assert_eq!(s1.public(), s2.public());
+        let u1 = UserKeyPair::from_secret(curve, s1.public(), tre_bigint::U256::from_u64(777));
+        let u2 = UserKeyPair::from_secret(curve, s2.public(), tre_bigint::U256::from_u64(777));
+        assert_eq!(u1.public(), u2.public());
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn password_derived_secret() {
+        // §5.1: "The secret key a could be generated by applying a good hash
+        // function to a human-memorable password".
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let pw_hash = tre_hashes::Sha256::digest(b"correct horse battery staple");
+        use tre_hashes::Digest;
+        let secret = curve.scalar_from_bytes_mod(&pw_hash);
+        let user = UserKeyPair::from_secret(curve, server.public(), secret);
+        assert!(user.public().validate(curve, server.public()).is_ok());
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # tre-core
+//!
+//! The primary contribution of Chan & Blake, *Scalable, Server-Passive,
+//! User-Anonymous Timed Release Cryptography* (ICDCS 2005), implemented
+//! over the from-scratch Gap Diffie-Hellman pairing in `tre-pairing`.
+//!
+//! ## What's here
+//!
+//! * [`keys`] — server keys `(G, sG)`, user keys `(aG, a·sG)`, and the
+//!   self-authenticating time-bound key update `I_T = s·H1(T)` (a BLS short
+//!   signature, identical for all users — the scalability core of the paper).
+//! * [`tre`] — the basic §5.1 scheme (one-way/CPA).
+//! * [`fo`] / [`react`] — the two CCA hardenings the paper points to
+//!   (Fujisaki-Okamoto and REACT).
+//! * [`hybrid`] — KEM-DEM mode with the ChaCha20-Poly1305 DEM.
+//! * [`idtre`] — the §5.2 identity-based variant (inherent key escrow).
+//! * [`insulated`] — §5.3.3 key insulation via per-epoch keys `a·I_T`.
+//! * [`server_change`] — §5.3.4 re-binding to a new time server without
+//!   re-certification.
+//! * [`multi_server`] — §5.3.5 splitting trust across N time servers.
+//! * [`policy`] — §5.3.2 policy locks and conjunctions of conditions.
+//! * [`resilient`] — the §6 *future work*: missing-update resilience via a
+//!   binary cover tree (one latest broadcast unlocks all past epochs).
+//! * [`threshold`] — k-of-N threshold multi-server mode (Shamir over the
+//!   scalar field), trading §5.3.5's all-N requirement for availability.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tre_core::{keys::{ServerKeyPair, UserKeyPair}, tag::ReleaseTag, tre};
+//!
+//! let curve = tre_pairing::toy64();
+//! let mut rng = rand::thread_rng();
+//!
+//! // A passive time server and a receiver bound to it.
+//! let server = ServerKeyPair::generate(curve, &mut rng);
+//! let alice = UserKeyPair::generate(curve, server.public(), &mut rng);
+//!
+//! // Sender encrypts for a future instant — no server interaction.
+//! let tag = ReleaseTag::time("2026-07-04T12:00:00Z");
+//! let ct = tre::encrypt(curve, server.public(), alice.public(), &tag,
+//!                       b"sealed bid: $1M", &mut rng)?;
+//!
+//! // At noon the server broadcasts one update for *all* users...
+//! let update = server.issue_update(curve, &tag);
+//! // ...and Alice can decrypt.
+//! let msg = tre::decrypt(curve, server.public(), &alice, &update, &ct)?;
+//! assert_eq!(msg, b"sealed bid: $1M");
+//! # Ok::<(), tre_core::TreError>(())
+//! ```
+
+pub mod error;
+pub mod fo;
+pub mod hybrid;
+pub mod idtre;
+pub mod insulated;
+pub mod keys;
+pub mod multi_server;
+pub mod policy;
+pub mod react;
+pub mod resilient;
+pub mod server_change;
+pub mod tag;
+pub mod threshold;
+pub mod tre;
+
+pub use error::TreError;
+pub use keys::{KeyUpdate, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey};
+pub use tag::{ReleaseTag, TagKind};

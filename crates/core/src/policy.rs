@@ -1,0 +1,615 @@
+//! Policy-lock encryption (§5.3.2): the time server generalizes to a
+//! *witness* that signs arbitrary condition strings ("It is an emergency",
+//! "task X completed"), and a ciphertext can be locked to a **conjunction**
+//! of conditions.
+//!
+//! Conjunctions use the additive trick from ID-TRE: the sender hashes each
+//! condition and encrypts against `H = Σ H1(C_j)`; the receiver sums the
+//! per-condition witness signatures `Σ s·H1(C_j) = s·H`, so one combined
+//! point unlocks the ciphertext only when *every* condition has been
+//! attested.
+
+use rand::RngCore;
+use tre_pairing::{Curve, G1Affine};
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::tag::ReleaseTag;
+
+const MASK_DOMAIN: &[u8] = b"tre/policy/mask";
+
+/// A ciphertext locked to a conjunction of policy conditions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    v: Vec<u8>,
+    conditions: Vec<ReleaseTag>,
+}
+
+impl<const L: usize> PolicyCiphertext<L> {
+    /// The conditions that must all be attested before decryption.
+    pub fn conditions(&self) -> &[ReleaseTag] {
+        &self.conditions
+    }
+
+    /// Total wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        let tags: usize = self.conditions.iter().map(|c| c.to_bytes().len()).sum();
+        tags + curve.point_len() + 4 + self.v.len()
+    }
+
+    /// Serializes as `n ‖ cond_1…cond_n ‖ U ‖ len ‖ V`.
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = (self.conditions.len() as u16).to_be_bytes().to_vec();
+        for c in &self.conditions {
+            out.extend_from_slice(&c.to_bytes());
+        }
+        out.extend_from_slice(&curve.g1_to_bytes(&self.u));
+        out.extend_from_slice(&(self.v.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        if bytes.len() < 2 {
+            return Err(TreError::Malformed("policy ciphertext truncated"));
+        }
+        let n = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
+        let mut off = 2;
+        let mut conditions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (c, used) = ReleaseTag::from_bytes(&bytes[off..])
+                .ok_or(TreError::Malformed("policy condition"))?;
+            conditions.push(c);
+            off += used;
+        }
+        let plen = curve.point_len();
+        if bytes.len() < off + plen + 4 {
+            return Err(TreError::Malformed("policy ciphertext truncated"));
+        }
+        let u = curve
+            .g1_from_bytes(&bytes[off..off + plen])
+            .map_err(|_| TreError::Malformed("policy ciphertext U"))?;
+        off += plen;
+        let vlen = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if bytes.len() != off + vlen {
+            return Err(TreError::Malformed("policy ciphertext V length"));
+        }
+        Ok(Self {
+            u,
+            v: bytes[off..].to_vec(),
+            conditions,
+        })
+    }
+}
+
+/// Sums the condition hashes `Σ H1(C_j)`.
+fn combined_hash<const L: usize>(curve: &Curve<L>, conditions: &[ReleaseTag]) -> G1Affine<L> {
+    let mut acc = G1Affine::infinity(curve.fp());
+    for c in conditions {
+        acc = curve.g1_add(&acc, &curve.hash_to_g1(c.h1_domain(), c.value()));
+    }
+    acc
+}
+
+/// Encrypts `msg` so it opens only when the witness has attested **every**
+/// condition in `conditions`.
+///
+/// # Errors
+/// * [`TreError::ArityMismatch`] on an empty condition list;
+/// * [`TreError::InvalidUserKey`] if the receiver key fails validation.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    conditions: &[ReleaseTag],
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<PolicyCiphertext<L>, TreError> {
+    if conditions.is_empty() {
+        return Err(TreError::ArityMismatch {
+            expected: 1,
+            got: 0,
+        });
+    }
+    user.validate(curve, server)?;
+    let r = curve.random_scalar(rng);
+    let h = combined_hash(curve, conditions);
+    let k = curve.pairing(&curve.g1_mul(user.a_s_g(), &r), &h);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, msg.len());
+    Ok(PolicyCiphertext {
+        u: curve.g1_mul(server.g(), &r),
+        v: msg.iter().zip(&mask).map(|(m, k)| m ^ k).collect(),
+        conditions: conditions.to_vec(),
+    })
+}
+
+/// Decrypts with one verified witness attestation per condition
+/// (order-insensitive: attestations are matched to conditions by tag).
+///
+/// # Errors
+/// * [`TreError::ArityMismatch`] if the number of attestations differs
+///   from the number of conditions;
+/// * [`TreError::UpdateTagMismatch`] if some condition lacks its
+///   attestation;
+/// * [`TreError::InvalidUpdate`] if any attestation fails verification.
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    attestations: &[KeyUpdate<L>],
+    ct: &PolicyCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if attestations.len() != ct.conditions.len() {
+        return Err(TreError::ArityMismatch {
+            expected: ct.conditions.len(),
+            got: attestations.len(),
+        });
+    }
+    // Sum s·H1(C_j) over all conditions, matching attestations by tag.
+    let mut combined_sig = G1Affine::infinity(curve.fp());
+    for cond in &ct.conditions {
+        let att = attestations
+            .iter()
+            .find(|a| a.tag() == cond)
+            .ok_or(TreError::UpdateTagMismatch)?;
+        if !att.verify(curve, server) {
+            return Err(TreError::InvalidUpdate);
+        }
+        combined_sig = curve.g1_add(&combined_sig, att.sig());
+    }
+    let k = curve
+        .pairing(&ct.u, &combined_sig)
+        .pow(user.secret_scalar(), curve);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
+    Ok(ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect())
+}
+
+/// A policy in disjunctive normal form: the message opens when **any one**
+/// clause (a conjunction of conditions) is fully attested.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DnfCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    /// One masked copy of the DEM seed per clause.
+    masked: Vec<[u8; 32]>,
+    body: Vec<u8>,
+    clauses: Vec<Vec<ReleaseTag>>,
+}
+
+impl<const L: usize> DnfCiphertext<L> {
+    /// The policy clauses (outer = OR, inner = AND).
+    pub fn clauses(&self) -> &[Vec<ReleaseTag>] {
+        &self.clauses
+    }
+
+    /// Total wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        let tags: usize = self
+            .clauses
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|t| t.to_bytes().len())
+            .sum();
+        tags + curve.point_len() + self.masked.len() * 32 + self.body.len() + 8
+    }
+}
+
+fn dnf_dem_key(seed: &[u8]) -> [u8; 32] {
+    tre_hashes::xof::<tre_hashes::Sha256>(b"tre/policy/dnf-dem", seed, 32)
+        .try_into()
+        .unwrap()
+}
+
+/// Encrypts under an OR-of-ANDs policy: `clauses[0] OR clauses[1] OR …`,
+/// each clause a conjunction of conditions (extends the §5.3.2 policy lock
+/// to disjunctions — one shared `rG`, one masked seed per clause).
+///
+/// # Errors
+/// * [`TreError::ArityMismatch`] if `clauses` is empty or any clause is;
+/// * [`TreError::InvalidUserKey`] on receiver-key validation failure.
+pub fn encrypt_dnf<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    clauses: &[Vec<ReleaseTag>],
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<DnfCiphertext<L>, TreError> {
+    if clauses.is_empty() || clauses.iter().any(Vec::is_empty) {
+        return Err(TreError::ArityMismatch {
+            expected: 1,
+            got: 0,
+        });
+    }
+    user.validate(curve, server)?;
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    let r = curve.random_scalar(rng);
+    let r_asg = curve.g1_mul(user.a_s_g(), &r);
+    let masked = clauses
+        .iter()
+        .map(|clause| {
+            let h = combined_hash(curve, clause);
+            let k = curve.pairing(&r_asg, &h);
+            let mask = curve.gt_kdf(&k, MASK_DOMAIN, 32);
+            let mut e = [0u8; 32];
+            for i in 0..32 {
+                e[i] = seed[i] ^ mask[i];
+            }
+            e
+        })
+        .collect();
+    let u = curve.g1_mul(server.g(), &r);
+    let aad = curve.g1_to_bytes(&u);
+    let body = tre_sym::ChaCha20Poly1305::new(&dnf_dem_key(&seed)).seal(&[0u8; 12], &aad, msg);
+    Ok(DnfCiphertext {
+        u,
+        masked,
+        body,
+        clauses: clauses.to_vec(),
+    })
+}
+
+/// Decrypts a DNF ciphertext with attestations satisfying **one** clause
+/// (attestations for the other clauses are unnecessary).
+///
+/// # Errors
+/// * [`TreError::InvalidUpdate`] if a supplied attestation fails
+///   verification;
+/// * [`TreError::UpdateTagMismatch`] if no clause is fully covered by the
+///   supplied attestations;
+/// * [`TreError::DecryptionFailed`] on wrong receiver / mauled ciphertext.
+pub fn decrypt_dnf<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    attestations: &[KeyUpdate<L>],
+    ct: &DnfCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    for att in attestations {
+        if !att.verify(curve, server) {
+            return Err(TreError::InvalidUpdate);
+        }
+    }
+    // Find the first clause whose conditions all have attestations.
+    let (idx, sigs) = ct
+        .clauses
+        .iter()
+        .enumerate()
+        .find_map(|(i, clause)| {
+            let sigs: Option<Vec<_>> = clause
+                .iter()
+                .map(|cond| attestations.iter().find(|a| a.tag() == cond))
+                .collect();
+            sigs.map(|s| (i, s))
+        })
+        .ok_or(TreError::UpdateTagMismatch)?;
+    let mut combined = G1Affine::infinity(curve.fp());
+    for att in sigs {
+        combined = curve.g1_add(&combined, att.sig());
+    }
+    let k = curve
+        .pairing(&ct.u, &combined)
+        .pow(user.secret_scalar(), curve);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, 32);
+    let mut seed = [0u8; 32];
+    for i in 0..32 {
+        seed[i] = ct.masked[idx][i] ^ mask[i];
+    }
+    let aad = curve.g1_to_bytes(&ct.u);
+    tre_sym::ChaCha20Poly1305::new(&dnf_dem_key(&seed))
+        .open(&[0u8; 12], &aad, &ct.body)
+        .map_err(|_| TreError::DecryptionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    fn setup() -> (ServerKeyPair<8>, UserKeyPair<8>) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        (server, user)
+    }
+
+    #[test]
+    fn single_condition_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let cond = ReleaseTag::policy("the receiver completed task X");
+        let msg = b"unlock codes";
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &[cond.clone()],
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+        let att = server.issue_update(curve, &cond);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &[att], &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn conjunction_requires_all_attestations() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let c1 = ReleaseTag::policy("emergency declared");
+        let c2 = ReleaseTag::policy("two officers present");
+        let msg = b"launch";
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &[c1.clone(), c2.clone()],
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+        let a1 = server.issue_update(curve, &c1);
+        let a2 = server.issue_update(curve, &c2);
+        // Both attestations, any order: success.
+        assert_eq!(
+            decrypt(
+                curve,
+                server.public(),
+                &user,
+                &[a2.clone(), a1.clone()],
+                &ct
+            )
+            .unwrap(),
+            msg
+        );
+        // Only one: structural failure.
+        assert!(matches!(
+            decrypt(curve, server.public(), &user, &[a1.clone()], &ct),
+            Err(TreError::ArityMismatch { .. })
+        ));
+        // Duplicate of one instead of the other: missing-tag failure.
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &[a1.clone(), a1], &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+        let _ = a2;
+    }
+
+    #[test]
+    fn time_tags_cannot_satisfy_policy_locks() {
+        // Domain separation: a time update whose bytes equal the condition
+        // string does not attest the policy.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let cond = ReleaseTag::policy("noon");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &[cond],
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let time_update = server.issue_update(curve, &ReleaseTag::time("noon"));
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &[time_update], &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    fn forged_attestation_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let cond = ReleaseTag::policy("paid in full");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &[cond.clone()],
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let forged = KeyUpdate::from_parts(
+            cond,
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &[forged], &ct),
+            Err(TreError::InvalidUpdate)
+        );
+    }
+
+    #[test]
+    fn empty_conditions_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        assert!(matches!(
+            encrypt(curve, server.public(), user.public(), &[], b"m", &mut rng),
+            Err(TreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let conds = [ReleaseTag::policy("a"), ReleaseTag::time("b")];
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &conds,
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let parsed = PolicyCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        assert_eq!(parsed, ct);
+        assert!(PolicyCiphertext::<8>::from_bytes(curve, &[]).is_err());
+        assert!(PolicyCiphertext::<8>::from_bytes(curve, &[0, 9, 1]).is_err());
+    }
+    #[test]
+    fn dnf_any_clause_opens() {
+        // (after-noon AND emergency) OR (board-approval)
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let noon = ReleaseTag::time("12:00");
+        let emergency = ReleaseTag::policy("emergency");
+        let board = ReleaseTag::policy("board approves");
+        let clauses = vec![vec![noon.clone(), emergency.clone()], vec![board.clone()]];
+        let msg = b"either path works";
+        let ct = encrypt_dnf(
+            curve,
+            server.public(),
+            user.public(),
+            &clauses,
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+
+        // Path 1: both conditions of clause 0.
+        let atts = vec![
+            server.issue_update(curve, &noon),
+            server.issue_update(curve, &emergency),
+        ];
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &user, &atts, &ct).unwrap(),
+            msg
+        );
+        // Path 2: clause 1 alone.
+        let atts = vec![server.issue_update(curve, &board)];
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &user, &atts, &ct).unwrap(),
+            msg
+        );
+        // Partial clause 0 only: no clause satisfied.
+        let atts = vec![server.issue_update(curve, &noon)];
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &user, &atts, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+        // Irrelevant extra attestations don't hurt.
+        let atts = vec![
+            server.issue_update(curve, &ReleaseTag::policy("unrelated")),
+            server.issue_update(curve, &board),
+        ];
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &user, &atts, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn dnf_rejects_forged_and_empty() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let cond = ReleaseTag::policy("c");
+        assert!(matches!(
+            encrypt_dnf(curve, server.public(), user.public(), &[], b"m", &mut rng),
+            Err(TreError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            encrypt_dnf(
+                curve,
+                server.public(),
+                user.public(),
+                &[vec![]],
+                b"m",
+                &mut rng
+            ),
+            Err(TreError::ArityMismatch { .. })
+        ));
+        let ct = encrypt_dnf(
+            curve,
+            server.public(),
+            user.public(),
+            &[vec![cond.clone()]],
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let forged = KeyUpdate::from_parts(
+            cond,
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &user, &[forged], &ct),
+            Err(TreError::InvalidUpdate)
+        );
+    }
+
+    #[test]
+    fn dnf_wrong_receiver_fails_closed() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let eve = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let cond = ReleaseTag::policy("c");
+        let ct = encrypt_dnf(
+            curve,
+            server.public(),
+            user.public(),
+            &[vec![cond.clone()]],
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let atts = vec![server.issue_update(curve, &cond)];
+        assert_eq!(
+            decrypt_dnf(curve, server.public(), &eve, &atts, &ct),
+            Err(TreError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn mixed_time_and_policy_conjunction() {
+        // "after noon AND emergency declared" — time and policy conditions
+        // compose freely.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let when = ReleaseTag::time("12:00");
+        let cond = ReleaseTag::policy("emergency");
+        let msg = b"contingency plan";
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &[when.clone(), cond.clone()],
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+        let atts = vec![
+            server.issue_update(curve, &when),
+            server.issue_update(curve, &cond),
+        ];
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &atts, &ct).unwrap(),
+            msg
+        );
+    }
+}

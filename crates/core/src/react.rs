@@ -1,0 +1,285 @@
+//! REACT conversion (Okamoto-Pointcheval, CT-RSA 2002) of the basic TRE
+//! scheme — the alternative CCA hardening the paper mentions alongside FO.
+//!
+//! ```text
+//! Encrypt: R ←$ {0,1}^256, r ←$ Z_q*
+//!          C1 = ⟨rG, R ⊕ H2(ê(r·asG, H1(T)))⟩      — OW-encrypt R
+//!          C2 = M ⊕ G(R)                            — stream DEM
+//!          C3 = H(R ‖ M ‖ C1 ‖ C2)                  — validity tag
+//! Decrypt: recover R from C1, M from C2, recheck C3.
+//! ```
+//!
+//! REACT keeps the encryption *randomized* (no derandomized re-encryption),
+//! so encryption cost equals the basic scheme plus hashing — cheaper than
+//! FO's re-encryption check at decryption time.
+
+use rand::RngCore;
+use tre_hashes::{xof, Sha256};
+use tre_pairing::{Curve, G1Affine};
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::tag::ReleaseTag;
+use crate::tre::{receiver_key, sender_key};
+
+const SEED_LEN: usize = 32;
+const TAG_LEN: usize = 32;
+const MASK_DOMAIN: &[u8] = b"tre/react/mask";
+const DEM_DOMAIN: &[u8] = b"tre/react/dem";
+const CHECK_DOMAIN: &[u8] = b"tre/react/check";
+
+/// A REACT-transformed timed-release ciphertext.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReactCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    c1: [u8; SEED_LEN],
+    c2: Vec<u8>,
+    c3: [u8; TAG_LEN],
+    tag: ReleaseTag,
+}
+
+impl<const L: usize> ReactCiphertext<L> {
+    /// The release tag the ciphertext is locked to.
+    pub fn tag(&self) -> &ReleaseTag {
+        &self.tag
+    }
+
+    /// Total wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        self.to_bytes(curve).len()
+    }
+
+    /// Serializes as `tag ‖ U ‖ C1 ‖ len ‖ C2 ‖ C3`.
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = self.tag.to_bytes();
+        out.extend_from_slice(&curve.g1_to_bytes(&self.u));
+        out.extend_from_slice(&self.c1);
+        out.extend_from_slice(&(self.c2.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.c2);
+        out.extend_from_slice(&self.c3);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        let (tag, mut off) =
+            ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("react tag"))?;
+        let plen = curve.point_len();
+        if bytes.len() < off + plen + SEED_LEN + 4 + TAG_LEN {
+            return Err(TreError::Malformed("react ciphertext truncated"));
+        }
+        let u = curve
+            .g1_from_bytes(&bytes[off..off + plen])
+            .map_err(|_| TreError::Malformed("react U"))?;
+        off += plen;
+        let c1: [u8; SEED_LEN] = bytes[off..off + SEED_LEN].try_into().unwrap();
+        off += SEED_LEN;
+        let c2len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if bytes.len() != off + c2len + TAG_LEN {
+            return Err(TreError::Malformed("react C2 length"));
+        }
+        let c2 = bytes[off..off + c2len].to_vec();
+        off += c2len;
+        let c3: [u8; TAG_LEN] = bytes[off..].try_into().unwrap();
+        Ok(Self { u, c1, c2, c3, tag })
+    }
+}
+
+fn check_tag<const L: usize>(
+    curve: &Curve<L>,
+    r_seed: &[u8],
+    msg: &[u8],
+    u: &G1Affine<L>,
+    c1: &[u8],
+    c2: &[u8],
+) -> [u8; TAG_LEN] {
+    let mut input = r_seed.to_vec();
+    input.extend_from_slice(&(msg.len() as u64).to_be_bytes());
+    input.extend_from_slice(msg);
+    input.extend_from_slice(&curve.g1_to_bytes(u));
+    input.extend_from_slice(c1);
+    input.extend_from_slice(c2);
+    xof::<Sha256>(CHECK_DOMAIN, &input, TAG_LEN)
+        .try_into()
+        .unwrap()
+}
+
+/// REACT-hardened timed-release encryption.
+///
+/// # Errors
+/// Returns [`TreError::InvalidUserKey`] if the receiver key fails the
+/// pairing check.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<ReactCiphertext<L>, TreError> {
+    user.validate(curve, server)?;
+    let mut r_seed = [0u8; SEED_LEN];
+    rng.fill_bytes(&mut r_seed);
+    let r = curve.random_scalar(rng);
+    let k = sender_key(curve, user, tag, &r);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+    let mut c1 = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        c1[i] = r_seed[i] ^ mask[i];
+    }
+    let stream = xof::<Sha256>(DEM_DOMAIN, &r_seed, msg.len());
+    let c2: Vec<u8> = msg.iter().zip(&stream).map(|(m, s)| m ^ s).collect();
+    let u = curve.g1_mul(server.g(), &r);
+    let c3 = check_tag(curve, &r_seed, msg, &u, &c1, &c2);
+    Ok(ReactCiphertext {
+        u,
+        c1,
+        c2,
+        c3,
+        tag: tag.clone(),
+    })
+}
+
+/// REACT-hardened timed-release decryption.
+///
+/// # Errors
+/// * [`TreError::UpdateTagMismatch`] / [`TreError::InvalidUpdate`] on
+///   update problems;
+/// * [`TreError::DecryptionFailed`] if the validity tag `C3` rejects.
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &ReactCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if update.tag() != &ct.tag {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    if !update.verify(curve, server) {
+        return Err(TreError::InvalidUpdate);
+    }
+    let k = receiver_key(curve, &ct.u, update, user.secret_scalar());
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+    let mut r_seed = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        r_seed[i] = ct.c1[i] ^ mask[i];
+    }
+    let stream = xof::<Sha256>(DEM_DOMAIN, &r_seed, ct.c2.len());
+    let msg: Vec<u8> = ct.c2.iter().zip(&stream).map(|(c, s)| c ^ s).collect();
+    let expect = check_tag(curve, &r_seed, &msg, &ct.u, &ct.c1, &ct.c2);
+    if !tre_hashes::ct_eq(&expect, &ct.c3) {
+        return Err(TreError::DecryptionFailed);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    fn setup() -> (ServerKeyPair<8>, UserKeyPair<8>) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        (server, user)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let msg = b"REACT secret";
+        let ct = encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn tamper_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tag,
+            b"msg!",
+            &mut rng,
+        )
+        .unwrap();
+        let update = server.issue_update(curve, &tag);
+        // Tamper with C2 (message stream).
+        let mut bad = ct.clone();
+        bad.c2[0] ^= 1;
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &bad),
+            Err(TreError::DecryptionFailed)
+        );
+        // Tamper with C1 (encapsulated seed).
+        let mut bad = ct.clone();
+        bad.c1[0] ^= 1;
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &bad),
+            Err(TreError::DecryptionFailed)
+        );
+        // Tamper with C3 (validity tag).
+        let mut bad = ct;
+        bad.c3[0] ^= 1;
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &update, &bad),
+            Err(TreError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_receiver_fails_closed() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let eve = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(curve, server.public(), user.public(), &tag, b"m", &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(
+            decrypt(curve, server.public(), &eve, &update, &ct),
+            Err(TreError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, user) = setup();
+        let tag = ReleaseTag::time("t");
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tag,
+            b"hello",
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            ReactCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap(),
+            ct
+        );
+        assert!(ReactCiphertext::<8>::from_bytes(curve, &[]).is_err());
+    }
+}

@@ -1,0 +1,532 @@
+//! Missing-update-resilient TRE — the paper's §6 future work, realized
+//! with the hierarchical (forward-secure/HIBE-style) idea it points to \[7\].
+//!
+//! Problem: a plain key update `s·H1(T)` only opens tag `T`; a receiver who
+//! slept through epochs must fetch old updates from the archive. Here the
+//! epoch space `0..2^d` forms a binary tree, and at epoch `t` the server
+//! broadcasts signatures on the **cover set** of `[0, t]` — the ≤ `d+1`
+//! maximal subtrees whose leaves have all passed. One latest broadcast
+//! therefore unlocks *every* past epoch at once.
+//!
+//! A ciphertext for release epoch `t*` carries one key-encapsulation mask
+//! per ancestor of leaf `t*` (`d+1` masks, one shared `rG`): whichever
+//! cover node is an ancestor-or-self of `t*` in the receiver's latest
+//! broadcast opens the corresponding mask. Soundness is preserved because a
+//! node is signed only once its *entire* leaf range has passed — never
+//! before `t*` itself.
+
+use rand::RngCore;
+use tre_pairing::{Curve, G1Affine};
+use tre_sym::ChaCha20Poly1305;
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::tag::ReleaseTag;
+
+const SEED_LEN: usize = 32;
+const MASK_DOMAIN: &[u8] = b"tre/resilient/mask";
+const DEM_DOMAIN: &[u8] = b"tre/resilient/dem";
+
+/// A node of the epoch tree: `level` 0 is the root; leaves sit at
+/// `level == depth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeNode {
+    /// Depth of the node (0 = root).
+    pub level: u32,
+    /// Index within the level (`0..2^level`).
+    pub index: u64,
+}
+
+/// The binary epoch tree over epochs `0..2^depth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTree {
+    depth: u32,
+}
+
+impl EpochTree {
+    /// A tree covering `2^depth` epochs.
+    ///
+    /// # Panics
+    /// Panics if `depth` is 0 or exceeds 48 (≈ 8900 years of seconds).
+    pub fn new(depth: u32) -> Self {
+        assert!((1..=48).contains(&depth), "depth out of range");
+        Self { depth }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of epochs (leaves).
+    pub fn epochs(&self) -> u64 {
+        1u64 << self.depth
+    }
+
+    /// The release tag the server signs for a tree node.
+    pub fn node_tag(&self, node: TreeNode) -> ReleaseTag {
+        ReleaseTag::time(format!("tree/{}/{}/{}", self.depth, node.level, node.index))
+    }
+
+    /// The ancestors of leaf `epoch`, root first, leaf last (`depth + 1`
+    /// nodes).
+    ///
+    /// # Panics
+    /// Panics if `epoch` is out of range.
+    pub fn ancestors(&self, epoch: u64) -> Vec<TreeNode> {
+        assert!(epoch < self.epochs(), "epoch out of range");
+        (0..=self.depth)
+            .map(|level| TreeNode {
+                level,
+                index: epoch >> (self.depth - level),
+            })
+            .collect()
+    }
+
+    /// The cover set of `[0, epoch]`: the minimal set of nodes whose leaf
+    /// ranges partition exactly the passed epochs. At most `depth + 1`
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if `epoch` is out of range.
+    pub fn cover(&self, epoch: u64) -> Vec<TreeNode> {
+        assert!(epoch < self.epochs(), "epoch out of range");
+        let mut out = Vec::new();
+        for level in 1..=self.depth {
+            let path_index = epoch >> (self.depth - level);
+            if path_index & 1 == 1 {
+                // We went right: the left sibling's subtree lies entirely in
+                // the past.
+                out.push(TreeNode {
+                    level,
+                    index: path_index - 1,
+                });
+            }
+        }
+        out.push(TreeNode {
+            level: self.depth,
+            index: epoch,
+        });
+        out
+    }
+
+    /// Whether `node` is an ancestor of (or equal to) leaf `epoch`.
+    pub fn covers(&self, node: TreeNode, epoch: u64) -> bool {
+        node.level <= self.depth && (epoch >> (self.depth - node.level)) == node.index
+    }
+
+    /// Smallest epoch at which the server may sign `node` (the max leaf of
+    /// its subtree — signing earlier would release future instants).
+    pub fn release_epoch(&self, node: TreeNode) -> u64 {
+        let width = 1u64 << (self.depth - node.level);
+        node.index * width + (width - 1)
+    }
+}
+
+/// One broadcast at epoch `t`: verified signatures on the cover of
+/// `[0, t]`. Self-contained — a receiver needs nothing else to open any
+/// past-epoch ciphertext.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResilientBroadcast<const L: usize> {
+    epoch: u64,
+    updates: Vec<(TreeNode, KeyUpdate<L>)>,
+}
+
+impl<const L: usize> ResilientBroadcast<L> {
+    /// Server-side: signs the cover set of `[0, epoch]`.
+    pub fn issue(
+        curve: &Curve<L>,
+        server: &ServerKeyPair<L>,
+        tree: &EpochTree,
+        epoch: u64,
+    ) -> Self {
+        let updates = tree
+            .cover(epoch)
+            .into_iter()
+            .map(|node| (node, server.issue_update(curve, &tree.node_tag(node))))
+            .collect();
+        Self { epoch, updates }
+    }
+
+    /// The broadcast's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of node signatures (≤ `depth + 1`).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the broadcast carries no signatures (never true for a
+    /// well-formed broadcast).
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        self.updates
+            .iter()
+            .map(|(_, u)| u.to_bytes(curve).len() + 12)
+            .sum()
+    }
+
+    /// Verifies every node signature against the server key and the cover
+    /// structure.
+    pub fn verify(&self, curve: &Curve<L>, server: &ServerPublicKey<L>, tree: &EpochTree) -> bool {
+        let expected = tree.cover(self.epoch);
+        if expected.len() != self.updates.len() {
+            return false;
+        }
+        self.updates
+            .iter()
+            .zip(&expected)
+            .all(|((node, update), want)| {
+                node == want
+                    && update.tag() == &tree.node_tag(*node)
+                    && update.verify(curve, server)
+            })
+    }
+
+    /// Finds the cover node (and its update) that unlocks leaf `epoch`.
+    pub fn covering_update(
+        &self,
+        tree: &EpochTree,
+        epoch: u64,
+    ) -> Option<&(TreeNode, KeyUpdate<L>)> {
+        self.updates
+            .iter()
+            .find(|(node, _)| tree.covers(*node, epoch))
+    }
+}
+
+/// A resilient ciphertext: one `rG`, one mask per ancestor level, and an
+/// AEAD body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResilientCiphertext<const L: usize> {
+    u: G1Affine<L>,
+    masked: Vec<[u8; SEED_LEN]>,
+    body: Vec<u8>,
+    epoch: u64,
+}
+
+impl<const L: usize> ResilientCiphertext<L> {
+    /// The release epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Wire size in bytes.
+    pub fn size(&self, curve: &Curve<L>) -> usize {
+        curve.point_len() + self.masked.len() * SEED_LEN + self.body.len() + 12
+    }
+}
+
+fn dem_key(seed: &[u8]) -> [u8; 32] {
+    tre_hashes::xof::<tre_hashes::Sha256>(DEM_DOMAIN, seed, 32)
+        .try_into()
+        .unwrap()
+}
+
+/// Encrypts `msg` for release at `epoch`, openable with **any** later
+/// broadcast.
+///
+/// # Errors
+/// * [`TreError::InvalidUserKey`] if the receiver key fails validation;
+/// * [`TreError::Binding`] if `epoch` exceeds the tree.
+pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    tree: &EpochTree,
+    epoch: u64,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<ResilientCiphertext<L>, TreError> {
+    if epoch >= tree.epochs() {
+        return Err(TreError::Binding("epoch beyond tree range"));
+    }
+    user.validate(curve, server)?;
+    let mut seed = [0u8; SEED_LEN];
+    rng.fill_bytes(&mut seed);
+    let r = curve.random_scalar(rng);
+    let r_asg = curve.g1_mul(user.a_s_g(), &r);
+    let masked = tree
+        .ancestors(epoch)
+        .into_iter()
+        .map(|node| {
+            let tag = tree.node_tag(node);
+            let h = curve.hash_to_g1(tag.h1_domain(), tag.value());
+            let k = curve.pairing(&r_asg, &h);
+            let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+            let mut e = [0u8; SEED_LEN];
+            for i in 0..SEED_LEN {
+                e[i] = seed[i] ^ mask[i];
+            }
+            e
+        })
+        .collect();
+    let u = curve.g1_mul(server.g(), &r);
+    let aad = [&epoch.to_be_bytes()[..], &curve.g1_to_bytes(&u)].concat();
+    let body = ChaCha20Poly1305::new(&dem_key(&seed)).seal(&[0u8; 12], &aad, msg);
+    Ok(ResilientCiphertext {
+        u,
+        masked,
+        body,
+        epoch,
+    })
+}
+
+/// Decrypts using the covering node of the receiver's **latest** broadcast
+/// — no archive access required, no matter how many updates were missed.
+///
+/// # Errors
+/// * [`TreError::InvalidUpdate`] if the broadcast fails verification;
+/// * [`TreError::UpdateTagMismatch`] if the broadcast predates the
+///   ciphertext's release epoch (i.e. the release time has not passed);
+/// * [`TreError::DecryptionFailed`] on wrong receiver / mauled ciphertext.
+pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    tree: &EpochTree,
+    broadcast: &ResilientBroadcast<L>,
+    ct: &ResilientCiphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    if !broadcast.verify(curve, server, tree) {
+        return Err(TreError::InvalidUpdate);
+    }
+    let (node, update) = broadcast
+        .covering_update(tree, ct.epoch)
+        .ok_or(TreError::UpdateTagMismatch)?;
+    let level = node.level as usize;
+    let masked = ct
+        .masked
+        .get(level)
+        .ok_or(TreError::Malformed("mask level"))?;
+    let k = curve
+        .pairing(&ct.u, update.sig())
+        .pow(user.secret_scalar(), curve);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, SEED_LEN);
+    let mut seed = [0u8; SEED_LEN];
+    for i in 0..SEED_LEN {
+        seed[i] = masked[i] ^ mask[i];
+    }
+    let aad = [&ct.epoch.to_be_bytes()[..], &curve.g1_to_bytes(&ct.u)].concat();
+    ChaCha20Poly1305::new(&dem_key(&seed))
+        .open(&[0u8; 12], &aad, &ct.body)
+        .map_err(|_| TreError::DecryptionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn tree_structure() {
+        let tree = EpochTree::new(4);
+        assert_eq!(tree.epochs(), 16);
+        assert_eq!(tree.ancestors(0).len(), 5);
+        // Cover of [0,0] is just the leaf.
+        assert_eq!(tree.cover(0), vec![TreeNode { level: 4, index: 0 }]);
+        // Cover of [0,15] is the left sibling at each level + the last leaf.
+        assert_eq!(tree.cover(15).len(), 5);
+        // Cover of [0,10] = {0..7}=node(1,0), {8,9}=node(3,4), {10}=leaf.
+        assert_eq!(
+            tree.cover(10),
+            vec![
+                TreeNode { level: 1, index: 0 },
+                TreeNode { level: 3, index: 4 },
+                TreeNode {
+                    level: 4,
+                    index: 10
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn cover_partitions_past_exactly() {
+        let tree = EpochTree::new(5);
+        for t in 0..tree.epochs() {
+            let cover = tree.cover(t);
+            // Every epoch ≤ t covered exactly once; none > t covered.
+            for e in 0..tree.epochs() {
+                let count = cover.iter().filter(|n| tree.covers(**n, e)).count();
+                assert_eq!(count, usize::from(e <= t), "t={t} e={e}");
+            }
+            // No node is released before its whole range has passed.
+            for n in &cover {
+                assert!(tree.release_epoch(*n) <= t);
+            }
+        }
+    }
+
+    #[test]
+    fn release_epoch_boundaries() {
+        let tree = EpochTree::new(3);
+        // Root covers all 8 leaves: releasable only at epoch 7.
+        assert_eq!(tree.release_epoch(TreeNode { level: 0, index: 0 }), 7);
+        // A leaf is releasable exactly at its own epoch.
+        assert_eq!(tree.release_epoch(TreeNode { level: 3, index: 5 }), 5);
+        // Left subtree of the root: epochs 0..=3.
+        assert_eq!(tree.release_epoch(TreeNode { level: 1, index: 0 }), 3);
+    }
+
+    #[test]
+    fn roundtrip_from_latest_broadcast_only() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tree = EpochTree::new(4);
+        // Message released at epoch 3; receiver slept until epoch 13.
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tree,
+            3,
+            b"old msg",
+            &mut rng,
+        )
+        .unwrap();
+        let latest = ResilientBroadcast::issue(curve, &server, &tree, 13);
+        assert!(latest.verify(curve, server.public(), &tree));
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &tree, &latest, &ct).unwrap(),
+            b"old msg"
+        );
+    }
+
+    #[test]
+    fn every_later_broadcast_opens_every_earlier_epoch() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tree = EpochTree::new(3);
+        for release in [0u64, 2, 5, 7] {
+            let ct = encrypt(
+                curve,
+                server.public(),
+                user.public(),
+                &tree,
+                release,
+                b"m",
+                &mut rng,
+            )
+            .unwrap();
+            for now in release..tree.epochs() {
+                let bc = ResilientBroadcast::issue(curve, &server, &tree, now);
+                assert_eq!(
+                    decrypt(curve, server.public(), &user, &tree, &bc, &ct).unwrap(),
+                    b"m",
+                    "release={release} now={now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn earlier_broadcast_cannot_open_future_epoch() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tree = EpochTree::new(3);
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tree,
+            5,
+            b"future",
+            &mut rng,
+        )
+        .unwrap();
+        for now in 0..5u64 {
+            let bc = ResilientBroadcast::issue(curve, &server, &tree, now);
+            assert_eq!(
+                decrypt(curve, server.public(), &user, &tree, &bc, &ct),
+                Err(TreError::UpdateTagMismatch),
+                "now={now}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_broadcast_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let evil = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tree = EpochTree::new(3);
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tree,
+            2,
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        let forged = ResilientBroadcast::issue(curve, &evil, &tree, 7);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &tree, &forged, &ct),
+            Err(TreError::InvalidUpdate)
+        );
+    }
+
+    #[test]
+    fn epoch_out_of_range_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tree = EpochTree::new(3);
+        assert!(matches!(
+            encrypt(
+                curve,
+                server.public(),
+                user.public(),
+                &tree,
+                8,
+                b"m",
+                &mut rng
+            ),
+            Err(TreError::Binding(_))
+        ));
+    }
+
+    #[test]
+    fn broadcast_and_ciphertext_are_logarithmic() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        // 2^10 = 1024 epochs; broadcast ≤ 11 signatures, ciphertext 11 masks.
+        let tree = EpochTree::new(10);
+        let bc = ResilientBroadcast::issue(curve, &server, &tree, 1000);
+        assert!(bc.len() <= 11);
+        let ct = encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tree,
+            700,
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ct.masked.len(), 11);
+        assert_eq!(
+            decrypt(curve, server.public(), &user, &tree, &bc, &ct).unwrap(),
+            b"m"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Changing time servers without re-certification (§5.3.4).
+//!
+//! A user's certificate covers `aG` inside `PK_U = (aG, a·sG)`. When a
+//! sender insists on a different time server `S'` (public key
+//! `(G', s'G')`), the receiver publishes a *re-bound* key
+//! `(aG, a·s'G')` — and anyone can check it descends from the same `a`
+//! without a new certificate:
+//!
+//! ```text
+//! ê(G, a·s'G') = ê(s'G', aG)
+//! ```
+//!
+//! (both sides equal `ê(G, G')^{as'}`; footnote 11 of the paper covers the
+//! distinct-generator case, which the symmetric pairing handles for free).
+
+use tre_pairing::{Curve, G1Affine};
+
+use crate::error::TreError;
+use crate::keys::{ServerPublicKey, UserKeyPair, UserPublicKey};
+
+/// A user's public key re-bound to a new time server, carrying the
+/// certified `aG` (under the *original* server's generator `G`) and the
+/// fresh `a·s'G'`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReboundKey<const L: usize> {
+    certified_a_g: G1Affine<L>,
+    new_a_s_g: G1Affine<L>,
+}
+
+impl<const L: usize> ReboundKey<L> {
+    /// Receiver-side: derives the re-bound key for `new_server` from the
+    /// long-term secret. `certified` is the user's original (CA-certified)
+    /// public key.
+    pub fn derive(
+        curve: &Curve<L>,
+        certified: &UserPublicKey<L>,
+        new_server: &ServerPublicKey<L>,
+        user: &UserKeyPair<L>,
+    ) -> Self {
+        Self {
+            certified_a_g: *certified.a_g(),
+            new_a_s_g: curve.g1_mul(new_server.s_g(), user.secret_scalar()),
+        }
+    }
+
+    /// Assembles a received re-bound key for verification.
+    pub fn from_points(certified_a_g: G1Affine<L>, new_a_s_g: G1Affine<L>) -> Self {
+        Self {
+            certified_a_g,
+            new_a_s_g,
+        }
+    }
+
+    /// Sender-side verification without any CA involvement:
+    /// `ê(G_old, a·s'G') = ê(s'G', aG)` against the certified `aG`.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the check fails — the new
+    /// component was not produced by the certified key's owner.
+    pub fn verify(
+        &self,
+        curve: &Curve<L>,
+        old_server: &ServerPublicKey<L>,
+        new_server: &ServerPublicKey<L>,
+    ) -> Result<(), TreError> {
+        if self.certified_a_g.is_infinity() || self.new_a_s_g.is_infinity() {
+            return Err(TreError::InvalidUserKey);
+        }
+        let lhs = curve.pairing(old_server.g(), &self.new_a_s_g);
+        let rhs = curve.pairing(new_server.s_g(), &self.certified_a_g);
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(TreError::InvalidUserKey)
+        }
+    }
+
+    /// Converts into a normal [`UserPublicKey`] usable with the new server,
+    /// for the common case where the new server reuses the old generator
+    /// (the paper's simplifying assumption in §5.3.4).
+    ///
+    /// Note: encryption under a new server with a *different* generator
+    /// additionally needs `aG'`; receivers then run ordinary key
+    /// generation against `S'` and use this struct only to prove
+    /// continuity of identity.
+    pub fn into_user_key(self) -> UserPublicKey<L> {
+        UserPublicKey::from_points(self.certified_a_g, self.new_a_s_g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use crate::tag::ReleaseTag;
+    use crate::tre;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn rebound_key_verifies_and_works() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        // New server shares the generator (paper's primary case).
+        let new_server = ServerKeyPair::from_secret(
+            curve,
+            *old_server.public().g(),
+            curve.random_scalar(&mut rng),
+        );
+        let user = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let rebound = ReboundKey::derive(curve, user.public(), new_server.public(), &user);
+        rebound
+            .verify(curve, old_server.public(), new_server.public())
+            .unwrap();
+
+        // The re-bound key is a fully functional public key for S'.
+        let new_pk = rebound.into_user_key();
+        new_pk.validate(curve, new_server.public()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let msg = b"via new server";
+        let ct = tre::encrypt(curve, new_server.public(), &new_pk, &tag, msg, &mut rng).unwrap();
+        let update = new_server.issue_update(curve, &tag);
+        assert_eq!(
+            tre::decrypt(curve, new_server.public(), &user, &update, &ct).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn rebound_verifies_with_distinct_generator() {
+        // Footnote 11: new server with its own generator G' = xG.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let new_server = ServerKeyPair::generate(curve, &mut rng); // fresh G'
+        let user = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let rebound = ReboundKey::derive(curve, user.public(), new_server.public(), &user);
+        rebound
+            .verify(curve, old_server.public(), new_server.public())
+            .unwrap();
+    }
+
+    #[test]
+    fn impostor_rebound_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let new_server = ServerKeyPair::generate(curve, &mut rng);
+        let alice = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let mallory = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        // Mallory tries to pass her new-server component off under Alice's
+        // certified aG.
+        let forged = ReboundKey::from_points(
+            *alice.public().a_g(),
+            curve.g1_mul(new_server.public().s_g(), mallory.secret_scalar()),
+        );
+        assert_eq!(
+            forged.verify(curve, old_server.public(), new_server.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn infinity_components_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let s1 = ServerKeyPair::generate(curve, &mut rng);
+        let s2 = ServerKeyPair::generate(curve, &mut rng);
+        let forged = ReboundKey::from_points(
+            tre_pairing::G1Affine::infinity(curve.fp()),
+            tre_pairing::G1Affine::infinity(curve.fp()),
+        );
+        assert_eq!(
+            forged.verify(curve, s1.public(), s2.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Release tags: the paper's `T ∈ {0,1}*`.
+//!
+//! A tag is the string the time server signs. For timed release it encodes
+//! an absolute time instant; the §5.3.2 policy-lock generalization signs an
+//! arbitrary condition ("It is an emergency", "task X completed", …). The
+//! two are deliberately domain-separated so a policy witness signature can
+//! never double as a time update.
+
+use core::fmt;
+
+/// Namespace of a release tag (hashed into `H1`, so time and policy
+/// signatures live in disjoint oracle domains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TagKind {
+    /// An absolute time instant (e.g. `"2026-07-04T12:00:00Z"`).
+    Time,
+    /// An arbitrary policy condition (§5.3.2).
+    Policy,
+}
+
+impl TagKind {
+    fn domain(self) -> &'static [u8] {
+        match self {
+            TagKind::Time => b"time",
+            TagKind::Policy => b"policy",
+        }
+    }
+}
+
+/// A release tag: the exact byte string the server commits to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReleaseTag {
+    kind: TagKind,
+    value: Vec<u8>,
+}
+
+impl ReleaseTag {
+    /// A timed-release tag for an absolute time description.
+    ///
+    /// The library does not interpret the string — senders and receivers
+    /// must agree on the server's time format (the paper's "notion of time
+    /// marked by the server").
+    pub fn time(value: impl Into<Vec<u8>>) -> Self {
+        Self {
+            kind: TagKind::Time,
+            value: value.into(),
+        }
+    }
+
+    /// A policy-lock tag for an arbitrary condition string (§5.3.2).
+    pub fn policy(value: impl Into<Vec<u8>>) -> Self {
+        Self {
+            kind: TagKind::Policy,
+            value: value.into(),
+        }
+    }
+
+    /// The tag's namespace.
+    pub fn kind(&self) -> TagKind {
+        self.kind
+    }
+
+    /// The raw tag bytes (without the namespace).
+    pub fn value(&self) -> &[u8] {
+        &self.value
+    }
+
+    /// The `H1` hash-to-curve domain string for this tag kind — what
+    /// schemes pass to [`tre_pairing::Curve::hash_to_g1`] so time and
+    /// policy oracles stay disjoint.
+    pub fn h1_domain(&self) -> &'static [u8] {
+        self.kind.domain()
+    }
+
+    /// Canonical encoding `kind ‖ len ‖ value` used in transcripts and AADs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.value.len() + 5);
+        out.push(match self.kind {
+            TagKind::Time => 1,
+            TagKind::Policy => 2,
+        });
+        out.extend_from_slice(&(self.value.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.value);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns `None` on truncated or unknown-kind input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        if bytes.len() < 5 {
+            return None;
+        }
+        let kind = match bytes[0] {
+            1 => TagKind::Time,
+            2 => TagKind::Policy,
+            _ => return None,
+        };
+        let len = u32::from_be_bytes(bytes[1..5].try_into().unwrap()) as usize;
+        if bytes.len() < 5 + len {
+            return None;
+        }
+        let value = bytes[5..5 + len].to_vec();
+        Some((Self { kind, value }, 5 + len))
+    }
+}
+
+impl fmt::Display for ReleaseTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TagKind::Time => "time",
+            TagKind::Policy => "policy",
+        };
+        write!(f, "{}:{}", kind, String::from_utf8_lossy(&self.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = ReleaseTag::time("12:00");
+        assert_eq!(t.kind(), TagKind::Time);
+        assert_eq!(t.value(), b"12:00");
+        let p = ReleaseTag::policy(b"emergency".to_vec());
+        assert_eq!(p.kind(), TagKind::Policy);
+    }
+
+    #[test]
+    fn time_and_policy_differ() {
+        let t = ReleaseTag::time("x");
+        let p = ReleaseTag::policy("x");
+        assert_ne!(t, p);
+        assert_ne!(t.to_bytes(), p.to_bytes());
+        assert_ne!(t.h1_domain(), p.h1_domain());
+    }
+
+    #[test]
+    fn roundtrip() {
+        for tag in [
+            ReleaseTag::time("2026-07-04T12:00Z"),
+            ReleaseTag::policy(""),
+        ] {
+            let bytes = tag.to_bytes();
+            let (parsed, consumed) = ReleaseTag::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, tag);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(ReleaseTag::from_bytes(&[]).is_none());
+        assert!(ReleaseTag::from_bytes(&[9, 0, 0, 0, 0]).is_none());
+        assert!(ReleaseTag::from_bytes(&[1, 0, 0, 0, 5, b'a']).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ReleaseTag::time("noon").to_string(), "time:noon");
+        assert_eq!(ReleaseTag::policy("done").to_string(), "policy:done");
+    }
+}

@@ -1,0 +1,32 @@
+//! The minimal incremental-hash abstraction shared by SHA-256 and SHA-512.
+
+/// An incremental cryptographic hash function.
+///
+/// Implemented by [`crate::Sha256`] and [`crate::Sha512`]; consumed
+/// generically by [`crate::Hmac`] and the KDFs.
+pub trait Digest: Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes (HMAC needs this).
+    const BLOCK_LEN: usize;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs `data`.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest
+    /// (always `OUTPUT_LEN` bytes).
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal hex encoding/decoding helpers used across the workspace.
+
+use core::fmt;
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeHexError {
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hex: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (even length, case-insensitive).
+///
+/// # Errors
+/// Returns an error on odd length or non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError {
+            reason: "odd length",
+        });
+    }
+    let nibble = |c: u8| -> Result<u8, DecodeHexError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(DecodeHexError {
+                reason: "non-hex character",
+            }),
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("abc").is_err());
+        assert!(decode("zz").is_err());
+    }
+}

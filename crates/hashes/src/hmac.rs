@@ -1,0 +1,150 @@
+//! HMAC (RFC 2104 / FIPS 198-1), generic over any [`Digest`].
+
+use crate::digest::Digest;
+
+/// Incremental HMAC over a digest `D`.
+///
+/// # Example
+/// ```
+/// use tre_hashes::{Hmac, Sha256};
+/// let tag = Hmac::<Sha256>::mac(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     tre_hashes::hex::encode(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > D::BLOCK_LEN {
+            D::digest(key)
+        } else {
+            key.to_vec()
+        };
+        k.resize(D::BLOCK_LEN, 0);
+        let ipad_key: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad_key: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ipad_key);
+        Self { inner, opad_key }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the authentication tag (`D::OUTPUT_LEN` bytes).
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time tag comparison.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let expect = Self::mac(key, data);
+        ct_eq(&expect, tag)
+    }
+}
+
+/// Constant-time byte-slice equality (length leaks; contents do not).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::{Sha256, Sha512};
+
+    #[test]
+    fn rfc4231_case1() {
+        // Key = 0x0b * 20, Data = "Hi There"
+        let key = [0x0bu8; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let tag512 = Hmac::<Sha512>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag512),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // 131-byte key (longer than the block) forces the key-hash path.
+        let key = [0xaau8; 131];
+        let tag = Hmac::<Sha256>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Hmac::<Sha256>::new(b"k");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::<Sha256>::mac(b"k", b"msg");
+        assert!(Hmac::<Sha256>::verify(b"k", b"msg", &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!Hmac::<Sha256>::verify(b"k", b"msg", &bad));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"msg", &tag[..31]));
+        assert!(!Hmac::<Sha256>::verify(b"wrong", b"msg", &tag));
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

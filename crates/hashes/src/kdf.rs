@@ -1,0 +1,125 @@
+//! Key derivation: HKDF (RFC 5869) and a counter-mode XOF.
+//!
+//! The XOF instantiates the paper's random oracle `H2 : G2 → {0,1}^n`
+//! (mask generation over the serialized pairing value) and the
+//! `expand_message` step of hashing to the curve.
+
+use crate::digest::Digest;
+use crate::hmac::Hmac;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract<D: Digest>(salt: &[u8], ikm: &[u8]) -> Vec<u8> {
+    Hmac::<D>::mac(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes from a pseudorandom key.
+///
+/// # Panics
+/// Panics if `len > 255 · D::OUTPUT_LEN` (RFC 5869 limit).
+pub fn hkdf_expand<D: Digest>(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * D::OUTPUT_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut h = Hmac::<D>::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize();
+        let take = (len - out.len()).min(t.len());
+        out.extend_from_slice(&t[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// HKDF (extract-then-expand) in one call.
+pub fn hkdf<D: Digest>(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract::<D>(salt, ikm);
+    hkdf_expand::<D>(&prk, info, len)
+}
+
+/// Counter-mode extendable output: `H(seed ‖ domain ‖ ctr₀) ‖ H(seed ‖ domain ‖ ctr₁) ‖ …`
+/// truncated to `len` bytes. Domain separation keeps distinct oracles
+/// (`H1`, `H2`, DEM keys…) independent.
+pub fn xof<D: Digest>(domain: &[u8], seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut ctr = 0u32;
+    while out.len() < len {
+        let mut h = D::new();
+        h.update(&(domain.len() as u32).to_be_bytes());
+        h.update(domain);
+        h.update(seed);
+        h.update(&ctr.to_be_bytes());
+        let block = h.finalize();
+        let take = (len - out.len()).min(block.len());
+        out.extend_from_slice(&block[..take]);
+        ctr += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::Sha256;
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract::<Sha256>(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand::<Sha256>(&prk, &info, 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf::<Sha256>(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn xof_lengths_and_prefix_property() {
+        let a = xof::<Sha256>(b"dom", b"seed", 100);
+        let b = xof::<Sha256>(b"dom", b"seed", 40);
+        assert_eq!(a.len(), 100);
+        assert_eq!(&a[..40], &b[..]);
+    }
+
+    #[test]
+    fn xof_domain_separation() {
+        let a = xof::<Sha256>(b"dom1", b"seed", 32);
+        let b = xof::<Sha256>(b"dom2", b"seed", 32);
+        assert_ne!(a, b);
+        // length-prefixed domain: ("ab","c") must differ from ("a","bc")
+        let c = xof::<Sha256>(b"ab", b"c-seed", 32);
+        let d = xof::<Sha256>(b"a", b"bc-seed", 32);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn xof_zero_len() {
+        assert!(xof::<Sha256>(b"d", b"s", 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output too long")]
+    fn hkdf_limit() {
+        let _ = hkdf_expand::<Sha256>(&[0u8; 32], &[], 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # tre-hashes
+//!
+//! From-scratch hash-function substrate for the timed-release cryptography
+//! reproduction: SHA-256/SHA-512 ([FIPS 180-4]), [`Hmac`] (RFC 2104),
+//! HKDF (RFC 5869), a counter-mode [`xof`] used to instantiate the paper's
+//! random oracles, and a deterministic [`HmacDrbg`] (SP 800-90A) for
+//! reproducible parameter generation.
+//!
+//! No cryptography crates are used anywhere in this workspace; everything is
+//! verified against published test vectors in the module tests.
+//!
+//! # Example
+//! ```
+//! use tre_hashes::{Digest, Sha256};
+//! let d = Sha256::digest(b"hello");
+//! assert_eq!(d.len(), 32);
+//! ```
+//!
+//! [FIPS 180-4]: https://csrc.nist.gov/publications/detail/fips/180/4/final
+
+mod digest;
+mod drbg;
+pub mod hex;
+mod hmac;
+mod kdf;
+mod sha256;
+mod sha512;
+
+pub use digest::Digest;
+pub use drbg::HmacDrbg;
+pub use hmac::{ct_eq, Hmac};
+pub use kdf::{hkdf, hkdf_expand, hkdf_extract, xof};
+pub use sha256::Sha256;
+pub use sha512::Sha512;

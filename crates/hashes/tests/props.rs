@@ -1,0 +1,72 @@
+//! Property-based tests for the hash substrate.
+
+use proptest::prelude::*;
+use tre_hashes::{hex, hkdf_expand, xof, Digest, Hmac, HmacDrbg, Sha256, Sha512};
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equivalence(msg in proptest::collection::vec(any::<u8>(), 0..600),
+                                      splits in proptest::collection::vec(any::<u16>(), 0..4)) {
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &msg;
+        for s in splits {
+            let cut = s as usize % (rest.len() + 1);
+            h.update(&rest[..cut]);
+            rest = &rest[cut..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&msg));
+    }
+
+    #[test]
+    fn sha512_incremental_equivalence(msg in proptest::collection::vec(any::<u8>(), 0..600),
+                                      split in any::<u16>()) {
+        let cut = split as usize % (msg.len() + 1);
+        let mut h = Sha512::new();
+        h.update(&msg[..cut]);
+        h.update(&msg[cut..]);
+        prop_assert_eq!(h.finalize(), Sha512::digest(&msg));
+    }
+
+    #[test]
+    fn hmac_verify_accepts_own_tags(key in proptest::collection::vec(any::<u8>(), 0..80),
+                                    msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let tag = Hmac::<Sha256>::mac(&key, &msg);
+        prop_assert!(Hmac::<Sha256>::verify(&key, &msg, &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        prop_assert!(!Hmac::<Sha256>::verify(&key, &msg, &bad));
+    }
+
+    #[test]
+    fn xof_prefix_consistency(domain in proptest::collection::vec(any::<u8>(), 0..16),
+                              seed in proptest::collection::vec(any::<u8>(), 0..64),
+                              short in 0usize..100, extra in 1usize..100) {
+        let long = xof::<Sha256>(&domain, &seed, short + extra);
+        let shorter = xof::<Sha256>(&domain, &seed, short);
+        prop_assert_eq!(&long[..short], &shorter[..]);
+        prop_assert_eq!(long.len(), short + extra);
+    }
+
+    #[test]
+    fn hkdf_length_exact(prk in proptest::collection::vec(any::<u8>(), 32..33), len in 0usize..500) {
+        prop_assert_eq!(hkdf_expand::<Sha256>(&prk, b"info", len).len(), len);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn drbg_streams_reproducible(seed in proptest::collection::vec(any::<u8>(), 1..32),
+                                 n in 1usize..200) {
+        let mut a = HmacDrbg::new(&seed, b"p");
+        let mut b = HmacDrbg::new(&seed, b"p");
+        let mut x = vec![0u8; n];
+        let mut y = vec![0u8; n];
+        a.generate(&mut x);
+        b.generate(&mut y);
+        prop_assert_eq!(x, y);
+    }
+}

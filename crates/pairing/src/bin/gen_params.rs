@@ -1,0 +1,124 @@
+//! Parameter-set generator for the supersingular pairing curve
+//! `y² = x³ + x` over `F_p` with `p ≡ 3 (mod 4)` and `p + 1 = h·q`.
+//!
+//! Deterministic (seeded HMAC-DRBG), so the constants embedded in
+//! `src/params.rs` can be regenerated and audited:
+//!
+//! ```text
+//! cargo run -p tre-pairing --release --bin gen-params
+//! ```
+//!
+//! Self-contained: uses only `tre-bigint` affine arithmetic so it can run
+//! before `tre-pairing` itself compiles with the embedded constants.
+
+use tre_bigint::{prime, MontyParams, Uint, U256};
+use tre_hashes::HmacDrbg;
+
+/// Affine point in Montgomery form; `None` = infinity.
+type Pt<const L: usize> = Option<(Uint<L>, Uint<L>)>;
+
+fn double<const L: usize>(ctx: &MontyParams<L>, p: &Pt<L>) -> Pt<L> {
+    let (x, y) = (*p)?;
+    if y.is_zero() {
+        return None;
+    }
+    // λ = (3x² + 1) / 2y
+    let x2 = ctx.mul(&x, &x);
+    let num = ctx.add(&ctx.add(&x2, &x2), &ctx.add(&x2, &ctx.one()));
+    let den = tre_bigint::mod_inverse(&ctx.from_monty(&ctx.double(&y)), ctx.modulus())?;
+    let lambda = ctx.mul(&num, &ctx.to_monty(&den));
+    let x3 = ctx.sub(&ctx.mul(&lambda, &lambda), &ctx.double(&x));
+    let y3 = ctx.sub(&ctx.mul(&lambda, &ctx.sub(&x, &x3)), &y);
+    Some((x3, y3))
+}
+
+fn add<const L: usize>(ctx: &MontyParams<L>, a: &Pt<L>, b: &Pt<L>) -> Pt<L> {
+    let (x1, y1) = match a {
+        None => return *b,
+        Some(v) => *v,
+    };
+    let (x2, y2) = match b {
+        None => return *a,
+        Some(v) => *v,
+    };
+    if x1 == x2 {
+        if y1 == ctx.neg(&y2) {
+            return None;
+        }
+        return double(ctx, a);
+    }
+    let den = tre_bigint::mod_inverse(&ctx.from_monty(&ctx.sub(&x2, &x1)), ctx.modulus())
+        .expect("x2 != x1");
+    let lambda = ctx.mul(&ctx.sub(&y2, &y1), &ctx.to_monty(&den));
+    let x3 = ctx.sub(&ctx.sub(&ctx.mul(&lambda, &lambda), &x1), &x2);
+    let y3 = ctx.sub(&ctx.mul(&lambda, &ctx.sub(&x1, &x3)), &y1);
+    Some((x3, y3))
+}
+
+fn mul<const L: usize, const E: usize>(ctx: &MontyParams<L>, p: &Pt<L>, k: &Uint<E>) -> Pt<L> {
+    let mut acc: Pt<L> = None;
+    for i in (0..k.bits()).rev() {
+        acc = double(ctx, &acc);
+        if k.bit(i) {
+            acc = add(ctx, &acc, p);
+        }
+    }
+    acc
+}
+
+fn gen_set<const L: usize>(name: &str, p_bits: u32, q_bits: u32) {
+    let mut rng = HmacDrbg::new(b"tre-params-v1", name.as_bytes());
+    // 1. Prime subgroup order q.
+    let q: U256 = prime::gen_prime(q_bits, &mut rng);
+
+    // 2. p = c·q − 1 with 4 | c so that p ≡ 3 (mod 4).
+    let qw: Uint<L> = q.resize();
+    let (mut c, _) = Uint::<L>::ONE.shl_vartime(p_bits - 1).div_rem(&qw);
+    let rem4 = c.limbs()[0] & 3;
+    if rem4 != 0 {
+        c = c.wrapping_add(&Uint::from_u64(4 - rem4));
+    }
+    let p = loop {
+        let cand = c.wrapping_mul(&qw).wrapping_sub(&Uint::ONE);
+        if cand.bits() == p_bits && prime::is_probably_prime(&cand, 64, &mut rng) {
+            break cand;
+        }
+        c = c.wrapping_add(&Uint::from_u64(4));
+    };
+    assert_eq!(p.limbs()[0] & 3, 3);
+
+    // 3. Generator: smallest x whose curve point clears the cofactor to a
+    //    point of order exactly q.
+    let ctx = MontyParams::new(p).unwrap();
+    let cof = p.wrapping_add(&Uint::ONE).div_rem(&qw).0;
+    let mut x = Uint::<L>::from_u64(1);
+    let (gx, gy) = loop {
+        let xm = ctx.to_monty(&x);
+        let rhs = ctx.add(&ctx.mul(&ctx.mul(&xm, &xm), &xm), &xm);
+        if let Some(y) = prime::sqrt_mod_p3(&ctx.from_monty(&rhs), &ctx) {
+            if !y.is_zero() {
+                let seed: Pt<L> = Some((xm, ctx.to_monty(&y)));
+                if let Some(g) = mul(&ctx, &seed, &cof) {
+                    // Must have order exactly q.
+                    assert!(mul(&ctx, &Some(g), &q).is_none(), "order != q");
+                    break (ctx.from_monty(&g.0), ctx.from_monty(&g.1));
+                }
+            }
+        }
+        x = x.wrapping_add(&Uint::ONE);
+    };
+
+    let upper = name.to_uppercase();
+    println!("// ---- {name}: |p| = {p_bits} bits, |q| = {q_bits} bits ----");
+    println!("pub(crate) const {upper}_P: &str = \"{p:x}\";");
+    println!("pub(crate) const {upper}_Q: &str = \"{q:x}\";");
+    println!("pub(crate) const {upper}_GX: &str = \"{gx:x}\";");
+    println!("pub(crate) const {upper}_GY: &str = \"{gy:x}\";");
+    println!();
+}
+
+fn main() {
+    gen_set::<8>("toy64", 512, 160);
+    gen_set::<16>("mid96", 1024, 224);
+    gen_set::<24>("high128", 1536, 256);
+}

@@ -1,0 +1,291 @@
+//! The reduced Tate pairing `ê : G1 × G1 → G_T ⊂ F_{p²}^*`.
+//!
+//! With the distortion map `φ(x, y) = (−x, i·y)` folded in, the symmetric
+//! ("Type-1") pairing of the paper is
+//!
+//! ```text
+//! ê(P, Q) = f_{q,P}(φ(Q))^((p² − 1)/q)
+//! ```
+//!
+//! computed with Miller's algorithm in Jacobian coordinates. Two facts make
+//! the loop inversion-free (BKLS denominator elimination):
+//!
+//! 1. `φ(Q)` has its x-coordinate in the base field, so vertical lines
+//!    evaluate into `F_p` — and every `F_p` factor of the Miller value is
+//!    annihilated by the `(p − 1)` part of the final exponentiation;
+//! 2. for the same reason each line may be scaled by an arbitrary `F_p`
+//!    constant, so slopes never need to be normalized: the tangent line is
+//!    scaled by `2y_T·Z⁶` and the chord by `2(x_P − x_T)·Z³`, clearing all
+//!    denominators.
+
+use tre_bigint::{Uint, U256};
+
+use crate::curve::{Curve, G1Affine, G1Jac};
+use crate::fp::{Fp, Fp2};
+
+/// An element of the order-`q` target group `G_T` (unitary subgroup of
+/// `F_{p²}^*`). Produced only by [`Curve::pairing`] and `Gt` operations.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Gt<const L: usize>(pub(crate) Fp2<L>);
+
+impl<const L: usize> Curve<L> {
+    /// The reduced Tate pairing with the distortion map applied to `Q`.
+    ///
+    /// Bilinear: `ê(aP, bQ) = ê(P, Q)^{ab}`; non-degenerate for points of
+    /// order `q`; symmetric on the cyclic subgroup. Returns the identity if
+    /// either input is infinity.
+    pub fn pairing(&self, p: &G1Affine<L>, q_pt: &G1Affine<L>) -> Gt<L> {
+        let ctx = self.fp();
+        if p.is_infinity() || q_pt.is_infinity() {
+            return Gt(Fp2::one(ctx));
+        }
+        // φ(Q) = (−x_Q, i·y_Q); both coordinates live in F_p.
+        let xq_neg = q_pt.x().neg(ctx);
+        let yq = *q_pt.y();
+
+        let mut f = Fp2::one(ctx);
+        let mut t = G1Jac {
+            x: *p.x(),
+            y: *p.y(),
+            z: ctx.one(),
+        };
+        let order = *self.order();
+        let bits = order.bits();
+        for i in (0..bits - 1).rev() {
+            f = f.square(ctx);
+            let (t2, line) = self.double_step(&t, &xq_neg, &yq);
+            if let Some(l) = line {
+                f = f.mul(&l, ctx);
+            }
+            t = t2;
+            if order.bit(i) {
+                let (t3, line) = self.add_step(&t, p, &xq_neg, &yq);
+                if let Some(l) = line {
+                    f = f.mul(&l, ctx);
+                }
+                t = t3;
+            }
+        }
+        Gt(self.final_exponentiation(&f))
+    }
+
+    /// Product of pairings `∏ ê(Pᵢ, Qᵢ)` with a **shared Miller loop**:
+    /// all pairs advance through one squaring chain and one final
+    /// exponentiation, so the marginal cost of each extra pair is only its
+    /// line evaluations (what multi-server decryption needs).
+    pub fn multi_pairing(&self, pairs: &[(G1Affine<L>, G1Affine<L>)]) -> Gt<L> {
+        let ctx = self.fp();
+        struct Lane<const L: usize> {
+            t: G1Jac<L>,
+            p: G1Affine<L>,
+            xq_neg: Fp<L>,
+            yq: Fp<L>,
+        }
+        let mut lanes: Vec<Lane<L>> = pairs
+            .iter()
+            .filter(|(p, q)| !p.is_infinity() && !q.is_infinity())
+            .map(|(p, q)| Lane {
+                t: G1Jac {
+                    x: *p.x(),
+                    y: *p.y(),
+                    z: ctx.one(),
+                },
+                p: *p,
+                xq_neg: q.x().neg(ctx),
+                yq: *q.y(),
+            })
+            .collect();
+        if lanes.is_empty() {
+            return Gt(Fp2::one(ctx));
+        }
+        let mut f = Fp2::one(ctx);
+        let order = *self.order();
+        let bits = order.bits();
+        for i in (0..bits - 1).rev() {
+            f = f.square(ctx);
+            for lane in &mut lanes {
+                let (t2, line) = self.double_step(&lane.t, &lane.xq_neg, &lane.yq);
+                if let Some(l) = line {
+                    f = f.mul(&l, ctx);
+                }
+                lane.t = t2;
+            }
+            if order.bit(i) {
+                for lane in &mut lanes {
+                    let (t3, line) = self.add_step(&lane.t, &lane.p, &lane.xq_neg, &lane.yq);
+                    if let Some(l) = line {
+                        f = f.mul(&l, ctx);
+                    }
+                    lane.t = t3;
+                }
+            }
+        }
+        Gt(self.final_exponentiation(&f))
+    }
+
+    /// Naive product of pairings (independent Miller loops and final
+    /// exponentiations) — kept for the ablation benchmark comparing it to
+    /// [`Curve::multi_pairing`].
+    pub fn multi_pairing_naive(&self, pairs: &[(G1Affine<L>, G1Affine<L>)]) -> Gt<L> {
+        let mut acc = Gt::one(self);
+        for (p, q) in pairs {
+            acc = acc.mul(&self.pairing(p, q), self);
+        }
+        acc
+    }
+
+    /// Jacobian doubling step with the tangent-line evaluation at `φ(Q)`.
+    ///
+    /// Line (scaled by `2y_T·Z⁶ ∈ F_p`):
+    /// `c0 = −2Y² − M·(Z²·x_φQ − X)`, `c1 = 2·Y·Z³·y_Q`,
+    /// with `M = 3X² + Z⁴` (curve coefficient a = 1).
+    /// `None` means "vertical/degenerate — skip" (pure `F_p` factor).
+    fn double_step(&self, t: &G1Jac<L>, xq_neg: &Fp<L>, yq: &Fp<L>) -> (G1Jac<L>, Option<Fp2<L>>) {
+        let ctx = self.fp();
+        if t.z.is_zero() || t.y.is_zero() {
+            return (G1Jac::infinity(ctx), None);
+        }
+        let xx = t.x.square(ctx);
+        let yy = t.y.square(ctx);
+        let yyyy = yy.square(ctx);
+        let zz = t.z.square(ctx);
+        let s =
+            t.x.add(&yy, ctx)
+                .square(ctx)
+                .sub(&xx, ctx)
+                .sub(&yyyy, ctx)
+                .double(ctx);
+        let m = xx.double(ctx).add(&xx, ctx).add(&zz.square(ctx), ctx);
+        let x3 = m.square(ctx).sub(&s.double(ctx), ctx);
+        let eight_yyyy = yyyy.double(ctx).double(ctx).double(ctx);
+        let y3 = m.mul(&s.sub(&x3, ctx), ctx).sub(&eight_yyyy, ctx);
+        let z3 = t.y.add(&t.z, ctx).square(ctx).sub(&yy, ctx).sub(&zz, ctx);
+
+        let c0 = yy
+            .double(ctx)
+            .neg(ctx)
+            .sub(&m.mul(&zz.mul(xq_neg, ctx).sub(&t.x, ctx), ctx), ctx);
+        let c1 = t.y.mul(&t.z, ctx).mul(&zz, ctx).mul(yq, ctx).double(ctx);
+        let line = Fp2::new(c0, c1);
+        let line = if line.is_zero() { None } else { Some(line) };
+        (
+            G1Jac {
+                x: x3,
+                y: y3,
+                z: z3,
+            },
+            line,
+        )
+    }
+
+    /// Mixed addition step `T + P` with the chord-line evaluation at `φ(Q)`.
+    ///
+    /// Line (scaled by `2(x_P − x_T)·Z³ ∈ F_p`):
+    /// `c0 = −2ZH·y_P − rr·(x_φQ − x_P)`, `c1 = 2ZH·y_Q`,
+    /// with `H = x_P·Z² − X`, `rr = 2(y_P·Z³ − Y)`.
+    fn add_step(
+        &self,
+        t: &G1Jac<L>,
+        p: &G1Affine<L>,
+        xq_neg: &Fp<L>,
+        yq: &Fp<L>,
+    ) -> (G1Jac<L>, Option<Fp2<L>>) {
+        let ctx = self.fp();
+        if t.z.is_zero() {
+            return (
+                G1Jac {
+                    x: *p.x(),
+                    y: *p.y(),
+                    z: ctx.one(),
+                },
+                None,
+            );
+        }
+        let z1z1 = t.z.square(ctx);
+        let u2 = p.x().mul(&z1z1, ctx);
+        let s2 = p.y().mul(&t.z, ctx).mul(&z1z1, ctx);
+        let h = u2.sub(&t.x, ctx);
+        let rr = s2.sub(&t.y, ctx).double(ctx);
+        if h.is_zero() {
+            if rr.is_zero() {
+                // T == P: degenerate chord — fall back to the tangent.
+                return self.double_step(t, xq_neg, yq);
+            }
+            // T == −P: vertical chord (pure F_p); result is infinity.
+            return (G1Jac::infinity(ctx), None);
+        }
+        let hh = h.square(ctx);
+        let i = hh.double(ctx).double(ctx);
+        let j = h.mul(&i, ctx);
+        let v = t.x.mul(&i, ctx);
+        let x3 = rr.square(ctx).sub(&j, ctx).sub(&v.double(ctx), ctx);
+        let y3 = rr
+            .mul(&v.sub(&x3, ctx), ctx)
+            .sub(&t.y.mul(&j, ctx).double(ctx), ctx);
+        let z3 = t.z.add(&h, ctx).square(ctx).sub(&z1z1, ctx).sub(&hh, ctx);
+
+        let zh2 = t.z.mul(&h, ctx).double(ctx);
+        let c0 = zh2
+            .mul(p.y(), ctx)
+            .neg(ctx)
+            .sub(&rr.mul(&xq_neg.sub(p.x(), ctx), ctx), ctx);
+        let c1 = zh2.mul(yq, ctx);
+        let line = Fp2::new(c0, c1);
+        let line = if line.is_zero() { None } else { Some(line) };
+        (
+            G1Jac {
+                x: x3,
+                y: y3,
+                z: z3,
+            },
+            line,
+        )
+    }
+
+    /// `f ↦ f^((p²−1)/q)`, via `f^(p−1) = conj(f)·f^{−1}` then an
+    /// exponentiation by the cofactor `(p+1)/q`.
+    fn final_exponentiation(&self, f: &Fp2<L>) -> Fp2<L> {
+        let ctx = self.fp();
+        let inv = f.invert(ctx).expect("Miller value is nonzero");
+        let f_pm1 = f.conjugate(ctx).mul(&inv, ctx);
+        f_pm1.pow(&self.cofactor().clone(), ctx)
+    }
+}
+
+impl<const L: usize> Gt<L> {
+    /// The identity element of `G_T`.
+    pub fn one(curve: &Curve<L>) -> Self {
+        Gt(Fp2::one(curve.fp()))
+    }
+
+    /// Whether this is the identity.
+    pub fn is_one(&self, curve: &Curve<L>) -> bool {
+        self.0.is_one(curve.fp())
+    }
+
+    /// Group operation (multiplication in `F_{p²}`).
+    pub fn mul(&self, rhs: &Self, curve: &Curve<L>) -> Self {
+        Gt(self.0.mul(&rhs.0, curve.fp()))
+    }
+
+    /// Exponentiation by a scalar.
+    pub fn pow(&self, exp: &U256, curve: &Curve<L>) -> Self {
+        Gt(self.0.pow(exp, curve.fp()))
+    }
+
+    /// Inverse — conjugation, since `G_T` elements are unitary.
+    pub fn invert(&self, curve: &Curve<L>) -> Self {
+        Gt(self.0.conjugate(curve.fp()))
+    }
+
+    /// Canonical byte encoding (input to the `H2` random oracle).
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        self.0.to_bytes(curve.fp())
+    }
+
+    /// Exponentiation by a full-width integer (used in tests to check the
+    /// group order).
+    pub fn pow_uint(&self, exp: &Uint<L>, curve: &Curve<L>) -> Self {
+        Gt(self.0.pow(exp, curve.fp()))
+    }
+}

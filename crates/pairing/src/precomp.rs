@@ -1,0 +1,124 @@
+//! Fixed-base scalar-multiplication precomputation.
+//!
+//! When many scalar multiplications share one base point — a sender
+//! encrypting lots of messages under the same server generator, or a
+//! high-rate time server signing epoch after epoch — a windowed table
+//! trades one-time setup for doubling-free multiplications afterwards.
+
+use tre_bigint::U256;
+
+use crate::curve::{Curve, G1Affine};
+use crate::fp::FpCtx;
+
+/// Window width in bits (table stores `2^W − 1` odd-and-even multiples per
+/// window position).
+const W: u32 = 4;
+
+/// A fixed-base precomputation table for one point.
+///
+/// # Example
+/// ```
+/// let curve = tre_pairing::toy64();
+/// let mut rng = rand::thread_rng();
+/// let table = tre_pairing::G1Precomp::new(curve, &curve.generator());
+/// let k = curve.random_scalar(&mut rng);
+/// assert_eq!(table.mul(curve, &k), curve.g1_mul(&curve.generator(), &k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct G1Precomp<const L: usize> {
+    /// `table[i][d-1] = d · 2^(W·i) · P` for `d in 1..2^W`.
+    table: Vec<Vec<G1Affine<L>>>,
+}
+
+impl<const L: usize> G1Precomp<L> {
+    /// Builds the table for `base` (covers full 256-bit scalars).
+    ///
+    /// Cost: ~`(2^W − 1) · 256/W` group additions plus one shared batch
+    /// normalization — amortized after a handful of multiplications.
+    pub fn new(curve: &Curve<L>, base: &G1Affine<L>) -> Self {
+        let windows = (U256::BITS / W) as usize;
+        let per_window = (1usize << W) - 1;
+        if base.is_infinity() {
+            return Self {
+                table: vec![vec![*base; per_window]; windows],
+            };
+        }
+        let ctx: &FpCtx<L> = curve.fp();
+        let mut jacs = Vec::with_capacity(windows * per_window);
+        // Window base starts at P and advances by doubling W times per
+        // window.
+        let mut window_base = crate::curve::G1Jac::from_affine(base, ctx);
+        for _ in 0..windows {
+            // d·B for d = 1..2^W − 1 via repeated addition.
+            let mut acc = window_base;
+            jacs.push(acc);
+            for _ in 1..per_window {
+                acc = curve.jac_add(&acc, &window_base);
+                jacs.push(acc);
+            }
+            for _ in 0..W {
+                window_base = curve.jac_double(&window_base);
+            }
+        }
+        let flat = curve.batch_normalize(&jacs);
+        let table = flat.chunks(per_window).map(|c| c.to_vec()).collect();
+        Self { table }
+    }
+
+    /// Fixed-base multiplication `k·P` — one mixed addition per non-zero
+    /// window, zero doublings.
+    pub fn mul(&self, curve: &Curve<L>, k: &U256) -> G1Affine<L> {
+        let ctx = curve.fp();
+        let mut acc = crate::curve::G1Jac::infinity(ctx);
+        let mask = (1u64 << W) - 1;
+        for (i, window) in self.table.iter().enumerate() {
+            let shift = (i as u32) * W;
+            let limb = k.limbs()[(shift / 64) as usize];
+            let d = ((limb >> (shift % 64)) & mask) as usize;
+            if d != 0 {
+                acc = curve.jac_add_affine(&acc, &window[d - 1]);
+            }
+        }
+        curve.jac_to_affine(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::toy64;
+
+    #[test]
+    fn matches_generic_mul() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let g = curve.generator();
+        let table = G1Precomp::new(curve, &g);
+        for _ in 0..5 {
+            let k = curve.random_scalar(&mut rng);
+            assert_eq!(table.mul(curve, &k), curve.g1_mul(&g, &k));
+        }
+        for v in [0u64, 1, 2, 15, 16, 0xffff_ffff] {
+            let k = U256::from_u64(v);
+            assert_eq!(table.mul(curve, &k), curve.g1_mul(&g, &k), "k={v}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_base() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let p = curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng));
+        let table = G1Precomp::new(curve, &p);
+        let k = curve.random_scalar(&mut rng);
+        assert_eq!(table.mul(curve, &k), curve.g1_mul(&p, &k));
+    }
+
+    #[test]
+    fn infinity_base() {
+        let curve = toy64();
+        let inf = G1Affine::infinity(curve.fp());
+        let table = G1Precomp::new(curve, &inf);
+        assert!(table.mul(curve, &U256::from_u64(42)).is_infinity());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for field and group algebra on `toy64`.
+
+use proptest::prelude::*;
+use tre_bigint::U256;
+use tre_pairing::{toy64, Fp2};
+
+fn scalar(raw: [u64; 4]) -> U256 {
+    let c = toy64();
+    U256::from_limbs(raw).rem(c.order())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fp_field_axioms(a in any::<u64>(), b in any::<u64>(), d in any::<u64>()) {
+        let ctx = toy64().fp();
+        let (a, b, d) = (ctx.from_u64(a), ctx.from_u64(b), ctx.from_u64(d));
+        prop_assert_eq!(a.add(&b, ctx), b.add(&a, ctx));
+        prop_assert_eq!(a.mul(&b, ctx), b.mul(&a, ctx));
+        prop_assert_eq!(a.mul(&b.add(&d, ctx), ctx), a.mul(&b, ctx).add(&a.mul(&d, ctx), ctx));
+        prop_assert_eq!(a.sub(&a, ctx), ctx.zero());
+        if !a.is_zero() {
+            let inv = a.invert(ctx).unwrap();
+            prop_assert_eq!(a.mul(&inv, ctx), ctx.one());
+        }
+    }
+
+    #[test]
+    fn fp2_mul_associative(a0 in any::<u64>(), a1 in any::<u64>(), b0 in any::<u64>(), b1 in any::<u64>()) {
+        let ctx = toy64().fp();
+        let a = Fp2::new(ctx.from_u64(a0), ctx.from_u64(a1));
+        let b = Fp2::new(ctx.from_u64(b0), ctx.from_u64(b1));
+        let d = Fp2::new(ctx.from_u64(7), ctx.from_u64(13));
+        prop_assert_eq!(a.mul(&b, ctx).mul(&d, ctx), a.mul(&b.mul(&d, ctx), ctx));
+        prop_assert_eq!(a.square(ctx), a.mul(&a, ctx));
+    }
+
+    #[test]
+    fn group_scalar_homomorphism(ra in any::<[u64; 4]>(), rb in any::<[u64; 4]>()) {
+        let c = toy64();
+        let g = c.generator();
+        let (a, b) = (scalar(ra), scalar(rb));
+        let lhs = c.g1_mul(&g, &c.scalar_add(&a, &b));
+        let rhs = c.g1_add(&c.g1_mul(&g, &a), &c.g1_mul(&g, &b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mul_results_stay_on_curve(ra in any::<[u64; 4]>()) {
+        let c = toy64();
+        let p = c.g1_mul(&c.generator(), &scalar(ra));
+        prop_assert!(c.is_on_curve(&p));
+        prop_assert!(c.in_subgroup(&p));
+        let bytes = c.g1_to_bytes(&p);
+        prop_assert_eq!(c.g1_from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn pairing_bilinear_random(ra in any::<[u64; 4]>(), rb in any::<[u64; 4]>()) {
+        let c = toy64();
+        let g = c.generator();
+        let (a, b) = (scalar(ra), scalar(rb));
+        let lhs = c.pairing(&c.g1_mul(&g, &a), &c.g1_mul(&g, &b));
+        let rhs = c.pairing(&g, &g).pow(&c.scalar_mul(&a, &b), c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hash_to_g1_always_valid(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let c = toy64();
+        let p = c.hash_to_g1(b"prop", &msg);
+        prop_assert!(c.in_subgroup(&p));
+        prop_assert!(!p.is_infinity());
+    }
+}

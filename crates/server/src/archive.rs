@@ -1,0 +1,134 @@
+//! The public archive of past key updates.
+//!
+//! §3: "keep a list of old key updates (whose release time has passed) at a
+//! publicly accessible place" — so a receiver who missed a broadcast can
+//! still decrypt (§6 notes full resilience to missing updates as future
+//! work; the archive is the paper's interim answer).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use tre_core::KeyUpdate;
+
+/// Thread-safe archive of published updates, indexed by epoch.
+#[derive(Debug, Default)]
+pub struct UpdateArchive<const L: usize> {
+    entries: RwLock<BTreeMap<u64, KeyUpdate<L>>>,
+}
+
+impl<const L: usize> UpdateArchive<L> {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self {
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Publishes an update for `epoch` (idempotent — re-publishing the same
+    /// epoch overwrites, which is harmless since updates are deterministic).
+    pub fn publish(&self, epoch: u64, update: KeyUpdate<L>) {
+        self.entries.write().insert(epoch, update);
+    }
+
+    /// Fetches the update for `epoch`, if its release time has passed.
+    pub fn get(&self, epoch: u64) -> Option<KeyUpdate<L>> {
+        self.entries.read().get(&epoch).cloned()
+    }
+
+    /// The most recent archived epoch.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.entries.read().keys().next_back().copied()
+    }
+
+    /// Number of archived updates.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// All updates in the inclusive epoch range (for catch-up after an
+    /// outage).
+    pub fn range(&self, from: u64, to: u64) -> Vec<(u64, KeyUpdate<L>)> {
+        self.entries
+            .read()
+            .range(from..=to)
+            .map(|(e, u)| (*e, u.clone()))
+            .collect()
+    }
+
+    /// Total bytes a client would download to fetch `from..=to` — used by
+    /// the scalability experiments.
+    pub fn range_size_bytes(&self, from: u64, to: u64, curve: &tre_pairing::Curve<L>) -> usize {
+        self.range(from, to)
+            .iter()
+            .map(|(_, u)| u.to_bytes(curve).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_core::{ReleaseTag, ServerKeyPair};
+    use tre_pairing::toy64;
+
+    fn update(server: &ServerKeyPair<8>, e: u64) -> KeyUpdate<8> {
+        server.issue_update(toy64(), &ReleaseTag::time(format!("epoch/{e}")))
+    }
+
+    #[test]
+    fn publish_get_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let archive = UpdateArchive::new();
+        assert!(archive.is_empty());
+        assert_eq!(archive.get(3), None);
+        archive.publish(3, update(&server, 3));
+        assert_eq!(archive.len(), 1);
+        assert!(archive.get(3).unwrap().verify(curve, server.public()));
+        assert_eq!(archive.latest_epoch(), Some(3));
+    }
+
+    #[test]
+    fn range_catchup() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let archive = UpdateArchive::new();
+        for e in 0..10 {
+            archive.publish(e, update(&server, e));
+        }
+        let caught_up = archive.range(4, 7);
+        assert_eq!(caught_up.len(), 4);
+        assert_eq!(caught_up[0].0, 4);
+        assert_eq!(caught_up[3].0, 7);
+        assert!(archive.range_size_bytes(4, 7, curve) > 0);
+        assert_eq!(archive.range(20, 30).len(), 0);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let archive = std::sync::Arc::new(UpdateArchive::new());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let a = archive.clone();
+            let u = update(&server, t);
+            handles.push(std::thread::spawn(move || {
+                a.publish(t, u);
+                a.get(t).is_some()
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert_eq!(archive.len(), 4);
+    }
+}

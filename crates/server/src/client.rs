@@ -1,0 +1,318 @@
+//! A receiver client: holds pending timed-release ciphertexts, consumes
+//! key updates from the broadcast channel, recovers missed updates from
+//! the archive, and records *when* each message actually became readable
+//! (the measurement behind the release-precision experiment E4).
+
+use std::collections::HashMap;
+
+use tre_core::{tre, KeyUpdate, ReleaseTag, ServerPublicKey, TreError, UserKeyPair};
+use tre_pairing::Curve;
+
+use crate::archive::UpdateArchive;
+
+/// A message successfully opened by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenedMessage {
+    /// The recovered plaintext.
+    pub plaintext: Vec<u8>,
+    /// The release tag it was locked to.
+    pub tag: ReleaseTag,
+    /// Clock tick at which the ciphertext arrived.
+    pub received_at: u64,
+    /// Clock tick at which decryption became possible (update in hand).
+    pub opened_at: u64,
+}
+
+/// A receiver endpoint in the simulation.
+pub struct ReceiverClient<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    server_pk: ServerPublicKey<L>,
+    keys: UserKeyPair<L>,
+    pending: Vec<(tre::Ciphertext<L>, u64)>,
+    seen_updates: HashMap<ReleaseTag, KeyUpdate<L>>,
+    opened: Vec<OpenedMessage>,
+}
+
+impl<'c, const L: usize> ReceiverClient<'c, L> {
+    /// Creates a client for `keys` bound to `server_pk`.
+    pub fn new(curve: &'c Curve<L>, server_pk: ServerPublicKey<L>, keys: UserKeyPair<L>) -> Self {
+        Self {
+            curve,
+            server_pk,
+            keys,
+            pending: Vec::new(),
+            seen_updates: HashMap::new(),
+            opened: Vec::new(),
+        }
+    }
+
+    /// The client's public key (what senders encrypt to).
+    pub fn public_key(&self) -> &tre_core::UserPublicKey<L> {
+        self.keys.public()
+    }
+
+    /// Hands the client a ciphertext at clock tick `now`. If the matching
+    /// update is already known (release time long past), it opens
+    /// immediately; otherwise it is queued.
+    pub fn receive_ciphertext(&mut self, ct: tre::Ciphertext<L>, now: u64) {
+        if let Some(update) = self.seen_updates.get(ct.tag()).cloned() {
+            self.open_now(&ct, &update, now, now);
+        } else {
+            self.pending.push((ct, now));
+        }
+    }
+
+    /// Feeds a key update (from broadcast or archive) received at
+    /// `delivered_at`. Verifies it, remembers it, and opens every pending
+    /// ciphertext it unlocks. Returns how many messages opened.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUpdate`] if the update fails
+    /// self-authentication (and ignores it).
+    pub fn receive_update(
+        &mut self,
+        update: KeyUpdate<L>,
+        delivered_at: u64,
+    ) -> Result<usize, TreError> {
+        if !update.verify(self.curve, &self.server_pk) {
+            return Err(TreError::InvalidUpdate);
+        }
+        self.seen_updates
+            .insert(update.tag().clone(), update.clone());
+        let (matching, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|(ct, _)| ct.tag() == update.tag());
+        self.pending = rest;
+        let n = matching.len();
+        for (ct, received_at) in matching {
+            self.open_now(&ct, &update, received_at, delivered_at);
+        }
+        Ok(n)
+    }
+
+    /// Recovers any updates this client is still waiting for from the
+    /// public archive (the paper's missed-broadcast story). `lookup`
+    /// maps a release tag to an archive epoch. Returns how many messages
+    /// opened.
+    pub fn catch_up(
+        &mut self,
+        archive: &UpdateArchive<L>,
+        now: u64,
+        lookup: impl Fn(&ReleaseTag) -> Option<u64>,
+    ) -> usize {
+        let waiting_tags: Vec<ReleaseTag> = self
+            .pending
+            .iter()
+            .map(|(ct, _)| ct.tag().clone())
+            .collect();
+        let mut opened = 0;
+        for tag in waiting_tags {
+            if self.seen_updates.contains_key(&tag) {
+                continue;
+            }
+            if let Some(epoch) = lookup(&tag) {
+                if let Some(update) = archive.get(epoch) {
+                    opened += self.receive_update(update, now).unwrap_or(0);
+                }
+            }
+        }
+        opened
+    }
+
+    fn open_now(
+        &mut self,
+        ct: &tre::Ciphertext<L>,
+        update: &KeyUpdate<L>,
+        received_at: u64,
+        opened_at: u64,
+    ) {
+        if let Ok(plaintext) = tre::decrypt(self.curve, &self.server_pk, &self.keys, update, ct) {
+            self.opened.push(OpenedMessage {
+                plaintext,
+                tag: ct.tag().clone(),
+                received_at,
+                opened_at,
+            });
+        }
+    }
+
+    /// Messages opened so far, in opening order.
+    pub fn opened(&self) -> &[OpenedMessage] {
+        &self.opened
+    }
+
+    /// Ciphertexts still awaiting their release time.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Granularity, SimClock};
+    use crate::server::TimeServer;
+    use tre_core::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    fn world() -> (SimClock, TimeServer<'static, 8>, ReceiverClient<'static, 8>) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let skeys = ServerKeyPair::generate(curve, &mut rng);
+        let spk = *skeys.public();
+        let server = TimeServer::new(curve, skeys, clock.clone(), Granularity::Seconds);
+        let ukeys = UserKeyPair::generate(curve, &spk, &mut rng);
+        let client = ReceiverClient::new(curve, spk, ukeys);
+        (clock, server, client)
+    }
+
+    #[test]
+    fn message_opens_when_update_arrives() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, mut client) = world();
+        // Sender locks a message to epoch 5.
+        let tag = server.tag_for_epoch(5);
+        let ct = tre::encrypt(
+            curve,
+            server.public_key(),
+            client.public_key(),
+            &tag,
+            b"contest problems",
+            &mut rng,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, clock.now());
+        assert_eq!(client.pending_count(), 1);
+        // Time passes; server broadcasts each epoch.
+        clock.advance(5);
+        for u in server.poll() {
+            client.receive_update(u, clock.now()).unwrap();
+        }
+        assert_eq!(client.pending_count(), 0);
+        let opened = client.opened();
+        assert_eq!(opened.len(), 1);
+        assert_eq!(opened[0].plaintext, b"contest problems");
+        assert_eq!(opened[0].opened_at, 5);
+    }
+
+    #[test]
+    fn late_ciphertext_opens_immediately_from_cache() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, mut client) = world();
+        clock.advance(10);
+        for u in server.poll() {
+            client.receive_update(u, clock.now()).unwrap();
+        }
+        // A ciphertext for the already-passed epoch 3 arrives late.
+        let tag = server.tag_for_epoch(3);
+        let ct = tre::encrypt(
+            curve,
+            server.public_key(),
+            client.public_key(),
+            &tag,
+            b"old news",
+            &mut rng,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, clock.now());
+        assert_eq!(client.pending_count(), 0);
+        assert_eq!(client.opened()[0].plaintext, b"old news");
+    }
+
+    #[test]
+    fn missed_update_recovered_from_archive() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, mut client) = world();
+        let tag = server.tag_for_epoch(2);
+        let ct = tre::encrypt(
+            curve,
+            server.public_key(),
+            client.public_key(),
+            &tag,
+            b"missed me",
+            &mut rng,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, 0);
+        // Server broadcasts while the client is offline.
+        clock.advance(6);
+        server.poll();
+        assert_eq!(client.pending_count(), 1);
+        // Client comes back and catches up from the public archive.
+        let g = server.granularity();
+        let opened = client.catch_up(server.archive(), clock.now(), |tag| {
+            // Parse "epoch/s/N" back to N — clients know the convention.
+            let s = String::from_utf8_lossy(tag.value()).to_string();
+            s.rsplit('/')
+                .next()
+                .and_then(|n| n.parse().ok())
+                .map(|e: u64| {
+                    debug_assert_eq!(g.tag_for_epoch(e), *tag);
+                    e
+                })
+        });
+        assert_eq!(opened, 1);
+        assert_eq!(client.opened()[0].plaintext, b"missed me");
+    }
+
+    #[test]
+    fn forged_update_ignored() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (_clock, server, mut client) = world();
+        let forged = KeyUpdate::from_parts(
+            server.tag_for_epoch(1),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            client.receive_update(forged, 1),
+            Err(TreError::InvalidUpdate)
+        );
+    }
+
+    #[test]
+    fn update_is_shared_across_clients() {
+        // The same single update opens messages for many receivers — the
+        // paper's "single form of update for all users".
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let skeys = ServerKeyPair::generate(curve, &mut rng);
+        let spk = *skeys.public();
+        let mut server = TimeServer::new(curve, skeys, clock.clone(), Granularity::Seconds);
+        let mut clients: Vec<_> = (0..5)
+            .map(|_| {
+                let uk = UserKeyPair::generate(curve, &spk, &mut rng);
+                ReceiverClient::new(curve, spk, uk)
+            })
+            .collect();
+        let tag = server.tag_for_epoch(1);
+        for (i, c) in clients.iter_mut().enumerate() {
+            let ct = tre::encrypt(
+                curve,
+                &spk,
+                c.public_key(),
+                &tag,
+                format!("msg-{i}").as_bytes(),
+                &mut rng,
+            )
+            .unwrap();
+            c.receive_ciphertext(ct, 0);
+        }
+        clock.advance(1);
+        let updates = server.poll();
+        // One of these is the epoch-1 update; feed the same objects to all.
+        for c in clients.iter_mut() {
+            for u in &updates {
+                c.receive_update(u.clone(), clock.now()).unwrap();
+            }
+        }
+        for (i, c) in clients.iter().enumerate() {
+            assert_eq!(c.opened()[0].plaintext, format!("msg-{i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulated absolute time.
+//!
+//! The paper's model is GPS-like: one authoritative clock everyone can
+//! observe (§3). [`SimClock`] is that reference for simulations — a shared
+//! monotone counter of seconds, advanced explicitly by the test harness so
+//! every run is deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tre_core::ReleaseTag;
+
+/// Epoch granularity for time-bound key updates (how often the server
+/// broadcasts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One update per simulated second.
+    Seconds,
+    /// One update per simulated minute.
+    Minutes,
+    /// One update per simulated hour.
+    Hours,
+    /// One update per simulated day.
+    Days,
+    /// A custom epoch length in raw clock ticks — lets fine-grained
+    /// simulations (e.g. millisecond-resolution jitter studies) reinterpret
+    /// the clock unit.
+    Custom(u64),
+}
+
+impl Granularity {
+    /// Epoch length in clock ticks (seconds for the named variants).
+    pub fn seconds(self) -> u64 {
+        match self {
+            Granularity::Seconds => 1,
+            Granularity::Minutes => 60,
+            Granularity::Hours => 3_600,
+            Granularity::Days => 86_400,
+            Granularity::Custom(ticks) => {
+                assert!(ticks > 0, "custom granularity must be positive");
+                ticks
+            }
+        }
+    }
+
+    /// The epoch index containing absolute second `t`.
+    pub fn epoch_of(self, t: u64) -> u64 {
+        t / self.seconds()
+    }
+
+    /// Start second of epoch `e`.
+    pub fn epoch_start(self, e: u64) -> u64 {
+        e * self.seconds()
+    }
+
+    /// Canonical release tag for epoch `e` — the string the server signs.
+    ///
+    /// Senders can compute this for *any* epoch arbitrarily far in the
+    /// future without contacting the server (the paper's key scalability
+    /// point versus Rivest's published-key-list variant).
+    pub fn tag_for_epoch(self, e: u64) -> ReleaseTag {
+        let unit = match self {
+            Granularity::Seconds => "s".to_string(),
+            Granularity::Minutes => "m".to_string(),
+            Granularity::Hours => "h".to_string(),
+            Granularity::Days => "d".to_string(),
+            Granularity::Custom(ticks) => format!("c{ticks}"),
+        };
+        ReleaseTag::time(format!("epoch/{unit}/{e}"))
+    }
+
+    /// Tag for the epoch containing absolute second `t`.
+    pub fn tag_at(self, t: u64) -> ReleaseTag {
+        self.tag_for_epoch(self.epoch_of(t))
+    }
+}
+
+/// A shared, monotone simulated clock (seconds since simulation start).
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `dt` seconds, returning the new time.
+    pub fn advance(&self, dt: u64) -> u64 {
+        self.now.fetch_add(dt, Ordering::SeqCst) + dt
+    }
+
+    /// Sets the clock forward to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past — the reference clock never goes
+    /// backwards (first trust assumption of §3).
+    pub fn set(&self, t: u64) {
+        let prev = self.now.swap(t, Ordering::SeqCst);
+        assert!(t >= prev, "SimClock must be monotone (was {prev}, set {t})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_math() {
+        let g = Granularity::Minutes;
+        assert_eq!(g.seconds(), 60);
+        assert_eq!(g.epoch_of(0), 0);
+        assert_eq!(g.epoch_of(59), 0);
+        assert_eq!(g.epoch_of(60), 1);
+        assert_eq!(g.epoch_start(2), 120);
+    }
+
+    #[test]
+    fn tags_are_distinct_per_epoch_and_granularity() {
+        assert_ne!(
+            Granularity::Minutes.tag_for_epoch(5),
+            Granularity::Minutes.tag_for_epoch(6)
+        );
+        assert_ne!(
+            Granularity::Minutes.tag_for_epoch(5),
+            Granularity::Hours.tag_for_epoch(5)
+        );
+        assert_eq!(
+            Granularity::Seconds.tag_at(7),
+            Granularity::Seconds.tag_for_epoch(7)
+        );
+    }
+
+    #[test]
+    fn clock_advances_and_is_shared() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c2.now(), 10, "clones observe the same time");
+        c2.set(15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn custom_granularity() {
+        let g = Granularity::Custom(250);
+        assert_eq!(g.seconds(), 250);
+        assert_eq!(g.epoch_of(499), 1);
+        assert_eq!(g.epoch_start(2), 500);
+        assert_ne!(g.tag_for_epoch(1), Granularity::Custom(500).tag_for_epoch(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_zero_rejected() {
+        let _ = Granularity::Custom(0).seconds();
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn clock_rejects_time_travel() {
+        let c = SimClock::new();
+        c.advance(10);
+        c.set(5);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # tre-server
+//!
+//! The passive time-server runtime and a deterministic simulation of its
+//! distribution environment:
+//!
+//! * [`SimClock`] / [`Granularity`] — the shared absolute time reference
+//!   (the paper's GPS analogy, §3) and the broadcast epoch schedule;
+//! * [`TimeServer`] — the passive server: signs each epoch's tag exactly
+//!   once, refuses future epochs, holds zero user state;
+//! * [`UpdateArchive`] — the public list of past updates, enabling
+//!   missed-broadcast recovery;
+//! * [`BroadcastNet`] — a broadcast channel with configurable latency,
+//!   jitter, and loss (deterministic under a fixed seed);
+//! * [`ReceiverClient`] — a receiver endpoint that queues ciphertexts,
+//!   consumes updates, catches up from the archive, and records when each
+//!   message actually became readable;
+//! * [`LiveHub`] — a thread-based fan-out hub (crossbeam channels) for
+//!   running real server/receiver threads instead of the simulation.
+//!
+//! # Example
+//! ```
+//! use tre_server::{Granularity, SimClock, TimeServer};
+//! use tre_core::ServerKeyPair;
+//!
+//! let curve = tre_pairing::toy64();
+//! let mut rng = rand::thread_rng();
+//! let clock = SimClock::new();
+//! let keys = ServerKeyPair::generate(curve, &mut rng);
+//! let mut server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+//!
+//! clock.advance(3);
+//! let updates = server.poll(); // epochs 0..=3, one broadcast each
+//! assert_eq!(updates.len(), 4);
+//! assert!(server.issue_for_epoch(99).is_err(), "never signs the future");
+//! ```
+
+mod archive;
+mod client;
+mod clock;
+mod live;
+mod net;
+mod server;
+mod sim;
+
+pub use archive::UpdateArchive;
+pub use client::{OpenedMessage, ReceiverClient};
+pub use clock::{Granularity, SimClock};
+pub use live::LiveHub;
+pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
+pub use server::{FutureEpochError, TimeServer};
+pub use sim::{ClientId, Simulation};

@@ -1,0 +1,150 @@
+//! A live, thread-based broadcast hub: the time server publishes from its
+//! own thread and any number of receiver threads consume updates through
+//! channels — the concurrent counterpart of the deterministic
+//! [`crate::BroadcastNet`] simulation.
+//!
+//! The hub mirrors the paper's channel model: *everyone gets the same
+//! object*; subscribers that vanish are pruned and never block the server.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use tre_core::KeyUpdate;
+
+/// A fan-out hub for key updates.
+#[derive(Default)]
+pub struct LiveHub<const L: usize> {
+    subscribers: Mutex<Vec<Sender<KeyUpdate<L>>>>,
+    published: Mutex<u64>,
+}
+
+impl<const L: usize> LiveHub<L> {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self {
+            subscribers: Mutex::new(Vec::new()),
+            published: Mutex::new(0),
+        }
+    }
+
+    /// Registers a subscriber; returns the receiving end of its channel.
+    pub fn subscribe(&self) -> Receiver<KeyUpdate<L>> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// Broadcasts one update to every live subscriber, pruning any whose
+    /// receiver was dropped. Never blocks.
+    pub fn publish(&self, update: &KeyUpdate<L>) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| match tx.try_send(update.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+            // Unbounded channels never report Full; keep the subscriber.
+            Err(TrySendError::Full(_)) => true,
+        });
+        *self.published.lock() += 1;
+    }
+
+    /// Number of broadcasts performed (independent of subscriber count —
+    /// the scalability invariant).
+    pub fn published(&self) -> u64 {
+        *self.published.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    use tre_core::{tre, ReleaseTag, ServerKeyPair, UserKeyPair};
+    use tre_pairing::toy64;
+
+    #[test]
+    fn fan_out_to_threads() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let spk = *server.public();
+        let hub: Arc<LiveHub<8>> = Arc::new(LiveHub::new());
+        let tag = ReleaseTag::time("live");
+
+        // Spawn 4 receiver threads, each with a pending ciphertext.
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let user = UserKeyPair::generate(curve, &spk, &mut rng);
+            let ct = tre::encrypt(
+                curve,
+                &spk,
+                user.public(),
+                &tag,
+                format!("live-{i}").as_bytes(),
+                &mut rng,
+            )
+            .unwrap();
+            let rx = hub.subscribe();
+            handles.push(thread::spawn(move || {
+                let update = rx.recv().expect("update arrives");
+                tre::decrypt(toy64(), &spk, &user, &update, &ct).unwrap()
+            }));
+        }
+        assert_eq!(hub.subscriber_count(), 4);
+
+        // The server publishes exactly once.
+        hub.publish(&server.issue_update(curve, &tag));
+        assert_eq!(hub.published(), 1);
+
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), format!("live-{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let hub: Arc<LiveHub<8>> = Arc::new(LiveHub::new());
+        let keep = hub.subscribe();
+        {
+            let _dropped = hub.subscribe();
+        }
+        hub.publish(&server.issue_update(curve, &ReleaseTag::time("x")));
+        assert_eq!(hub.subscriber_count(), 1, "dead subscriber pruned");
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_and_subscribers() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = Arc::new(ServerKeyPair::generate(curve, &mut rng));
+        let hub: Arc<LiveHub<8>> = Arc::new(LiveHub::new());
+        let rxs: Vec<_> = (0..3).map(|_| hub.subscribe()).collect();
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let hub = hub.clone();
+            let server = server.clone();
+            handles.push(thread::spawn(move || {
+                for e in 0..5 {
+                    let u = server.issue_update(toy64(), &ReleaseTag::time(format!("{t}/{e}")));
+                    hub.publish(&u);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.published(), 10);
+        for rx in rxs {
+            assert_eq!(rx.len(), 10, "every subscriber sees every publish");
+        }
+    }
+}

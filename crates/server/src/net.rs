@@ -1,0 +1,282 @@
+//! A simulated broadcast channel with latency, jitter, and loss.
+//!
+//! The paper's footnote 1 observes that timely delivery of the *small* key
+//! update (within a bounded jitter) is much easier than timely delivery of
+//! whole messages — this module is where that bound lives, and experiment
+//! E4 measures release-time precision against it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tre_core::KeyUpdate;
+
+use crate::clock::SimClock;
+
+/// Delivery characteristics of the broadcast channel.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Fixed propagation delay (clock ticks).
+    pub base_latency: u64,
+    /// Maximum extra random delay (uniform in `0..=jitter`, clock ticks).
+    pub jitter: u64,
+    /// Per-subscriber probability a broadcast is lost.
+    pub loss_prob: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            base_latency: 1,
+            jitter: 0,
+            loss_prob: 0.0,
+        }
+    }
+}
+
+/// Handle identifying a subscriber on the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberId(usize);
+
+/// Aggregate channel statistics (for the scalability experiment E2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Number of broadcast operations the server performed.
+    pub broadcasts: u64,
+    /// Payload bytes the server put on the air — one copy per broadcast,
+    /// independent of subscriber count (the paper's scalability claim).
+    pub broadcast_bytes: u64,
+    /// Bytes that would have been sent under per-user unicast (Mont et
+    /// al.-style individual delivery): `payload × subscribers`.
+    pub unicast_equivalent_bytes: u64,
+    /// Deliveries dropped by the loss model.
+    pub lost: u64,
+}
+
+type Mailbox<const L: usize> = BinaryHeap<Reverse<(u64, u64, QueuedUpdate<L>)>>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueuedUpdate<const L: usize>(KeyUpdate<L>);
+
+impl<const L: usize> PartialOrd for QueuedUpdate<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> Ord for QueuedUpdate<L> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// The broadcast network: one sender (the time server), many subscribers.
+pub struct BroadcastNet<const L: usize> {
+    config: NetConfig,
+    clock: SimClock,
+    rng: StdRng,
+    mailboxes: Vec<Mailbox<L>>,
+    seq: u64,
+    stats: NetStats,
+}
+
+impl<const L: usize> BroadcastNet<L> {
+    /// Creates a channel with a deterministic RNG seed (reproducible runs).
+    pub fn new(clock: SimClock, config: NetConfig, seed: u64) -> Self {
+        Self {
+            config,
+            clock,
+            rng: StdRng::seed_from_u64(seed),
+            mailboxes: Vec::new(),
+            seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Registers a new subscriber.
+    pub fn subscribe(&mut self) -> SubscriberId {
+        self.mailboxes.push(BinaryHeap::new());
+        SubscriberId(self.mailboxes.len() - 1)
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Broadcasts one key update to every subscriber, applying the
+    /// latency/jitter/loss model per subscriber. `payload_bytes` is the
+    /// update's wire size (callers have the curve to compute it).
+    pub fn broadcast(&mut self, update: &KeyUpdate<L>, payload_bytes: usize) {
+        let now = self.clock.now();
+        self.stats.broadcasts += 1;
+        self.stats.broadcast_bytes += payload_bytes as u64;
+        self.stats.unicast_equivalent_bytes += payload_bytes as u64 * self.mailboxes.len() as u64;
+        for mbox in &mut self.mailboxes {
+            if self.config.loss_prob > 0.0 && self.rng.gen::<f64>() < self.config.loss_prob {
+                self.stats.lost += 1;
+                continue;
+            }
+            let jitter = if self.config.jitter > 0 {
+                self.rng.next_u64() % (self.config.jitter + 1)
+            } else {
+                0
+            };
+            let deliver_at = now + self.config.base_latency + jitter;
+            mbox.push(Reverse((
+                deliver_at,
+                self.seq,
+                QueuedUpdate(update.clone()),
+            )));
+            self.seq += 1;
+        }
+    }
+
+    /// Drains every update whose delivery time has arrived for `id`,
+    /// returning `(delivered_at, update)` pairs in delivery order.
+    pub fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)> {
+        let now = self.clock.now();
+        let mbox = &mut self.mailboxes[id.0];
+        let mut out = Vec::new();
+        while let Some(Reverse((at, _, _))) = mbox.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((at, _, QueuedUpdate(u))) = mbox.pop().unwrap();
+            out.push((at, u));
+        }
+        out
+    }
+
+    /// Channel statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_core::{ReleaseTag, ServerKeyPair};
+    use tre_pairing::toy64;
+
+    fn mk_update() -> (KeyUpdate<8>, usize) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let u = server.issue_update(curve, &ReleaseTag::time("t"));
+        let size = u.to_bytes(curve).len();
+        (u, size)
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(
+            clock.clone(),
+            NetConfig {
+                base_latency: 5,
+                jitter: 0,
+                loss_prob: 0.0,
+            },
+            1,
+        );
+        let a = net.subscribe();
+        let (u, sz) = mk_update();
+        net.broadcast(&u, sz);
+        assert!(net.poll(a).is_empty(), "not yet delivered");
+        clock.advance(4);
+        assert!(net.poll(a).is_empty());
+        clock.advance(1);
+        let got = net.poll(a);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 5);
+        assert_eq!(got[0].1, u);
+        assert!(net.poll(a).is_empty(), "drained");
+    }
+
+    #[test]
+    fn jitter_within_bound_and_deterministic() {
+        let cfg = NetConfig {
+            base_latency: 10,
+            jitter: 7,
+            loss_prob: 0.0,
+        };
+        let run = |seed| {
+            let clock = SimClock::new();
+            let mut net: BroadcastNet<8> = BroadcastNet::new(clock.clone(), cfg, seed);
+            let subs: Vec<_> = (0..20).map(|_| net.subscribe()).collect();
+            let (u, sz) = mk_update();
+            net.broadcast(&u, sz);
+            clock.advance(17);
+            subs.iter().map(|&s| net.poll(s)[0].0).collect::<Vec<_>>()
+        };
+        let times = run(42);
+        for &t in &times {
+            assert!((10..=17).contains(&t), "delivery at {t} outside bound");
+        }
+        assert_eq!(times, run(42), "same seed, same schedule");
+        assert_ne!(times, run(43), "different seed, different jitter");
+    }
+
+    #[test]
+    fn loss_model_drops_and_counts() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(
+            clock.clone(),
+            NetConfig {
+                base_latency: 1,
+                jitter: 0,
+                loss_prob: 1.0,
+            },
+            7,
+        );
+        let a = net.subscribe();
+        let (u, sz) = mk_update();
+        net.broadcast(&u, sz);
+        clock.advance(10);
+        assert!(net.poll(a).is_empty());
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn broadcast_bytes_independent_of_subscribers() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(clock.clone(), NetConfig::default(), 3);
+        for _ in 0..100 {
+            net.subscribe();
+        }
+        let (u, sz) = mk_update();
+        net.broadcast(&u, sz);
+        let stats = net.stats();
+        assert_eq!(stats.broadcast_bytes, sz as u64, "one copy on the air");
+        assert_eq!(stats.unicast_equivalent_bytes, 100 * sz as u64);
+        assert_eq!(stats.broadcasts, 1);
+    }
+
+    #[test]
+    fn multiple_updates_ordered() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(
+            clock.clone(),
+            NetConfig {
+                base_latency: 2,
+                jitter: 0,
+                loss_prob: 0.0,
+            },
+            1,
+        );
+        let a = net.subscribe();
+        let (u1, sz) = mk_update();
+        net.broadcast(&u1, sz);
+        clock.advance(1);
+        let (u2, sz2) = mk_update();
+        net.broadcast(&u2, sz2);
+        clock.advance(5);
+        let got = net.poll(a);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].0 <= got[1].0);
+        assert_eq!(got[0].1, u1);
+    }
+}

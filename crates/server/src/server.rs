@@ -1,0 +1,212 @@
+//! The passive time server runtime.
+//!
+//! In steady state the server does exactly one thing: when an epoch
+//! boundary passes, it signs that epoch's tag and broadcasts the update
+//! (§3). It holds **no** user state, stores **no** messages, and refuses to
+//! sign future epochs (the second trust assumption).
+
+use tre_core::{KeyUpdate, ReleaseTag, ServerKeyPair, ServerPublicKey};
+use tre_pairing::Curve;
+
+use crate::archive::UpdateArchive;
+use crate::clock::{Granularity, SimClock};
+
+/// Error returned when asking a server to violate its trust assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FutureEpochError {
+    /// The epoch that was requested.
+    pub requested: u64,
+    /// The newest epoch the server is willing to sign.
+    pub current: u64,
+}
+
+impl core::fmt::Display for FutureEpochError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "refusing to issue update for future epoch {} (current epoch {})",
+            self.requested, self.current
+        )
+    }
+}
+
+impl std::error::Error for FutureEpochError {}
+
+/// A running passive time server: keys + clock + archive + epoch cursor.
+pub struct TimeServer<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    keys: ServerKeyPair<L>,
+    clock: SimClock,
+    granularity: Granularity,
+    archive: UpdateArchive<L>,
+    next_epoch: u64,
+    broadcasts: u64,
+}
+
+impl<'c, const L: usize> TimeServer<'c, L> {
+    /// Boots a server on the shared simulation clock.
+    pub fn new(
+        curve: &'c Curve<L>,
+        keys: ServerKeyPair<L>,
+        clock: SimClock,
+        granularity: Granularity,
+    ) -> Self {
+        let next_epoch = granularity.epoch_of(clock.now());
+        Self {
+            curve,
+            keys,
+            clock,
+            granularity,
+            archive: UpdateArchive::new(),
+            next_epoch,
+            broadcasts: 0,
+        }
+    }
+
+    /// The server's public key — the only thing users ever need from it in
+    /// advance.
+    pub fn public_key(&self) -> &ServerPublicKey<L> {
+        self.keys.public()
+    }
+
+    /// The broadcast granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The public archive of already-released updates.
+    pub fn archive(&self) -> &UpdateArchive<L> {
+        &self.archive
+    }
+
+    /// Number of broadcasts performed so far (server-cost metric for the
+    /// scalability experiments — note it never depends on the user count).
+    pub fn broadcast_count(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Release tag for a given epoch (senders call the equivalent freely;
+    /// exposed here for convenience and tests).
+    pub fn tag_for_epoch(&self, epoch: u64) -> ReleaseTag {
+        self.granularity.tag_for_epoch(epoch)
+    }
+
+    /// Emits updates for every epoch boundary that has passed since the
+    /// last poll. Returns the newly published updates (each is broadcast
+    /// once, to everyone, regardless of user count) and archives them.
+    pub fn poll(&mut self) -> Vec<KeyUpdate<L>> {
+        let current = self.granularity.epoch_of(self.clock.now());
+        let mut out = Vec::new();
+        while self.next_epoch <= current {
+            let update = self
+                .issue_for_epoch(self.next_epoch)
+                .expect("epoch <= current by construction");
+            self.archive.publish(self.next_epoch, update.clone());
+            out.push(update);
+            self.next_epoch += 1;
+            self.broadcasts += 1;
+        }
+        out
+    }
+
+    /// Issues the update for a specific epoch **whose time has come**.
+    ///
+    /// # Errors
+    /// Returns [`FutureEpochError`] for epochs still in the future — the
+    /// trust assumption the whole scheme rests on. (A malicious server
+    /// colluding with a receiver is modeled in tests by calling the
+    /// underlying key pair directly.)
+    pub fn issue_for_epoch(&self, epoch: u64) -> Result<KeyUpdate<L>, FutureEpochError> {
+        let current = self.granularity.epoch_of(self.clock.now());
+        if epoch > current {
+            return Err(FutureEpochError {
+                requested: epoch,
+                current,
+            });
+        }
+        Ok(self
+            .keys
+            .issue_update(self.curve, &self.tag_for_epoch(epoch)))
+    }
+
+    /// Test-only access to the raw key pair (modeling server compromise).
+    #[doc(hidden)]
+    pub fn keys(&self) -> &ServerKeyPair<L> {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    fn boot(clock: &SimClock) -> TimeServer<'static, 8> {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds)
+    }
+
+    #[test]
+    fn poll_emits_each_epoch_once() {
+        let clock = SimClock::new();
+        let mut server = boot(&clock);
+        // Epoch 0 is current at boot.
+        let first = server.poll();
+        assert_eq!(first.len(), 1);
+        assert_eq!(server.poll().len(), 0, "no double broadcast");
+        clock.advance(3);
+        let batch = server.poll();
+        assert_eq!(batch.len(), 3, "catches up on every missed boundary");
+        assert_eq!(server.broadcast_count(), 4);
+        assert_eq!(server.archive().len(), 4);
+    }
+
+    #[test]
+    fn refuses_future_epochs() {
+        let clock = SimClock::new();
+        let server = boot(&clock);
+        clock.advance(5);
+        assert!(server.issue_for_epoch(5).is_ok());
+        let err = server.issue_for_epoch(6).unwrap_err();
+        assert_eq!(
+            err,
+            FutureEpochError {
+                requested: 6,
+                current: 5
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn updates_verify_and_match_sender_side_tags() {
+        let clock = SimClock::new();
+        let mut server = boot(&clock);
+        clock.advance(2);
+        let updates = server.poll();
+        let curve = toy64();
+        for (i, u) in updates.iter().enumerate() {
+            assert!(u.verify(curve, server.public_key()));
+            // A sender, knowing only the granularity convention, derives the
+            // same tag with no server contact.
+            assert_eq!(u.tag(), &Granularity::Seconds.tag_for_epoch(i as u64));
+        }
+    }
+
+    #[test]
+    fn archive_supports_missed_update_recovery() {
+        let clock = SimClock::new();
+        let mut server = boot(&clock);
+        clock.advance(10);
+        server.poll();
+        // A client that slept through epochs 3..=7 recovers them all.
+        let missed = server.archive().range(3, 7);
+        assert_eq!(missed.len(), 5);
+        let curve = toy64();
+        for (_, u) in missed {
+            assert!(u.verify(curve, server.public_key()));
+        }
+    }
+}

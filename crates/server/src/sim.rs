@@ -1,0 +1,241 @@
+//! A one-stop simulation orchestrator: clock + passive server + broadcast
+//! network + receiver clients, advanced tick by tick.
+//!
+//! Wraps the individual pieces so experiments and examples can express
+//! scenarios ("N receivers, this latency model, these messages") without
+//! re-wiring the plumbing every time.
+
+use rand::RngCore;
+use tre_core::{tre, ReleaseTag, ServerKeyPair, TreError, UserKeyPair};
+use tre_pairing::Curve;
+
+use crate::client::ReceiverClient;
+use crate::clock::{Granularity, SimClock};
+use crate::net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
+use crate::server::TimeServer;
+
+/// Handle to a receiver inside a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(usize);
+
+/// A complete timed-release world under simulated time.
+pub struct Simulation<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    clock: SimClock,
+    server: TimeServer<'c, L>,
+    net: BroadcastNet<L>,
+    clients: Vec<(ReceiverClient<'c, L>, SubscriberId)>,
+}
+
+impl<'c, const L: usize> Simulation<'c, L> {
+    /// Boots a fresh world: one passive server on `granularity`, a
+    /// broadcast channel with `net_config`, deterministic under `seed`.
+    pub fn new(
+        curve: &'c Curve<L>,
+        granularity: Granularity,
+        net_config: NetConfig,
+        seed: u64,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        let clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, rng);
+        let server = TimeServer::new(curve, keys, clock.clone(), granularity);
+        let net = BroadcastNet::new(clock.clone(), net_config, seed);
+        Self {
+            curve,
+            clock,
+            server,
+            net,
+            clients: Vec::new(),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The time server (public key, archive, …).
+    pub fn server(&self) -> &TimeServer<'c, L> {
+        &self.server
+    }
+
+    /// Adds a receiver with a fresh key pair; returns its handle.
+    pub fn add_client(&mut self, rng: &mut (impl RngCore + ?Sized)) -> ClientId {
+        let spk = *self.server.public_key();
+        let keys = UserKeyPair::generate(self.curve, &spk, rng);
+        let client = ReceiverClient::new(self.curve, spk, keys);
+        let sub = self.net.subscribe();
+        self.clients.push((client, sub));
+        ClientId(self.clients.len() - 1)
+    }
+
+    /// Immutable access to a client.
+    pub fn client(&self, id: ClientId) -> &ReceiverClient<'c, L> {
+        &self.clients[id.0].0
+    }
+
+    /// Sends a timed-release message to `to`, delivered to the client's
+    /// queue immediately (message transport is assumed reliable; only key
+    /// updates ride the lossy broadcast channel).
+    ///
+    /// # Errors
+    /// Propagates [`tre::encrypt`] failures.
+    pub fn send(
+        &mut self,
+        to: ClientId,
+        tag: &ReleaseTag,
+        msg: &[u8],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(), TreError> {
+        let spk = *self.server.public_key();
+        let (client, _) = &mut self.clients[to.0];
+        let ct = tre::encrypt(self.curve, &spk, client.public_key(), tag, msg, rng)?;
+        let now = self.clock.now();
+        client.receive_ciphertext(ct, now);
+        Ok(())
+    }
+
+    /// Sends a message locked to an epoch number (using the server's
+    /// granularity convention).
+    ///
+    /// # Errors
+    /// Propagates [`tre::encrypt`] failures.
+    pub fn send_for_epoch(
+        &mut self,
+        to: ClientId,
+        epoch: u64,
+        msg: &[u8],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(), TreError> {
+        let tag = self.server.tag_for_epoch(epoch);
+        self.send(to, &tag, msg, rng)
+    }
+
+    /// Advances simulated time by `dt`, runs the server's broadcast duty,
+    /// and drains deliveries into every client. Returns how many messages
+    /// opened this tick.
+    pub fn tick(&mut self, dt: u64) -> usize {
+        self.clock.advance(dt);
+        for update in self.server.poll() {
+            let bytes = update.to_bytes(self.curve).len();
+            self.net.broadcast(&update, bytes);
+        }
+        let mut opened = 0;
+        for (client, sub) in &mut self.clients {
+            for (at, update) in self.net.poll(*sub) {
+                opened += client.receive_update(update, at).unwrap_or(0);
+            }
+        }
+        opened
+    }
+
+    /// Runs `ticks` unit ticks, returning the total messages opened.
+    pub fn run(&mut self, ticks: u64) -> usize {
+        (0..ticks).map(|_| self.tick(1)).sum()
+    }
+
+    /// Lets every client with pending messages recover missed updates from
+    /// the server's public archive. Returns messages opened.
+    pub fn catch_up_all(&mut self) -> usize {
+        let now = self.clock.now();
+        let archive = self.server.archive();
+        let mut opened = 0;
+        for (client, _) in &mut self.clients {
+            opened += client.catch_up(archive, now, |tag| {
+                let s = String::from_utf8_lossy(tag.value()).to_string();
+                s.rsplit('/').next().and_then(|n| n.parse().ok())
+            });
+        }
+        opened
+    }
+
+    /// Broadcast-channel statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn scripted_world() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let mut sim = Simulation::new(
+            curve,
+            Granularity::Seconds,
+            NetConfig {
+                base_latency: 1,
+                jitter: 0,
+                loss_prob: 0.0,
+            },
+            7,
+            &mut rng,
+        );
+        let alice = sim.add_client(&mut rng);
+        let bob = sim.add_client(&mut rng);
+        sim.send_for_epoch(alice, 3, b"for alice at 3", &mut rng)
+            .unwrap();
+        sim.send_for_epoch(bob, 5, b"for bob at 5", &mut rng)
+            .unwrap();
+
+        // Nothing opens before the respective epochs (+1 tick latency).
+        let opened_by_4 = sim.run(4);
+        assert_eq!(opened_by_4, 1, "only alice's message by t=4");
+        assert_eq!(sim.client(alice).opened().len(), 1);
+        assert_eq!(sim.client(bob).opened().len(), 0);
+
+        let opened_rest = sim.run(3);
+        assert_eq!(opened_rest, 1);
+        assert_eq!(sim.client(bob).opened()[0].plaintext, b"for bob at 5");
+        assert!(sim.client(bob).opened()[0].opened_at >= 5);
+    }
+
+    #[test]
+    fn lossy_world_catches_up_from_archive() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let mut sim = Simulation::new(
+            curve,
+            Granularity::Seconds,
+            NetConfig {
+                base_latency: 1,
+                jitter: 0,
+                loss_prob: 1.0,
+            }, // everything lost
+            9,
+            &mut rng,
+        );
+        let c = sim.add_client(&mut rng);
+        sim.send_for_epoch(c, 2, b"lost on air", &mut rng).unwrap();
+        sim.run(5);
+        assert_eq!(sim.client(c).opened().len(), 0, "all broadcasts lost");
+        assert_eq!(sim.catch_up_all(), 1, "archive saves the day");
+        assert_eq!(sim.client(c).opened()[0].plaintext, b"lost on air");
+        assert!(sim.net_stats().lost > 0);
+    }
+
+    #[test]
+    fn broadcast_cost_constant_in_clients() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let mut sim = Simulation::new(
+            curve,
+            Granularity::Seconds,
+            NetConfig::default(),
+            1,
+            &mut rng,
+        );
+        for _ in 0..10 {
+            sim.add_client(&mut rng);
+        }
+        sim.run(3);
+        let stats = sim.net_stats();
+        assert_eq!(stats.broadcasts, 4); // epochs 0..=3
+        assert_eq!(stats.unicast_equivalent_bytes, stats.broadcast_bytes * 10);
+    }
+}

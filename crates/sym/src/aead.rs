@@ -1,0 +1,159 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8) — the data-encapsulation
+//! mechanism for hybrid timed-release encryption.
+
+use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// Error returned when decryption fails authentication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AeadError;
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// ChaCha20-Poly1305 authenticated encryption.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD instance with a 256-bit key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        Self { key: *key }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let cipher = ChaCha20::new(&self.key, nonce);
+        let block0 = cipher.block(0);
+        let poly_key: [u8; 32] = block0[..32].try_into().unwrap();
+        let mut mac = Poly1305::new(&poly_key);
+        let zeros = [0u8; 16];
+        mac.update(aad);
+        mac.update(&zeros[..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&zeros[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`; returns
+    /// `ciphertext ‖ tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext ‖ tag`.
+    ///
+    /// # Errors
+    /// Returns [`AeadError`] if the tag does not verify (wrong key, nonce,
+    /// AAD, or modified ciphertext); no plaintext is released on failure.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if ciphertext.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let (ct, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let expect = self.tag(nonce, aad, ct);
+        if !ct_eq(&expect, tag) {
+            return Err(AeadError);
+        }
+        let mut out = ct.to_vec();
+        ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
+        Ok(out)
+    }
+}
+
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_hashes::hex;
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2.
+        let key: [u8; 32] = (0x80..0xa0u8).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = hex::decode("070000004041424344454647")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aad = hex::decode("50515253c0c1c2c3c4c5c6c7").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let aead = ChaCha20Poly1305::new(&key);
+        let sealed = aead.seal(&nonce, &aad, plaintext);
+        let expect_ct = hex::decode(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        )
+        .unwrap();
+        assert_eq!(&sealed[..plaintext.len()], &expect_ct[..]);
+        assert_eq!(
+            hex::encode(&sealed[plaintext.len()..]),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
+        let opened = aead.open(&nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let aead = ChaCha20Poly1305::new(&[3u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"hdr", b"payload");
+        // Flip each byte in turn: every mutation must be rejected.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert_eq!(
+                aead.open(&nonce, b"hdr", &bad),
+                Err(AeadError),
+                "byte {}",
+                i
+            );
+        }
+        // Wrong AAD and wrong nonce rejected.
+        assert!(aead.open(&nonce, b"HDR", &sealed).is_err());
+        assert!(aead.open(&[2u8; 12], b"hdr", &sealed).is_err());
+        // Truncated input rejected.
+        assert!(aead.open(&nonce, b"hdr", &sealed[..10]).is_err());
+        assert!(aead.open(&nonce, b"hdr", &[]).is_err());
+    }
+
+    #[test]
+    fn empty_everything() {
+        let aead = ChaCha20Poly1305::new(&[0u8; 32]);
+        let nonce = [0u8; 12];
+        let sealed = aead.seal(&nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(aead.open(&nonce, b"", &sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn large_message_roundtrip() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [4u8; 12];
+        let msg: Vec<u8> = (0..100_000).map(|i| (i * 7) as u8).collect();
+        let sealed = aead.seal(&nonce, b"big", &msg);
+        assert_eq!(aead.open(&nonce, b"big", &sealed).unwrap(), msg);
+    }
+}

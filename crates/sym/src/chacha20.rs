@@ -1,0 +1,167 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2.3–2.4), from scratch.
+
+/// ChaCha20 keystream generator / stream cipher.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20/IETF nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance for the given key and nonce.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, c) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(c.try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, c) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(c.try_into().unwrap());
+        }
+        Self { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte block for the given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let mut w = state;
+        for _ in 0..10 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            out[4 * i..4 * i + 4].copy_from_slice(&w[i].wrapping_add(state[i]).to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `counter`) into `data` in
+    /// place. Encryption and decryption are the same operation.
+    ///
+    /// # Panics
+    /// Panics if the message would overflow the 32-bit block counter
+    /// (&gt; 256 GiB).
+    pub fn apply_keystream(&self, counter: u32, data: &mut [u8]) {
+        let blocks = data.len().div_ceil(64);
+        assert!(
+            (counter as u64) + (blocks as u64) <= (u32::MAX as u64) + 1,
+            "message too long for 32-bit ChaCha20 counter"
+        );
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(counter.wrapping_add(i as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hexkey() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key = hexkey();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        let expect = tre_hashes::hex::decode(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        )
+        .unwrap();
+        assert_eq!(block.to_vec(), expect);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key = hexkey();
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut msg = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        cipher.apply_keystream(1, &mut msg);
+        let expect = tre_hashes::hex::decode(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        )
+        .unwrap();
+        assert_eq!(msg, expect);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cipher = ChaCha20::new(&[7u8; 32], &[9u8; 12]);
+        let mut data = b"attack at dawn".to_vec();
+        cipher.apply_keystream(0, &mut data);
+        assert_ne!(&data, b"attack at dawn");
+        cipher.apply_keystream(0, &mut data);
+        assert_eq!(&data, b"attack at dawn");
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let cipher = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        let mut long = vec![0u8; 130];
+        cipher.apply_keystream(5, &mut long);
+        // Same as encrypting each 64-byte block with its own counter.
+        let mut manual = vec![0u8; 130];
+        cipher.apply_keystream(5, &mut manual[..64]);
+        cipher.apply_keystream(6, &mut manual[64..128]);
+        cipher.apply_keystream(7, &mut manual[128..]);
+        assert_eq!(long, manual);
+    }
+
+    #[test]
+    fn empty_message() {
+        let cipher = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        let mut empty: Vec<u8> = vec![];
+        cipher.apply_keystream(0, &mut empty);
+        assert!(empty.is_empty());
+    }
+}

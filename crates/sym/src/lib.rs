@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # tre-sym
+//!
+//! From-scratch symmetric primitives for the timed-release reproduction:
+//! the ChaCha20 stream cipher, the Poly1305 one-time authenticator, and the
+//! ChaCha20-Poly1305 AEAD composition (all per RFC 8439, verified against
+//! its test vectors).
+//!
+//! The AEAD serves as the data-encapsulation mechanism (DEM) in the hybrid
+//! mode of `tre-core`: the pairing-derived timed-release key wraps a fresh
+//! AEAD key, which encrypts the actual message body.
+//!
+//! # Example
+//! ```
+//! use tre_sym::ChaCha20Poly1305;
+//! let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+//! let nonce = [0u8; 12];
+//! let sealed = aead.seal(&nonce, b"header", b"secret");
+//! assert_eq!(aead.open(&nonce, b"header", &sealed)?, b"secret");
+//! # Ok::<(), tre_sym::AeadError>(())
+//! ```
+
+mod aead;
+mod chacha20;
+mod poly1305;
+
+pub use aead::{AeadError, ChaCha20Poly1305};
+pub use chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+pub use poly1305::{Poly1305, TAG_LEN};

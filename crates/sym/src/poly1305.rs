@@ -1,0 +1,243 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5), from scratch.
+//!
+//! Radix-2²⁶ implementation (five 26-bit limbs): the evaluation of the
+//! message polynomial at the clamped point `r` modulo `2¹³⁰ − 5`, plus `s`.
+
+/// Poly1305 key length (r ‖ s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a one-time authenticator from a 32-byte key `(r ‖ s)`.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+        // Clamp r per the spec and split into 26-bit limbs.
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+        Self {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn block(&mut self, block: &[u8], partial: bool) {
+        debug_assert_eq!(block.len(), 16);
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+
+        let h = &mut self.h;
+        h[0] = h[0].wrapping_add(t0 & 0x03ff_ffff);
+        h[1] = h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        h[2] = h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        h[3] = h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        h[4] = h[4].wrapping_add((t3 >> 8) | hibit);
+
+        let r = &self.r;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+        let m = |a: u32, b: u32| a as u64 * b as u64;
+        let d0 = m(h[0], r[0]) + m(h[1], s4) + m(h[2], s3) + m(h[3], s2) + m(h[4], s1);
+        let mut d1 = m(h[0], r[1]) + m(h[1], r[0]) + m(h[2], s4) + m(h[3], s3) + m(h[4], s2);
+        let mut d2 = m(h[0], r[2]) + m(h[1], r[1]) + m(h[2], r[0]) + m(h[3], s4) + m(h[4], s3);
+        let mut d3 = m(h[0], r[3]) + m(h[1], r[2]) + m(h[2], r[1]) + m(h[3], r[0]) + m(h[4], s4);
+        let mut d4 = m(h[0], r[4]) + m(h[1], r[3]) + m(h[2], r[2]) + m(h[3], r[1]) + m(h[4], r[0]);
+
+        // Carry chain.
+        let mut c;
+        c = d0 >> 26;
+        h[0] = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        h[1] = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        h[2] = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        h[3] = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        h[4] = (d4 & 0x03ff_ffff) as u32;
+        h[0] += (c as u32) * 5;
+        let c2 = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] += c2;
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let buf = self.buf;
+                self.block(&buf, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (blk, rest) = data.split_at(16);
+            self.block(blk, false);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Produces the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut last = [0u8; 16];
+            last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            last[self.buf_len] = 1; // pad with 0x01 then zeros
+            self.block(&last, true);
+        }
+        let h = &mut self.h;
+        // Full carry propagation.
+        let mut c;
+        c = h[1] >> 26;
+        h[1] &= 0x03ff_ffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x03ff_ffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x03ff_ffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x03ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] += c;
+
+        // Compute h + 5 − 2¹³⁰ and select it if it did not go negative
+        // (i.e. h ≥ p).
+        let mut g = [0u32; 5];
+        c = 5;
+        for i in 0..5 {
+            let t = h[i] + c;
+            c = t >> 26;
+            g[i] = t & 0x03ff_ffff;
+        }
+        let mask = (c ^ 1).wrapping_sub(1); // all-ones if h >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize to 128 bits and add s.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+        let mut out = [0u8; TAG_LEN];
+        let mut carry: u64 = 0;
+        for (i, (hw, sw)) in [h0, h1, h2, h3].iter().zip(self.s.iter()).enumerate() {
+            let t = *hw as u64 + *sw as u64 + carry;
+            out[4 * i..4 * i + 4].copy_from_slice(&(t as u32).to_le_bytes());
+            carry = t >> 32;
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Self::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_hashes::hex;
+
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] =
+            hex::decode("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex::encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 100, 199, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split={}", split);
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        // h stays 0, tag == s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xaau8; 16]);
+        let tag = Poly1305::mac(&key, b"");
+        assert_eq!(tag, [0xaau8; 16]);
+    }
+
+    #[test]
+    fn tag_depends_on_message_and_key() {
+        let key = [7u8; 32];
+        assert_ne!(Poly1305::mac(&key, b"a"), Poly1305::mac(&key, b"b"));
+        assert_ne!(Poly1305::mac(&key, b"a"), Poly1305::mac(&[8u8; 32], b"a"));
+    }
+
+    #[test]
+    fn wrap_reduction_edge() {
+        // All-ones r and message exercise the h >= p final-subtract path.
+        let mut key = [0xffu8; 32];
+        // still gets clamped internally
+        key[16..].copy_from_slice(&[0u8; 16]);
+        let data = [0xffu8; 64];
+        let t1 = Poly1305::mac(&key, &data);
+        let t2 = Poly1305::mac(&key, &data);
+        assert_eq!(t1, t2);
+    }
+}

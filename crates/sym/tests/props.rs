@@ -1,0 +1,59 @@
+//! Property-based tests for the symmetric primitives.
+
+use proptest::prelude::*;
+use tre_sym::{ChaCha20, ChaCha20Poly1305, Poly1305};
+
+proptest! {
+    #[test]
+    fn aead_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64),
+                      msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aead = ChaCha20Poly1305::new(&key);
+        let sealed = aead.seal(&nonce, &aad, &msg);
+        prop_assert_eq!(sealed.len(), msg.len() + 16);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn aead_any_flip_rejected(key in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..64),
+                              pos in any::<u16>(), bit in 0u8..8) {
+        let aead = ChaCha20Poly1305::new(&key);
+        let nonce = [0u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", &msg);
+        let i = pos as usize % sealed.len();
+        sealed[i] ^= 1 << bit;
+        prop_assert!(aead.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn aead_wrong_context_rejected(key in any::<[u8; 32]>(), key2 in any::<[u8; 32]>(),
+                                   nonce in any::<[u8; 12]>(), nonce2 in any::<[u8; 12]>()) {
+        prop_assume!(key != key2 && nonce != nonce2);
+        let sealed = ChaCha20Poly1305::new(&key).seal(&nonce, b"aad", b"msg");
+        prop_assert!(ChaCha20Poly1305::new(&key2).open(&nonce, b"aad", &sealed).is_err());
+        prop_assert!(ChaCha20Poly1305::new(&key).open(&nonce2, b"aad", &sealed).is_err());
+        prop_assert!(ChaCha20Poly1305::new(&key).open(&nonce, b"AAD", &sealed).is_err());
+    }
+
+    #[test]
+    fn chacha_keystream_involutive(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                   ctr in any::<u16>(),
+                                   msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut buf = msg.clone();
+        cipher.apply_keystream(ctr as u32, &mut buf);
+        cipher.apply_keystream(ctr as u32, &mut buf);
+        prop_assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn poly1305_incremental_equivalence(key in any::<[u8; 32]>(),
+                                        msg in proptest::collection::vec(any::<u8>(), 0..200),
+                                        split in any::<u8>()) {
+        let split = split as usize % (msg.len() + 1);
+        let mut mac = Poly1305::new(&key);
+        mac.update(&msg[..split]);
+        mac.update(&msg[split..]);
+        prop_assert_eq!(mac.finalize(), Poly1305::mac(&key, &msg));
+    }
+}

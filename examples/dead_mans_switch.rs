@@ -1,0 +1,56 @@
+//! k-of-N threshold timed release: a dead-man's switch that survives
+//! server outages without concentrating trust in any single operator.
+//!
+//! ```text
+//! cargo run --example dead_mans_switch
+//! ```
+
+use tre::core::multi_server::MultiServerUserKey;
+use tre::core::threshold;
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    // Five independent time servers; the sender requires any 3 to release.
+    let servers: Vec<ServerKeyPair<8>> = (0..5)
+        .map(|_| ServerKeyPair::generate(curve, &mut rng))
+        .collect();
+    let pks: Vec<ServerPublicKey<8>> = servers.iter().map(|s| *s.public()).collect();
+
+    let secret = curve.random_scalar(&mut rng);
+    let lawyer = UserKeyPair::from_secret(curve, &pks[0], secret);
+    let multi_pk = MultiServerUserKey::derive(curve, &pks, &secret);
+
+    let release = ReleaseTag::time("2027-01-01T00:00:00Z unless-renewed");
+    let ct = threshold::encrypt(
+        curve,
+        &pks,
+        &multi_pk,
+        3,
+        &release,
+        b"safe deposit box 4471, combination 19-07-26",
+        &mut rng,
+    )?;
+    println!("dead-man file sealed 3-of-5 ({} bytes)", ct.size(curve));
+
+    // Release day: servers 1 and 4 are down; 0, 2, 3 broadcast.
+    let mut updates: Vec<Option<KeyUpdate<8>>> = vec![None; 5];
+    for i in [0usize, 2, 3] {
+        updates[i] = Some(servers[i].issue_update(curve, &release));
+    }
+    println!("servers 1 and 4 offline; 0, 2, 3 published their updates");
+
+    let msg = threshold::decrypt(curve, &pks, &lawyer, &updates, &ct)?;
+    println!("lawyer opens the file: {:?}", String::from_utf8_lossy(&msg));
+
+    // Two colluding servers + the lawyer, ahead of time: nothing.
+    let mut early: Vec<Option<KeyUpdate<8>>> = vec![None; 5];
+    for i in [1usize, 4] {
+        early[i] = Some(servers[i].issue_update(curve, &release));
+    }
+    assert!(threshold::decrypt(curve, &pks, &lawyer, &early, &ct).is_err());
+    println!("2 colluding servers below the threshold: file stays sealed");
+    Ok(())
+}

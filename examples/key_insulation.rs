@@ -1,0 +1,77 @@
+//! Key insulation (§5.3.3): decrypt on an insecure laptop without ever
+//! loading the long-term secret onto it.
+//!
+//! The long-term key `a` lives in a "smart card"; each epoch the card
+//! derives `D_T = a·I_T` from the broadcast update and hands only that to
+//! the laptop. Stealing the laptop compromises one epoch, not the key.
+//!
+//! ```text
+//! cargo run --example key_insulation
+//! ```
+
+use tre::core::insulated::EpochKey;
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+
+    // The smart card holds the long-term secret.
+    let smart_card = UserKeyPair::generate(curve, server.public(), &mut rng);
+    println!("long-term key generated inside the smart card; it never leaves");
+
+    // Two messages, locked to consecutive epochs.
+    let monday = ReleaseTag::time("2026-07-06 (monday)");
+    let tuesday = ReleaseTag::time("2026-07-07 (tuesday)");
+    let ct_mon = tre::core::tre::encrypt(
+        curve,
+        server.public(),
+        smart_card.public(),
+        &monday,
+        b"monday briefing",
+        &mut rng,
+    )?;
+    let ct_tue = tre::core::tre::encrypt(
+        curve,
+        server.public(),
+        smart_card.public(),
+        &tuesday,
+        b"tuesday briefing",
+        &mut rng,
+    )?;
+
+    // Monday's update arrives; the card derives Monday's epoch key and
+    // exports it to the laptop.
+    let update_mon = server.issue_update(curve, &monday);
+    let laptop_key_mon = EpochKey::derive(curve, server.public(), &smart_card, &update_mon)?;
+    assert!(laptop_key_mon.verify(curve, server.public(), smart_card.public(), &update_mon));
+    println!("monday epoch key exported to laptop (verified against public keys only)");
+
+    // The laptop decrypts Monday traffic — no long-term secret in sight.
+    let msg = laptop_key_mon.decrypt(curve, &ct_mon)?;
+    println!(
+        "laptop decrypts monday: {:?}",
+        String::from_utf8_lossy(&msg)
+    );
+
+    // The laptop is stolen Monday night. The thief holds D_monday...
+    println!("\nlaptop stolen! thief holds monday's epoch key");
+    // ...but it is useless for Tuesday: structurally (tag mismatch) and
+    // cryptographically (computing D_tuesday from D_monday is CDH).
+    assert_eq!(
+        laptop_key_mon.decrypt(curve, &ct_tue),
+        Err(TreError::UpdateTagMismatch)
+    );
+    println!("thief cannot decrypt tuesday: epoch keys are insulated");
+
+    // The user keeps going: Tuesday's card-derived key works as usual.
+    let update_tue = server.issue_update(curve, &tuesday);
+    let laptop_key_tue = EpochKey::derive(curve, server.public(), &smart_card, &update_tue)?;
+    let msg = laptop_key_tue.decrypt(curve, &ct_tue)?;
+    println!(
+        "fresh card-derived key decrypts tuesday: {:?}",
+        String::from_utf8_lossy(&msg)
+    );
+    Ok(())
+}

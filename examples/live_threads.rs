@@ -1,0 +1,69 @@
+//! Live threaded deployment shape: the time server publishes from its own
+//! thread through a crossbeam fan-out hub while receiver threads block on
+//! their channels and decrypt the moment the update lands.
+//!
+//! ```text
+//! cargo run --example live_threads
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use tre::prelude::*;
+use tre::server::LiveHub;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let server = Arc::new(ServerKeyPair::generate(curve, &mut rng));
+    let spk = *server.public();
+    let hub: Arc<LiveHub<8>> = Arc::new(LiveHub::new());
+
+    let tag = ReleaseTag::time("release-now-ish");
+
+    // Three receiver threads, each holding a sealed message.
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let user = UserKeyPair::generate(curve, &spk, &mut rng);
+        let ct = tre::core::tre::encrypt(
+            curve,
+            &spk,
+            user.public(),
+            &tag,
+            format!("payload for thread {i}").as_bytes(),
+            &mut rng,
+        )?;
+        let rx = hub.subscribe();
+        handles.push(thread::spawn(move || {
+            // Blocks until the broadcast arrives.
+            let update = rx.recv().expect("hub broadcast");
+            let msg = tre::core::tre::decrypt(tre::pairing::toy64(), &spk, &user, &update, &ct)
+                .expect("decrypts");
+            println!("thread {i} opened: {:?}", String::from_utf8_lossy(&msg));
+        }));
+    }
+
+    // The server thread publishes exactly one update after a short delay.
+    let server_thread = {
+        let hub = hub.clone();
+        let server = server.clone();
+        let tag = tag.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(50));
+            let update = server.issue_update(tre::pairing::toy64(), &tag);
+            println!(
+                "server thread broadcasting single update to {} subscribers",
+                hub.subscriber_count()
+            );
+            hub.publish(&update);
+        })
+    };
+
+    server_thread.join().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!("one broadcast, three concurrent decryptions — no per-user server work");
+    Ok(())
+}

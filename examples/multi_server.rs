@@ -1,0 +1,73 @@
+//! Multiple time servers (§5.3.5): spreading trust so that releasing a
+//! message early requires *every* server to collude with the receiver.
+//!
+//! Scenario: a whistleblower's dead-man file, locked under three
+//! independently operated time servers.
+//!
+//! ```text
+//! cargo run --example multi_server
+//! ```
+
+use tre::core::multi_server::{self, MultiServerUserKey};
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    // Three independent time servers (different operators, different keys,
+    // different generators).
+    let servers: Vec<ServerKeyPair<8>> = (0..3)
+        .map(|_| ServerKeyPair::generate(curve, &mut rng))
+        .collect();
+    let server_pks: Vec<ServerPublicKey<8>> = servers.iter().map(|s| *s.public()).collect();
+    println!("3 independent time servers online");
+
+    // The journalist (receiver) derives one multi-server public key from a
+    // single long-term secret.
+    let secret = curve.random_scalar(&mut rng);
+    let journalist = UserKeyPair::from_secret(curve, &server_pks[0], secret);
+    let multi_pk = MultiServerUserKey::derive(curve, &server_pks, &secret);
+    multi_pk.validate(curve, &server_pks)?;
+    println!("journalist's 3-server key validated by the sender");
+
+    let release = ReleaseTag::time("2026-12-31T23:59:59Z");
+    let ct = multi_server::encrypt(
+        curve,
+        &server_pks,
+        &multi_pk,
+        &release,
+        b"documents: see attached ledger, accounts 17 and 23",
+        &mut rng,
+    )?;
+    println!(
+        "dead-man file sealed; needs updates from all {} servers",
+        ct.arity()
+    );
+
+    // Two servers collude with an attacker and issue their updates early.
+    let u0 = servers[0].issue_update(curve, &release);
+    let u1 = servers[1].issue_update(curve, &release);
+    println!("\nservers 0 and 1 collude and release early...");
+    let partial = multi_server::decrypt(
+        curve,
+        &server_pks,
+        &journalist,
+        &[u0.clone(), u1.clone()],
+        &ct,
+    );
+    assert!(partial.is_err());
+    println!(
+        "2-of-3 updates: decryption impossible ({})",
+        partial.unwrap_err()
+    );
+
+    // The honest third server waits for the real release time, then signs.
+    let u2 = servers[2].issue_update(curve, &release);
+    let file = multi_server::decrypt(curve, &server_pks, &journalist, &[u0, u1, u2], &ct)?;
+    println!(
+        "\nall 3 updates present — file opens: {:?}",
+        String::from_utf8_lossy(&file)
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Policy locks (§5.3.2): the server as a general *witness* signing
+//! conditions, and conjunctions of conditions ("time AND event").
+//!
+//! Scenario: a contingency plan that must only open after noon AND once an
+//! emergency has been formally declared.
+//!
+//! ```text
+//! cargo run --example policy_lock
+//! ```
+
+use tre::core::policy;
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    let witness = ServerKeyPair::generate(curve, &mut rng);
+    let officer = UserKeyPair::generate(curve, witness.public(), &mut rng);
+
+    let after_noon = ReleaseTag::time("2026-07-04T12:00:00Z");
+    let emergency = ReleaseTag::policy("state of emergency declared by the council");
+
+    let ct = policy::encrypt(
+        curve,
+        witness.public(),
+        officer.public(),
+        &[after_noon.clone(), emergency.clone()],
+        b"open the vault, distribute supplies from depot 7",
+        &mut rng,
+    )?;
+    println!(
+        "contingency plan sealed under 2 conditions ({} bytes)",
+        ct.size(curve)
+    );
+
+    // Noon passes — the witness attests the time condition.
+    let att_time = witness.issue_update(curve, &after_noon);
+    println!("condition attested: {after_noon}");
+
+    // One attestation is not enough.
+    assert!(policy::decrypt(curve, witness.public(), &officer, &[att_time.clone()], &ct).is_err());
+    println!("with only the time attestation: still sealed");
+
+    // A forged emergency attestation does not help either.
+    let forged = KeyUpdate::from_parts(
+        emergency.clone(),
+        curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+    );
+    assert_eq!(
+        policy::decrypt(
+            curve,
+            witness.public(),
+            &officer,
+            &[att_time.clone(), forged],
+            &ct
+        ),
+        Err(TreError::InvalidUpdate)
+    );
+    println!("with a forged emergency attestation: rejected");
+
+    // The council declares the emergency; the witness signs it.
+    let att_emergency = witness.issue_update(curve, &emergency);
+    println!("condition attested: {emergency}");
+
+    let plan = policy::decrypt(
+        curve,
+        witness.public(),
+        &officer,
+        &[att_time, att_emergency],
+        &ct,
+    )?;
+    println!(
+        "\nboth conditions met — plan opens: {:?}",
+        String::from_utf8_lossy(&plan)
+    );
+    Ok(())
+}

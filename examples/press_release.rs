@@ -1,0 +1,63 @@
+//! ID-TRE (§5.2): the "timed press release" application — encrypt to a
+//! journalist's *identity string* plus a release time; no receiver
+//! certificate needed at all. Also demonstrates the inherent key escrow
+//! that the paper's main scheme exists to remove.
+//!
+//! ```text
+//! cargo run --example press_release
+//! ```
+
+use tre::core::idtre::{self, IdentityKey};
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    // One trusted authority acts as both identity-key issuer and time
+    // server (§5.2 allows them to be the same entity).
+    let authority = ServerKeyPair::generate(curve, &mut rng);
+
+    // The journalist's "public key" is just her email address.
+    let journalist = b"newsdesk@example.org";
+    let embargo = ReleaseTag::time("2026-07-10T09:00:00Z");
+
+    // The company seals the announcement under (identity, embargo time) —
+    // no certificate lookup, no interaction with anyone.
+    let ct = idtre::encrypt(
+        curve,
+        authority.public(),
+        journalist,
+        &embargo,
+        b"Q2 results: revenue up 40%",
+        &mut rng,
+    );
+    println!(
+        "announcement sealed to {:?} until {}",
+        String::from_utf8_lossy(journalist),
+        embargo
+    );
+
+    // The journalist obtained her long-lived identity key once, out of
+    // band, and verifies what the authority handed her.
+    let id_key = IdentityKey::new(authority.extract_identity_key(curve, journalist));
+    assert!(id_key.verify(curve, authority.public(), journalist));
+
+    // Before the embargo: the update doesn't exist, so she waits. At
+    // 09:00, the same single broadcast everyone gets unlocks her copy.
+    let update = authority.issue_update(curve, &embargo);
+    let msg = idtre::decrypt(curve, authority.public(), &id_key, &update, &ct)?;
+    println!(
+        "embargo lifted, journalist reads: {:?}",
+        String::from_utf8_lossy(&msg)
+    );
+
+    // The catch (§5.2): the authority can *also* read it — key escrow is
+    // inherent in the identity-based variant.
+    let escrowed = IdentityKey::new(authority.extract_identity_key(curve, journalist));
+    let leaked = idtre::decrypt(curve, authority.public(), &escrowed, &update, &ct)?;
+    assert_eq!(leaked, msg);
+    println!("\n⚠ the authority could read it too (inherent escrow) — the paper's");
+    println!("  main TRE scheme avoids exactly this: run `cargo run --example quickstart`.");
+    Ok(())
+}

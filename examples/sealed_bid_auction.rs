@@ -1,0 +1,72 @@
+//! The paper's motivating scenario: a sealed-bid government tender.
+//!
+//! Bidders submit their bids *before* the deadline, encrypted so that not
+//! even the auctioneer can open them early; when the bidding period
+//! closes, the time server's single broadcast update opens every bid at
+//! once. Uses the CCA-secure FO scheme (bids must not be malleable!).
+//!
+//! ```text
+//! cargo run --example sealed_bid_auction
+//! ```
+
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    let time_server = ServerKeyPair::generate(curve, &mut rng);
+    // The auctioneer is an ordinary receiver — it holds no special power
+    // over the release time.
+    let auctioneer = UserKeyPair::generate(curve, time_server.public(), &mut rng);
+    let deadline = ReleaseTag::time("2026-08-01T17:00:00Z bidding closes");
+
+    // Three bidders seal their bids before the deadline. None of them
+    // interacts with the time server; none reveals their identity to it.
+    let bids: [(&str, u64); 3] = [
+        ("acme", 1_250_000),
+        ("globex", 1_175_000),
+        ("initech", 1_320_000),
+    ];
+    let mut sealed = Vec::new();
+    for (who, amount) in bids {
+        let body = format!("{who} bids ${amount}");
+        let ct = tre::core::fo::encrypt(
+            curve,
+            time_server.public(),
+            auctioneer.public(),
+            &deadline,
+            body.as_bytes(),
+            &mut rng,
+        )?;
+        println!(
+            "sealed bid received from {who}: {} bytes, opaque until deadline",
+            ct.size(curve)
+        );
+        sealed.push(ct);
+    }
+
+    // A corrupt official leaks the stored ciphertexts to a competitor
+    // before the deadline — useless: decryption requires the update that
+    // does not exist yet, and the auctioneer's private key alone is not
+    // enough.
+
+    // The deadline passes: one broadcast update unseals everything.
+    let update = time_server.issue_update(curve, &deadline);
+    println!("\n-- bidding closed; update {} broadcast --", deadline);
+    let mut best: Option<(String, u64)> = None;
+    for ct in &sealed {
+        let bid = tre::core::fo::decrypt(curve, time_server.public(), &auctioneer, &update, ct)?;
+        let text = String::from_utf8_lossy(&bid).to_string();
+        println!("opened: {text}");
+        let amount: u64 = text.rsplit('$').next().unwrap().parse().unwrap();
+        let who = text.split(' ').next().unwrap().to_string();
+        if best.as_ref().map_or(true, |(_, b)| amount < *b) {
+            best = Some((who, amount));
+        }
+    }
+    let (winner, amount) = best.unwrap();
+    println!("\nlowest bid wins: {winner} at ${amount}");
+    assert_eq!(winner, "globex");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Missing-update resilience (§6 future work): a long-offline receiver
+//! opens years of accumulated timed-release mail from a single broadcast.
+//!
+//! Plain TRE needs one archived update per missed tag; the cover-tree
+//! scheme compresses "everything up to now" into ≤ depth+1 signatures.
+//!
+//! ```text
+//! cargo run --example time_capsule
+//! ```
+
+use tre::core::resilient::{self, EpochTree, ResilientBroadcast};
+use tre::prelude::*;
+
+fn main() -> Result<(), TreError> {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let alice = UserKeyPair::generate(curve, server.public(), &mut rng);
+
+    // One epoch per day for ~2.8 years.
+    let tree = EpochTree::new(10);
+    println!(
+        "epoch tree: {} day-epochs, broadcast ≤ {} signatures",
+        tree.epochs(),
+        tree.depth() + 1
+    );
+
+    // Friends send Alice birthday capsules for three different years while
+    // she is on a multi-year expedition with no connectivity.
+    let capsules = [
+        (250u64, "year 1: happy birthday from bob"),
+        (615, "year 2: happy birthday from carol"),
+        (980, "year 3: happy birthday from dave"),
+    ];
+    let cts: Vec<_> = capsules
+        .iter()
+        .map(|(epoch, msg)| {
+            resilient::encrypt(
+                curve,
+                server.public(),
+                alice.public(),
+                &tree,
+                *epoch,
+                msg.as_bytes(),
+                &mut rng,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for ((epoch, _), ct) in capsules.iter().zip(&cts) {
+        println!("capsule sealed for epoch {epoch}: {} bytes", ct.size(curve));
+    }
+
+    // Day 999: Alice returns. She fetches ONLY the latest broadcast — not
+    // 999 archived updates.
+    let today = 999;
+    let latest = ResilientBroadcast::issue(curve, &server, &tree, today);
+    println!(
+        "\nalice returns on day {today}; latest broadcast carries {} signatures ({} bytes)",
+        latest.len(),
+        latest.size(curve)
+    );
+    assert!(latest.verify(curve, server.public(), &tree));
+
+    for ((epoch, expect), ct) in capsules.iter().zip(&cts) {
+        let msg = resilient::decrypt(curve, server.public(), &alice, &tree, &latest, ct)?;
+        println!(
+            "opened capsule from epoch {epoch}: {:?}",
+            String::from_utf8_lossy(&msg)
+        );
+        assert_eq!(msg, expect.as_bytes());
+    }
+
+    // A capsule for a *future* day stays sealed even with today's broadcast.
+    let future_ct = resilient::encrypt(
+        curve,
+        server.public(),
+        alice.public(),
+        &tree,
+        1020,
+        b"not yet",
+        &mut rng,
+    )?;
+    assert!(
+        resilient::decrypt(curve, server.public(), &alice, &tree, &latest, &future_ct).is_err()
+    );
+    println!("\ncapsule for day 1020 remains sealed — the broadcast covers only the past");
+    Ok(())
+}

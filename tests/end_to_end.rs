@@ -1,0 +1,234 @@
+//! End-to-end integration tests spanning the whole stack: pairing →
+//! schemes → server runtime → network simulation.
+
+use tre::core::{fo, hybrid, react, tre as basic};
+use tre::prelude::*;
+use tre::server::{BroadcastNet, NetConfig};
+
+type Curve8 = &'static tre::pairing::CurveToy64;
+
+fn curve() -> Curve8 {
+    tre::pairing::toy64()
+}
+
+#[test]
+fn all_four_schemes_roundtrip_same_setup() {
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+    let tag = ReleaseTag::time("t");
+    let update = server.issue_update(curve, &tag);
+    let msg = b"the same message through four pipelines";
+
+    let ct = basic::encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+    assert_eq!(
+        basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        msg
+    );
+
+    let ct = fo::encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+    assert_eq!(
+        fo::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        msg
+    );
+
+    let ct = react::encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+    assert_eq!(
+        react::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        msg
+    );
+
+    let ct = hybrid::encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+    assert_eq!(
+        hybrid::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        msg
+    );
+}
+
+#[test]
+fn full_simulation_with_lossy_network_and_archive_recovery() {
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let clock = SimClock::new();
+    let skeys = ServerKeyPair::generate(curve, &mut rng);
+    let spk = *skeys.public();
+    let mut server = TimeServer::new(curve, skeys, clock.clone(), Granularity::Seconds);
+    // Heavy loss: 40% of deliveries drop.
+    let mut net: BroadcastNet<8> = BroadcastNet::new(
+        clock.clone(),
+        NetConfig {
+            base_latency: 1,
+            jitter: 1,
+            loss_prob: 0.4,
+        },
+        99,
+    );
+    let n_clients = 4;
+    let mut clients: Vec<ReceiverClient<8>> = (0..n_clients)
+        .map(|_| ReceiverClient::new(curve, spk, UserKeyPair::generate(curve, &spk, &mut rng)))
+        .collect();
+    let subs: Vec<_> = clients.iter().map(|_| net.subscribe()).collect();
+
+    // Each client gets a message locked to epoch 3.
+    let tag = server.tag_for_epoch(3);
+    for (i, c) in clients.iter_mut().enumerate() {
+        let ct = basic::encrypt(
+            curve,
+            &spk,
+            c.public_key(),
+            &tag,
+            format!("payload-{i}").as_bytes(),
+            &mut rng,
+        )
+        .unwrap();
+        c.receive_ciphertext(ct, 0);
+    }
+
+    // Run 8 ticks of simulation.
+    for _ in 0..8 {
+        for u in server.poll() {
+            let bytes = u.to_bytes(curve).len();
+            net.broadcast(&u, bytes);
+        }
+        for (i, sub) in subs.iter().enumerate() {
+            for (at, u) in net.poll(*sub) {
+                let _ = clients[i].receive_update(u, at);
+            }
+        }
+        clock.advance(1);
+    }
+
+    // Some clients may have lost the epoch-3 broadcast; everyone catches up
+    // from the public archive.
+    for c in clients.iter_mut() {
+        if c.pending_count() > 0 {
+            let opened = c.catch_up(server.archive(), clock.now(), |tag| {
+                let s = String::from_utf8_lossy(tag.value()).to_string();
+                s.rsplit('/').next().and_then(|n| n.parse().ok())
+            });
+            assert!(opened > 0, "archive recovery must succeed");
+        }
+    }
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.pending_count(), 0);
+        let m = c.opened().iter().find(|m| m.tag == tag).unwrap();
+        assert_eq!(m.plaintext, format!("payload-{i}").as_bytes());
+        assert!(m.opened_at >= 3, "never opened before release");
+    }
+}
+
+#[test]
+fn sender_needs_no_server_state_for_far_future_tags() {
+    // The anti-Rivest-offline property: any tag, arbitrarily far out,
+    // without the server publishing anything in advance.
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+    let far = ReleaseTag::time("9999-12-31T23:59:59Z");
+    let ct = basic::encrypt(
+        curve,
+        server.public(),
+        user.public(),
+        &far,
+        b"time capsule",
+        &mut rng,
+    )
+    .unwrap();
+    // Centuries later the server (same key) signs that instant.
+    let update = server.issue_update(curve, &far);
+    assert_eq!(
+        basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        b"time capsule"
+    );
+}
+
+#[test]
+fn one_update_many_receivers() {
+    // The headline scalability property (§5.3.1): a single update object
+    // serves every receiver.
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let tag = ReleaseTag::time("t");
+    let users: Vec<_> = (0..8)
+        .map(|_| UserKeyPair::generate(curve, server.public(), &mut rng))
+        .collect();
+    let cts: Vec<_> = users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            basic::encrypt(
+                curve,
+                server.public(),
+                u.public(),
+                &tag,
+                format!("m{i}").as_bytes(),
+                &mut rng,
+            )
+            .unwrap()
+        })
+        .collect();
+    let update = server.issue_update(curve, &tag); // exactly one
+    for (i, (u, ct)) in users.iter().zip(&cts).enumerate() {
+        assert_eq!(
+            basic::decrypt(curve, server.public(), u, &update, ct).unwrap(),
+            format!("m{i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn wire_format_survives_serialization_across_components() {
+    // Sender and receiver only ever exchange bytes.
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+
+    // Receiver publishes its key as bytes; sender parses and validates.
+    let pk_bytes = user.public().to_bytes(curve);
+    let parsed_pk = UserPublicKey::from_bytes(curve, &pk_bytes).unwrap();
+    parsed_pk.validate(curve, server.public()).unwrap();
+
+    let tag = ReleaseTag::time("t");
+    let ct = fo::encrypt(curve, server.public(), &parsed_pk, &tag, b"wire", &mut rng).unwrap();
+    let ct_bytes = ct.to_bytes(curve);
+
+    // Update also travels as bytes.
+    let update_bytes = server.issue_update(curve, &tag).to_bytes(curve);
+    let update = KeyUpdate::from_bytes(curve, &update_bytes).unwrap();
+    assert!(update.verify(curve, server.public()));
+
+    let ct2 = tre::core::fo::FoCiphertext::from_bytes(curve, &ct_bytes).unwrap();
+    assert_eq!(
+        fo::decrypt(curve, server.public(), &user, &update, &ct2).unwrap(),
+        b"wire"
+    );
+}
+
+#[test]
+fn id_tre_and_tre_coexist_on_one_server() {
+    // The same server key serves both the ID-based and the non-ID scheme
+    // (§5.2 notes they can be the same entity).
+    let curve = curve();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let tag = ReleaseTag::time("t");
+    let update = server.issue_update(curve, &tag);
+
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+    let ct1 = basic::encrypt(curve, server.public(), user.public(), &tag, b"pk", &mut rng).unwrap();
+    assert_eq!(
+        basic::decrypt(curve, server.public(), &user, &update, &ct1).unwrap(),
+        b"pk"
+    );
+
+    let id_key = tre::core::idtre::IdentityKey::new(server.extract_identity_key(curve, b"alice"));
+    let ct2 = tre::core::idtre::encrypt(curve, server.public(), b"alice", &tag, b"id", &mut rng);
+    assert_eq!(
+        tre::core::idtre::decrypt(curve, server.public(), &id_key, &update, &ct2).unwrap(),
+        b"id"
+    );
+}

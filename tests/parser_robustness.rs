@@ -1,0 +1,59 @@
+//! Fuzz-style robustness: every wire-format parser must reject or cleanly
+//! round-trip arbitrary byte strings — never panic.
+
+use proptest::prelude::*;
+use tre::core::{fo, hybrid, idtre, multi_server, policy, react, tre as basic};
+use tre::prelude::*;
+
+fn curve() -> &'static tre::pairing::CurveToy64 {
+    tre::pairing::toy64()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_bytes_never_panic_any_parser(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let c = curve();
+        // Each parser either errors or yields a structurally valid object.
+        let _ = basic::Ciphertext::from_bytes(c, &bytes);
+        let _ = fo::FoCiphertext::from_bytes(c, &bytes);
+        let _ = react::ReactCiphertext::from_bytes(c, &bytes);
+        let _ = hybrid::HybridCiphertext::from_bytes(c, &bytes);
+        let _ = idtre::IdCiphertext::from_bytes(c, &bytes);
+        let _ = multi_server::MultiCiphertext::from_bytes(c, &bytes);
+        let _ = policy::PolicyCiphertext::from_bytes(c, &bytes);
+        let _ = KeyUpdate::from_bytes(c, &bytes);
+        let _ = UserPublicKey::from_bytes(c, &bytes);
+        let _ = ServerPublicKey::from_bytes(c, &bytes);
+        let _ = c.g1_from_bytes(&bytes);
+        let _ = ReleaseTag::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_encodings_rejected(cut in 0usize..100) {
+        let c = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(c, &mut rng);
+        let user = UserKeyPair::generate(c, server.public(), &mut rng);
+        let tag = ReleaseTag::time("robust");
+        let ct = fo::encrypt(c, server.public(), user.public(), &tag, b"msg", &mut rng).unwrap();
+        let bytes = ct.to_bytes(c);
+        let cut = cut % bytes.len();
+        // Any strict prefix must fail to parse (length framing is exact).
+        prop_assert!(fo::FoCiphertext::from_bytes(c, &bytes[..cut]).is_err());
+        // Any extension must fail too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        prop_assert!(fo::FoCiphertext::from_bytes(c, &extended).is_err());
+    }
+
+    #[test]
+    fn point_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let c = curve();
+        if let Ok(p) = c.g1_from_bytes(&bytes) {
+            // Anything accepted must satisfy the curve equation.
+            prop_assert!(c.is_on_curve(&p));
+        }
+    }
+}

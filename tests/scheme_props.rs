@@ -1,0 +1,155 @@
+//! Property-based integration tests: round-trip correctness of every
+//! scheme over arbitrary messages, tags, and keys.
+
+use proptest::prelude::*;
+use tre::core::{fo, hybrid, idtre, policy, react, tre as basic};
+use tre::prelude::*;
+
+fn curve() -> &'static tre::pairing::CurveToy64 {
+    tre::pairing::toy64()
+}
+
+fn scalar(raw: [u64; 4]) -> tre::bigint::U256 {
+    let c = curve();
+    let s = tre::bigint::U256::from_limbs(raw).rem(c.order());
+    if s.is_zero() {
+        tre::bigint::U256::ONE
+    } else {
+        s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn basic_roundtrip_arbitrary(msg in proptest::collection::vec(any::<u8>(), 0..300),
+                                 tag_bytes in proptest::collection::vec(any::<u8>(), 0..40),
+                                 s_raw in any::<[u64; 4]>(), a_raw in any::<[u64; 4]>()) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::from_secret(curve, curve.generator(), scalar(s_raw));
+        let user = UserKeyPair::from_secret(curve, server.public(), scalar(a_raw));
+        let tag = ReleaseTag::time(tag_bytes);
+        let ct = basic::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        prop_assert_eq!(basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn fo_roundtrip_and_bytes(msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("prop");
+        let ct = fo::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let ct = tre::core::fo::FoCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        let update = server.issue_update(curve, &tag);
+        prop_assert_eq!(fo::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn react_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("prop");
+        let ct = react::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        prop_assert_eq!(react::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn hybrid_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("prop");
+        let ct = hybrid::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        prop_assert_eq!(hybrid::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn idtre_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..200),
+                       id in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let sk = idtre::IdentityKey::new(server.extract_identity_key(curve, &id));
+        let tag = ReleaseTag::time("prop");
+        let ct = idtre::encrypt(curve, server.public(), &id, &tag, &msg, &mut rng);
+        let update = server.issue_update(curve, &tag);
+        prop_assert_eq!(idtre::decrypt(curve, server.public(), &sk, &update, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn policy_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..200),
+                        n_conditions in 1usize..4) {
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let conditions: Vec<_> =
+            (0..n_conditions).map(|i| ReleaseTag::policy(format!("cond-{i}"))).collect();
+        let ct = policy::encrypt(curve, server.public(), user.public(), &conditions, &msg, &mut rng)
+            .unwrap();
+        let mut atts: Vec<_> =
+            conditions.iter().map(|c| server.issue_update(curve, c)).collect();
+        atts.reverse(); // order-insensitivity
+        prop_assert_eq!(policy::decrypt(curve, server.public(), &user, &atts, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn mauled_basic_ciphertext_never_silently_decrypts_under_fo(
+        msg in proptest::collection::vec(any::<u8>(), 1..100), flip in any::<(u16, u8)>()) {
+        // FO guarantee as a property: a random single-byte flip anywhere in
+        // the serialized ciphertext is always rejected (never wrong-plaintext).
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("prop");
+        let ct = fo::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let mut bytes = ct.to_bytes(curve);
+        let pos = (flip.0 as usize) % bytes.len();
+        let mask = if flip.1 == 0 { 1 } else { flip.1 };
+        bytes[pos] ^= mask;
+        let update = server.issue_update(curve, &tag);
+        if let Ok(parsed) = tre::core::fo::FoCiphertext::from_bytes(curve, &bytes) {
+            let r = fo::decrypt(curve, server.public(), &user, &update, &parsed);
+            match r {
+                Err(_) => {}
+                Ok(pt) => {
+                    // The only acceptable success is the tag byte-flip that
+                    // leaves the encoding identical — impossible since we
+                    // always flip a bit. So any Ok must equal the original
+                    // message only if the flip hit redundant encoding (none
+                    // exists); treat as failure.
+                    prop_assert!(false, "mauled ciphertext decrypted to {:?}", pt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_key_equivalence(msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Decrypting with the derived epoch key always matches decrypting
+        // with the long-term secret.
+        let curve = curve();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let tag = ReleaseTag::time("prop");
+        let ct = basic::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let update = server.issue_update(curve, &tag);
+        let via_secret = basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap();
+        let epoch = tre::core::insulated::EpochKey::derive(curve, server.public(), &user, &update).unwrap();
+        let via_epoch = epoch.decrypt(curve, &ct).unwrap();
+        prop_assert_eq!(via_secret.clone(), via_epoch);
+        prop_assert_eq!(via_secret, msg);
+    }
+}

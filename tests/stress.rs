@@ -1,0 +1,111 @@
+//! A heavier end-to-end scenario: many epochs, many receivers, mixed
+//! schemes, lossy network — the whole stack under sustained load.
+
+use tre::core::{fo, tre as basic};
+use tre::prelude::*;
+use tre::server::{NetConfig, Simulation};
+
+#[test]
+fn sustained_mixed_load() {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let mut sim = Simulation::new(
+        curve,
+        Granularity::Seconds,
+        NetConfig {
+            base_latency: 1,
+            jitter: 2,
+            loss_prob: 0.2,
+        },
+        1234,
+        &mut rng,
+    );
+    let clients: Vec<_> = (0..6).map(|_| sim.add_client(&mut rng)).collect();
+    // 3 messages per client, spread over epochs 1..=12.
+    let mut expected = 0;
+    for (i, &c) in clients.iter().enumerate() {
+        for j in 0..3u64 {
+            let epoch = 1 + ((i as u64) * 3 + j) % 12;
+            sim.send_for_epoch(c, epoch, format!("m-{i}-{j}").as_bytes(), &mut rng)
+                .unwrap();
+            expected += 1;
+        }
+    }
+    // Run 20 ticks; then recover anything the lossy channel dropped.
+    let mut opened = sim.run(20);
+    opened += sim.catch_up_all();
+    assert_eq!(opened, expected, "every message eventually opens");
+    for &c in &clients {
+        assert_eq!(sim.client(c).pending_count(), 0);
+        for m in sim.client(c).opened() {
+            // No message ever opened before its epoch.
+            let epoch: u64 = String::from_utf8_lossy(m.tag.value())
+                .rsplit('/')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(m.opened_at >= epoch, "opened at {} before epoch {epoch}", m.opened_at);
+        }
+    }
+}
+
+#[test]
+fn many_tags_one_server() {
+    // One server issuing many distinct updates; each unlocks exactly its
+    // own ciphertext set.
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+    let n = 12;
+    let cts: Vec<_> = (0..n)
+        .map(|i| {
+            let tag = ReleaseTag::time(format!("slot-{i}"));
+            let ct = basic::encrypt(
+                curve,
+                server.public(),
+                user.public(),
+                &tag,
+                format!("payload-{i}").as_bytes(),
+                &mut rng,
+            )
+            .unwrap();
+            (tag, ct)
+        })
+        .collect();
+    for (i, (tag, ct)) in cts.iter().enumerate() {
+        let update = server.issue_update(curve, tag);
+        assert_eq!(
+            basic::decrypt(curve, server.public(), &user, &update, ct).unwrap(),
+            format!("payload-{i}").as_bytes()
+        );
+        // The same update fails on every other slot.
+        for (j, (_, other)) in cts.iter().enumerate() {
+            if j != i {
+                assert!(basic::decrypt(curve, server.public(), &user, &update, other).is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn fo_bulk_roundtrip_unique_ciphertexts() {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let server = ServerKeyPair::generate(curve, &mut rng);
+    let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+    let tag = ReleaseTag::time("bulk");
+    let update = server.issue_update(curve, &tag);
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..10 {
+        let msg = format!("bulk message {i}");
+        let ct = fo::encrypt(curve, server.public(), user.public(), &tag, msg.as_bytes(), &mut rng)
+            .unwrap();
+        assert!(seen.insert(ct.to_bytes(curve)), "ciphertexts must be unique");
+        assert_eq!(
+            fo::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+            msg.as_bytes()
+        );
+    }
+}
