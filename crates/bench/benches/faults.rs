@@ -1,0 +1,86 @@
+//! E13 Criterion benches: fault-path costs on the receive side —
+//! archive catch-up throughput after missing a window of epochs, and the
+//! dedup-hit receive path vs the full two-pairing verification it avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_bench::{rng, Fixture};
+use tre_core::{tre, ReleaseTag};
+use tre_pairing::toy64;
+use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer};
+
+/// Recovering a whole missed window from the public archive: the client
+/// slept through `missed` epochs, each holding one pending ciphertext.
+fn archive_catch_up(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let g = Granularity::Seconds;
+    let mut grp = c.benchmark_group("archive_catch_up");
+    grp.sample_size(10);
+    for missed in [4u64, 16, 64] {
+        let clock = SimClock::new();
+        let mut server = TimeServer::new(curve, fx.server.clone(), clock.clone(), g);
+        clock.advance(missed);
+        server.poll(); // archive now holds epochs 0..=missed
+        let cts: Vec<_> = (0..missed)
+            .map(|e| {
+                tre::encrypt(
+                    curve,
+                    &spk,
+                    fx.user.public(),
+                    &g.tag_for_epoch(e),
+                    b"payload",
+                    &mut r,
+                )
+                .unwrap()
+            })
+            .collect();
+        grp.bench_with_input(
+            BenchmarkId::new("missed_epochs", missed),
+            &missed,
+            |b, _| {
+                b.iter(|| {
+                    let mut client = ReceiverClient::new(curve, spk, fx.user.clone());
+                    for ct in &cts {
+                        client.receive_ciphertext(ct.clone(), 0);
+                    }
+                    let opened =
+                        client.catch_up(server.archive(), clock.now(), |t| g.epoch_of_tag(t));
+                    assert_eq!(opened as u64, missed);
+                    opened
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+/// The receive path under duplicate storms: a dedup hit is a hash lookup
+/// plus a byte comparison, vs the two pairings a fresh verification costs.
+fn receive_path(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let tag = ReleaseTag::time("faults-bench");
+    let update = fx.server.issue_update(curve, &tag);
+    let ct = tre::encrypt(curve, &spk, fx.user.public(), &tag, b"payload", &mut r).unwrap();
+    let mut grp = c.benchmark_group("receive_update");
+    grp.sample_size(10);
+    grp.bench_function("fresh_verify", |b| b.iter(|| update.verify(curve, &spk)));
+    let mut client = ReceiverClient::new(curve, spk, fx.user.clone());
+    client.receive_update(update.clone(), 0).unwrap();
+    grp.bench_function("dedup_hit", |b| {
+        b.iter(|| client.receive_update(update.clone(), 0))
+    });
+    // Late ciphertext against a cached update: decrypt latency only, no
+    // re-verification.
+    grp.bench_function("cache_hit_open", |b| {
+        b.iter(|| client.receive_ciphertext(ct.clone(), 0))
+    });
+    grp.finish();
+}
+
+criterion_group!(fault_benches, archive_catch_up, receive_path);
+criterion_main!(fault_benches);

@@ -16,6 +16,11 @@ pub enum TreError {
     /// The supplied key update is authentic but for a different release tag
     /// than the ciphertext's.
     UpdateTagMismatch,
+    /// Two different updates were observed for the same release tag. Since
+    /// honest updates are deterministic (`I_T = s·H1(T)`), a conflicting
+    /// second update is evidence of a Byzantine (equivocating) server or an
+    /// active attacker on the broadcast path.
+    Equivocation,
     /// Ciphertext integrity check failed (FO/REACT re-encryption check or
     /// AEAD tag) — the ciphertext was modified or the wrong key material was
     /// used.
@@ -40,6 +45,12 @@ impl fmt::Display for TreError {
             Self::InvalidUserKey => write!(f, "receiver public key failed the pairing check"),
             Self::InvalidUpdate => write!(f, "time-bound key update failed verification"),
             Self::UpdateTagMismatch => write!(f, "key update is for a different release tag"),
+            Self::Equivocation => {
+                write!(
+                    f,
+                    "conflicting key updates observed for the same release tag"
+                )
+            }
             Self::DecryptionFailed => write!(f, "decryption integrity check failed"),
             Self::Malformed(what) => write!(f, "malformed encoding: {what}"),
             Self::Binding(what) => write!(f, "mismatched binding: {what}"),
@@ -62,6 +73,7 @@ mod tests {
             TreError::InvalidUserKey,
             TreError::InvalidUpdate,
             TreError::UpdateTagMismatch,
+            TreError::Equivocation,
             TreError::DecryptionFailed,
             TreError::Malformed("x"),
             TreError::Binding("y"),

@@ -1,0 +1,342 @@
+//! Multi-server failover: graceful k-of-N degradation.
+//!
+//! [`threshold::decrypt`] is deliberately strict — *any* invalid update in
+//! the supplied slice is an error, because silently skipping a bad share
+//! would hide a misbehaving server from the caller. That strictness is the
+//! wrong default for a client riding out faults: with N = 3 and k = 2, one
+//! crashed server and one Byzantine server should still decrypt as long as
+//! two honest updates remain.
+//!
+//! This module adds the lenient path on top of the strict one: updates are
+//! pre-validated per server, faulty ones are demoted to "missing" with an
+//! explicit per-server verdict, and the sanitized set is handed to the
+//! strict decryptor only if at least `k` valid updates survive. A
+//! [`FailoverTracker`] accumulates the verdicts into per-server health
+//! counters so a deployment can spot which of its N servers are flaky or
+//! hostile.
+
+use tre_pairing::Curve;
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair};
+use crate::threshold::{self, ThresholdCiphertext};
+
+/// Why a server's update was excluded from a failover decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateFault {
+    /// No update was supplied for this server (crashed / unreachable).
+    Missing,
+    /// The update is for a different release tag than the ciphertext's.
+    TagMismatch,
+    /// The update failed self-authentication against this server's key.
+    BadSignature,
+}
+
+/// Per-server outcome of one failover decryption attempt: `None` means the
+/// update was valid and usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerVerdict {
+    /// Position in the server list.
+    pub index: usize,
+    /// The fault, if the update was unusable.
+    pub fault: Option<UpdateFault>,
+}
+
+/// Validates `updates[i]` against `servers[i]` and the ciphertext tag,
+/// returning the sanitized update set (faulty entries demoted to `None`)
+/// and one verdict per server.
+pub fn sanitize_updates<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[ServerPublicKey<L>],
+    ct: &ThresholdCiphertext<L>,
+    updates: &[Option<KeyUpdate<L>>],
+) -> (Vec<Option<KeyUpdate<L>>>, Vec<ServerVerdict>) {
+    let mut sanitized = Vec::with_capacity(updates.len());
+    let mut verdicts = Vec::with_capacity(updates.len());
+    for (index, (maybe, server)) in updates.iter().zip(servers).enumerate() {
+        let fault = match maybe {
+            None => Some(UpdateFault::Missing),
+            Some(u) if u.tag() != ct.tag() => Some(UpdateFault::TagMismatch),
+            Some(u) if !u.verify(curve, server) => Some(UpdateFault::BadSignature),
+            Some(_) => None,
+        };
+        sanitized.push(if fault.is_none() { maybe.clone() } else { None });
+        verdicts.push(ServerVerdict { index, fault });
+    }
+    (sanitized, verdicts)
+}
+
+/// Decrypts a threshold ciphertext while tolerating missing, mistagged,
+/// and forged updates, as long as `k` valid ones remain — the degraded
+/// mode of a k-of-N deployment with up to `N − k` servers down or hostile.
+///
+/// Returns the plaintext together with the per-server verdicts so callers
+/// can feed a [`FailoverTracker`].
+///
+/// # Errors
+/// * [`TreError::ArityMismatch`] if the update slice length is wrong, or
+///   fewer than `k` updates survive validation (`expected` is `k`, `got`
+///   the number of valid updates);
+/// * [`TreError::DecryptionFailed`] on wrong receiver / mauled ciphertext.
+pub fn decrypt_resilient<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[ServerPublicKey<L>],
+    user: &UserKeyPair<L>,
+    updates: &[Option<KeyUpdate<L>>],
+    ct: &ThresholdCiphertext<L>,
+) -> Result<(Vec<u8>, Vec<ServerVerdict>), TreError> {
+    if servers.len() != updates.len() {
+        return Err(TreError::ArityMismatch {
+            expected: servers.len(),
+            got: updates.len(),
+        });
+    }
+    let (sanitized, verdicts) = sanitize_updates(curve, servers, ct, updates);
+    let valid = sanitized.iter().flatten().count();
+    if valid < ct.threshold() as usize {
+        return Err(TreError::ArityMismatch {
+            expected: ct.threshold() as usize,
+            got: valid,
+        });
+    }
+    let msg = threshold::decrypt(curve, servers, user, &sanitized, ct)?;
+    Ok((msg, verdicts))
+}
+
+/// Rolling health counters for one server in a k-of-N deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// Attempts where this server's update was valid and usable.
+    pub valid: u64,
+    /// Attempts where no update was available (down / unreachable).
+    pub missing: u64,
+    /// Updates for the wrong release tag.
+    pub tag_mismatch: u64,
+    /// Updates failing self-authentication (forged or corrupted).
+    pub bad_signature: u64,
+}
+
+impl ServerHealth {
+    /// Whether this server has ever produced provably bad material.
+    /// Missing updates are an availability problem; bad signatures and
+    /// mistagged updates are an integrity problem and mark the server
+    /// suspect.
+    pub fn is_suspect(&self) -> bool {
+        self.tag_mismatch + self.bad_signature > 0
+    }
+}
+
+/// Accumulates [`ServerVerdict`]s across decryption attempts into
+/// per-server [`ServerHealth`] counters.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverTracker {
+    healths: Vec<ServerHealth>,
+}
+
+impl FailoverTracker {
+    /// A tracker for `n` servers.
+    pub fn new(n: usize) -> Self {
+        Self {
+            healths: vec![ServerHealth::default(); n],
+        }
+    }
+
+    /// Folds one attempt's verdicts into the counters.
+    pub fn record(&mut self, verdicts: &[ServerVerdict]) {
+        for v in verdicts {
+            if v.index >= self.healths.len() {
+                self.healths.resize(v.index + 1, ServerHealth::default());
+            }
+            let h = &mut self.healths[v.index];
+            match v.fault {
+                None => h.valid += 1,
+                Some(UpdateFault::Missing) => h.missing += 1,
+                Some(UpdateFault::TagMismatch) => h.tag_mismatch += 1,
+                Some(UpdateFault::BadSignature) => h.bad_signature += 1,
+            }
+        }
+    }
+
+    /// Per-server health counters.
+    pub fn healths(&self) -> &[ServerHealth] {
+        &self.healths
+    }
+
+    /// Indices of servers that have produced provably bad material.
+    pub fn suspects(&self) -> Vec<usize> {
+        self.healths
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_suspect())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use crate::multi_server::MultiServerUserKey;
+    use crate::tag::ReleaseTag;
+    use tre_pairing::toy64;
+
+    fn world(
+        n: usize,
+    ) -> (
+        Vec<ServerKeyPair<8>>,
+        Vec<ServerPublicKey<8>>,
+        UserKeyPair<8>,
+        MultiServerUserKey<8>,
+    ) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let servers: Vec<ServerKeyPair<8>> = (0..n)
+            .map(|_| ServerKeyPair::generate(curve, &mut rng))
+            .collect();
+        let pks: Vec<_> = servers.iter().map(|s| *s.public()).collect();
+        let a = curve.random_scalar(&mut rng);
+        let user = UserKeyPair::from_secret(curve, &pks[0], a);
+        let mpk = MultiServerUserKey::derive(curve, &pks, &a);
+        (servers, pks, user, mpk)
+    }
+
+    fn forged(curve: &Curve<8>, tag: &ReleaseTag) -> KeyUpdate<8> {
+        let mut rng = rand::thread_rng();
+        KeyUpdate::from_parts(
+            tag.clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        )
+    }
+
+    #[test]
+    fn tolerates_byzantine_server_where_strict_decrypt_fails() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(3);
+        let tag = ReleaseTag::time("t");
+        let msg = b"two honest servers suffice";
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, msg, &mut rng).unwrap();
+        let mut updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        updates[1] = Some(forged(curve, &tag));
+        // The strict path refuses the set outright…
+        assert_eq!(
+            threshold::decrypt(curve, &pks, &user, &updates, &ct),
+            Err(TreError::InvalidUpdate)
+        );
+        // …the failover path drops the bad share and decrypts.
+        let (pt, verdicts) = decrypt_resilient(curve, &pks, &user, &updates, &ct).unwrap();
+        assert_eq!(pt, msg);
+        assert_eq!(verdicts[0].fault, None);
+        assert_eq!(verdicts[1].fault, Some(UpdateFault::BadSignature));
+        assert_eq!(verdicts[2].fault, None);
+    }
+
+    #[test]
+    fn degrades_across_all_n_minus_k_down_patterns() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(4);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let all: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        // Any 2 of the 4 servers down (crash or Byzantine) still decrypts.
+        for down_a in 0..4 {
+            for down_b in down_a + 1..4 {
+                let mut faulty = all.clone();
+                faulty[down_a] = None; // crashed
+                faulty[down_b] = Some(forged(curve, &tag)); // hostile
+                let (pt, _) = decrypt_resilient(curve, &pks, &user, &faulty, &ct).unwrap();
+                assert_eq!(pt, b"m", "servers {down_a},{down_b} down");
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_reports_surviving_count() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(3);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let updates = vec![
+            Some(servers[0].issue_update(curve, &tag)),
+            Some(forged(curve, &tag)),
+            None,
+        ];
+        assert_eq!(
+            decrypt_resilient(curve, &pks, &user, &updates, &ct),
+            Err(TreError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn mistagged_update_demoted_not_fatal() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(3);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let mut updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        // Server 0 answers with an authentic update for the wrong epoch.
+        updates[0] = Some(servers[0].issue_update(curve, &ReleaseTag::time("t+1")));
+        let (pt, verdicts) = decrypt_resilient(curve, &pks, &user, &updates, &ct).unwrap();
+        assert_eq!(pt, b"m");
+        assert_eq!(verdicts[0].fault, Some(UpdateFault::TagMismatch));
+    }
+
+    #[test]
+    fn tracker_accumulates_and_flags_suspects() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(4);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let mut tracker = FailoverTracker::new(4);
+        for round in 0..3 {
+            let mut updates: Vec<_> = servers
+                .iter()
+                .map(|s| Some(s.issue_update(curve, &tag)))
+                .collect();
+            updates[2] = Some(forged(curve, &tag)); // server 2 hostile every round
+            if round == 1 {
+                updates[0] = None; // server 0 briefly down
+            }
+            let (_, verdicts) = decrypt_resilient(curve, &pks, &user, &updates, &ct).unwrap();
+            tracker.record(&verdicts);
+        }
+        let h = tracker.healths();
+        assert_eq!(h[0].valid, 2);
+        assert_eq!(h[0].missing, 1);
+        assert!(!h[0].is_suspect(), "downtime alone is not suspicion");
+        assert_eq!(h[1].valid, 3);
+        assert_eq!(h[2].bad_signature, 3);
+        assert_eq!(h[3].valid, 3);
+        assert_eq!(tracker.suspects(), vec![2]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (_, pks, user, mpk) = world(2);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        assert!(matches!(
+            decrypt_resilient(curve, &pks, &user, &[None], &ct),
+            Err(TreError::ArityMismatch { .. })
+        ));
+    }
+}

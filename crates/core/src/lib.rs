@@ -24,6 +24,9 @@
 //!   binary cover tree (one latest broadcast unlocks all past epochs).
 //! * [`threshold`] — k-of-N threshold multi-server mode (Shamir over the
 //!   scalar field), trading §5.3.5's all-N requirement for availability.
+//! * [`failover`] — graceful degradation on top of [`threshold`]: faulty
+//!   updates are demoted to missing with per-server verdicts, so up to
+//!   `N − k` crashed *or Byzantine* servers are survivable.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 //! ```
 
 pub mod error;
+pub mod failover;
 pub mod fo;
 pub mod hybrid;
 pub mod idtre;

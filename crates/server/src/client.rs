@@ -1,7 +1,26 @@
-//! A receiver client: holds pending timed-release ciphertexts, consumes
-//! key updates from the broadcast channel, recovers missed updates from
-//! the archive, and records *when* each message actually became readable
-//! (the measurement behind the release-precision experiment E4).
+//! A resilient receiver client: holds pending timed-release ciphertexts,
+//! consumes key updates from the broadcast channel, recovers missed
+//! updates from the archive with bounded exponential backoff, and records
+//! *when* each message actually became readable (the measurement behind
+//! the release-precision experiment E4 and the fault experiments E13).
+//!
+//! The client is written as a small state machine hardened against the
+//! fault model of §6:
+//!
+//! * **Duplicates** — re-broadcast updates hit a dedup cache and are
+//!   skipped *without* re-running pairing verification (two pairings per
+//!   verify make this the dominant cost on the receive path).
+//! * **Equivocation** — honest updates are deterministic, so a *different*
+//!   update for an already-verified tag is cryptographic evidence of a
+//!   Byzantine server; it is counted and rejected by byte comparison, no
+//!   pairing needed.
+//! * **Invalid updates** — rejected, counted, and tracked as a consecutive
+//!   streak; a long streak quarantines the broadcast path (the client
+//!   should then prefer the archive).
+//! * **Archive faults** — failed fetches back off exponentially per tag
+//!   (bounded, so liveness is preserved once the archive heals).
+//! * **Decryption failures** — no longer silently discarded: failed
+//!   ciphertexts land in a dead-letter queue with their error.
 
 use std::collections::HashMap;
 
@@ -9,6 +28,7 @@ use tre_core::{tre, KeyUpdate, ReleaseTag, ServerPublicKey, TreError, UserKeyPai
 use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
+use crate::metrics::ClientHealth;
 
 /// A message successfully opened by the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +43,33 @@ pub struct OpenedMessage {
     pub opened_at: u64,
 }
 
+/// Retry policy for archive recovery: delays grow `base, 2·base, 4·base, …`
+/// per consecutive failure, capped at `max` — bounded, so a healed archive
+/// is always retried within `max` ticks (liveness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay after the first failure, in clock ticks.
+    pub base: u64,
+    /// Upper bound on the delay, in clock ticks.
+    pub max: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self { base: 1, max: 64 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RetryState {
+    attempts: u32,
+    next_attempt_at: u64,
+}
+
+/// Consecutive invalid updates after which the broadcast path is
+/// considered compromised (see [`ReceiverClient::is_quarantined`]).
+pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
+
 /// A receiver endpoint in the simulation.
 pub struct ReceiverClient<'c, const L: usize> {
     curve: &'c Curve<L>,
@@ -31,6 +78,20 @@ pub struct ReceiverClient<'c, const L: usize> {
     pending: Vec<(tre::Ciphertext<L>, u64)>,
     seen_updates: HashMap<ReleaseTag, KeyUpdate<L>>,
     opened: Vec<OpenedMessage>,
+    dead_letters: Vec<(tre::Ciphertext<L>, TreError)>,
+    retry: HashMap<ReleaseTag, RetryState>,
+    backoff: BackoffConfig,
+    quarantine_threshold: u32,
+    highest_epoch: Option<u64>,
+    health: ClientHealth,
+}
+
+/// Best-effort epoch hint from the `epoch/<unit>/<n>` tag convention —
+/// the client needs no granularity knowledge to spot broadcast gaps.
+fn epoch_hint(tag: &ReleaseTag) -> Option<u64> {
+    let s = core::str::from_utf8(tag.value()).ok()?;
+    let rest = s.strip_prefix("epoch/")?;
+    rest.split_once('/')?.1.parse().ok()
 }
 
 impl<'c, const L: usize> ReceiverClient<'c, L> {
@@ -43,7 +104,26 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             pending: Vec::new(),
             seen_updates: HashMap::new(),
             opened: Vec::new(),
+            dead_letters: Vec::new(),
+            retry: HashMap::new(),
+            backoff: BackoffConfig::default(),
+            quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            highest_epoch: None,
+            health: ClientHealth::default(),
         }
+    }
+
+    /// Overrides the archive retry backoff (builder style).
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Overrides the quarantine threshold (builder style). `0` disables
+    /// quarantine entirely.
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold;
+        self
     }
 
     /// The client's public key (what senders encrypt to).
@@ -56,44 +136,80 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
     /// immediately; otherwise it is queued.
     pub fn receive_ciphertext(&mut self, ct: tre::Ciphertext<L>, now: u64) {
         if let Some(update) = self.seen_updates.get(ct.tag()).cloned() {
-            self.open_now(&ct, &update, now, now);
+            self.open_now(ct, &update, now, now);
         } else {
             self.pending.push((ct, now));
         }
     }
 
     /// Feeds a key update (from broadcast or archive) received at
-    /// `delivered_at`. Verifies it, remembers it, and opens every pending
-    /// ciphertext it unlocks. Returns how many messages opened.
+    /// `delivered_at`. Exact duplicates of an already-verified update are
+    /// skipped without re-running pairing verification; fresh updates are
+    /// verified, remembered, and open every pending ciphertext they
+    /// unlock. Returns how many messages opened.
     ///
     /// # Errors
-    /// Returns [`TreError::InvalidUpdate`] if the update fails
-    /// self-authentication (and ignores it).
+    /// * [`TreError::InvalidUpdate`] if self-authentication fails;
+    /// * [`TreError::Equivocation`] if a *different* update arrives for a
+    ///   tag the client already holds a verified update for (honest
+    ///   updates are deterministic, so this is Byzantine evidence).
     pub fn receive_update(
         &mut self,
         update: KeyUpdate<L>,
         delivered_at: u64,
     ) -> Result<usize, TreError> {
+        self.health.updates_received += 1;
+        if let Some(known) = self.seen_updates.get(update.tag()) {
+            if *known == update {
+                self.health.duplicates_skipped += 1;
+                return Ok(0);
+            }
+            self.health.equivocations += 1;
+            self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+            return Err(TreError::Equivocation);
+        }
         if !update.verify(self.curve, &self.server_pk) {
+            self.health.rejected_updates += 1;
+            self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
             return Err(TreError::InvalidUpdate);
         }
+        self.health.invalid_streak = 0;
+        if let Some(epoch) = epoch_hint(update.tag()) {
+            match self.highest_epoch {
+                Some(h) if epoch > h => {
+                    self.health.missed_epochs += epoch - h - 1;
+                    self.highest_epoch = Some(epoch);
+                }
+                None => {
+                    self.health.missed_epochs += epoch;
+                    self.highest_epoch = Some(epoch);
+                }
+                _ => {}
+            }
+        }
+        self.retry.remove(update.tag());
         self.seen_updates
             .insert(update.tag().clone(), update.clone());
         let (matching, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
             .into_iter()
             .partition(|(ct, _)| ct.tag() == update.tag());
         self.pending = rest;
-        let n = matching.len();
+        let before = self.opened.len();
         for (ct, received_at) in matching {
-            self.open_now(&ct, &update, received_at, delivered_at);
+            self.open_now(ct, &update, received_at, delivered_at);
         }
-        Ok(n)
+        Ok(self.opened.len() - before)
     }
 
     /// Recovers any updates this client is still waiting for from the
-    /// public archive (the paper's missed-broadcast story). `lookup`
-    /// maps a release tag to an archive epoch. Returns how many messages
-    /// opened.
+    /// public archive (the paper's missed-broadcast story), honoring the
+    /// per-tag retry backoff. `lookup` maps a release tag to an archive
+    /// epoch. Returns how many messages opened.
+    ///
+    /// Unlike the broadcast path, archive failures are not errors the
+    /// caller must handle: a miss schedules a bounded-backoff retry, an
+    /// invalid archived update is counted in the health metrics, and the
+    /// client simply tries again on the next call.
     pub fn catch_up(
         &mut self,
         archive: &UpdateArchive<L>,
@@ -110,29 +226,90 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             if self.seen_updates.contains_key(&tag) {
                 continue;
             }
-            if let Some(epoch) = lookup(&tag) {
-                if let Some(update) = archive.get(epoch) {
-                    opened += self.receive_update(update, now).unwrap_or(0);
+            if let Some(state) = self.retry.get(&tag) {
+                if now < state.next_attempt_at {
+                    continue;
+                }
+            }
+            let Some(epoch) = lookup(&tag) else { continue };
+            self.health.archive_attempts += 1;
+            match archive.get(epoch) {
+                Some(update) => match self.receive_update(update, now) {
+                    Ok(n) => {
+                        self.health.recovered_from_archive += 1;
+                        opened += n;
+                    }
+                    // Invalid or equivocating archive entry: already
+                    // counted by receive_update; back off before retrying.
+                    Err(_) => self.note_archive_failure(tag, now),
+                },
+                None => {
+                    self.health.archive_misses += 1;
+                    self.note_archive_failure(tag, now);
                 }
             }
         }
         opened
     }
 
+    /// Records that the archive itself was unreachable at `now` (transport
+    /// outage, as opposed to a per-epoch miss): every due pending tag is
+    /// counted as a miss and backs off, exactly as if each fetch had
+    /// returned nothing.
+    pub fn archive_unreachable(&mut self, now: u64) {
+        let waiting_tags: Vec<ReleaseTag> = self
+            .pending
+            .iter()
+            .map(|(ct, _)| ct.tag().clone())
+            .filter(|t| !self.seen_updates.contains_key(t))
+            .collect();
+        for tag in waiting_tags {
+            if let Some(state) = self.retry.get(&tag) {
+                if now < state.next_attempt_at {
+                    continue;
+                }
+            }
+            self.health.archive_attempts += 1;
+            self.health.archive_misses += 1;
+            self.note_archive_failure(tag, now);
+        }
+    }
+
+    fn note_archive_failure(&mut self, tag: ReleaseTag, now: u64) {
+        let state = self.retry.entry(tag).or_default();
+        state.attempts = state.attempts.saturating_add(1);
+        let shift = (state.attempts - 1).min(32);
+        let delay = self
+            .backoff
+            .base
+            .saturating_shl(shift)
+            .clamp(self.backoff.base, self.backoff.max);
+        state.next_attempt_at = now.saturating_add(delay);
+    }
+
     fn open_now(
         &mut self,
-        ct: &tre::Ciphertext<L>,
+        ct: tre::Ciphertext<L>,
         update: &KeyUpdate<L>,
         received_at: u64,
         opened_at: u64,
     ) {
-        if let Ok(plaintext) = tre::decrypt(self.curve, &self.server_pk, &self.keys, update, ct) {
-            self.opened.push(OpenedMessage {
-                plaintext,
-                tag: ct.tag().clone(),
-                received_at,
-                opened_at,
-            });
+        match tre::decrypt(self.curve, &self.server_pk, &self.keys, update, &ct) {
+            Ok(plaintext) => {
+                self.health
+                    .open_latency
+                    .record(opened_at.saturating_sub(received_at));
+                self.opened.push(OpenedMessage {
+                    plaintext,
+                    tag: ct.tag().clone(),
+                    received_at,
+                    opened_at,
+                });
+            }
+            Err(err) => {
+                self.health.decrypt_failures += 1;
+                self.dead_letters.push((ct, err));
+            }
         }
     }
 
@@ -144,6 +321,36 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
     /// Ciphertexts still awaiting their release time.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Ciphertexts whose decryption failed once the update was available,
+    /// with the error — these used to be silently discarded.
+    pub fn dead_letters(&self) -> &[(tre::Ciphertext<L>, TreError)] {
+        &self.dead_letters
+    }
+
+    /// The client's health counters.
+    pub fn health(&self) -> &ClientHealth {
+        &self.health
+    }
+
+    /// Whether the broadcast path has delivered enough *consecutive*
+    /// invalid updates to be considered compromised. Quarantine never
+    /// blocks archive recovery — that is the trusted fallback path.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine_threshold > 0 && self.health.invalid_streak >= self.quarantine_threshold
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping, as an extension
+/// shim (stable `saturating_shl` is not available on this toolchain).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
     }
 }
 
@@ -195,6 +402,8 @@ mod tests {
         assert_eq!(opened.len(), 1);
         assert_eq!(opened[0].plaintext, b"contest problems");
         assert_eq!(opened[0].opened_at, 5);
+        assert_eq!(client.health().open_latency.count(), 1);
+        assert_eq!(client.health().open_latency.max(), 5);
     }
 
     #[test]
@@ -244,19 +453,11 @@ mod tests {
         assert_eq!(client.pending_count(), 1);
         // Client comes back and catches up from the public archive.
         let g = server.granularity();
-        let opened = client.catch_up(server.archive(), clock.now(), |tag| {
-            // Parse "epoch/s/N" back to N — clients know the convention.
-            let s = String::from_utf8_lossy(tag.value()).to_string();
-            s.rsplit('/')
-                .next()
-                .and_then(|n| n.parse().ok())
-                .map(|e: u64| {
-                    debug_assert_eq!(g.tag_for_epoch(e), *tag);
-                    e
-                })
-        });
+        let opened = client.catch_up(server.archive(), clock.now(), |tag| g.epoch_of_tag(tag));
         assert_eq!(opened, 1);
         assert_eq!(client.opened()[0].plaintext, b"missed me");
+        assert_eq!(client.health().recovered_from_archive, 1);
+        assert_eq!(client.health().archive_attempts, 1);
     }
 
     #[test]
@@ -272,6 +473,127 @@ mod tests {
             client.receive_update(forged, 1),
             Err(TreError::InvalidUpdate)
         );
+        assert_eq!(client.health().rejected_updates, 1);
+        assert_eq!(client.health().invalid_streak, 1);
+        assert!(!client.is_quarantined(), "one bad update is not a pattern");
+    }
+
+    #[test]
+    fn duplicate_update_skips_reverification() {
+        let (clock, mut server, mut client) = world();
+        clock.advance(1);
+        let updates = server.poll();
+        for u in &updates {
+            client.receive_update(u.clone(), clock.now()).unwrap();
+        }
+        assert_eq!(client.health().duplicates_skipped, 0);
+        // Re-broadcast of the identical updates: dedup path, Ok(0) each.
+        for u in &updates {
+            assert_eq!(client.receive_update(u.clone(), clock.now()), Ok(0));
+        }
+        assert_eq!(client.health().duplicates_skipped, updates.len() as u64);
+        assert_eq!(client.health().updates_received, 2 * updates.len() as u64);
+    }
+
+    #[test]
+    fn equivocating_update_detected_by_byte_comparison() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, mut client) = world();
+        clock.advance(1);
+        let updates = server.poll();
+        for u in &updates {
+            client.receive_update(u.clone(), clock.now()).unwrap();
+        }
+        // A Byzantine server sends a *different* update for a seen tag.
+        let conflicting = KeyUpdate::from_parts(
+            updates[0].tag().clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            client.receive_update(conflicting, clock.now()),
+            Err(TreError::Equivocation)
+        );
+        assert_eq!(client.health().equivocations, 1);
+    }
+
+    #[test]
+    fn consecutive_invalid_updates_trigger_quarantine() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, mut client) = world();
+        for i in 0..DEFAULT_QUARANTINE_THRESHOLD {
+            let forged = KeyUpdate::from_parts(
+                server.tag_for_epoch(u64::from(i)),
+                curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+            );
+            let _ = client.receive_update(forged, clock.now());
+        }
+        assert!(client.is_quarantined());
+        // A valid update clears the streak.
+        clock.advance(1);
+        for u in server.poll() {
+            let _ = client.receive_update(u, clock.now());
+        }
+        assert!(!client.is_quarantined());
+        assert_eq!(client.health().invalid_streak, 0);
+    }
+
+    #[test]
+    fn archive_miss_backs_off_exponentially_but_bounded() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (clock, mut server, _) = world();
+        let spk = *server.public_key();
+        let ukeys = UserKeyPair::generate(curve, &spk, &mut rng);
+        let mut client =
+            ReceiverClient::new(curve, spk, ukeys).with_backoff(BackoffConfig { base: 2, max: 8 });
+        let tag = server.tag_for_epoch(4);
+        let ct = tre::encrypt(curve, &spk, client.public_key(), &tag, b"m", &mut rng).unwrap();
+        client.receive_ciphertext(ct, 0);
+        let empty = UpdateArchive::new();
+        let g = server.granularity();
+        // Attempt at t=0 misses: next attempt not before t=2.
+        assert_eq!(client.catch_up(&empty, 0, |t| g.epoch_of_tag(t)), 0);
+        assert_eq!(client.health().archive_attempts, 1);
+        client.catch_up(&empty, 1, |t| g.epoch_of_tag(t));
+        assert_eq!(client.health().archive_attempts, 1, "backoff suppressed");
+        client.catch_up(&empty, 2, |t| g.epoch_of_tag(t));
+        assert_eq!(client.health().archive_attempts, 2, "retry after base");
+        // Second miss: delay 4. Third: 8. Fourth: capped at 8.
+        client.catch_up(&empty, 6, |t| g.epoch_of_tag(t));
+        assert_eq!(client.health().archive_attempts, 3);
+        client.catch_up(&empty, 14, |t| g.epoch_of_tag(t));
+        assert_eq!(client.health().archive_attempts, 4);
+        client.catch_up(&empty, 22, |t| g.epoch_of_tag(t));
+        assert_eq!(client.health().archive_attempts, 5, "delay capped at max");
+        assert_eq!(client.health().archive_misses, 5);
+        // Once the archive heals, recovery succeeds despite past failures.
+        clock.set(100);
+        server.poll();
+        let opened = client.catch_up(server.archive(), clock.now(), |t| g.epoch_of_tag(t));
+        assert_eq!(opened, 1, "liveness: healed archive is retried");
+        assert_eq!(client.health().recovered_from_archive, 1);
+    }
+
+    #[test]
+    fn archive_unreachable_counts_and_backs_off() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (_clock, server, _) = world();
+        let spk = *server.public_key();
+        let ukeys = UserKeyPair::generate(curve, &spk, &mut rng);
+        let mut client =
+            ReceiverClient::new(curve, spk, ukeys).with_backoff(BackoffConfig { base: 4, max: 16 });
+        let tag = server.tag_for_epoch(1);
+        let ct = tre::encrypt(curve, &spk, client.public_key(), &tag, b"m", &mut rng).unwrap();
+        client.receive_ciphertext(ct, 0);
+        client.archive_unreachable(0);
+        assert_eq!(client.health().archive_misses, 1);
+        client.archive_unreachable(1);
+        assert_eq!(client.health().archive_misses, 1, "still backing off");
+        client.archive_unreachable(4);
+        assert_eq!(client.health().archive_misses, 2);
     }
 
     #[test]

@@ -73,6 +73,31 @@ impl Granularity {
     pub fn tag_at(self, t: u64) -> ReleaseTag {
         self.tag_for_epoch(self.epoch_of(t))
     }
+
+    /// Parses the epoch index back out of a tag produced by
+    /// [`Granularity::tag_for_epoch`]. Returns `None` for tags of a
+    /// different granularity, foreign formats, or non-time tags — callers
+    /// (archive catch-up, invariant checkers) treat those as
+    /// "not an epoch tag" rather than an error.
+    pub fn epoch_of_tag(self, tag: &ReleaseTag) -> Option<u64> {
+        if tag.kind() != tre_core::TagKind::Time {
+            return None;
+        }
+        let s = core::str::from_utf8(tag.value()).ok()?;
+        let rest = s.strip_prefix("epoch/")?;
+        let (unit, epoch) = rest.split_once('/')?;
+        let expected = match self {
+            Granularity::Seconds => "s".to_string(),
+            Granularity::Minutes => "m".to_string(),
+            Granularity::Hours => "h".to_string(),
+            Granularity::Days => "d".to_string(),
+            Granularity::Custom(ticks) => format!("c{ticks}"),
+        };
+        if unit != expected {
+            return None;
+        }
+        epoch.parse().ok()
+    }
 }
 
 /// A shared, monotone simulated clock (seconds since simulation start).
@@ -139,6 +164,26 @@ mod tests {
     }
 
     #[test]
+    fn epoch_of_tag_roundtrips_and_rejects_foreign() {
+        for g in [
+            Granularity::Seconds,
+            Granularity::Minutes,
+            Granularity::Hours,
+            Granularity::Days,
+            Granularity::Custom(250),
+        ] {
+            for e in [0, 1, 7, u64::MAX / 2] {
+                assert_eq!(g.epoch_of_tag(&g.tag_for_epoch(e)), Some(e));
+            }
+        }
+        let g = Granularity::Seconds;
+        assert_eq!(g.epoch_of_tag(&Granularity::Minutes.tag_for_epoch(3)), None);
+        assert_eq!(g.epoch_of_tag(&ReleaseTag::time("2026-07-04")), None);
+        assert_eq!(g.epoch_of_tag(&ReleaseTag::time("epoch/s/notanum")), None);
+        assert_eq!(g.epoch_of_tag(&ReleaseTag::policy("epoch/s/3")), None);
+    }
+
+    #[test]
     fn clock_advances_and_is_shared() {
         let c = SimClock::new();
         let c2 = c.clone();
@@ -155,7 +200,10 @@ mod tests {
         assert_eq!(g.seconds(), 250);
         assert_eq!(g.epoch_of(499), 1);
         assert_eq!(g.epoch_start(2), 500);
-        assert_ne!(g.tag_for_epoch(1), Granularity::Custom(500).tag_for_epoch(1));
+        assert_ne!(
+            g.tag_for_epoch(1),
+            Granularity::Custom(500).tag_for_epoch(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! Deterministic fault injection for the timed-release distribution path
+//! (experiment E13).
+//!
+//! The paper's §3 trust assumptions cover the *server*; everything between
+//! the server and a receiver — the broadcast channel, the public archive,
+//! even a compromised server equivocating about an epoch — is fair game
+//! for faults. This module scripts those faults against a full simulated
+//! world and checks the two properties that must survive them:
+//!
+//! * **Safety** — no message opens before its release epoch begins, and no
+//!   message opens twice, no matter what the network does.
+//! * **Liveness** — every message eventually opens once connectivity
+//!   returns (broadcast heals or the archive becomes reachable).
+//!
+//! Everything is deterministic under a fixed seed: the same [`FaultPlan`]
+//! and seed reproduce the same delivery schedule, corruption bytes, and
+//! client metrics, tick for tick.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use tre_core::{tre, KeyUpdate, ServerKeyPair, UserKeyPair};
+use tre_pairing::Curve;
+
+use crate::archive::UpdateArchive;
+use crate::client::ReceiverClient;
+use crate::clock::{Granularity, SimClock};
+use crate::net::{BroadcastNet, NetConfig, SubscriberId};
+use crate::server::TimeServer;
+
+/// One fault, scoped to a server, a client, or the archive. Client indices
+/// are the order of [`ChaosSim::add_client`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The time server process dies and restarts `down_for` ticks later
+    /// via [`TimeServer::recover`], back-filling the archive.
+    ServerCrash {
+        /// Ticks until the server restarts.
+        down_for: u64,
+    },
+    /// `client` is partitioned from the broadcast channel (deliveries are
+    /// dropped) until the partition heals.
+    Partition {
+        /// Affected client index.
+        client: usize,
+        /// Ticks until the partition heals.
+        heal_after: u64,
+    },
+    /// Every delivery to `client` arrives `copies` extra times.
+    DuplicateStorm {
+        /// Affected client index.
+        client: usize,
+        /// Extra copies per delivery.
+        copies: u32,
+        /// Window length in ticks.
+        for_ticks: u64,
+    },
+    /// Deliveries to `client` pick up a random extra delay in
+    /// `0..=max_extra`, reordering them.
+    Reorder {
+        /// Affected client index.
+        client: usize,
+        /// Maximum extra delay in ticks.
+        max_extra: u64,
+        /// Window length in ticks.
+        for_ticks: u64,
+    },
+    /// Deliveries to `client` are corrupted in transit: the update's
+    /// signature point is replaced by a random group element, so
+    /// self-authentication fails.
+    Corrupt {
+        /// Affected client index.
+        client: usize,
+        /// Window length in ticks.
+        for_ticks: u64,
+    },
+    /// The public archive stops answering fetches.
+    ArchiveOutage {
+        /// Ticks until the archive is reachable again.
+        down_for: u64,
+    },
+    /// A Byzantine server equivocates: alongside each honest update,
+    /// `client` receives a second, conflicting update for the same tag.
+    Equivocate {
+        /// Affected client index.
+        client: usize,
+        /// Window length in ticks.
+        for_ticks: u64,
+    },
+    /// A Byzantine impostor forges updates for epochs `epochs_ahead` in
+    /// the future, trying to spring the time lock early.
+    Forge {
+        /// Affected client index.
+        client: usize,
+        /// How far ahead of the current epoch the forgeries claim to be.
+        epochs_ahead: u64,
+        /// Window length in ticks.
+        for_ticks: u64,
+    },
+}
+
+/// A fault scheduled at an absolute clock tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Tick at which the fault takes effect.
+    pub at: u64,
+    /// The fault.
+    pub fault: Fault,
+}
+
+/// A deterministic schedule of faults, built up front and replayed by the
+/// [`ChaosSim`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a chaos run with no chaos — useful as a control).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` at tick `at` (builder style).
+    pub fn at(mut self, at: u64, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Per-client fault windows active at some instant.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientWindows {
+    partitioned_until: u64,
+    duplicating_until: u64,
+    duplicate_copies: u32,
+    reordering_until: u64,
+    reorder_max_extra: u64,
+    corrupting_until: u64,
+    equivocating_until: u64,
+    forging_until: u64,
+    forge_ahead: u64,
+}
+
+/// Replays a [`FaultPlan`] tick by tick, answering "what is broken right
+/// now?" queries for the [`ChaosSim`] delivery loop.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    events: Vec<FaultEvent>, // sorted by `at`, stable
+    cursor: usize,
+    server_down_until: u64,
+    archive_down_until: u64,
+    clients: HashMap<usize, ClientWindows>,
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan) -> Self {
+        let mut events = plan.events;
+        events.sort_by_key(|e| e.at);
+        Self {
+            events,
+            cursor: 0,
+            server_down_until: 0,
+            archive_down_until: 0,
+            clients: HashMap::new(),
+        }
+    }
+
+    /// Activates every event scheduled at or before `now`.
+    fn advance_to(&mut self, now: u64) {
+        while let Some(event) = self.events.get(self.cursor) {
+            if event.at > now {
+                break;
+            }
+            let start = event.at;
+            match event.fault {
+                Fault::ServerCrash { down_for } => {
+                    self.server_down_until = self.server_down_until.max(start + down_for);
+                }
+                Fault::ArchiveOutage { down_for } => {
+                    self.archive_down_until = self.archive_down_until.max(start + down_for);
+                }
+                Fault::Partition { client, heal_after } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.partitioned_until = w.partitioned_until.max(start + heal_after);
+                }
+                Fault::DuplicateStorm {
+                    client,
+                    copies,
+                    for_ticks,
+                } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.duplicating_until = w.duplicating_until.max(start + for_ticks);
+                    w.duplicate_copies = copies;
+                }
+                Fault::Reorder {
+                    client,
+                    max_extra,
+                    for_ticks,
+                } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.reordering_until = w.reordering_until.max(start + for_ticks);
+                    w.reorder_max_extra = max_extra;
+                }
+                Fault::Corrupt { client, for_ticks } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.corrupting_until = w.corrupting_until.max(start + for_ticks);
+                }
+                Fault::Equivocate { client, for_ticks } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.equivocating_until = w.equivocating_until.max(start + for_ticks);
+                }
+                Fault::Forge {
+                    client,
+                    epochs_ahead,
+                    for_ticks,
+                } => {
+                    let w = self.clients.entry(client).or_default();
+                    w.forging_until = w.forging_until.max(start + for_ticks);
+                    w.forge_ahead = epochs_ahead;
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    fn server_up(&self, now: u64) -> bool {
+        now >= self.server_down_until
+    }
+
+    fn archive_up(&self, now: u64) -> bool {
+        now >= self.archive_down_until
+    }
+
+    fn windows(&self, client: usize, now: u64) -> ActiveWindows {
+        let w = self.clients.get(&client).copied().unwrap_or_default();
+        ActiveWindows {
+            partitioned: now < w.partitioned_until,
+            duplicate_copies: if now < w.duplicating_until {
+                w.duplicate_copies
+            } else {
+                0
+            },
+            reorder_max_extra: if now < w.reordering_until {
+                w.reorder_max_extra
+            } else {
+                0
+            },
+            corrupting: now < w.corrupting_until,
+            equivocating: now < w.equivocating_until,
+            forging: (now < w.forging_until).then_some(w.forge_ahead),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveWindows {
+    partitioned: bool,
+    duplicate_copies: u32,
+    reorder_max_extra: u64,
+    corrupting: bool,
+    equivocating: bool,
+    forging: Option<u64>,
+}
+
+/// One message the invariant checker expects to (eventually) open.
+#[derive(Debug, Clone)]
+struct Expectation {
+    client: usize,
+    epoch: u64,
+    msg: Vec<u8>,
+}
+
+/// Outcome of [`ChaosSim::check_invariants`].
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// Messages that opened before their release epoch or opened twice.
+    pub safety_violations: Vec<String>,
+    /// Messages that never opened.
+    pub liveness_violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// No message opened early or twice.
+    pub fn safety_ok(&self) -> bool {
+        self.safety_violations.is_empty()
+    }
+
+    /// Every message eventually opened.
+    pub fn liveness_ok(&self) -> bool {
+        self.liveness_violations.is_empty()
+    }
+
+    /// Panics with the collected violations unless both invariants hold.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.safety_ok() && self.liveness_ok(),
+            "invariant violations:\n  safety: {:?}\n  liveness: {:?}",
+            self.safety_violations,
+            self.liveness_violations
+        );
+    }
+}
+
+/// A fault-injected timed-release world: clock + crash-recoverable server
+/// + broadcast channel + resilient clients, driven by a [`FaultPlan`].
+///
+/// All randomness (keys, message encryption, corruption bytes, reorder
+/// delays) derives from the single constructor seed, so a run is exactly
+/// reproducible.
+pub struct ChaosSim<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    clock: SimClock,
+    granularity: Granularity,
+    keys: ServerKeyPair<L>,
+    byz_keys: ServerKeyPair<L>,
+    archive: Arc<UpdateArchive<L>>,
+    server: Option<TimeServer<'c, L>>,
+    net: BroadcastNet<L>,
+    clients: Vec<(ReceiverClient<'c, L>, SubscriberId)>,
+    injector: FaultInjector,
+    rng: StdRng,
+    expectations: Vec<Expectation>,
+    server_restarts: u64,
+    deliveries_dropped: u64,
+    deliveries_injected: u64,
+    archive_denied: u64,
+}
+
+impl<'c, const L: usize> ChaosSim<'c, L> {
+    /// Boots a world that will replay `plan`. Base broadcast latency is
+    /// one tick; all other channel behavior comes from the plan.
+    pub fn new(curve: &'c Curve<L>, granularity: Granularity, plan: FaultPlan, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let byz_keys = ServerKeyPair::generate(curve, &mut rng);
+        let server = TimeServer::new(curve, keys.clone(), clock.clone(), granularity);
+        let archive = server.archive_handle();
+        let net = BroadcastNet::new(clock.clone(), NetConfig::default(), seed ^ 0x5EED);
+        Self {
+            curve,
+            clock,
+            granularity,
+            keys,
+            byz_keys,
+            archive,
+            server: Some(server),
+            net,
+            clients: Vec::new(),
+            injector: FaultInjector::new(plan),
+            rng,
+            expectations: Vec::new(),
+            server_restarts: 0,
+            deliveries_dropped: 0,
+            deliveries_injected: 0,
+            archive_denied: 0,
+        }
+    }
+
+    /// Adds a receiver with a fresh (seed-derived) key pair; returns its
+    /// index for use in [`Fault`] scopes and accessors.
+    pub fn add_client(&mut self) -> usize {
+        let spk = *self.keys.public();
+        let keys = UserKeyPair::generate(self.curve, &spk, &mut self.rng);
+        let client = ReceiverClient::new(self.curve, spk, keys);
+        let sub = self.net.subscribe();
+        self.clients.push((client, sub));
+        self.clients.len() - 1
+    }
+
+    /// Sends a timed-release message to `client` locked to `epoch`,
+    /// registering it with the invariant checker.
+    pub fn send_for_epoch(&mut self, client: usize, epoch: u64, msg: &[u8]) {
+        let tag = self.granularity.tag_for_epoch(epoch);
+        let spk = *self.keys.public();
+        let (receiver, _) = &mut self.clients[client];
+        let ct = tre::encrypt(
+            self.curve,
+            &spk,
+            receiver.public_key(),
+            &tag,
+            msg,
+            &mut self.rng,
+        )
+        .expect("receiver key is honestly generated");
+        let now = self.clock.now();
+        receiver.receive_ciphertext(ct, now);
+        self.expectations.push(Expectation {
+            client,
+            epoch,
+            msg: msg.to_vec(),
+        });
+    }
+
+    /// Advances one tick: applies due faults, runs the (possibly crashed)
+    /// server, routes deliveries through the fault windows, and drains
+    /// client mailboxes. Returns how many messages opened this tick.
+    pub fn tick(&mut self) -> usize {
+        let now = self.clock.advance(1);
+        self.injector.advance_to(now);
+
+        // Server lifecycle: a crash destroys the process (in-memory epoch
+        // cursor included); the archive is the durable state a restart
+        // recovers from.
+        if self.injector.server_up(now) {
+            if self.server.is_none() {
+                self.server = Some(TimeServer::recover(
+                    self.curve,
+                    self.keys.clone(),
+                    self.clock.clone(),
+                    self.granularity,
+                    Arc::clone(&self.archive),
+                ));
+                self.server_restarts += 1;
+            }
+        } else {
+            self.server = None;
+        }
+
+        let fresh = match &mut self.server {
+            Some(server) => server.poll(),
+            None => Vec::new(),
+        };
+        for update in &fresh {
+            self.route(now, update);
+        }
+
+        let mut opened = 0;
+        for (client, sub) in &mut self.clients {
+            for (at, update) in self.net.poll(*sub) {
+                // Errors (invalid / equivocating updates) are recorded in
+                // the client's health counters; the runtime keeps going.
+                opened += client.receive_update(update, at).unwrap_or(0);
+            }
+        }
+        opened
+    }
+
+    /// Routes one freshly published update to every client through the
+    /// active fault windows.
+    fn route(&mut self, now: u64, update: &KeyUpdate<L>) {
+        for idx in 0..self.clients.len() {
+            let w = self.injector.windows(idx, now);
+            if w.partitioned {
+                self.deliveries_dropped += 1;
+                continue;
+            }
+            let sub = self.clients[idx].1;
+            let extra = if w.reorder_max_extra > 0 {
+                self.rng.next_u64() % (w.reorder_max_extra + 1)
+            } else {
+                0
+            };
+            let deliver_at = now + 1 + extra;
+            let delivered = if w.corrupting {
+                // In-transit corruption: the signature point is replaced
+                // by a random group element, so self-authentication fails.
+                self.deliveries_injected += 1;
+                KeyUpdate::from_parts(update.tag().clone(), self.random_point())
+            } else {
+                update.clone()
+            };
+            self.net.deliver_to(sub, delivered.clone(), deliver_at);
+            for copy in 0..w.duplicate_copies {
+                self.deliveries_injected += 1;
+                self.net
+                    .deliver_to(sub, delivered.clone(), deliver_at + u64::from(copy) % 2);
+            }
+            if w.equivocating {
+                // The conflicting twin lands one tick after the honest
+                // update, so the client's dedup cache already holds the
+                // verified one — deterministic equivocation evidence.
+                self.deliveries_injected += 1;
+                let conflicting = KeyUpdate::from_parts(update.tag().clone(), self.random_point());
+                self.net.deliver_to(sub, conflicting, deliver_at + 1);
+            }
+            if let Some(ahead) = w.forging {
+                // An impostor (different key) signs a future epoch's tag,
+                // trying to spring the lock early.
+                self.deliveries_injected += 1;
+                let future = self.granularity.epoch_of(now) + ahead;
+                let forged = self
+                    .byz_keys
+                    .issue_update(self.curve, &self.granularity.tag_for_epoch(future));
+                self.net.deliver_to(sub, forged, deliver_at);
+            }
+        }
+    }
+
+    fn random_point(&mut self) -> tre_pairing::G1Affine<L> {
+        let s = self.curve.random_scalar(&mut self.rng);
+        self.curve.g1_mul(&self.curve.generator(), &s)
+    }
+
+    /// Runs `ticks` ticks; returns total messages opened.
+    pub fn run(&mut self, ticks: u64) -> usize {
+        (0..ticks).map(|_| self.tick()).sum()
+    }
+
+    /// Lets every client try archive recovery, honoring archive outage
+    /// windows and each client's retry backoff. Returns messages opened.
+    pub fn catch_up(&mut self) -> usize {
+        let now = self.clock.now();
+        if !self.injector.archive_up(now) {
+            self.archive_denied += 1;
+            for (client, _) in &mut self.clients {
+                client.archive_unreachable(now);
+            }
+            return 0;
+        }
+        let g = self.granularity;
+        let archive = Arc::clone(&self.archive);
+        let mut opened = 0;
+        for (client, _) in &mut self.clients {
+            opened += client.catch_up(&archive, now, |tag| g.epoch_of_tag(tag));
+        }
+        opened
+    }
+
+    /// Runs tick + catch-up rounds until every expected message has opened
+    /// or `max_ticks` elapse. Returns `true` on full liveness.
+    pub fn settle(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            self.tick();
+            self.catch_up();
+            if self.check_invariants().liveness_ok() {
+                return true;
+            }
+        }
+        self.check_invariants().liveness_ok()
+    }
+
+    /// Checks the chaos invariants against everything sent so far:
+    ///
+    /// * safety — each expected message opened at most once, and never
+    ///   before its release epoch began;
+    /// * liveness — each expected message has opened (call after
+    ///   [`ChaosSim::settle`], not mid-outage).
+    pub fn check_invariants(&self) -> InvariantReport {
+        let mut report = InvariantReport::default();
+        for (i, exp) in self.expectations.iter().enumerate() {
+            let (client, _) = &self.clients[exp.client];
+            let matches: Vec<_> = client
+                .opened()
+                .iter()
+                .filter(|m| m.plaintext == exp.msg)
+                .collect();
+            match matches.len() {
+                0 => report.liveness_violations.push(format!(
+                    "message {i} (client {}, epoch {}) never opened",
+                    exp.client, exp.epoch
+                )),
+                1 => {
+                    let release = self.granularity.epoch_start(exp.epoch);
+                    let opened_at = matches[0].opened_at;
+                    if opened_at < release {
+                        report.safety_violations.push(format!(
+                            "message {i} opened at t={opened_at}, before release t={release}"
+                        ));
+                    }
+                }
+                n => report
+                    .safety_violations
+                    .push(format!("message {i} opened {n} times")),
+            }
+        }
+        report
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// A client by index.
+    pub fn client(&self, idx: usize) -> &ReceiverClient<'c, L> {
+        &self.clients[idx].0
+    }
+
+    /// The shared archive handle.
+    pub fn archive(&self) -> &UpdateArchive<L> {
+        &self.archive
+    }
+
+    /// Whether the server process is currently alive.
+    pub fn server_alive(&self) -> bool {
+        self.server.is_some()
+    }
+
+    /// Times the server restarted after a crash.
+    pub fn server_restarts(&self) -> u64 {
+        self.server_restarts
+    }
+
+    /// Deliveries dropped by partitions.
+    pub fn deliveries_dropped(&self) -> u64 {
+        self.deliveries_dropped
+    }
+
+    /// Extra deliveries the fault layer injected (duplicates, corruptions,
+    /// equivocations, forgeries).
+    pub fn deliveries_injected(&self) -> u64 {
+        self.deliveries_injected
+    }
+
+    /// Catch-up rounds refused by an archive outage.
+    pub fn archive_denied(&self) -> u64 {
+        self.archive_denied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tre_pairing::toy64;
+
+    #[test]
+    fn control_run_without_faults_is_clean() {
+        let curve = toy64();
+        let mut sim: ChaosSim<'_, 8> =
+            ChaosSim::new(curve, Granularity::Seconds, FaultPlan::new(), 1);
+        let c = sim.add_client();
+        sim.send_for_epoch(c, 3, b"plain run");
+        assert!(sim.settle(10));
+        sim.check_invariants().assert_ok();
+        let h = sim.client(c).health();
+        assert_eq!(h.rejected_updates, 0);
+        assert_eq!(h.duplicates_skipped, 0);
+        assert_eq!(h.equivocations, 0);
+    }
+
+    #[test]
+    fn injector_windows_open_and_close() {
+        let plan = FaultPlan::new()
+            .at(
+                2,
+                Fault::Partition {
+                    client: 0,
+                    heal_after: 3,
+                },
+            )
+            .at(4, Fault::ArchiveOutage { down_for: 2 });
+        let mut inj = FaultInjector::new(plan);
+        inj.advance_to(1);
+        assert!(!inj.windows(0, 1).partitioned);
+        assert!(inj.archive_up(1));
+        inj.advance_to(2);
+        assert!(inj.windows(0, 2).partitioned);
+        inj.advance_to(4);
+        assert!(inj.windows(0, 4).partitioned);
+        assert!(!inj.archive_up(4));
+        inj.advance_to(5);
+        assert!(!inj.windows(0, 5).partitioned, "partition healed at 5");
+        assert!(!inj.archive_up(5));
+        inj.advance_to(6);
+        assert!(inj.archive_up(6), "archive back at 6");
+    }
+
+    #[test]
+    fn same_seed_same_world() {
+        let curve = toy64();
+        let plan = || {
+            FaultPlan::new()
+                .at(
+                    1,
+                    Fault::Reorder {
+                        client: 0,
+                        max_extra: 4,
+                        for_ticks: 10,
+                    },
+                )
+                .at(
+                    3,
+                    Fault::DuplicateStorm {
+                        client: 0,
+                        copies: 2,
+                        for_ticks: 5,
+                    },
+                )
+        };
+        let run = |seed| {
+            let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan(), seed);
+            let c = sim.add_client();
+            sim.send_for_epoch(c, 2, b"deterministic?");
+            sim.settle(30);
+            let h = sim.client(c).health();
+            (
+                h.updates_received,
+                h.duplicates_skipped,
+                sim.client(c)
+                    .opened()
+                    .iter()
+                    .map(|m| m.opened_at)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(42), run(42), "same seed, same trace");
+    }
+}

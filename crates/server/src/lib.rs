@@ -12,9 +12,14 @@
 //!   missed-broadcast recovery;
 //! * [`BroadcastNet`] — a broadcast channel with configurable latency,
 //!   jitter, and loss (deterministic under a fixed seed);
-//! * [`ReceiverClient`] — a receiver endpoint that queues ciphertexts,
-//!   consumes updates, catches up from the archive, and records when each
-//!   message actually became readable;
+//! * [`ReceiverClient`] — a resilient receiver endpoint: queues
+//!   ciphertexts, deduplicates and verifies updates, detects equivocation,
+//!   catches up from the archive with bounded exponential backoff, and
+//!   exposes [`ClientHealth`] metrics;
+//! * [`ChaosSim`] / [`FaultPlan`] — deterministic fault injection (server
+//!   crash/restart, partitions, duplicate storms, reordering, corruption,
+//!   Byzantine equivocation/forgery, archive outages) with safety and
+//!   liveness invariant checking (experiment E13);
 //! * [`LiveHub`] — a thread-based fan-out hub (crossbeam channels) for
 //!   running real server/receiver threads instead of the simulation.
 //!
@@ -38,15 +43,19 @@
 mod archive;
 mod client;
 mod clock;
+mod faults;
 mod live;
+mod metrics;
 mod net;
 mod server;
 mod sim;
 
 pub use archive::UpdateArchive;
-pub use client::{OpenedMessage, ReceiverClient};
+pub use client::{BackoffConfig, OpenedMessage, ReceiverClient, DEFAULT_QUARANTINE_THRESHOLD};
 pub use clock::{Granularity, SimClock};
+pub use faults::{ChaosSim, Fault, FaultEvent, FaultPlan, InvariantReport};
 pub use live::LiveHub;
+pub use metrics::{ClientHealth, LatencyHistogram};
 pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
 pub use server::{FutureEpochError, TimeServer};
 pub use sim::{ClientId, Simulation};

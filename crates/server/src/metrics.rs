@@ -1,0 +1,123 @@
+//! Per-client health metrics for the resilient receiver runtime.
+//!
+//! The fault-injection experiments (E13) need to *observe* how a client
+//! weathered a run — how many updates it deduplicated, rejected, or
+//! recovered from the archive, and how long messages sat locked past their
+//! release time. These counters are plain data: recording is branch-free
+//! and allocation-free so they can sit on the hot receive path.
+
+/// A power-of-two-bucketed histogram of open latencies, in clock ticks.
+///
+/// Bucket `0` holds latency 0; bucket `i ≥ 1` holds latencies in
+/// `[2^(i−1), 2^i)`; the last bucket absorbs everything larger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 16],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let idx = if latency == 0 {
+            0
+        } else {
+            ((64 - latency.leading_zeros()) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or `None` if nothing was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Largest observed latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (see the type docs for bucket boundaries).
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
+    }
+}
+
+/// Health counters for one [`ReceiverClient`](crate::ReceiverClient).
+///
+/// Every anomaly the old client silently swallowed is surfaced here:
+/// duplicate broadcasts, invalid or equivocating updates, decryption
+/// failures, archive misses, and the epochs the client never saw on the
+/// broadcast path.
+#[derive(Debug, Clone, Default)]
+pub struct ClientHealth {
+    /// Updates handed to the client (any provenance, including duplicates).
+    pub updates_received: u64,
+    /// Exact duplicates skipped by the dedup cache *without* re-running
+    /// pairing verification.
+    pub duplicates_skipped: u64,
+    /// Updates rejected because self-authentication failed.
+    pub rejected_updates: u64,
+    /// Conflicting updates observed for an already-verified tag (Byzantine
+    /// equivocation evidence).
+    pub equivocations: u64,
+    /// Ciphertexts whose decryption failed once the update was in hand
+    /// (mauled ciphertext or wrong receiver) — see
+    /// [`ReceiverClient::dead_letters`](crate::ReceiverClient::dead_letters).
+    pub decrypt_failures: u64,
+    /// Epoch gaps on the broadcast path: updates that never arrived live
+    /// (inferred whenever a later epoch arrives first).
+    pub missed_epochs: u64,
+    /// Updates successfully fetched from the public archive.
+    pub recovered_from_archive: u64,
+    /// Archive fetch attempts (successful or not).
+    pub archive_attempts: u64,
+    /// Archive fetches that found no update (outage or not yet published);
+    /// each miss grows the per-tag retry backoff.
+    pub archive_misses: u64,
+    /// Consecutive invalid updates on the broadcast path; reset by any
+    /// valid update. Drives quarantine.
+    pub invalid_streak: u32,
+    /// Ticks a message waited between ciphertext arrival and opening.
+    pub open_latency: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.mean(), None);
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), Some(1010.0 / 6.0));
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2..4
+        assert_eq!(b[3], 1); // 4..8
+        assert_eq!(b[10], 1); // 512..1024
+    }
+
+    #[test]
+    fn histogram_saturates_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[15], 1);
+    }
+}

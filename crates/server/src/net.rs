@@ -54,20 +54,35 @@ pub struct NetStats {
     pub lost: u64,
 }
 
-type Mailbox<const L: usize> = BinaryHeap<Reverse<(u64, u64, QueuedUpdate<L>)>>;
+type Mailbox<const L: usize> = BinaryHeap<Reverse<Envelope<L>>>;
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct QueuedUpdate<const L: usize>(KeyUpdate<L>);
+/// One queued delivery. The heap is keyed on `(deliver_at, seq)` only —
+/// `seq` is unique per delivery, so the ordering is total and the payload
+/// never participates in comparisons.
+#[derive(Debug, Clone)]
+struct Envelope<const L: usize> {
+    deliver_at: u64,
+    seq: u64,
+    update: KeyUpdate<L>,
+}
 
-impl<const L: usize> PartialOrd for QueuedUpdate<L> {
+impl<const L: usize> PartialEq for Envelope<L> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+
+impl<const L: usize> Eq for Envelope<L> {}
+
+impl<const L: usize> PartialOrd for Envelope<L> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<const L: usize> Ord for QueuedUpdate<L> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+impl<const L: usize> Ord for Envelope<L> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
     }
 }
 
@@ -124,13 +139,27 @@ impl<const L: usize> BroadcastNet<L> {
                 0
             };
             let deliver_at = now + self.config.base_latency + jitter;
-            mbox.push(Reverse((
+            mbox.push(Reverse(Envelope {
                 deliver_at,
-                self.seq,
-                QueuedUpdate(update.clone()),
-            )));
+                seq: self.seq,
+                update: update.clone(),
+            }));
             self.seq += 1;
         }
+    }
+
+    /// Enqueues a single delivery directly into one subscriber's mailbox,
+    /// bypassing the latency/jitter/loss model. This is the injection hook
+    /// the fault layer uses for duplicated, reordered, corrupted, and
+    /// forged deliveries; it is not counted in the broadcast statistics.
+    pub fn deliver_to(&mut self, id: SubscriberId, update: KeyUpdate<L>, deliver_at: u64) {
+        let mbox = &mut self.mailboxes[id.0];
+        mbox.push(Reverse(Envelope {
+            deliver_at,
+            seq: self.seq,
+            update,
+        }));
+        self.seq += 1;
     }
 
     /// Drains every update whose delivery time has arrived for `id`,
@@ -139,12 +168,12 @@ impl<const L: usize> BroadcastNet<L> {
         let now = self.clock.now();
         let mbox = &mut self.mailboxes[id.0];
         let mut out = Vec::new();
-        while let Some(Reverse((at, _, _))) = mbox.peek() {
-            if *at > now {
+        while let Some(Reverse(env)) = mbox.peek() {
+            if env.deliver_at > now {
                 break;
             }
-            let Reverse((at, _, QueuedUpdate(u))) = mbox.pop().unwrap();
-            out.push((at, u));
+            let Reverse(env) = mbox.pop().unwrap();
+            out.push((env.deliver_at, env.update));
         }
         out
     }
@@ -253,6 +282,50 @@ mod tests {
         assert_eq!(stats.broadcast_bytes, sz as u64, "one copy on the air");
         assert_eq!(stats.unicast_equivalent_bytes, 100 * sz as u64);
         assert_eq!(stats.broadcasts, 1);
+    }
+
+    #[test]
+    fn same_tick_deliveries_preserve_send_order() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(
+            clock.clone(),
+            NetConfig {
+                base_latency: 3,
+                jitter: 0,
+                loss_prob: 0.0,
+            },
+            1,
+        );
+        let a = net.subscribe();
+        let updates: Vec<_> = (0..4).map(|_| mk_update().0).collect();
+        for u in &updates {
+            net.broadcast(u, 64);
+        }
+        clock.advance(3);
+        let got: Vec<_> = net.poll(a).into_iter().map(|(_, u)| u).collect();
+        assert_eq!(got, updates, "ties on deliver_at break by sequence number");
+    }
+
+    #[test]
+    fn deliver_to_bypasses_channel_model() {
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(
+            clock.clone(),
+            NetConfig {
+                base_latency: 1,
+                jitter: 0,
+                loss_prob: 1.0, // broadcast path would drop everything
+            },
+            9,
+        );
+        let a = net.subscribe();
+        let b = net.subscribe();
+        let (u, _) = mk_update();
+        net.deliver_to(a, u.clone(), 2);
+        clock.advance(2);
+        assert_eq!(net.poll(a), vec![(2, u)]);
+        assert!(net.poll(b).is_empty(), "injection is per-subscriber");
+        assert_eq!(net.stats().broadcasts, 0, "injections are not broadcasts");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! (§3). It holds **no** user state, stores **no** messages, and refuses to
 //! sign future epochs (the second trust assumption).
 
+use std::sync::Arc;
+
 use tre_core::{KeyUpdate, ReleaseTag, ServerKeyPair, ServerPublicKey};
 use tre_pairing::Curve;
 
@@ -38,7 +40,7 @@ pub struct TimeServer<'c, const L: usize> {
     keys: ServerKeyPair<L>,
     clock: SimClock,
     granularity: Granularity,
-    archive: UpdateArchive<L>,
+    archive: Arc<UpdateArchive<L>>,
     next_epoch: u64,
     broadcasts: u64,
 }
@@ -57,7 +59,35 @@ impl<'c, const L: usize> TimeServer<'c, L> {
             keys,
             clock,
             granularity,
-            archive: UpdateArchive::new(),
+            archive: Arc::new(UpdateArchive::new()),
+            next_epoch,
+            broadcasts: 0,
+        }
+    }
+
+    /// Reboots a server against an archive that survived a crash. The
+    /// epoch cursor resumes just past the newest archived epoch, so the
+    /// first [`TimeServer::poll`] back-fills every epoch the crashed
+    /// process skipped — the archive (the scheme's only durable state)
+    /// ends up gap-free. With an empty archive this is identical to
+    /// [`TimeServer::new`].
+    pub fn recover(
+        curve: &'c Curve<L>,
+        keys: ServerKeyPair<L>,
+        clock: SimClock,
+        granularity: Granularity,
+        archive: Arc<UpdateArchive<L>>,
+    ) -> Self {
+        let next_epoch = match archive.latest_epoch() {
+            Some(latest) => latest + 1,
+            None => granularity.epoch_of(clock.now()),
+        };
+        Self {
+            curve,
+            keys,
+            clock,
+            granularity,
+            archive,
             next_epoch,
             broadcasts: 0,
         }
@@ -77,6 +107,12 @@ impl<'c, const L: usize> TimeServer<'c, L> {
     /// The public archive of already-released updates.
     pub fn archive(&self) -> &UpdateArchive<L> {
         &self.archive
+    }
+
+    /// A shared handle to the archive — the durable state that outlives a
+    /// server crash and seeds [`TimeServer::recover`].
+    pub fn archive_handle(&self) -> Arc<UpdateArchive<L>> {
+        Arc::clone(&self.archive)
     }
 
     /// Number of broadcasts performed so far (server-cost metric for the
@@ -193,6 +229,52 @@ mod tests {
             // same tag with no server contact.
             assert_eq!(u.tag(), &Granularity::Seconds.tag_for_epoch(i as u64));
         }
+    }
+
+    #[test]
+    fn recover_backfills_epochs_skipped_by_the_crash() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let clock = SimClock::new();
+        let mut server = TimeServer::new(curve, keys.clone(), clock.clone(), Granularity::Seconds);
+        clock.advance(3);
+        server.poll(); // archive holds epochs 0..=3
+        let archive = server.archive_handle();
+        drop(server); // crash: all in-memory state gone
+        clock.advance(4); // downtime covers epochs 4..=6 (restart at t=7)
+        let mut revived = TimeServer::recover(
+            curve,
+            keys,
+            clock.clone(),
+            Granularity::Seconds,
+            Arc::clone(&archive),
+        );
+        let backfilled = revived.poll();
+        assert_eq!(backfilled.len(), 4, "epochs 4..=7 published on restart");
+        assert_eq!(archive.len(), 8, "archive gap-free after recovery");
+        for e in 0..=7 {
+            assert!(archive.get(e).is_some(), "epoch {e} present");
+        }
+        assert_eq!(revived.poll().len(), 0, "no double publication");
+    }
+
+    #[test]
+    fn recover_with_empty_archive_matches_fresh_boot() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let clock = SimClock::new();
+        clock.advance(5);
+        let mut fresh = TimeServer::new(curve, keys.clone(), clock.clone(), Granularity::Seconds);
+        let mut recovered = TimeServer::recover(
+            curve,
+            keys,
+            clock.clone(),
+            Granularity::Seconds,
+            Arc::new(UpdateArchive::new()),
+        );
+        assert_eq!(fresh.poll().len(), recovered.poll().len());
     }
 
     #[test]

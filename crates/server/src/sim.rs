@@ -139,13 +139,11 @@ impl<'c, const L: usize> Simulation<'c, L> {
     /// the server's public archive. Returns messages opened.
     pub fn catch_up_all(&mut self) -> usize {
         let now = self.clock.now();
+        let g = self.server.granularity();
         let archive = self.server.archive();
         let mut opened = 0;
         for (client, _) in &mut self.clients {
-            opened += client.catch_up(archive, now, |tag| {
-                let s = String::from_utf8_lossy(tag.value()).to_string();
-                s.rsplit('/').next().and_then(|n| n.parse().ok())
-            });
+            opened += client.catch_up(archive, now, |tag| g.epoch_of_tag(tag));
         }
         opened
     }

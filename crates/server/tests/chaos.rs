@@ -1,0 +1,362 @@
+//! Chaos suite (experiment E13): scripted fault schedules against the
+//! full distribution path, asserting the two invariants that must survive
+//! every fault the model can express:
+//!
+//! * **safety** — no message opens before its release epoch, none opens
+//!   twice;
+//! * **liveness** — every message eventually opens once connectivity
+//!   returns.
+//!
+//! Every run is deterministic under its fixed seed: same plan + same seed
+//! reproduce the same delivery trace and the same health counters.
+
+use tre_core::{tre, TreError};
+use tre_pairing::toy64;
+use tre_server::{ChaosSim, Fault, FaultPlan, Granularity};
+
+/// Schedule 1 — server crash and restart. The server dies before the
+/// release epochs of two in-flight messages; on restart it back-fills the
+/// archive and re-broadcasts the skipped epochs.
+#[test]
+fn crash_restart_backfills_and_releases() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(2, Fault::ServerCrash { down_for: 5 });
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 101);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 3, b"locked across the crash");
+    sim.send_for_epoch(c, 5, b"also in the outage window");
+    sim.send_for_epoch(c, 8, b"after restart");
+    sim.run(3);
+    assert!(!sim.server_alive(), "server down during the window");
+    assert_eq!(sim.client(c).opened().len(), 0, "no opens while down");
+    assert!(sim.settle(30), "liveness after restart");
+    sim.check_invariants().assert_ok();
+    assert_eq!(sim.server_restarts(), 1);
+    // The archive has no holes: recovery back-filled the crash window.
+    for epoch in 0..=8 {
+        assert!(sim.archive().get(epoch).is_some(), "epoch {epoch} archived");
+    }
+}
+
+/// Schedule 2 — network partition and heal. The partitioned client misses
+/// its release broadcast entirely and recovers it from the public archive;
+/// an unpartitioned client is unaffected.
+#[test]
+fn partition_heals_and_archive_recovers() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::Partition {
+            client: 0,
+            heal_after: 6,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 102);
+    let cut_off = sim.add_client();
+    let healthy = sim.add_client();
+    sim.send_for_epoch(cut_off, 3, b"for the partitioned");
+    sim.send_for_epoch(healthy, 3, b"for the connected");
+    sim.run(5);
+    assert_eq!(sim.client(healthy).opened().len(), 1, "healthy on time");
+    assert_eq!(sim.client(cut_off).opened().len(), 0, "partition holds");
+    assert!(sim.deliveries_dropped() > 0);
+    assert!(sim.settle(30), "liveness after heal");
+    sim.check_invariants().assert_ok();
+    let h = sim.client(cut_off).health();
+    assert!(
+        h.recovered_from_archive >= 1,
+        "missed broadcast came back via the archive"
+    );
+    assert!(h.missed_epochs > 0, "the gap was observed and counted");
+}
+
+/// Schedule 3 — duplicate storm. Every delivery arrives four times; the
+/// dedup cache absorbs the copies without re-verifying and the message
+/// opens exactly once (double-open is a safety violation the checker
+/// would catch).
+#[test]
+fn duplicate_storm_is_idempotent() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::DuplicateStorm {
+            client: 0,
+            copies: 3,
+            for_ticks: 10,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 103);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 2, b"open me once");
+    assert!(sim.settle(30));
+    sim.check_invariants().assert_ok();
+    let h = sim.client(c).health();
+    assert!(h.duplicates_skipped > 0, "the storm actually happened");
+    assert_eq!(h.equivocations, 0, "identical copies are not equivocation");
+    assert_eq!(h.rejected_updates, 0);
+    assert_eq!(sim.client(c).opened().len(), 1, "exactly one open");
+}
+
+/// Schedule 4 — reordering. Updates pick up random extra delays, so later
+/// epochs can overtake earlier ones; every message still opens, and none
+/// early.
+#[test]
+fn reordered_deliveries_all_open() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::Reorder {
+            client: 0,
+            max_extra: 5,
+            for_ticks: 12,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 104);
+    let c = sim.add_client();
+    for epoch in 1..=4u64 {
+        sim.send_for_epoch(c, epoch, format!("epoch {epoch}").as_bytes());
+    }
+    assert!(sim.settle(40));
+    sim.check_invariants().assert_ok();
+    assert_eq!(sim.client(c).opened().len(), 4);
+}
+
+/// Schedule 5 — Byzantine equivocation. A conflicting update for each tag
+/// trails the honest one; the client flags every conflict by byte
+/// comparison (no pairing spent) and the honest update still opens the
+/// message.
+#[test]
+fn equivocation_detected_and_survived() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::Equivocate {
+            client: 0,
+            for_ticks: 8,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 105);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 3, b"truth wins");
+    assert!(sim.settle(30));
+    sim.check_invariants().assert_ok();
+    let h = sim.client(c).health();
+    assert!(h.equivocations > 0, "conflicts were observed");
+    assert_eq!(sim.client(c).opened().len(), 1);
+}
+
+/// Schedule 6 — archive outage during a partition. The client can reach
+/// neither the broadcast nor the archive for a while; retries back off,
+/// and once the archive heals the message opens.
+#[test]
+fn archive_outage_delays_but_does_not_defeat_recovery() {
+    let curve = toy64();
+    let plan = FaultPlan::new()
+        .at(
+            1,
+            Fault::Partition {
+                client: 0,
+                heal_after: 25,
+            },
+        )
+        .at(1, Fault::ArchiveOutage { down_for: 12 });
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 106);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 2, b"patience");
+    sim.run(4);
+    assert_eq!(sim.catch_up(), 0, "archive is down");
+    assert!(sim.archive_denied() > 0);
+    assert!(sim.settle(60), "liveness once the archive heals");
+    sim.check_invariants().assert_ok();
+    let h = sim.client(c).health();
+    assert!(h.archive_misses > 0, "outage produced counted misses");
+    assert!(h.recovered_from_archive >= 1);
+}
+
+/// Schedule 7 — in-transit corruption. Corrupted updates fail
+/// self-authentication, the invalid streak quarantines the broadcast
+/// path, and the archive (quarantine never blocks it) restores liveness.
+#[test]
+fn corruption_quarantines_broadcast_but_archive_rescues() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::Corrupt {
+            client: 0,
+            for_ticks: 6,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 107);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 2, b"bit-rot resistant");
+    sim.run(6);
+    let h = sim.client(c).health();
+    assert!(h.rejected_updates >= 3, "corrupted window was rejected");
+    assert!(
+        sim.client(c).is_quarantined(),
+        "consecutive invalid updates quarantined the broadcast path"
+    );
+    assert!(sim.settle(40));
+    sim.check_invariants().assert_ok();
+}
+
+/// Schedule 8 — Byzantine forgery of *future* epochs: an impostor tries
+/// to spring the time lock early. Safety holds — the message stays sealed
+/// until its real epoch — and the forgeries are counted.
+#[test]
+fn forged_future_updates_cannot_spring_the_lock() {
+    let curve = toy64();
+    let plan = FaultPlan::new().at(
+        1,
+        Fault::Forge {
+            client: 0,
+            epochs_ahead: 7,
+            for_ticks: 6,
+        },
+    );
+    let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, Granularity::Seconds, plan, 108);
+    let c = sim.add_client();
+    sim.send_for_epoch(c, 9, b"sealed until nine");
+    sim.run(6);
+    assert_eq!(
+        sim.client(c).opened().len(),
+        0,
+        "forged future updates must not open anything"
+    );
+    assert!(sim.client(c).health().rejected_updates > 0);
+    assert!(sim.settle(30));
+    sim.check_invariants().assert_ok();
+    assert!(
+        sim.client(c).opened()[0].opened_at >= 9,
+        "opened only at the honest release time"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Duplicate / out-of-order delivery semantics (direct client-level view
+// of what schedules 3 and 4 exercise through the full stack).
+// ---------------------------------------------------------------------
+
+mod delivery_semantics {
+    use super::*;
+    use rand::thread_rng;
+    use tre_core::{ServerKeyPair, UserKeyPair};
+    use tre_server::{ReceiverClient, SimClock, TimeServer};
+
+    fn world() -> (SimClock, TimeServer<'static, 8>, ReceiverClient<'static, 8>) {
+        let curve = toy64();
+        let mut rng = thread_rng();
+        let clock = SimClock::new();
+        let skeys = ServerKeyPair::generate(curve, &mut rng);
+        let spk = *skeys.public();
+        let server = TimeServer::new(curve, skeys, clock.clone(), Granularity::Seconds);
+        let ukeys = UserKeyPair::generate(curve, &spk, &mut rng);
+        let client = ReceiverClient::new(curve, spk, ukeys);
+        (clock, server, client)
+    }
+
+    /// A re-broadcast update is a no-op: `Ok(0)`, no double-open, and the
+    /// dedup counter shows the pairing check was skipped.
+    #[test]
+    fn rebroadcast_is_a_noop() {
+        let curve = toy64();
+        let mut rng = thread_rng();
+        let (clock, mut server, mut client) = world();
+        let tag = server.tag_for_epoch(1);
+        let ct = tre::encrypt(
+            curve,
+            server.public_key(),
+            client.public_key(),
+            &tag,
+            b"once",
+            &mut rng,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, 0);
+        clock.advance(1);
+        let updates = server.poll();
+        let epoch1 = updates
+            .iter()
+            .find(|u| u.tag() == &tag)
+            .expect("epoch 1 published")
+            .clone();
+        assert_eq!(client.receive_update(epoch1.clone(), 1), Ok(1));
+        assert_eq!(client.opened().len(), 1);
+        // The same update delivered again — and again.
+        assert_eq!(client.receive_update(epoch1.clone(), 2), Ok(0));
+        assert_eq!(client.receive_update(epoch1, 3), Ok(0));
+        assert_eq!(client.opened().len(), 1, "no double-open");
+        assert_eq!(client.health().duplicates_skipped, 2);
+        assert_eq!(client.health().equivocations, 0);
+    }
+
+    /// Updates arriving out of order: a later epoch first, then an
+    /// earlier one. The late-but-earlier update still opens its message.
+    #[test]
+    fn late_earlier_epoch_still_opens() {
+        let curve = toy64();
+        let mut rng = thread_rng();
+        let (clock, mut server, mut client) = world();
+        for epoch in [2u64, 5] {
+            let tag = server.tag_for_epoch(epoch);
+            let ct = tre::encrypt(
+                curve,
+                server.public_key(),
+                client.public_key(),
+                &tag,
+                format!("epoch {epoch}").as_bytes(),
+                &mut rng,
+            )
+            .unwrap();
+            client.receive_ciphertext(ct, 0);
+        }
+        clock.advance(5);
+        let mut updates = server.poll();
+        // Deliver in reverse epoch order: 5 before 2.
+        updates.reverse();
+        for u in updates {
+            let _ = client.receive_update(u, clock.now());
+        }
+        assert_eq!(client.pending_count(), 0);
+        let plaintexts: Vec<_> = client
+            .opened()
+            .iter()
+            .map(|m| m.plaintext.clone())
+            .collect();
+        assert!(plaintexts.contains(&b"epoch 5".to_vec()));
+        assert!(
+            plaintexts.contains(&b"epoch 2".to_vec()),
+            "an earlier epoch arriving late still opens"
+        );
+    }
+
+    /// An equivocating twin of an already-verified update is rejected by
+    /// byte comparison, and the original stays authoritative.
+    #[test]
+    fn conflicting_duplicate_is_equivocation_not_replacement() {
+        let curve = toy64();
+        let mut rng = thread_rng();
+        let (clock, mut server, mut client) = world();
+        clock.advance(1);
+        let updates = server.poll();
+        let honest = updates[0].clone();
+        client.receive_update(honest.clone(), 1).unwrap();
+        let twin = tre_core::KeyUpdate::from_parts(
+            honest.tag().clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(client.receive_update(twin, 2), Err(TreError::Equivocation));
+        // The cached honest update still opens late ciphertexts.
+        let ct = tre::encrypt(
+            curve,
+            server.public_key(),
+            client.public_key(),
+            honest.tag(),
+            b"still fine",
+            &mut rng,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, 3);
+        assert_eq!(client.opened().last().unwrap().plaintext, b"still fine");
+    }
+}

@@ -39,7 +39,14 @@ fn main() -> Result<(), TreError> {
     println!("condition attested: {after_noon}");
 
     // One attestation is not enough.
-    assert!(policy::decrypt(curve, witness.public(), &officer, &[att_time.clone()], &ct).is_err());
+    assert!(policy::decrypt(
+        curve,
+        witness.public(),
+        &officer,
+        std::slice::from_ref(&att_time),
+        &ct
+    )
+    .is_err());
     println!("with only the time attestation: still sealed");
 
     // A forged emergency attestation does not help either.

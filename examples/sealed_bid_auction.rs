@@ -61,7 +61,7 @@ fn main() -> Result<(), TreError> {
         println!("opened: {text}");
         let amount: u64 = text.rsplit('$').next().unwrap().parse().unwrap();
         let who = text.split(' ').next().unwrap().to_string();
-        if best.as_ref().map_or(true, |(_, b)| amount < *b) {
+        if best.as_ref().is_none_or(|(_, b)| amount < *b) {
             best = Some((who, amount));
         }
     }

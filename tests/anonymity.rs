@@ -13,11 +13,8 @@ fn server_transcript(n_users: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
     let mut rng = rand::thread_rng();
     let clock = SimClock::new();
     // Fixed server key so the transcript is comparable across runs.
-    let keys = ServerKeyPair::from_secret(
-        curve,
-        curve.generator(),
-        tre::bigint::U256::from_u64(seed),
-    );
+    let keys =
+        ServerKeyPair::from_secret(curve, curve.generator(), tre::bigint::U256::from_u64(seed));
     let mut server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
 
     // User activity happens entirely off to the side.
@@ -61,11 +58,8 @@ fn updates_carry_no_receiver_information() {
     // The update an eavesdropper sees depends only on (server key, tag) —
     // re-deriving it with no users in the world produces the same bytes.
     let curve = tre::pairing::toy64();
-    let server = ServerKeyPair::from_secret(
-        curve,
-        curve.generator(),
-        tre::bigint::U256::from_u64(777),
-    );
+    let server =
+        ServerKeyPair::from_secret(curve, curve.generator(), tre::bigint::U256::from_u64(777));
     let tag = ReleaseTag::time("2026-07-04T12:00:00Z");
     let with_users = {
         let mut rng = rand::thread_rng();
@@ -83,8 +77,13 @@ fn broadcast_volume_constant_under_population_growth() {
     let mut rng = rand::thread_rng();
     let mut volumes = Vec::new();
     for n in [1usize, 10, 50] {
-        let mut sim =
-            Simulation::new(curve, Granularity::Seconds, NetConfig::default(), 5, &mut rng);
+        let mut sim = Simulation::new(
+            curve,
+            Granularity::Seconds,
+            NetConfig::default(),
+            5,
+            &mut rng,
+        );
         for _ in 0..n {
             sim.add_client(&mut rng);
         }

@@ -52,7 +52,9 @@ fn golden_user_public_key() {
          0c15f24e9e9fb233ab55b81d6cb32dc94005c446b62f15129bcd9b737c33576d23\
          f134db480e79f453af10b10ec2d427d7346fb33d499e94cfec3ef65d271b35"
     );
-    user.public().validate(curve, fixed_server().public()).unwrap();
+    user.public()
+        .validate(curve, fixed_server().public())
+        .unwrap();
 }
 
 #[test]
@@ -82,7 +84,11 @@ fn golden_deterministic_decryption() {
         &mut drbg2,
     )
     .unwrap();
-    assert_eq!(ct1.to_bytes(curve), ct2.to_bytes(curve), "seeded runs are bit-identical");
+    assert_eq!(
+        ct1.to_bytes(curve),
+        ct2.to_bytes(curve),
+        "seeded runs are bit-identical"
+    );
     let update = server.issue_update(curve, &tag);
     assert_eq!(
         tre::core::tre::decrypt(curve, server.public(), &user, &update, &ct1).unwrap(),

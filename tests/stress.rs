@@ -45,7 +45,11 @@ fn sustained_mixed_load() {
                 .unwrap()
                 .parse()
                 .unwrap();
-            assert!(m.opened_at >= epoch, "opened at {} before epoch {epoch}", m.opened_at);
+            assert!(
+                m.opened_at >= epoch,
+                "opened at {} before epoch {epoch}",
+                m.opened_at
+            );
         }
     }
 }
@@ -100,9 +104,19 @@ fn fo_bulk_roundtrip_unique_ciphertexts() {
     let mut seen = std::collections::HashSet::new();
     for i in 0..10 {
         let msg = format!("bulk message {i}");
-        let ct = fo::encrypt(curve, server.public(), user.public(), &tag, msg.as_bytes(), &mut rng)
-            .unwrap();
-        assert!(seen.insert(ct.to_bytes(curve)), "ciphertexts must be unique");
+        let ct = fo::encrypt(
+            curve,
+            server.public(),
+            user.public(),
+            &tag,
+            msg.as_bytes(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            seen.insert(ct.to_bytes(curve)),
+            "ciphertexts must be unique"
+        );
         assert_eq!(
             fo::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
             msg.as_bytes()

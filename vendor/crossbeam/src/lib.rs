@@ -1,0 +1,8 @@
+//! Offline, API-compatible subset of `crossbeam`: the unbounded MPMC
+//! channel surface this workspace uses (`unbounded`, `Sender::try_send` /
+//! `send`, `Receiver::recv` / `try_recv` / `len` / `iter`).
+//!
+//! Built on a `Mutex<VecDeque>` + `Condvar`; adequate for the fan-out hub
+//! and tests, not a lock-free reimplementation.
+
+pub mod channel;

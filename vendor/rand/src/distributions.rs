@@ -1,0 +1,86 @@
+//! The [`Standard`] distribution for primitive types — the only
+//! distribution the workspace samples from.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: uniform over the whole domain for integers
+/// and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = self.sample(rng);
+        v as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize, T> Distribution<[T; N]> for Standard
+where
+    Standard: Distribution<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+        core::array::from_fn(|_| self.sample(rng))
+    }
+}
+
+macro_rules! impl_standard_tuple {
+    ($($name:ident),+) => {
+        impl<$($name),+> Distribution<($($name,)+)> for Standard
+        where
+            $(Standard: Distribution<$name>),+
+        {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> ($($name,)+) {
+                ($({ let v: $name = self.sample(rng); v },)+)
+            }
+        }
+    };
+}
+
+impl_standard_tuple!(A);
+impl_standard_tuple!(A, B);
+impl_standard_tuple!(A, B, C);
+impl_standard_tuple!(A, B, C, D);

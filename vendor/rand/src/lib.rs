@@ -1,0 +1,280 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the handful of `rand` items the repo actually uses are
+//! vendored here and wired in through `[patch.crates-io]`. The statistical
+//! machinery of the real crate is replaced by a xoshiro256++ generator —
+//! more than adequate for simulation jitter, test fixtures, and
+//! rejection-sampled scalars, which are the only consumers in this tree.
+//!
+//! Implemented surface: [`RngCore`], [`Rng::gen`], [`SeedableRng`]
+//! (including `seed_from_u64`), [`rngs::StdRng`], [`thread_rng`], and the
+//! `Standard` distribution for primitive types.
+
+use std::cell::RefCell;
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Error type for fallible RNG operations (never produced by the vendored
+/// generators, which are infallible).
+#[derive(Debug)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Marker trait for cryptographically secure generators. The vendored
+/// generators do not claim this; downstream DRBGs may.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// The core of a random number generator: raw integer and byte output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`] (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience extension over [`RngCore`]: typed sampling.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from a fixed-size seed or a single `u64`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator by expanding a `u64` with SplitMix64 (distinct
+    /// inputs yield unrelated streams).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — seed expander and fallback generator.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::ThreadRng`].
+#[derive(Debug, Clone)]
+pub(crate) struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    pub(crate) fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is a fixed point; displace it deterministically.
+        if s == [0; 4] {
+            let mut sm = SplitMix64(0x5EED);
+            for limb in &mut s {
+                *limb = sm.next_u64();
+            }
+        }
+        Self { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<Xoshiro256> = RefCell::new({
+        // Unique per thread and per process run: a global counter mixed
+        // with the address of a stack local via SplitMix64.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let marker = 0u8;
+        let addr = core::ptr::addr_of!(marker) as u64;
+        let t = std::time::UNIX_EPOCH
+            .elapsed()
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut sm = SplitMix64(n ^ addr.rotate_left(32) ^ t);
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
+        }
+        Xoshiro256::from_seed_bytes(seed)
+    });
+}
+
+/// A handle to a thread-local generator, as returned by [`thread_rng`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadRng {
+    _private: (),
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        THREAD_RNG.with(|r| r.borrow_mut().fill_bytes(dest))
+    }
+}
+
+/// Returns a handle to the calling thread's generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng { _private: () }
+}
+
+/// Samples one value from the [`Standard`] distribution on the
+/// thread-local generator.
+pub fn random<T>() -> T
+where
+    Standard: Distribution<T>,
+{
+    thread_rng().gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn thread_rng_works() {
+        let mut r = thread_rng();
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b, "astronomically unlikely");
+    }
+}

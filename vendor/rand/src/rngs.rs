@@ -1,0 +1,35 @@
+//! Concrete generators: [`StdRng`] (seedable, deterministic) and the
+//! re-exported [`ThreadRng`] handle.
+
+use crate::{RngCore, SeedableRng, Xoshiro256};
+
+pub use crate::ThreadRng;
+
+/// The standard deterministic generator (xoshiro256++ here; the real crate
+/// uses ChaCha12 — streams differ, determinism guarantees do not).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    core: Xoshiro256,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.core.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            core: Xoshiro256::from_seed_bytes(seed),
+        }
+    }
+}
