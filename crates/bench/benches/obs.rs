@@ -1,0 +1,75 @@
+//! E14 overhead guard: the tracing recorder must cost nothing measurable
+//! when disabled. Every instrumented hot path (pairings, scalar mults,
+//! AEAD, hashing) funnels through a thread-local flag check, so the
+//! disabled rows here should be indistinguishable from pre-instrumentation
+//! numbers; the enabled rows bound the worst-case recording cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tre_bench::{rng, Fixture};
+use tre_core::{tre, ReleaseTag};
+use tre_pairing::toy64;
+
+/// A full decrypt (pairing + Gt exponentiation + mask) with the recorder
+/// off vs on — the dominant instrumented operation on the receive path.
+fn decrypt_overhead(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let tag = ReleaseTag::time("obs-bench");
+    let update = fx.server.issue_update(curve, &tag);
+    let ct = tre::encrypt(
+        curve,
+        fx.server.public(),
+        fx.user.public(),
+        &tag,
+        b"payload",
+        &mut r,
+    )
+    .unwrap();
+    let mut grp = c.benchmark_group("obs_decrypt");
+    grp.sample_size(10);
+    grp.bench_function("recorder_disabled", |b| {
+        b.iter(|| tre::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap())
+    });
+    grp.bench_function("recorder_enabled", |b| {
+        tre_obs::enable();
+        b.iter(|| tre::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap());
+        let trace = tre_obs::finish();
+        assert!(
+            trace.total_ops().pairings > 0,
+            "enabled run actually recorded"
+        );
+    });
+    grp.finish();
+}
+
+/// The raw hook cost in isolation: one `record_*` call is a thread-local
+/// flag read when disabled, a thread-local counter bump when enabled.
+fn hook_overhead(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("obs_hook");
+    grp.sample_size(10);
+    grp.bench_function("record_disabled", |b| {
+        b.iter(|| tre_obs::record_pairings(black_box(1)))
+    });
+    grp.bench_function("record_enabled", |b| {
+        tre_obs::enable();
+        b.iter(|| tre_obs::record_pairings(black_box(1)));
+        let _ = tre_obs::finish();
+    });
+    grp.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _g = tre_obs::span(black_box("bench"));
+        })
+    });
+    grp.bench_function("span_enabled", |b| {
+        tre_obs::enable();
+        b.iter(|| {
+            let _g = tre_obs::span(black_box("bench"));
+        });
+        let _ = tre_obs::finish();
+    });
+    grp.finish();
+}
+
+criterion_group!(obs_benches, decrypt_overhead, hook_overhead);
+criterion_main!(obs_benches);

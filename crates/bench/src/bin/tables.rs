@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every quantitative/comparative
-//! claim of the paper (experiments E1–E13, see DESIGN.md §4).
+//! claim of the paper (experiments E1–E14, see DESIGN.md §4).
 //!
 //! ```text
 //! cargo run --release -p tre-bench --bin tables            # all experiments
@@ -14,7 +14,8 @@ use tre_core::{fo, hybrid, insulated::EpochKey, multi_server, react, server_chan
 use tre_core::{tre as basic, ReleaseTag, ServerKeyPair, UserKeyPair};
 use tre_pairing::{mid96, toy64, Curve};
 use tre_server::{
-    BroadcastNet, ChaosSim, Fault, FaultPlan, Granularity, NetConfig, SimClock, TimeServer,
+    BroadcastNet, ChaosSim, Fault, FaultPlan, Granularity, NetConfig, ReceiverClient, SimClock,
+    TimeServer,
 };
 
 fn main() {
@@ -65,6 +66,9 @@ fn main() {
     }
     if want("e13") {
         e13();
+    }
+    if want("e14") {
+        e14();
     }
 }
 
@@ -918,6 +922,204 @@ fn e13() {
     println!("\n(Every schedule is replayed deterministically under its seed; safety holds");
     println!("throughout, and liveness is restored once connectivity returns — the");
     println!("asserting suite is `cargo test -p tre-server --test chaos`.)\n");
+}
+
+/// E14 (observability extension): per-phase crypto cost accounting and
+/// structured tracing across the full stack. A scripted workload runs
+/// encrypt → broadcast → verify → decrypt → archive-recovery with each
+/// stage under its own span, then the trace's cumulative [`tre_obs::CryptoOps`]
+/// and wall-clock attribution are tabulated, the client/channel/server
+/// counters are exposed through the shared registry, and a seeded chaos
+/// run demonstrates that the JSONL trace dump is byte-identical under the
+/// same seed. Artifacts land in `target/e14/`.
+fn e14() {
+    println!("## E14 — observability: crypto cost accounting & structured tracing\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let g = Granularity::Seconds;
+
+    tre_obs::enable();
+    let clock = SimClock::new();
+    let mut server = TimeServer::new(curve, fx.server.clone(), clock.clone(), g);
+    let mut net: BroadcastNet<8> = BroadcastNet::new(clock.clone(), NetConfig::default(), 14);
+    let sub = net.subscribe();
+    let mut client = ReceiverClient::new(curve, spk, fx.user.clone());
+
+    // Encrypt: two messages locked to epochs 1 and 2.
+    let cts: Vec<_> = {
+        let _p = tre_obs::span("phase.encrypt");
+        [1u64, 2]
+            .iter()
+            .map(|&e| {
+                basic::encrypt(
+                    curve,
+                    &spk,
+                    fx.user.public(),
+                    &g.tag_for_epoch(e),
+                    b"e14 payload",
+                    &mut r,
+                )
+                .unwrap()
+            })
+            .collect()
+    };
+    // Broadcast: the server signs epochs 0..=2 and puts them on the air.
+    {
+        let _p = tre_obs::span("phase.broadcast");
+        clock.advance(2);
+        for u in server.poll() {
+            let bytes = u.to_bytes(curve).len();
+            net.broadcast(&u, bytes);
+        }
+    }
+    // Verify: the client consumes the updates while nothing is pending, so
+    // this phase isolates the two-pairing self-authentication cost.
+    {
+        let _p = tre_obs::span("phase.verify");
+        clock.advance(1);
+        for (at, u) in net.poll(sub) {
+            let _ = client.receive_update(u, at);
+        }
+    }
+    // Decrypt: the ciphertexts arrive after their updates are cached, so
+    // each opens immediately — pure decryption cost.
+    {
+        let _p = tre_obs::span("phase.decrypt");
+        for ct in cts {
+            client.receive_ciphertext(ct, clock.now());
+        }
+    }
+    // Archive recovery: a message for an epoch whose broadcast the client
+    // never saw is recovered from the public archive (verify + decrypt).
+    {
+        let _p = tre_obs::span("phase.archive_recovery");
+        let ct = basic::encrypt(
+            curve,
+            &spk,
+            fx.user.public(),
+            &g.tag_for_epoch(5),
+            b"missed broadcast",
+            &mut r,
+        )
+        .unwrap();
+        client.receive_ciphertext(ct, clock.now());
+        clock.advance(4);
+        server.poll(); // epochs 3..=7 archived, deliberately not broadcast
+        client.catch_up(server.archive(), clock.now(), |t| g.epoch_of_tag(t));
+    }
+    let trace = tre_obs::finish();
+    assert_eq!(
+        client.opened().len(),
+        3,
+        "workload opens all three messages"
+    );
+
+    let phases = [
+        "phase.encrypt",
+        "phase.broadcast",
+        "phase.verify",
+        "phase.decrypt",
+        "phase.archive_recovery",
+    ];
+    header(&[
+        "phase",
+        "pairings",
+        "scalar mults",
+        "h2c iters",
+        "sym bytes",
+        "hash bytes",
+    ]);
+    for name in phases {
+        let ops = trace.spans_named(name)[0].ops;
+        row(&[
+            name.into(),
+            format!("{}", ops.pairings),
+            format!("{}", ops.scalar_mults),
+            format!("{}", ops.h2c_iters),
+            format!("{}", ops.sym_bytes),
+            format!("{}", ops.hash_bytes),
+        ]);
+    }
+    println!();
+
+    let total_ns: u128 = phases
+        .iter()
+        .map(|n| trace.spans_named(n)[0].wall_ns)
+        .sum::<u128>()
+        .max(1);
+    header(&["phase", "wall ms", "share of workload"]);
+    for name in phases {
+        let ns = trace.spans_named(name)[0].wall_ns;
+        row(&[
+            name.into(),
+            format!("{:.2}", ns as f64 / 1e6),
+            format!("{:.0}%", 100.0 * ns as f64 / total_ns as f64),
+        ]);
+    }
+    println!();
+
+    // Unified metrics exposition: client health + channel stats + server
+    // broadcast count through the one shared registry.
+    let mut registry = tre_obs::Registry::new();
+    client.health().export_into(&mut registry, "tre_client");
+    net.stats().export_into(&mut registry, "tre_net");
+    registry.counter_set("tre_server_broadcasts", server.broadcast_count());
+    println!("Prometheus exposition snapshot:\n");
+    println!("```");
+    print!("{}", registry.render_prometheus());
+    println!("```\n");
+
+    // Seeded chaos run under tracing: the JSONL dump (logical sequence
+    // numbers only, no wall times) is byte-identical for the same seed.
+    let chaos_trace = |seed: u64| {
+        tre_obs::enable();
+        let plan = FaultPlan::new()
+            .at(
+                1,
+                Fault::DuplicateStorm {
+                    client: 0,
+                    copies: 2,
+                    for_ticks: 6,
+                },
+            )
+            .at(2, Fault::ServerCrash { down_for: 3 })
+            .at(
+                7,
+                Fault::Corrupt {
+                    client: 0,
+                    for_ticks: 2,
+                },
+            );
+        let mut sim: ChaosSim<'_, 8> = ChaosSim::new(curve, g, plan, seed);
+        let c = sim.add_client();
+        sim.send_for_epoch(c, 3, b"e14 chaos");
+        sim.run(10);
+        sim.settle(80);
+        tre_obs::finish()
+    };
+    let t1 = chaos_trace(1414);
+    let t2 = chaos_trace(1414);
+    let reproducible = t1.to_jsonl() == t2.to_jsonl();
+    assert!(reproducible, "same seed must dump a byte-identical trace");
+    println!(
+        "chaos run (seed 1414): {} trace lines, {} fault activations, \
+         same-seed JSONL byte-identical: {reproducible}\n",
+        t1.lines.len(),
+        t1.events()
+            .iter()
+            .filter(|(n, _)| *n == "fault.activated")
+            .count(),
+    );
+
+    let dir = std::path::Path::new("target/e14");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join("trace.jsonl"), t1.to_jsonl());
+        let _ = std::fs::write(dir.join("metrics.prom"), registry.render_prometheus());
+        let _ = std::fs::write(dir.join("metrics.json"), registry.render_json());
+        println!("artifacts: target/e14/{{trace.jsonl, metrics.prom, metrics.json}}\n");
+    }
 }
 
 /// E11 (extension): the §6 future-work cover-tree scheme — missing-update

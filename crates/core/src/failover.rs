@@ -60,6 +60,15 @@ pub fn sanitize_updates<const L: usize>(
             Some(u) if !u.verify(curve, server) => Some(UpdateFault::BadSignature),
             Some(_) => None,
         };
+        if tre_obs::is_enabled() {
+            let verdict = match fault {
+                None => "valid",
+                Some(UpdateFault::Missing) => "missing",
+                Some(UpdateFault::TagMismatch) => "tag_mismatch",
+                Some(UpdateFault::BadSignature) => "bad_signature",
+            };
+            tre_obs::event("failover.verdict", &format!("server={index} {verdict}"));
+        }
         sanitized.push(if fault.is_none() { maybe.clone() } else { None });
         verdicts.push(ServerVerdict { index, fault });
     }
@@ -85,6 +94,7 @@ pub fn decrypt_resilient<const L: usize>(
     updates: &[Option<KeyUpdate<L>>],
     ct: &ThresholdCiphertext<L>,
 ) -> Result<(Vec<u8>, Vec<ServerVerdict>), TreError> {
+    let _span = tre_obs::span("failover.decrypt_resilient");
     if servers.len() != updates.len() {
         return Err(TreError::ArityMismatch {
             expected: servers.len(),

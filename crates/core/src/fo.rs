@@ -135,6 +135,7 @@ pub fn encrypt<const L: usize>(
     msg: &[u8],
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<FoCiphertext<L>, TreError> {
+    let _span = tre_obs::span("fo.encrypt");
     user.validate(curve, server)?;
     let mut sigma = [0u8; SEED_LEN];
     rng.fill_bytes(&mut sigma);
@@ -170,6 +171,7 @@ pub fn decrypt<const L: usize>(
     update: &KeyUpdate<L>,
     ct: &FoCiphertext<L>,
 ) -> Result<Vec<u8>, TreError> {
+    let _span = tre_obs::span("fo.decrypt");
     if update.tag() != &ct.tag {
         return Err(TreError::UpdateTagMismatch);
     }

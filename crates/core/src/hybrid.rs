@@ -94,6 +94,7 @@ pub fn encrypt<const L: usize>(
     msg: &[u8],
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<HybridCiphertext<L>, TreError> {
+    let _span = tre_obs::span("hybrid.encrypt");
     user.validate(curve, server)?;
     let r = curve.random_scalar(rng);
     let k = sender_key(curve, user, tag, &r);
@@ -121,6 +122,7 @@ pub fn decrypt<const L: usize>(
     update: &KeyUpdate<L>,
     ct: &HybridCiphertext<L>,
 ) -> Result<Vec<u8>, TreError> {
+    let _span = tre_obs::span("hybrid.decrypt");
     if update.tag() != &ct.tag {
         return Err(TreError::UpdateTagMismatch);
     }

@@ -214,6 +214,7 @@ impl<const L: usize> UserPublicKey<L> {
     /// # Errors
     /// Returns [`TreError::InvalidUserKey`] if the check fails.
     pub fn validate(&self, curve: &Curve<L>, server: &ServerPublicKey<L>) -> Result<(), TreError> {
+        let _span = tre_obs::span("tre.validate_user_key");
         if self.a_g.is_infinity() || self.a_s_g.is_infinity() {
             return Err(TreError::InvalidUserKey);
         }
@@ -273,6 +274,7 @@ impl<const L: usize> KeyUpdate<L> {
     /// No separate server signature is needed — this *is* a BLS short
     /// signature under the server key.
     pub fn verify(&self, curve: &Curve<L>, server: &ServerPublicKey<L>) -> bool {
+        let _span = tre_obs::span("tre.verify");
         let h = curve.hash_to_g1(self.tag.h1_domain(), self.tag.value());
         curve.pairing(server.s_g(), &h) == curve.pairing(server.g(), &self.sig)
     }

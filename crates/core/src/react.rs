@@ -121,6 +121,7 @@ pub fn encrypt<const L: usize>(
     msg: &[u8],
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<ReactCiphertext<L>, TreError> {
+    let _span = tre_obs::span("react.encrypt");
     user.validate(curve, server)?;
     let mut r_seed = [0u8; SEED_LEN];
     rng.fill_bytes(&mut r_seed);
@@ -157,6 +158,7 @@ pub fn decrypt<const L: usize>(
     update: &KeyUpdate<L>,
     ct: &ReactCiphertext<L>,
 ) -> Result<Vec<u8>, TreError> {
+    let _span = tre_obs::span("react.decrypt");
     if update.tag() != &ct.tag {
         return Err(TreError::UpdateTagMismatch);
     }

@@ -128,6 +128,7 @@ pub fn encrypt<const L: usize>(
     msg: &[u8],
     rng: &mut (impl RngCore + ?Sized),
 ) -> Result<Ciphertext<L>, TreError> {
+    let _span = tre_obs::span("tre.encrypt");
     user.validate(curve, server)?;
     let r = curve.random_scalar(rng);
     let k = sender_key(curve, user, tag, &r);
@@ -157,6 +158,7 @@ pub fn decrypt<const L: usize>(
     update: &KeyUpdate<L>,
     ct: &Ciphertext<L>,
 ) -> Result<Vec<u8>, TreError> {
+    let _span = tre_obs::span("tre.decrypt");
     if update.tag() != &ct.tag {
         return Err(TreError::UpdateTagMismatch);
     }

@@ -108,6 +108,7 @@ impl Digest for Sha256 {
     }
 
     fn update(&mut self, mut data: &[u8]) {
+        tre_obs::record_hash_bytes(data.len() as u64);
         self.total_len = self
             .total_len
             .checked_add(data.len() as u64)

@@ -183,6 +183,7 @@ impl Digest for Sha512 {
     }
 
     fn update(&mut self, mut data: &[u8]) {
+        tre_obs::record_hash_bytes(data.len() as u64);
         self.total_len += data.len() as u128;
         if self.buf_len > 0 {
             let take = (128 - self.buf_len).min(data.len());

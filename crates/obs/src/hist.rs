@@ -1,0 +1,174 @@
+//! A power-of-two-bucketed histogram with quantile estimation and merging.
+//!
+//! Re-homed here from `tre-server` (PR 1's `ClientHealth::open_latency`
+//! histogram) so every crate in the workspace can record latencies into the
+//! shared [`Registry`](crate::Registry). `tre-server` re-exports the type
+//! under its old path for backward compatibility.
+
+/// A power-of-two-bucketed histogram of latencies, in clock ticks.
+///
+/// Bucket `0` holds latency 0; bucket `i ≥ 1` holds latencies in
+/// `[2^(i−1), 2^i)`; the last bucket absorbs everything larger.
+/// Recording is branch-light and allocation-free, so the histogram can sit
+/// on hot receive paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 16],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let idx = if latency == 0 {
+            0
+        } else {
+            ((64 - latency.leading_zeros()) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean latency, or `None` if nothing was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Largest observed latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (see the type docs for bucket boundaries).
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `idx` — the value reported for any
+    /// observation that landed there. The open-ended last bucket is capped
+    /// by the recorded maximum.
+    fn bucket_upper(&self, idx: usize) -> u64 {
+        match idx {
+            0 => 0,
+            i if i == self.buckets.len() - 1 => self.max,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), resolved to the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th observation, clamped to
+    /// the observed maximum. Returns `None` for an empty histogram or a `q`
+    /// outside `[0, 1]`.
+    ///
+    /// The estimate errs high by at most one bucket width (a factor of 2),
+    /// which is the usual trade of a fixed-bucket histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram's observations into this one. Bucket-exact:
+    /// merging then querying is identical to having recorded every
+    /// observation into a single histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.mean(), None);
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.mean(), Some(1010.0 / 6.0));
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2..4
+        assert_eq!(b[3], 1); // 4..8
+        assert_eq!(b[10], 1); // 512..1024
+    }
+
+    #[test]
+    fn histogram_saturates_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[15], 1);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "last bucket caps at max");
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        // The 50th observation (v=49) lives in bucket [32,64) → upper 63.
+        assert_eq!(h.quantile(0.5), Some(63));
+        // The 90th observation (v=89) lives in bucket [64,128); its upper
+        // bound 127 is clamped to the observed max of 99.
+        assert_eq!(h.quantile(0.9), Some(99));
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert_eq!(h.quantile(1.5), None, "q out of range");
+    }
+
+    #[test]
+    fn merge_matches_single_histogram() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for v in [0u64, 3, 17, 1000, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 2048, 5] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+}

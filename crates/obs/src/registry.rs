@@ -1,0 +1,273 @@
+//! A named-metric registry: counters, gauges, and latency histograms with
+//! Prometheus-style text exposition and JSON export.
+//!
+//! Names use the usual `snake_case` Prometheus conventions
+//! (`tre_client_updates_received`). Storage is `BTreeMap`-backed so both
+//! exposition formats iterate in deterministic (lexicographic) order —
+//! snapshots diff cleanly across runs.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LatencyHistogram;
+use crate::trace::json_str;
+
+/// A collection of named counters, gauges, and histograms.
+///
+/// Plain value types, no interior mutability: callers own a `Registry` and
+/// record through `&mut` access, which matches the single-threaded
+/// simulation harness. Aggregate across threads with [`Registry::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named counter to an absolute value (for importing totals
+    /// kept elsewhere, e.g. `ClientHealth` fields).
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of the named counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of the named gauge (zero if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation into the named histogram, creating it if
+    /// needed.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Folds a whole histogram into the named histogram (used when a
+    /// component keeps its own `LatencyHistogram` and exports it).
+    pub fn histogram_merge(&mut self, name: &str, hist: &LatencyHistogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
+    /// Replaces the named histogram wholesale (for exporting a snapshot of
+    /// a histogram kept elsewhere — idempotent, unlike
+    /// [`Registry::histogram_merge`]).
+    pub fn histogram_set(&mut self, name: &str, hist: LatencyHistogram) {
+        self.histograms.insert(name.to_string(), hist);
+    }
+
+    /// The named histogram, if any observation was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds every metric of `other` into `self`: counters and histograms
+    /// add; for gauges the other registry's value wins (last-write).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders a Prometheus-style text exposition snapshot: `# TYPE` lines,
+    /// counter/gauge samples, and per-histogram cumulative `_bucket{le=..}`
+    /// series (power-of-two bounds) plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets().iter().enumerate() {
+                cum += c;
+                let le = match i {
+                    0 => "0".to_string(),
+                    i if i == h.buckets().len() - 1 => "+Inf".to_string(),
+                    i => ((1u64 << i) - 1).to_string(),
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+
+    /// Renders the registry as a single JSON object with `counters`,
+    /// `gauges`, and `histograms` maps; each histogram reports count, sum,
+    /// max, and `p50/p90/p99` estimates.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"histograms\":{");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                (
+                    k,
+                    format!(
+                        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        h.count(),
+                        h.sum(),
+                        h.max(),
+                        q_json(h, 0.50),
+                        q_json(h, 0.90),
+                        q_json(h, 0.99),
+                    ),
+                )
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+fn q_json(h: &LatencyHistogram, q: f64) -> String {
+    match h.quantile(q) {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&json_str(k));
+        out.push(':');
+        out.push_str(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("hits", 3);
+        r.counter_add("hits", 2);
+        r.counter_set("total", 42);
+        r.gauge_set("depth", -7);
+        assert_eq!(r.counter("hits"), 5);
+        assert_eq!(r.counter("total"), 42);
+        assert_eq!(r.gauge("depth"), -7);
+        assert_eq!(r.gauge("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_observe_and_quantiles() {
+        let mut r = Registry::new();
+        assert!(r.histogram("lat").is_none());
+        for v in 0..100u64 {
+            r.observe("lat", v);
+        }
+        let h = r.histogram("lat").unwrap();
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(63));
+        assert_eq!(h.quantile(0.99), Some(99));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_last_writes_gauges() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 10);
+        a.observe("h", 5);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 20);
+        b.observe("h", 900);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), 20);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 900);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_cumulative() {
+        let mut r = Registry::new();
+        r.counter_add("zeta", 1);
+        r.counter_add("alpha", 2);
+        r.observe("lat", 0);
+        r.observe("lat", 3);
+        r.observe("lat", 1000);
+        let text = r.render_prometheus();
+        // BTreeMap order: alpha before zeta.
+        let alpha = text.find("alpha 2").unwrap();
+        let zeta = text.find("zeta 1").unwrap();
+        assert!(alpha < zeta);
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 1003\n"));
+        assert!(text.contains("lat_count 3\n"));
+        assert_eq!(text, r.render_prometheus(), "stable across renders");
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let mut r = Registry::new();
+        r.counter_add("c", 7);
+        r.gauge_set("g", -1);
+        r.observe("h", 10);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"c\":7"));
+        assert!(json.contains("\"g\":-1"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50\":10"), "p50 of one obs at 10: {json}");
+        assert!(json.ends_with("}}"));
+    }
+}

@@ -259,6 +259,7 @@ impl<const L: usize> Curve<L> {
     /// (batch-normalized to affine with one inversion), then one mixed
     /// addition per non-zero digit (~1 in 5 bits).
     fn g1_mul_generic<const E: usize>(&self, p: &G1Affine<L>, k: &Uint<E>) -> G1Affine<L> {
+        tre_obs::record_scalar_mul();
         let ctx = &self.fp;
         if p.inf || k.is_zero() {
             return G1Affine::infinity(ctx);
@@ -281,6 +282,7 @@ impl<const L: usize> Curve<L> {
     /// Plain binary double-and-add — kept for the ablation benchmark
     /// against the wNAF path used by [`Curve::g1_mul`].
     pub fn g1_mul_binary(&self, p: &G1Affine<L>, k: &U256) -> G1Affine<L> {
+        tre_obs::record_scalar_mul();
         let ctx = &self.fp;
         if p.inf || k.is_zero() {
             return G1Affine::infinity(ctx);

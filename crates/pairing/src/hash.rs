@@ -18,6 +18,7 @@ impl<const L: usize> Curve<L> {
         let ctx = self.fp();
         let fp_bytes = tre_bigint::Uint::<L>::BYTES;
         for ctr in 0u32..=u32::MAX {
+            tre_obs::record_h2c_iter();
             let mut input = Vec::with_capacity(msg.len() + 4);
             input.extend_from_slice(msg);
             input.extend_from_slice(&ctr.to_be_bytes());

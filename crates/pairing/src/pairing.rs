@@ -35,6 +35,7 @@ impl<const L: usize> Curve<L> {
     /// order `q`; symmetric on the cyclic subgroup. Returns the identity if
     /// either input is infinity.
     pub fn pairing(&self, p: &G1Affine<L>, q_pt: &G1Affine<L>) -> Gt<L> {
+        tre_obs::record_pairings(1);
         let ctx = self.fp();
         if p.is_infinity() || q_pt.is_infinity() {
             return Gt(Fp2::one(ctx));
@@ -98,6 +99,9 @@ impl<const L: usize> Curve<L> {
         if lanes.is_empty() {
             return Gt(Fp2::one(ctx));
         }
+        // Each live lane counts as one pairing: the shared loop changes the
+        // cost, not the number of bilinear evaluations performed.
+        tre_obs::record_pairings(lanes.len() as u64);
         let mut f = Fp2::one(ctx);
         let order = *self.order();
         let bits = order.bits();

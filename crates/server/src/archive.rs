@@ -32,7 +32,12 @@ impl<const L: usize> UpdateArchive<L> {
 
     /// Fetches the update for `epoch`, if its release time has passed.
     pub fn get(&self, epoch: u64) -> Option<KeyUpdate<L>> {
-        self.entries.read().get(&epoch).cloned()
+        let found = self.entries.read().get(&epoch).cloned();
+        if tre_obs::is_enabled() {
+            let outcome = if found.is_some() { "hit" } else { "miss" };
+            tre_obs::event("archive.fetch", &format!("epoch={epoch} {outcome}"));
+        }
+        found
     }
 
     /// The most recent archived epoch.

@@ -162,18 +162,25 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         if let Some(known) = self.seen_updates.get(update.tag()) {
             if *known == update {
                 self.health.duplicates_skipped += 1;
+                tre_obs::event("client.duplicate_skipped", "");
                 return Ok(0);
             }
             self.health.equivocations += 1;
             self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+            tre_obs::event("client.equivocation", "");
+            self.note_quarantine_transition();
             return Err(TreError::Equivocation);
         }
         if !update.verify(self.curve, &self.server_pk) {
             self.health.rejected_updates += 1;
             self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+            tre_obs::event("client.update_rejected", "");
+            self.note_quarantine_transition();
             return Err(TreError::InvalidUpdate);
         }
         self.health.invalid_streak = 0;
+        self.health.accepted_updates += 1;
+        tre_obs::event("client.update_accepted", "");
         if let Some(epoch) = epoch_hint(update.tag()) {
             match self.highest_epoch {
                 Some(h) if epoch > h => {
@@ -216,6 +223,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         now: u64,
         lookup: impl Fn(&ReleaseTag) -> Option<u64>,
     ) -> usize {
+        let _span = tre_obs::span("client.catch_up");
         let waiting_tags: Vec<ReleaseTag> = self
             .pending
             .iter()
@@ -275,6 +283,20 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         }
     }
 
+    /// Emits a trace event the moment the invalid streak crosses the
+    /// quarantine threshold (exactly once per transition).
+    fn note_quarantine_transition(&mut self) {
+        if self.quarantine_threshold > 0
+            && self.health.invalid_streak == self.quarantine_threshold
+            && tre_obs::is_enabled()
+        {
+            tre_obs::event(
+                "client.quarantined",
+                &format!("invalid_streak={}", self.health.invalid_streak),
+            );
+        }
+    }
+
     fn note_archive_failure(&mut self, tag: ReleaseTag, now: u64) {
         let state = self.retry.entry(tag).or_default();
         state.attempts = state.attempts.saturating_add(1);
@@ -296,9 +318,11 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
     ) {
         match tre::decrypt(self.curve, &self.server_pk, &self.keys, update, &ct) {
             Ok(plaintext) => {
-                self.health
-                    .open_latency
-                    .record(opened_at.saturating_sub(received_at));
+                let latency = opened_at.saturating_sub(received_at);
+                self.health.open_latency.record(latency);
+                if tre_obs::is_enabled() {
+                    tre_obs::event("client.opened", &format!("latency={latency}"));
+                }
                 self.opened.push(OpenedMessage {
                     plaintext,
                     tag: ct.tag().clone(),
@@ -308,6 +332,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             }
             Err(err) => {
                 self.health.decrypt_failures += 1;
+                tre_obs::event("client.dead_letter", "");
                 self.dead_letters.push((ct, err));
             }
         }

@@ -180,6 +180,12 @@ impl FaultInjector {
                 break;
             }
             let start = event.at;
+            if tre_obs::is_enabled() {
+                tre_obs::event(
+                    "fault.activated",
+                    &format!("at={start} {}", fault_name(&event.fault)),
+                );
+            }
             match event.fault {
                 Fault::ServerCrash { down_for } => {
                     self.server_down_until = self.server_down_until.max(start + down_for);
@@ -257,6 +263,20 @@ impl FaultInjector {
             equivocating: now < w.equivocating_until,
             forging: (now < w.forging_until).then_some(w.forge_ahead),
         }
+    }
+}
+
+/// Stable fault-variant label for trace events.
+fn fault_name(fault: &Fault) -> &'static str {
+    match fault {
+        Fault::ServerCrash { .. } => "server_crash",
+        Fault::Partition { .. } => "partition",
+        Fault::DuplicateStorm { .. } => "duplicate_storm",
+        Fault::Reorder { .. } => "reorder",
+        Fault::Corrupt { .. } => "corrupt",
+        Fault::ArchiveOutage { .. } => "archive_outage",
+        Fault::Equivocate { .. } => "equivocate",
+        Fault::Forge { .. } => "forge",
     }
 }
 
@@ -420,8 +440,14 @@ impl<'c, const L: usize> ChaosSim<'c, L> {
                     Arc::clone(&self.archive),
                 ));
                 self.server_restarts += 1;
+                if tre_obs::is_enabled() {
+                    tre_obs::event("sim.server_restarted", &format!("at={now}"));
+                }
             }
         } else {
+            if self.server.is_some() && tre_obs::is_enabled() {
+                tre_obs::event("sim.server_crashed", &format!("at={now}"));
+            }
             self.server = None;
         }
 
@@ -511,6 +537,9 @@ impl<'c, const L: usize> ChaosSim<'c, L> {
         let now = self.clock.now();
         if !self.injector.archive_up(now) {
             self.archive_denied += 1;
+            if tre_obs::is_enabled() {
+                tre_obs::event("sim.archive_denied", &format!("at={now}"));
+            }
             for (client, _) in &mut self.clients {
                 client.archive_unreachable(now);
             }

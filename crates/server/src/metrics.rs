@@ -5,53 +5,16 @@
 //! recovered from the archive, and how long messages sat locked past their
 //! release time. These counters are plain data: recording is branch-free
 //! and allocation-free so they can sit on the hot receive path.
+//!
+//! The histogram type now lives in [`tre_obs`] (shared by the whole
+//! workspace, with quantile estimation and merging); it is re-exported
+//! here under its original path. [`ClientHealth::export_into`] publishes
+//! every counter into a [`Registry`] for exposition alongside the rest of
+//! the stack's metrics.
 
-/// A power-of-two-bucketed histogram of open latencies, in clock ticks.
-///
-/// Bucket `0` holds latency 0; bucket `i ≥ 1` holds latencies in
-/// `[2^(i−1), 2^i)`; the last bucket absorbs everything larger.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; 16],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
+pub use tre_obs::LatencyHistogram;
 
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record(&mut self, latency: u64) {
-        let idx = if latency == 0 {
-            0
-        } else {
-            ((64 - latency.leading_zeros()) as usize).min(self.buckets.len() - 1)
-        };
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += latency;
-        self.max = self.max.max(latency);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency, or `None` if nothing was recorded.
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
-    }
-
-    /// Largest observed latency.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Raw bucket counts (see the type docs for bucket boundaries).
-    pub fn buckets(&self) -> &[u64; 16] {
-        &self.buckets
-    }
-}
+use tre_obs::Registry;
 
 /// Health counters for one [`ReceiverClient`](crate::ReceiverClient).
 ///
@@ -71,6 +34,11 @@ pub struct ClientHealth {
     /// Conflicting updates observed for an already-verified tag (Byzantine
     /// equivocation evidence).
     pub equivocations: u64,
+    /// Updates that verified and were accepted (cached as usable key
+    /// material). Together with the rejection counters this closes the
+    /// conservation identity `updates_received == duplicates_skipped +
+    /// rejected_updates + equivocations + accepted_updates`.
+    pub accepted_updates: u64,
     /// Ciphertexts whose decryption failed once the update was in hand
     /// (mauled ciphertext or wrong receiver) — see
     /// [`ReceiverClient::dead_letters`](crate::ReceiverClient::dead_letters).
@@ -92,32 +60,75 @@ pub struct ClientHealth {
     pub open_latency: LatencyHistogram,
 }
 
+impl ClientHealth {
+    /// Publishes every counter (and the open-latency histogram) into a
+    /// shared [`Registry`] under `<prefix>_<counter>` names, e.g.
+    /// `tre_client_updates_received`. Counters are exported as absolute
+    /// values, so repeated exports of the same client overwrite rather
+    /// than double-count.
+    pub fn export_into(&self, registry: &mut Registry, prefix: &str) {
+        registry.counter_set(&format!("{prefix}_updates_received"), self.updates_received);
+        registry.counter_set(
+            &format!("{prefix}_duplicates_skipped"),
+            self.duplicates_skipped,
+        );
+        registry.counter_set(&format!("{prefix}_rejected_updates"), self.rejected_updates);
+        registry.counter_set(&format!("{prefix}_equivocations"), self.equivocations);
+        registry.counter_set(&format!("{prefix}_accepted_updates"), self.accepted_updates);
+        registry.counter_set(&format!("{prefix}_decrypt_failures"), self.decrypt_failures);
+        registry.counter_set(&format!("{prefix}_missed_epochs"), self.missed_epochs);
+        registry.counter_set(
+            &format!("{prefix}_recovered_from_archive"),
+            self.recovered_from_archive,
+        );
+        registry.counter_set(&format!("{prefix}_archive_attempts"), self.archive_attempts);
+        registry.counter_set(&format!("{prefix}_archive_misses"), self.archive_misses);
+        registry.gauge_set(
+            &format!("{prefix}_invalid_streak"),
+            i64::from(self.invalid_streak),
+        );
+        registry.histogram_set(&format!("{prefix}_open_latency"), self.open_latency.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_moments() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.mean(), None);
-        for v in [0, 1, 2, 3, 4, 1000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.max(), 1000);
-        assert_eq!(h.mean(), Some(1010.0 / 6.0));
-        let b = h.buckets();
-        assert_eq!(b[0], 1); // 0
-        assert_eq!(b[1], 1); // 1
-        assert_eq!(b[2], 2); // 2..4
-        assert_eq!(b[3], 1); // 4..8
-        assert_eq!(b[10], 1); // 512..1024
-    }
-
-    #[test]
-    fn histogram_saturates_last_bucket() {
-        let mut h = LatencyHistogram::default();
-        h.record(u64::MAX);
-        assert_eq!(h.buckets()[15], 1);
+    fn export_publishes_all_counters() {
+        let mut health = ClientHealth {
+            updates_received: 10,
+            duplicates_skipped: 2,
+            rejected_updates: 1,
+            equivocations: 1,
+            accepted_updates: 6,
+            decrypt_failures: 3,
+            missed_epochs: 4,
+            recovered_from_archive: 2,
+            archive_attempts: 5,
+            archive_misses: 3,
+            invalid_streak: 2,
+            ..Default::default()
+        };
+        health.open_latency.record(7);
+        let mut reg = Registry::new();
+        health.export_into(&mut reg, "tre_client");
+        assert_eq!(reg.counter("tre_client_updates_received"), 10);
+        assert_eq!(reg.counter("tre_client_accepted_updates"), 6);
+        assert_eq!(reg.gauge("tre_client_invalid_streak"), 2);
+        assert_eq!(reg.histogram("tre_client_open_latency").unwrap().count(), 1);
+        // Conservation identity holds for the exported snapshot.
+        assert_eq!(
+            reg.counter("tre_client_updates_received"),
+            reg.counter("tre_client_duplicates_skipped")
+                + reg.counter("tre_client_rejected_updates")
+                + reg.counter("tre_client_equivocations")
+                + reg.counter("tre_client_accepted_updates"),
+        );
+        // Re-export is idempotent (absolute set, not add).
+        health.export_into(&mut reg, "tre_client");
+        assert_eq!(reg.counter("tre_client_updates_received"), 10);
+        assert_eq!(reg.histogram("tre_client_open_latency").unwrap().count(), 1);
     }
 }

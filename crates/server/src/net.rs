@@ -54,6 +54,20 @@ pub struct NetStats {
     pub lost: u64,
 }
 
+impl NetStats {
+    /// Publishes the channel statistics into a shared registry under
+    /// `<prefix>_<stat>` names. Absolute values, so re-export overwrites.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        registry.counter_set(&format!("{prefix}_broadcasts"), self.broadcasts);
+        registry.counter_set(&format!("{prefix}_broadcast_bytes"), self.broadcast_bytes);
+        registry.counter_set(
+            &format!("{prefix}_unicast_equivalent_bytes"),
+            self.unicast_equivalent_bytes,
+        );
+        registry.counter_set(&format!("{prefix}_lost"), self.lost);
+    }
+}
+
 type Mailbox<const L: usize> = BinaryHeap<Reverse<Envelope<L>>>;
 
 /// One queued delivery. The heap is keyed on `(deliver_at, seq)` only —
@@ -124,13 +138,17 @@ impl<const L: usize> BroadcastNet<L> {
     /// latency/jitter/loss model per subscriber. `payload_bytes` is the
     /// update's wire size (callers have the curve to compute it).
     pub fn broadcast(&mut self, update: &KeyUpdate<L>, payload_bytes: usize) {
+        let _span = tre_obs::span("net.broadcast");
         let now = self.clock.now();
         self.stats.broadcasts += 1;
         self.stats.broadcast_bytes += payload_bytes as u64;
         self.stats.unicast_equivalent_bytes += payload_bytes as u64 * self.mailboxes.len() as u64;
-        for mbox in &mut self.mailboxes {
+        for (sub, mbox) in self.mailboxes.iter_mut().enumerate() {
             if self.config.loss_prob > 0.0 && self.rng.gen::<f64>() < self.config.loss_prob {
                 self.stats.lost += 1;
+                if tre_obs::is_enabled() {
+                    tre_obs::event("net.dropped", &format!("subscriber={sub}"));
+                }
                 continue;
             }
             let jitter = if self.config.jitter > 0 {

@@ -82,6 +82,9 @@ impl<'c, const L: usize> TimeServer<'c, L> {
             Some(latest) => latest + 1,
             None => granularity.epoch_of(clock.now()),
         };
+        if tre_obs::is_enabled() {
+            tre_obs::event("server.recover", &format!("resume_epoch={next_epoch}"));
+        }
         Self {
             curve,
             keys,
@@ -132,11 +135,20 @@ impl<'c, const L: usize> TimeServer<'c, L> {
     /// once, to everyone, regardless of user count) and archives them.
     pub fn poll(&mut self) -> Vec<KeyUpdate<L>> {
         let current = self.granularity.epoch_of(self.clock.now());
+        if self.next_epoch > current {
+            return Vec::new();
+        }
+        // Open the span only when at least one epoch is due — poll() runs
+        // every tick and idle polls would swamp the trace.
+        let _span = tre_obs::span("server.poll");
         let mut out = Vec::new();
         while self.next_epoch <= current {
             let update = self
                 .issue_for_epoch(self.next_epoch)
                 .expect("epoch <= current by construction");
+            if tre_obs::is_enabled() {
+                tre_obs::event("server.issue", &format!("epoch={}", self.next_epoch));
+            }
             self.archive.publish(self.next_epoch, update.clone());
             out.push(update);
             self.next_epoch += 1;

@@ -46,6 +46,7 @@ impl ChaCha20Poly1305 {
     /// Encrypts `plaintext` with associated data `aad`; returns
     /// `ciphertext ‖ tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        tre_obs::record_sym_bytes((aad.len() + plaintext.len()) as u64);
         let mut out = plaintext.to_vec();
         ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
         let tag = self.tag(nonce, aad, &out);
@@ -67,6 +68,7 @@ impl ChaCha20Poly1305 {
         if ciphertext.len() < TAG_LEN {
             return Err(AeadError);
         }
+        tre_obs::record_sym_bytes((aad.len() + ciphertext.len() - TAG_LEN) as u64);
         let (ct, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
         let expect = self.tag(nonce, aad, ct);
         if !ct_eq(&expect, tag) {

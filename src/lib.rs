@@ -19,6 +19,7 @@
 //! | [`core`] | the paper's schemes (TRE, ID-TRE, FO, REACT, hybrid, policy locks, key insulation, multi-server) |
 //! | [`server`] | passive time server, broadcast net, archive, clients |
 //! | [`baselines`] | RSW puzzle, May escrow, Rivest servers, per-user IBE, PKE+IBE |
+//! | [`obs`] | metrics registry, span tracing, crypto cost accounting |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use tre_baselines as baselines;
 pub use tre_bigint as bigint;
 pub use tre_core as core;
 pub use tre_hashes as hashes;
+pub use tre_obs as obs;
 pub use tre_pairing as pairing;
 pub use tre_server as server;
 pub use tre_sym as sym;
