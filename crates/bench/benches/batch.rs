@@ -1,0 +1,156 @@
+//! E15 bench: batched verification and the parallel crypto pipeline on
+//! the broadcast hot path.
+//!
+//! Measures the small-exponent batch BLS check against one-by-one
+//! verification across burst sizes, bulk decryption against a decrypt
+//! loop, and the precomputed sender path against the plain one. Always
+//! writes a machine-readable summary to `BENCH_e15.json` (override the
+//! path with `TRE_BENCH_E15_OUT`); set `TRE_BENCH_QUICK=1` for a
+//! single-iteration smoke run — the CI mode.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tre_bench::{rng, time_ms, Fixture};
+use tre_core::{tre, KeyUpdate, ReleaseTag, SenderPrecomp};
+use tre_pairing::toy64;
+
+fn updates(fx: &Fixture<8>, n: usize) -> Vec<KeyUpdate<8>> {
+    let curve = toy64();
+    (0..n)
+        .map(|i| {
+            fx.server
+                .issue_update(curve, &ReleaseTag::time(format!("e15/{i}")))
+        })
+        .collect()
+}
+
+/// Sequential 2-pairings-per-update verification vs one batched check
+/// (2 pairings total) across burst sizes.
+fn batch_verify(c: &mut Criterion) {
+    let curve = toy64();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let mut grp = c.benchmark_group("e15_verify");
+    grp.sample_size(10);
+    for n in [1usize, 16, 64] {
+        let batch = updates(&fx, n);
+        grp.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| batch.iter().all(|u| u.verify(curve, &spk)))
+        });
+        grp.bench_function(BenchmarkId::new("batched", n), |b| {
+            b.iter(|| KeyUpdate::batch_verify(curve, &spk, black_box(&batch), 1))
+        });
+    }
+    grp.finish();
+}
+
+/// Bisection isolation of one forgery hidden in a burst of 64 — the
+/// adversarial worst case the batch path must stay cheap under.
+fn batch_isolate(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let mut batch = updates(&fx, 64);
+    batch[21] = KeyUpdate::from_parts(
+        batch[21].tag().clone(),
+        curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut r)),
+    );
+    let mut grp = c.benchmark_group("e15_isolate");
+    grp.sample_size(10);
+    grp.bench_function("one_forgery_in_64", |b| {
+        b.iter(|| KeyUpdate::batch_verify_isolate(curve, &spk, black_box(&batch), 1).unwrap_err())
+    });
+    grp.finish();
+}
+
+/// Bulk decryption under one update: a decrypt loop (re-verifying every
+/// time) vs `decrypt_bulk` (verify once, then trusted decrypts).
+fn bulk_decrypt(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let tag = ReleaseTag::time("e15/bulk");
+    let update = fx.server.issue_update(curve, &tag);
+    let cts: Vec<_> = (0..32)
+        .map(|i| tre::encrypt(curve, &spk, fx.user.public(), &tag, &[i as u8; 32], &mut r).unwrap())
+        .collect();
+    let mut grp = c.benchmark_group("e15_decrypt");
+    grp.sample_size(10);
+    grp.bench_function("loop_32", |b| {
+        b.iter(|| {
+            cts.iter()
+                .map(|ct| tre::decrypt(curve, &spk, &fx.user, &update, ct).unwrap())
+                .count()
+        })
+    });
+    grp.bench_function("bulk_32", |b| {
+        b.iter(|| tre::decrypt_bulk(curve, &spk, &fx.user, &update, black_box(&cts), 1).unwrap())
+    });
+    grp.finish();
+}
+
+/// Plain encrypt (per-call key check + generic scalar muls) vs the
+/// precomputed sender path (tables for `G` and `asG`, validated once).
+fn sender_precomp(c: &mut Criterion) {
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let pre = SenderPrecomp::new(curve, &spk, fx.user.public()).unwrap();
+    let tag = ReleaseTag::time("e15/sender");
+    let mut grp = c.benchmark_group("e15_encrypt");
+    grp.sample_size(10);
+    grp.bench_function("plain", |b| {
+        b.iter(|| tre::encrypt(curve, &spk, fx.user.public(), &tag, b"msg", &mut r).unwrap())
+    });
+    grp.bench_function("precomputed", |b| {
+        b.iter(|| tre::encrypt_with(curve, &pre, &tag, b"msg", &mut r))
+    });
+    grp.finish();
+}
+
+/// Writes `BENCH_e15.json`: per-burst-size wall times, speedups, and the
+/// obs-counter pairing totals that back the ≤4-pairings claim.
+fn report(_c: &mut Criterion) {
+    let curve = toy64();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let quick = std::env::var("TRE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let iters = if quick { 1 } else { 10 };
+
+    let mut rows = Vec::new();
+    for n in [1usize, 4, 16, 64] {
+        let batch = updates(&fx, n);
+        let seq_ms = time_ms(iters, || batch.iter().all(|u| u.verify(curve, &spk)));
+        let batch_ms = time_ms(iters, || KeyUpdate::batch_verify(curve, &spk, &batch, 1));
+        tre_obs::enable();
+        assert!(KeyUpdate::batch_verify(curve, &spk, &batch, 1));
+        let pairings = tre_obs::finish().total_ops().pairings;
+        rows.push(format!(
+            "{{\"n\": {n}, \"sequential_ms\": {seq_ms:.4}, \"batched_ms\": {batch_ms:.4}, \
+             \"speedup\": {:.2}, \"sequential_pairings\": {}, \"batched_pairings\": {pairings}}}",
+            seq_ms / batch_ms.max(1e-9),
+            2 * n,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e15\",\n  \"mode\": \"{}\",\n  \"iters\": {iters},\n  \
+         \"batch_verify\": [\n    {}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        rows.join(",\n    "),
+    );
+    let out = std::env::var("TRE_BENCH_E15_OUT").unwrap_or_else(|_| "BENCH_e15.json".to_string());
+    std::fs::write(&out, &json).expect("write BENCH_e15.json");
+    println!("e15 report written to {out}");
+}
+
+criterion_group!(
+    benches,
+    batch_verify,
+    batch_isolate,
+    bulk_decrypt,
+    sender_precomp,
+    report
+);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every quantitative/comparative
-//! claim of the paper (experiments E1–E14, see DESIGN.md §4).
+//! claim of the paper (experiments E1–E15, see DESIGN.md §4).
 //!
 //! ```text
 //! cargo run --release -p tre-bench --bin tables            # all experiments
@@ -69,6 +69,9 @@ fn main() {
     }
     if want("e14") {
         e14();
+    }
+    if want("e15") {
+        e15();
     }
 }
 
@@ -1173,4 +1176,130 @@ fn e11() {
     println!("\n(One O(log T) broadcast replaces O(T) archive fetches; release-time");
     println!("soundness is preserved — every cover node is signed only after its whole");
     println!("leaf range has passed.)\n");
+}
+
+/// E15: batch verification and the parallel crypto pipeline — the
+/// broadcast hot path under burst delivery (PR 3 tentpole).
+fn e15() {
+    use tre_core::{KeyUpdate, SenderPrecomp};
+    println!("## E15 — batch verification & parallel crypto pipeline\n");
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let make = |n: usize| -> Vec<KeyUpdate<8>> {
+        (0..n)
+            .map(|i| {
+                fx.server
+                    .issue_update(curve, &ReleaseTag::time(format!("e15/{i}")))
+            })
+            .collect()
+    };
+    let pairings_of = |f: &dyn Fn()| -> u64 {
+        tre_obs::enable();
+        f();
+        tre_obs::finish().total_ops().pairings
+    };
+
+    // Burst-size sweep: the small-exponent batch check replaces 2n
+    // verification pairings with 2, regardless of n.
+    header(&[
+        "burst n",
+        "sequential pairings",
+        "batched pairings",
+        "sequential ms",
+        "batched ms",
+        "speedup",
+    ]);
+    for n in [1usize, 4, 16, 64] {
+        let batch = make(n);
+        let seq_p = pairings_of(&|| {
+            assert!(batch.iter().all(|u| u.verify(curve, &spk)));
+        });
+        let bat_p = pairings_of(&|| {
+            assert!(KeyUpdate::batch_verify(curve, &spk, &batch, 1));
+        });
+        let iters = if n >= 16 { 2 } else { 5 };
+        let seq_ms = time_ms(iters, || batch.iter().all(|u| u.verify(curve, &spk)));
+        let bat_ms = time_ms(iters, || KeyUpdate::batch_verify(curve, &spk, &batch, 1));
+        row(&[
+            format!("{n}"),
+            format!("{seq_p}"),
+            format!("{bat_p}"),
+            format!("{seq_ms:.2}"),
+            format!("{bat_ms:.2}"),
+            format!("{:.2}x", seq_ms / bat_ms.max(1e-9)),
+        ]);
+    }
+    println!();
+
+    // Adversarial worst case: one forgery hidden in a burst of 64 is
+    // isolated by bisection in O(log n) batch checks, not 2n pairings.
+    let mut poisoned = make(64);
+    poisoned[21] = KeyUpdate::from_parts(
+        poisoned[21].tag().clone(),
+        curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut r)),
+    );
+    let iso_p = pairings_of(&|| {
+        assert_eq!(
+            KeyUpdate::batch_verify_isolate(curve, &spk, &poisoned, 1),
+            Err(vec![21])
+        );
+    });
+    println!(
+        "isolating 1 forgery in a burst of 64: {iso_p} pairings \
+         (vs 128 one-by-one)\n"
+    );
+
+    // Thread sweep over the parallelisable stages (tag hashing inside
+    // batch_verify, per-message decryption inside decrypt_bulk); results
+    // are order-deterministic for any thread count. On a single-core
+    // host the sweep shows overhead, not speedup — that is the point of
+    // making `threads` a knob instead of a default.
+    let batch64 = make(64);
+    let tag = ReleaseTag::time("e15/bulk");
+    let update = fx.server.issue_update(curve, &tag);
+    let cts: Vec<_> = (0..16)
+        .map(|i| {
+            basic::encrypt(curve, &spk, fx.user.public(), &tag, &[i as u8; 32], &mut r).unwrap()
+        })
+        .collect();
+    header(&["threads", "batch_verify(64) ms", "decrypt_bulk(16) ms"]);
+    let mut rows_json = Vec::new();
+    for t in [1usize, 2, 4] {
+        let v_ms = time_ms(2, || KeyUpdate::batch_verify(curve, &spk, &batch64, t));
+        let d_ms = time_ms(2, || {
+            basic::decrypt_bulk(curve, &spk, &fx.user, &update, &cts, t).unwrap()
+        });
+        row(&[format!("{t}"), format!("{v_ms:.2}"), format!("{d_ms:.2}")]);
+        rows_json.push(format!(
+            "{{\"threads\": {t}, \"batch_verify_ms\": {v_ms:.4}, \"decrypt_bulk_ms\": {d_ms:.4}}}"
+        ));
+    }
+    println!();
+
+    // Sender-side precomputation: fixed-base tables for G and asG, key
+    // check done once at table build instead of on every encrypt.
+    let pre = SenderPrecomp::new(curve, &spk, fx.user.public()).unwrap();
+    let plain_ms = time_ms(5, || {
+        basic::encrypt(curve, &spk, fx.user.public(), &tag, b"msg", &mut r).unwrap()
+    });
+    let pre_ms = time_ms(5, || basic::encrypt_with(curve, &pre, &tag, b"msg", &mut r));
+    println!(
+        "sender path: plain encrypt {plain_ms:.2} ms vs precomputed {pre_ms:.2} ms \
+         ({:.2}x)\n",
+        plain_ms / pre_ms.max(1e-9)
+    );
+
+    let dir = std::path::Path::new("target/e15");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json = format!(
+            "{{\n  \"experiment\": \"e15\",\n  \"isolate_64_pairings\": {iso_p},\n  \
+             \"encrypt_plain_ms\": {plain_ms:.4},\n  \"encrypt_precomp_ms\": {pre_ms:.4},\n  \
+             \"threads\": [\n    {}\n  ]\n}}\n",
+            rows_json.join(",\n    ")
+        );
+        let _ = std::fs::write(dir.join("e15.json"), json);
+        println!("artifacts: target/e15/e15.json\n");
+    }
 }

@@ -15,11 +15,17 @@
 //! counters so a deployment can spot which of its N servers are flaky or
 //! hostile.
 
-use tre_pairing::Curve;
+use rand::RngCore;
+use tre_bigint::U256;
+use tre_hashes::{Digest, HmacDrbg, Sha256};
+use tre_pairing::{Curve, G1Affine};
 
 use crate::error::TreError;
 use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair};
 use crate::threshold::{self, ThresholdCiphertext};
+
+/// Domain string seeding the derandomized per-verdict batching exponents.
+const VERDICT_DRBG_DOMAIN: &[u8] = b"tre/failover-verdict/v1";
 
 /// Why a server's update was excluded from a failover decryption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,21 +51,55 @@ pub struct ServerVerdict {
 /// Validates `updates[i]` against `servers[i]` and the ciphertext tag,
 /// returning the sanitized update set (faulty entries demoted to `None`)
 /// and one verdict per server.
+///
+/// Signature checks are **batched**: every candidate update shares the
+/// ciphertext's tag (mistagged ones were already demoted), hence the same
+/// message point `H = H1(T)`, and bilinearity collapses the combined
+/// small-exponent test
+///
+/// ```text
+/// Π ê(s_i·G_i, H)^{e_i} · ê(−G_i, I_i)^{e_i} = 1
+/// ```
+///
+/// into `N + 1` pairing lanes — one `(Σ e_i·s_iG_i, H)` lane plus one
+/// `(−e_i·G_i, I_i)` lane per server — instead of the `2N` pairings of
+/// per-server verification. On a batch failure a bisection isolates the
+/// bad servers so the per-server verdicts stay exact.
 pub fn sanitize_updates<const L: usize>(
     curve: &Curve<L>,
     servers: &[ServerPublicKey<L>],
     ct: &ThresholdCiphertext<L>,
     updates: &[Option<KeyUpdate<L>>],
 ) -> (Vec<Option<KeyUpdate<L>>>, Vec<ServerVerdict>) {
-    let mut sanitized = Vec::with_capacity(updates.len());
-    let mut verdicts = Vec::with_capacity(updates.len());
-    for (index, (maybe, server)) in updates.iter().zip(servers).enumerate() {
-        let fault = match maybe {
+    let _span = tre_obs::span("failover.sanitize");
+    // Phase 1: structural verdicts — no crypto.
+    let mut faults: Vec<Option<UpdateFault>> = updates
+        .iter()
+        .map(|maybe| match maybe {
             None => Some(UpdateFault::Missing),
             Some(u) if u.tag() != ct.tag() => Some(UpdateFault::TagMismatch),
-            Some(u) if !u.verify(curve, server) => Some(UpdateFault::BadSignature),
             Some(_) => None,
-        };
+        })
+        .collect();
+    // Phase 2: one batched signature check over the survivors, bisecting
+    // on failure to pin BadSignature on exactly the offending servers.
+    let candidates: Vec<usize> = faults
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.is_none().then_some(i))
+        .collect();
+    if !candidates.is_empty() {
+        let h = curve.hash_to_g1(ct.tag().h1_domain(), ct.tag().value());
+        let e = verdict_exponents(curve, servers, updates, &candidates);
+        let mut bad = Vec::new();
+        isolate_bad_servers(curve, servers, updates, &h, &e, &candidates, &mut bad);
+        for i in bad {
+            faults[i] = Some(UpdateFault::BadSignature);
+        }
+    }
+    let mut sanitized = Vec::with_capacity(updates.len());
+    let mut verdicts = Vec::with_capacity(updates.len());
+    for (index, (maybe, fault)) in updates.iter().zip(faults).enumerate() {
         if tre_obs::is_enabled() {
             let verdict = match fault {
                 None => "valid",
@@ -73,6 +113,83 @@ pub fn sanitize_updates<const L: usize>(
         verdicts.push(ServerVerdict { index, fault });
     }
     (sanitized, verdicts)
+}
+
+/// Derandomized 64-bit batching exponents, one per candidate server,
+/// seeded by hashing the candidate keys and updates (exponents are fixed
+/// only after the batch contents are committed). Indexed by server
+/// position; non-candidate slots stay zero and are never read.
+fn verdict_exponents<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[ServerPublicKey<L>],
+    updates: &[Option<KeyUpdate<L>>],
+    candidates: &[usize],
+) -> Vec<U256> {
+    let mut h = Sha256::new();
+    h.update(VERDICT_DRBG_DOMAIN);
+    for &i in candidates {
+        h.update(&servers[i].to_bytes(curve));
+        h.update(
+            &updates[i]
+                .as_ref()
+                .expect("candidate present")
+                .to_bytes(curve),
+        );
+    }
+    let mut drbg = HmacDrbg::new(&h.finalize(), VERDICT_DRBG_DOMAIN);
+    let mut e = vec![U256::ZERO; updates.len()];
+    for &i in candidates {
+        e[i] = U256::from_u64(drbg.next_u64().max(1));
+    }
+    e
+}
+
+/// The combined check over `idxs`: `N + 1` pairing lanes for `N` servers
+/// (2 for a singleton, via the shared-Miller-loop single check).
+fn verdicts_hold<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[ServerPublicKey<L>],
+    updates: &[Option<KeyUpdate<L>>],
+    h: &G1Affine<L>,
+    e: &[U256],
+    idxs: &[usize],
+) -> bool {
+    if let [i] = idxs {
+        let u = updates[*i].as_ref().expect("candidate present");
+        return curve.bls_verify_one(servers[*i].g(), servers[*i].s_g(), h, u.sig());
+    }
+    let mut lhs = G1Affine::infinity(curve.fp());
+    let mut lanes = Vec::with_capacity(idxs.len() + 1);
+    lanes.push((lhs, *h)); // placeholder; lhs accumulates below
+    for &i in idxs {
+        let u = updates[i].as_ref().expect("candidate present");
+        lhs = curve.g1_add(&lhs, &curve.g1_mul(servers[i].s_g(), &e[i]));
+        lanes.push((curve.g1_neg(&curve.g1_mul(servers[i].g(), &e[i])), *u.sig()));
+    }
+    lanes[0] = (lhs, *h);
+    curve.multi_pairing(&lanes).is_one(curve)
+}
+
+/// Bisects `idxs` until every server with an invalid signature is named.
+fn isolate_bad_servers<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[ServerPublicKey<L>],
+    updates: &[Option<KeyUpdate<L>>],
+    h: &G1Affine<L>,
+    e: &[U256],
+    idxs: &[usize],
+    bad: &mut Vec<usize>,
+) {
+    if idxs.is_empty() || verdicts_hold(curve, servers, updates, h, e, idxs) {
+        return;
+    }
+    if let [i] = idxs {
+        bad.push(*i);
+        return;
+    }
+    let mid = idxs.len() / 2;
+    isolate_bad_servers(curve, servers, updates, h, e, &idxs[..mid], bad);
+    isolate_bad_servers(curve, servers, updates, h, e, &idxs[mid..], bad);
 }
 
 /// Decrypts a threshold ciphertext while tolerating missing, mistagged,
@@ -335,6 +452,52 @@ mod tests {
         assert_eq!(h[2].bad_signature, 3);
         assert_eq!(h[3].valid, 3);
         assert_eq!(tracker.suspects(), vec![2]);
+    }
+
+    #[test]
+    fn batched_verdicts_cost_n_plus_one_pairings() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, _user, mpk) = world(4);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        tre_obs::enable();
+        let (_, verdicts) = sanitize_updates(curve, &pks, &ct, &updates);
+        let trace = tre_obs::finish();
+        assert!(verdicts.iter().all(|v| v.fault.is_none()));
+        let span = &trace.spans_named("failover.sanitize")[0];
+        assert_eq!(
+            span.ops.pairings, 5,
+            "all-valid verdicts for N=4 servers are one (N+1)-lane check"
+        );
+        assert!(span.ops.pairings < 2 * 4, "strictly below sequential 2N");
+    }
+
+    #[test]
+    fn batched_verdicts_still_exact_under_mixed_faults() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, _user, mpk) = world(5);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let mut updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        updates[0] = None;
+        updates[2] = Some(forged(curve, &tag));
+        updates[4] = Some(servers[4].issue_update(curve, &ReleaseTag::time("t+1")));
+        let (sanitized, verdicts) = sanitize_updates(curve, &pks, &ct, &updates);
+        assert_eq!(verdicts[0].fault, Some(UpdateFault::Missing));
+        assert_eq!(verdicts[1].fault, None);
+        assert_eq!(verdicts[2].fault, Some(UpdateFault::BadSignature));
+        assert_eq!(verdicts[3].fault, None);
+        assert_eq!(verdicts[4].fault, Some(UpdateFault::TagMismatch));
+        assert_eq!(sanitized.iter().flatten().count(), 2);
     }
 
     #[test]

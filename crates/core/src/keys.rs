@@ -3,10 +3,14 @@
 
 use rand::RngCore;
 use tre_bigint::U256;
-use tre_pairing::{Curve, G1Affine};
+use tre_hashes::{Digest, HmacDrbg, Sha256};
+use tre_pairing::{Curve, G1Affine, G1Precomp};
 
 use crate::error::TreError;
 use crate::tag::ReleaseTag;
+
+/// Domain string seeding the derandomized batch-verification exponents.
+const BATCH_DRBG_DOMAIN: &[u8] = b"tre/batch-verify/v1";
 
 /// The time server's public key `PK_S = (G, sG)`.
 ///
@@ -302,6 +306,137 @@ impl<const L: usize> KeyUpdate<L> {
             .map_err(|_| TreError::Malformed("update signature"))?;
         Ok(Self { tag, sig })
     }
+
+    /// The derandomized exponent source for one batch: a DRBG seeded by
+    /// hashing the server key and the full batch contents, so the
+    /// exponents are fixed only *after* the batch is committed (the
+    /// Fiat–Shamir variant of the small-exponent test). Verification
+    /// stays deterministic — no caller-supplied RNG, byte-identical
+    /// traces across runs — without weakening the `2^-64` soundness
+    /// bound, because an adversary must choose the updates before
+    /// learning the exponents they will be combined under.
+    fn batch_drbg(curve: &Curve<L>, server: &ServerPublicKey<L>, updates: &[Self]) -> HmacDrbg {
+        let mut h = Sha256::new();
+        h.update(BATCH_DRBG_DOMAIN);
+        h.update(&server.to_bytes(curve));
+        for u in updates {
+            h.update(&u.to_bytes(curve));
+        }
+        HmacDrbg::new(&h.finalize(), BATCH_DRBG_DOMAIN)
+    }
+
+    /// Hashes every tag to its curve point `H1(T_i)` — the data-parallel
+    /// half of batch verification — fanning out over `threads` workers
+    /// ([`tre_par::par_map`]; `0` = auto, `1` = inline). Results are in
+    /// input order regardless of thread count.
+    fn batch_entries(
+        curve: &Curve<L>,
+        updates: &[Self],
+        threads: usize,
+    ) -> Vec<(G1Affine<L>, G1Affine<L>)> {
+        tre_par::par_map(updates, threads, |u| {
+            (curve.hash_to_g1(u.tag.h1_domain(), u.tag.value()), u.sig)
+        })
+    }
+
+    /// Batch self-authentication: accepts iff every update in `updates`
+    /// verifies against `server`, at a cost of **2 pairing lanes per
+    /// batch** (small-exponent test) instead of 2 per update.
+    ///
+    /// `threads` controls the parallel hash-to-curve fan-out (`0` = auto,
+    /// `1` = fully inline). Note that crypto-op counters are thread-local,
+    /// so ops performed on worker threads are not attributed to the
+    /// caller's trace — run with `threads = 1` when counting ops.
+    ///
+    /// Callers holding conflicting signatures for the *same* tag must
+    /// resolve the equivocation before batching (see
+    /// [`Curve::bls_batch_verify`] for the algebraic caveat); the client
+    /// runtime in `tre-server` does this by byte comparison.
+    pub fn batch_verify(
+        curve: &Curve<L>,
+        server: &ServerPublicKey<L>,
+        updates: &[Self],
+        threads: usize,
+    ) -> bool {
+        let _span = tre_obs::span("tre.batch_verify");
+        let entries = Self::batch_entries(curve, updates, threads);
+        let mut rng = Self::batch_drbg(curve, server, updates);
+        curve.bls_batch_verify(server.g(), server.s_g(), &entries, &mut rng)
+    }
+
+    /// Like [`KeyUpdate::batch_verify`], but on failure bisects the batch
+    /// to name the offending indices (ascending) in `O(bad · log N)`
+    /// batch checks — the recovery path after a burst that mixes one
+    /// forged update into dozens of honest ones.
+    pub fn batch_verify_isolate(
+        curve: &Curve<L>,
+        server: &ServerPublicKey<L>,
+        updates: &[Self],
+        threads: usize,
+    ) -> Result<(), Vec<usize>> {
+        let _span = tre_obs::span("tre.batch_verify");
+        let entries = Self::batch_entries(curve, updates, threads);
+        let mut rng = Self::batch_drbg(curve, server, updates);
+        curve.bls_batch_isolate(server.g(), server.s_g(), &entries, &mut rng)
+    }
+}
+
+/// Cached sender-side state for one `(server, receiver)` pair: the user
+/// key is validated **once** (2 pairings) and fixed-base windowed tables
+/// are built for the two per-encryption scalar multiplications — `r·G`
+/// (the ephemeral point `U`) and `r·asG` (the pairing input). A sender
+/// encrypting a stream of messages to the same receiver pays the table
+/// setup once and every subsequent [`crate::tre::encrypt_with`] call
+/// skips both the validation pairings and all doubling work.
+#[derive(Clone, Debug)]
+pub struct SenderPrecomp<const L: usize> {
+    server: ServerPublicKey<L>,
+    user: UserPublicKey<L>,
+    g_table: G1Precomp<L>,
+    a_s_g_table: G1Precomp<L>,
+}
+
+impl<const L: usize> SenderPrecomp<L> {
+    /// Validates `user` against `server` (the §5.1 pairing check, once)
+    /// and builds the fixed-base tables.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the receiver key fails
+    /// `ê(aG, sG) = ê(G, asG)`.
+    pub fn new(
+        curve: &Curve<L>,
+        server: &ServerPublicKey<L>,
+        user: &UserPublicKey<L>,
+    ) -> Result<Self, TreError> {
+        let _span = tre_obs::span("tre.sender_precomp");
+        user.validate(curve, server)?;
+        Ok(Self {
+            server: *server,
+            user: *user,
+            g_table: G1Precomp::new(curve, server.g()),
+            a_s_g_table: G1Precomp::new(curve, user.a_s_g()),
+        })
+    }
+
+    /// The server key the tables are bound to.
+    pub fn server(&self) -> &ServerPublicKey<L> {
+        &self.server
+    }
+
+    /// The (validated) receiver key the tables are bound to.
+    pub fn user(&self) -> &UserPublicKey<L> {
+        &self.user
+    }
+
+    /// Fixed-base table for the server generator `G`.
+    pub fn g_table(&self) -> &G1Precomp<L> {
+        &self.g_table
+    }
+
+    /// Fixed-base table for the receiver point `asG`.
+    pub fn a_s_g_table(&self) -> &G1Precomp<L> {
+        &self.a_s_g_table
+    }
 }
 
 #[cfg(test)]
@@ -449,5 +584,95 @@ mod tests {
         let secret = curve.scalar_from_bytes_mod(&pw_hash);
         let user = UserKeyPair::from_secret(curve, server.public(), secret);
         assert!(user.public().validate(curve, server.public()).is_ok());
+    }
+
+    fn epoch_updates(server: &ServerKeyPair<8>, n: usize) -> Vec<KeyUpdate<8>> {
+        let curve = toy64();
+        (0..n)
+            .map(|i| server.issue_update(curve, &ReleaseTag::time(format!("epoch-{i}"))))
+            .collect()
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_updates_cheaply() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let updates = epoch_updates(&server, 64);
+        tre_obs::enable();
+        assert!(KeyUpdate::batch_verify(curve, server.public(), &updates, 1));
+        let trace = tre_obs::finish();
+        let span = &trace.spans_named("tre.batch_verify")[0];
+        assert_eq!(
+            span.ops.pairings, 2,
+            "64 updates must cost 2 pairing lanes, not 128"
+        );
+    }
+
+    #[test]
+    fn batch_verify_is_deterministic_and_thread_invariant() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let updates = epoch_updates(&server, 9);
+        for threads in [0usize, 1, 4] {
+            assert!(KeyUpdate::batch_verify(
+                curve,
+                server.public(),
+                &updates,
+                threads
+            ));
+        }
+        assert!(KeyUpdate::batch_verify(curve, server.public(), &[], 1));
+    }
+
+    #[test]
+    fn batch_verify_isolates_forgeries() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let mut updates = epoch_updates(&server, 16);
+        let forged_sig = curve.g1_mul(
+            &curve.hash_to_g1(b"time", b"epoch-5"),
+            &curve.random_scalar(&mut rng),
+        );
+        updates[5] = KeyUpdate::from_parts(ReleaseTag::time("epoch-5"), forged_sig);
+        assert!(!KeyUpdate::batch_verify(
+            curve,
+            server.public(),
+            &updates,
+            1
+        ));
+        assert_eq!(
+            KeyUpdate::batch_verify_isolate(curve, server.public(), &updates, 1),
+            Err(vec![5])
+        );
+    }
+
+    #[test]
+    fn sender_precomp_validates_once_and_matches_points() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let pre = SenderPrecomp::new(curve, server.public(), user.public()).unwrap();
+        let r = curve.random_scalar(&mut rng);
+        assert_eq!(
+            pre.g_table().mul(curve, &r),
+            curve.g1_mul(server.public().g(), &r)
+        );
+        assert_eq!(
+            pre.a_s_g_table().mul(curve, &r),
+            curve.g1_mul(user.public().a_s_g(), &r)
+        );
+        // A malformed key is refused at table-build time.
+        let bogus = UserPublicKey::from_points(
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+        );
+        assert!(matches!(
+            SenderPrecomp::new(curve, server.public(), &bogus),
+            Err(TreError::InvalidUserKey)
+        ));
     }
 }

@@ -70,5 +70,7 @@ pub mod threshold;
 pub mod tre;
 
 pub use error::TreError;
-pub use keys::{KeyUpdate, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey};
+pub use keys::{
+    KeyUpdate, SenderPrecomp, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey,
+};
 pub use tag::{ReleaseTag, TagKind};

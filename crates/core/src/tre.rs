@@ -15,7 +15,7 @@ use tre_bigint::U256;
 use tre_pairing::{Curve, G1Affine, Gt};
 
 use crate::error::TreError;
-use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::keys::{KeyUpdate, SenderPrecomp, ServerPublicKey, UserKeyPair, UserPublicKey};
 use crate::tag::ReleaseTag;
 
 /// Domain string for the `H2` mask oracle of the basic scheme.
@@ -101,14 +101,16 @@ pub(crate) fn sender_key<const L: usize>(
     curve.pairing(&r_asg, &h_t)
 }
 
-/// Computes the receiver-side pairing key `K' = ê(U, I_T)^a`.
+/// Computes the receiver-side pairing key `K' = ê(U, I_T)^a` (windowed
+/// exponentiation — the `^a` is the second-hottest op on the decrypt
+/// path after the pairing itself).
 pub(crate) fn receiver_key<const L: usize>(
     curve: &Curve<L>,
     u: &G1Affine<L>,
     update: &KeyUpdate<L>,
     a: &U256,
 ) -> Gt<L> {
-    curve.pairing(u, update.sig()).pow(a, curve)
+    curve.pairing(u, update.sig()).pow_window(a, curve)
 }
 
 /// Encrypts `msg` to `user` with release tag `tag` (basic §5.1 scheme).
@@ -141,6 +143,35 @@ pub fn encrypt<const L: usize>(
     })
 }
 
+/// Encrypts `msg` using a cached [`SenderPrecomp`] — the bulk-sender
+/// variant of [`encrypt`]. The per-call pairing check on the receiver key
+/// is gone (it ran once at [`SenderPrecomp::new`]) and both scalar
+/// multiplications run off fixed-base tables, so the marginal cost per
+/// message is one table-driven `r·asG`, one `r·G`, one hash-to-curve and
+/// one pairing.
+///
+/// Infallible: every failure mode of [`encrypt`] is caught at
+/// precomputation time.
+pub fn encrypt_with<const L: usize>(
+    curve: &Curve<L>,
+    pre: &SenderPrecomp<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Ciphertext<L> {
+    let _span = tre_obs::span("tre.encrypt");
+    let r = curve.random_scalar(rng);
+    let h_t = curve.hash_to_g1(tag.h1_domain(), tag.value());
+    let r_asg = pre.a_s_g_table().mul(curve, &r);
+    let k = curve.pairing(&r_asg, &h_t);
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, msg.len());
+    Ciphertext {
+        u: pre.g_table().mul(curve, &r),
+        v: msg.iter().zip(&mask).map(|(m, k)| m ^ k).collect(),
+        tag: tag.clone(),
+    }
+}
+
 /// Decrypts a basic-scheme ciphertext with the receiver's key pair and the
 /// matching time-bound key update.
 ///
@@ -168,6 +199,70 @@ pub fn decrypt<const L: usize>(
     let k = receiver_key(curve, &ct.u, update, user.secret_scalar());
     let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
     Ok(ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect())
+}
+
+/// Decrypts with an *already-verified* key update, skipping the
+/// per-ciphertext re-verification (2 pairings) that [`decrypt`] pays.
+///
+/// Correctness contract: `update` must have passed
+/// [`KeyUpdate::verify`](crate::keys::KeyUpdate::verify) or a batch
+/// equivalent against the issuing server. The client runtime in
+/// `tre-server` only caches verified updates, so its decrypt path uses
+/// this entry point — one pairing per ciphertext total.
+///
+/// # Errors
+/// Returns [`TreError::UpdateTagMismatch`] if `update` is for a different
+/// tag than the ciphertext.
+pub fn decrypt_trusted<const L: usize>(
+    curve: &Curve<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &Ciphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    let _span = tre_obs::span("tre.decrypt_trusted");
+    if update.tag() != &ct.tag {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    let k = receiver_key(curve, &ct.u, update, user.secret_scalar());
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
+    Ok(ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect())
+}
+
+/// Decrypts many ciphertexts locked to the **same tag** with one update:
+/// the update is verified once up front, then the per-ciphertext work
+/// (one pairing + one `G_T` exponentiation each) fans out over `threads`
+/// workers (`0` = auto, `1` = inline). Results are in input order for any
+/// thread count.
+///
+/// This is the archive-recovery shape: a receiver coming back online
+/// holds a backlog of ciphertexts for an epoch that has since been
+/// released.
+///
+/// # Errors
+/// * [`TreError::InvalidUpdate`] if the update fails self-authentication;
+/// * [`TreError::UpdateTagMismatch`] if any ciphertext is for a different
+///   tag (checked before any decryption work starts).
+pub fn decrypt_bulk<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    cts: &[Ciphertext<L>],
+    threads: usize,
+) -> Result<Vec<Vec<u8>>, TreError> {
+    let _span = tre_obs::span("tre.decrypt_bulk");
+    if !update.verify(curve, server) {
+        return Err(TreError::InvalidUpdate);
+    }
+    if cts.iter().any(|ct| update.tag() != &ct.tag) {
+        return Err(TreError::UpdateTagMismatch);
+    }
+    let a = user.secret_scalar();
+    Ok(tre_par::par_map(cts, threads, |ct| {
+        let k = receiver_key(curve, &ct.u, update, a);
+        let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
+        ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect()
+    }))
 }
 
 #[cfg(test)]
@@ -435,5 +530,111 @@ mod tests {
         let mask = curve.gt_kdf(&k_server, MASK_DOMAIN, msg.len());
         let attempt: Vec<u8> = ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect();
         assert_ne!(attempt, msg);
+    }
+
+    #[test]
+    fn encrypt_with_precomp_interoperates() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let s = setup();
+        let pre = SenderPrecomp::new(curve, s.server.public(), s.user.public()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let update = s.server.issue_update(curve, &tag);
+        let msg = b"precomputed path";
+        let ct = encrypt_with(curve, &pre, &tag, msg, &mut rng);
+        // The plain decryptor opens precomp-encrypted ciphertexts…
+        assert_eq!(
+            decrypt(curve, s.server.public(), &s.user, &update, &ct).unwrap(),
+            msg
+        );
+        // …and the trusted decryptor opens plain-encrypted ones.
+        let ct2 = encrypt(
+            curve,
+            s.server.public(),
+            s.user.public(),
+            &tag,
+            msg,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(decrypt_trusted(curve, &s.user, &update, &ct2).unwrap(), msg);
+    }
+
+    #[test]
+    fn trusted_decrypt_skips_verification_pairings() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let s = setup();
+        let tag = ReleaseTag::time("t");
+        let update = s.server.issue_update(curve, &tag);
+        let ct = encrypt(
+            curve,
+            s.server.public(),
+            s.user.public(),
+            &tag,
+            b"m",
+            &mut rng,
+        )
+        .unwrap();
+        tre_obs::enable();
+        decrypt_trusted(curve, &s.user, &update, &ct).unwrap();
+        decrypt(curve, s.server.public(), &s.user, &update, &ct).unwrap();
+        let trace = tre_obs::finish();
+        assert_eq!(trace.spans_named("tre.decrypt_trusted")[0].ops.pairings, 1);
+        assert_eq!(
+            trace.spans_named("tre.decrypt")[0].ops.pairings,
+            3,
+            "full decrypt re-verifies (2 pairings) then decrypts (1)"
+        );
+        // Tag mismatch still enforced.
+        let other = s.server.issue_update(curve, &ReleaseTag::time("t'"));
+        assert_eq!(
+            decrypt_trusted(curve, &s.user, &other, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    fn bulk_decrypt_matches_sequential_for_any_thread_count() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let s = setup();
+        let tag = ReleaseTag::time("t");
+        let update = s.server.issue_update(curve, &tag);
+        let msgs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; i as usize + 1]).collect();
+        let cts: Vec<_> = msgs
+            .iter()
+            .map(|m| encrypt(curve, s.server.public(), s.user.public(), &tag, m, &mut rng).unwrap())
+            .collect();
+        for threads in [0usize, 1, 3] {
+            let out =
+                decrypt_bulk(curve, s.server.public(), &s.user, &update, &cts, threads).unwrap();
+            assert_eq!(out, msgs, "threads={threads}");
+        }
+        // A mistagged ciphertext in the batch aborts before decrypting.
+        let stray = encrypt(
+            curve,
+            s.server.public(),
+            s.user.public(),
+            &ReleaseTag::time("t'"),
+            b"x",
+            &mut rng,
+        )
+        .unwrap();
+        let mut mixed = cts.clone();
+        mixed.push(stray);
+        assert_eq!(
+            decrypt_bulk(curve, s.server.public(), &s.user, &update, &mixed, 1),
+            Err(TreError::UpdateTagMismatch)
+        );
+        // A forged update is refused up front.
+        let forged = KeyUpdate::from_parts(
+            tag.clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            decrypt_bulk(curve, s.server.public(), &s.user, &forged, &cts, 1),
+            Err(TreError::InvalidUpdate)
+        );
     }
 }

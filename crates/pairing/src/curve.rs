@@ -246,6 +246,20 @@ impl<const L: usize> Curve<L> {
     }
 
     /// Scalar multiplication by a 256-bit scalar (protocol scalars mod `q`).
+    ///
+    /// # Contract
+    /// This is the **fast path** (width-4 wNAF) and the one protocol code
+    /// must call. [`Curve::g1_mul_binary`] is the slow **reference path**
+    /// (plain double-and-add) kept for ablation benchmarks and
+    /// cross-checking; [`crate::G1Precomp::mul`] is the fixed-base path.
+    /// All three compute the same group operation and are pinned together
+    /// by the `scalar_mul_paths_agree` property test (random scalars plus
+    /// the edge scalars 0, 1, q−1).
+    ///
+    /// **None of them is constant-time**: iteration count and memory
+    /// access pattern depend on the scalar (this workspace is explicitly
+    /// variable-time research code — see the crate-level warning). Do not
+    /// assume either path hides the scalar from a timing observer.
     pub fn g1_mul(&self, p: &G1Affine<L>, k: &U256) -> G1Affine<L> {
         self.g1_mul_generic(p, k)
     }
@@ -279,8 +293,12 @@ impl<const L: usize> Curve<L> {
         self.jac_to_affine(&acc)
     }
 
-    /// Plain binary double-and-add — kept for the ablation benchmark
-    /// against the wNAF path used by [`Curve::g1_mul`].
+    /// Plain binary double-and-add — the **reference path**, kept for the
+    /// ablation benchmark and as a cross-check against the wNAF path used
+    /// by [`Curve::g1_mul`]. Like `g1_mul` it is **variable-time** (one
+    /// conditional add per set bit); neither path is a constant-time
+    /// implementation, the two differ only in speed. See the contract on
+    /// [`Curve::g1_mul`].
     pub fn g1_mul_binary(&self, p: &G1Affine<L>, k: &U256) -> G1Affine<L> {
         tre_obs::record_scalar_mul();
         let ctx = &self.fp;

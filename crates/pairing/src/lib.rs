@@ -27,6 +27,7 @@
 //!
 //! ⚠️ Variable-time research code — see the workspace README.
 
+mod batch;
 mod curve;
 mod fp;
 mod hash;
@@ -34,8 +35,9 @@ mod pairing;
 mod params;
 mod precomp;
 
+pub use batch::EXPONENT_BITS as BATCH_EXPONENT_BITS;
 pub use curve::{Curve, DecodePointError, G1Affine};
 pub use fp::{Fp, Fp2, FpCtx};
-pub use pairing::Gt;
+pub use pairing::{Gt, GtPrecomp};
 pub use params::{high128, mid96, toy64, CurveHigh128, CurveMid96, CurveToy64};
 pub use precomp::G1Precomp;

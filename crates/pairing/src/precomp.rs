@@ -68,6 +68,7 @@ impl<const L: usize> G1Precomp<L> {
     /// Fixed-base multiplication `k·P` — one mixed addition per non-zero
     /// window, zero doublings.
     pub fn mul(&self, curve: &Curve<L>, k: &U256) -> G1Affine<L> {
+        tre_obs::record_scalar_mul();
         let ctx = curve.fp();
         let mut acc = crate::curve::G1Jac::infinity(ctx);
         let mask = (1u64 << W) - 1;

@@ -73,4 +73,48 @@ proptest! {
         prop_assert!(c.in_subgroup(&p));
         prop_assert!(!p.is_infinity());
     }
+
+    #[test]
+    fn scalar_mul_paths_agree(ra in any::<[u64; 4]>(), rp in any::<[u64; 4]>()) {
+        // The documented contract on Curve::g1_mul: the wNAF fast path,
+        // the binary reference path, and the fixed-base precomputed path
+        // are interchangeable for every scalar, including the edges.
+        let c = toy64();
+        let p = c.g1_mul(&c.generator(), &scalar(rp));
+        let table = tre_pairing::G1Precomp::new(c, &p);
+        let q_minus_1 = c.order().wrapping_sub(&U256::ONE);
+        for k in [scalar(ra), U256::ZERO, U256::ONE, q_minus_1] {
+            let fast = c.g1_mul(&p, &k);
+            prop_assert_eq!(c.g1_mul_binary(&p, &k), fast);
+            prop_assert_eq!(table.mul(c, &k), fast);
+        }
+    }
+
+    #[test]
+    fn batch_bls_agrees_with_sequential(rs in any::<[u64; 4]>(), n in 1usize..12) {
+        // Batch verification accepts exactly the batches whose every entry
+        // the 2-pairing sequential check accepts.
+        let c = toy64();
+        let mut rng = rand::thread_rng();
+        let s = {
+            let v = scalar(rs);
+            if v.is_zero() { U256::ONE } else { v }
+        };
+        let g = c.generator();
+        let pk = c.g1_mul(&g, &s);
+        let entries: Vec<_> = (0..n)
+            .map(|i| {
+                let h = c.hash_to_g1(b"prop-batch", &[i as u8]);
+                (h, c.g1_mul(&h, &s))
+            })
+            .collect();
+        prop_assert!(c.bls_batch_verify(&g, &pk, &entries, &mut rng));
+        let mut tampered = entries.clone();
+        tampered[n / 2].1 = c.g1_add(&tampered[n / 2].1, &g);
+        prop_assert!(!c.bls_batch_verify(&g, &pk, &tampered, &mut rng));
+        prop_assert_eq!(
+            c.bls_batch_isolate(&g, &pk, &tampered, &mut rng),
+            Err(vec![n / 2])
+        );
+    }
 }

@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+//! # tre-par — deterministic worker-pool parallelism
+//!
+//! A minimal fork-join layer for the batch crypto pipeline: [`par_map`]
+//! fans a slice out over scoped worker threads (vendored `crossbeam`
+//! scope, no external dependency) and returns results **in input order**,
+//! so seeded workloads produce byte-identical traces whether they run on
+//! 1 thread or 16.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism** — results are positionally stable: `par_map(xs, t,
+//!    f)[i] == f(&xs[i])` for every `t`. Work is split into contiguous
+//!    chunks (one per worker) rather than work-stolen, so there is no
+//!    scheduler-dependent ordering anywhere in the result path.
+//! 2. **Zero setup cost when it can't help** — a single item, a single
+//!    requested thread, or a single available core short-circuits to a
+//!    plain sequential map with no thread spawned at all.
+//! 3. **Panic transparency** — a panicking worker propagates the panic to
+//!    the caller (no poisoned pools, no swallowed errors).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads [`par_map`] uses when the caller passes
+/// `0` ("auto"): the machine's available parallelism, capped so a batch
+/// job never oversubscribes a shared host.
+const AUTO_THREAD_CAP: usize = 16;
+
+/// The machine's available parallelism (1 if it cannot be determined),
+/// capped at 16 — the worker count used by "auto" (`threads == 0`) calls.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(AUTO_THREAD_CAP)
+}
+
+/// Maps `f` over `items` using up to `threads` scoped worker threads
+/// (`0` = auto-detect), returning results in **input order**.
+///
+/// The slice is split into `min(threads, items.len())` contiguous chunks;
+/// each worker maps one chunk; chunk results are concatenated in chunk
+/// order, which is input order. With `threads <= 1` or fewer than two
+/// items, no thread is spawned and the map runs inline.
+///
+/// # Panics
+/// Propagates any panic raised by `f` on a worker thread.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Ceil-divided chunk size: every worker gets a contiguous run, the
+    // last may be short. chunks() preserves slice order, so flattening
+    // per-chunk outputs in spawn order restores input order exactly.
+    let chunk = items.len().div_ceil(workers);
+    let chunk_outputs: Vec<Vec<U>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|_| c.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+    .expect("scope itself never fails");
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunk_outputs {
+        out.extend(c);
+    }
+    out
+}
+
+/// Fold-friendly variant for associative reductions: maps `f` over
+/// contiguous chunks of `items` in parallel (chunk boundaries identical
+/// for a given `(len, threads)` pair), then folds the per-chunk results
+/// **in chunk order** with `combine`. Deterministic for any associative
+/// `combine`, even a non-commutative one.
+///
+/// Returns `None` on an empty slice.
+pub fn par_chunks_reduce<T, U, FM, FC>(
+    items: &[T],
+    threads: usize,
+    map_chunk: FM,
+    combine: FC,
+) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    FM: Fn(&[T]) -> U + Sync,
+    FC: Fn(U, U) -> U,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return Some(map_chunk(items));
+    }
+    let chunk = items.len().div_ceil(workers);
+    let parts: Vec<U> = crossbeam::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|_| map_chunk(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+    .expect("scope itself never fails");
+    parts.into_iter().reduce(combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0usize, 1, 2, 3, 7, 16, 200] {
+            assert_eq!(
+                par_map(&items, threads, |x| x * x + 1),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn ordering_is_positional_not_completion_order() {
+        // Earlier items sleep longer; a completion-ordered implementation
+        // would return them last.
+        let delays: Vec<u64> = vec![8, 4, 2, 0];
+        let out = par_map(&delays, 4, |d| {
+            std::thread::sleep(std::time::Duration::from_millis(*d));
+            *d
+        });
+        assert_eq!(out, delays);
+    }
+
+    #[test]
+    fn chunks_reduce_respects_chunk_order() {
+        // String concatenation is associative but not commutative: any
+        // out-of-order combine would scramble the result.
+        let items: Vec<String> = (0..23).map(|i| i.to_string()).collect();
+        let expect = items.concat();
+        for threads in [1usize, 2, 5, 23] {
+            let got =
+                par_chunks_reduce(&items, threads, |chunk| chunk.concat(), |a, b| a + &b).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        assert!(par_chunks_reduce(&[] as &[u8], 2, |_| 0u8, |a, _| a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(&items, 4, |x| {
+            if *x == 5 {
+                panic!("worker boom");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    fn auto_threads_is_sane() {
+        let t = auto_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

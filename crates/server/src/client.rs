@@ -22,12 +22,13 @@
 //! * **Decryption failures** — no longer silently discarded: failed
 //!   ciphertexts land in a dead-letter queue with their error.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use tre_core::{tre, KeyUpdate, ReleaseTag, ServerPublicKey, TreError, UserKeyPair};
 use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
+use crate::batch::BatchVerifier;
 use crate::metrics::ClientHealth;
 
 /// A message successfully opened by the client.
@@ -70,6 +71,43 @@ struct RetryState {
 /// considered compromised (see [`ReceiverClient::is_quarantined`]).
 pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
 
+/// What happened to one update of a burst fed to
+/// [`ReceiverClient::receive_updates`], in input order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// Verified and admitted; `opened` pending ciphertexts unlocked.
+    Accepted {
+        /// Messages this update opened.
+        opened: usize,
+    },
+    /// Byte-identical to an already-held update (cached or earlier in the
+    /// same burst); skipped without crypto.
+    Duplicate,
+    /// Conflicts with a different update for the same tag — Byzantine
+    /// evidence. When the conflict is *within* the burst, every copy for
+    /// that tag is rejected unverified (none can be trusted).
+    Equivocation,
+    /// Failed batch self-authentication (isolated by bisection).
+    Invalid,
+}
+
+/// Summary of one [`ReceiverClient::receive_updates`] burst.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-input outcome, aligned with the input slice.
+    pub outcomes: Vec<UpdateOutcome>,
+    /// Updates verified and admitted.
+    pub accepted: usize,
+    /// Messages opened across all accepted updates.
+    pub opened: usize,
+    /// Exact duplicates skipped.
+    pub duplicates: usize,
+    /// Equivocating updates rejected.
+    pub equivocations: usize,
+    /// Updates failing signature verification.
+    pub rejected: usize,
+}
+
 /// A receiver endpoint in the simulation.
 pub struct ReceiverClient<'c, const L: usize> {
     curve: &'c Curve<L>,
@@ -82,6 +120,7 @@ pub struct ReceiverClient<'c, const L: usize> {
     retry: HashMap<ReleaseTag, RetryState>,
     backoff: BackoffConfig,
     quarantine_threshold: u32,
+    threads: usize,
     highest_epoch: Option<u64>,
     health: ClientHealth,
 }
@@ -108,6 +147,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             retry: HashMap::new(),
             backoff: BackoffConfig::default(),
             quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            threads: 1,
             highest_epoch: None,
             health: ClientHealth::default(),
         }
@@ -116,6 +156,15 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
     /// Overrides the archive retry backoff (builder style).
     pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
         self.backoff = backoff;
+        self
+    }
+
+    /// Overrides the worker count for batched verification's
+    /// hash-to-curve fan-out (builder style; `0` = auto, default `1`).
+    /// Keep the default when op-count traces must be complete: crypto-op
+    /// counters are thread-local and worker-side ops are not attributed.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -181,6 +230,13 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         self.health.invalid_streak = 0;
         self.health.accepted_updates += 1;
         tre_obs::event("client.update_accepted", "");
+        Ok(self.admit_update(update, delivered_at))
+    }
+
+    /// Bookkeeping for a *verified* update: epoch-gap accounting, retry
+    /// state cleanup, dedup-cache insertion, and opening every pending
+    /// ciphertext it unlocks. Returns how many messages opened.
+    fn admit_update(&mut self, update: KeyUpdate<L>, delivered_at: u64) -> usize {
         if let Some(epoch) = epoch_hint(update.tag()) {
             match self.highest_epoch {
                 Some(h) if epoch > h => {
@@ -205,13 +261,120 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         for (ct, received_at) in matching {
             self.open_now(ct, &update, received_at, delivered_at);
         }
-        Ok(self.opened.len() - before)
+        self.opened.len() - before
+    }
+
+    /// Burst-drain path: feeds a batch of updates delivered together at
+    /// `delivered_at`, verifying the fresh ones **in one batch** (2
+    /// pairings for a clean burst of any size, bisection isolation
+    /// otherwise) instead of 2 pairings each.
+    ///
+    /// Screening happens before any crypto, exactly as on the single
+    /// path: byte-identical copies of held or earlier-in-burst updates
+    /// are skipped; conflicting bytes for one tag — against the cache or
+    /// *within* the burst — are equivocation evidence and every copy of
+    /// that tag is rejected unverified. Health counters and the invalid
+    /// streak are updated in input order, so a burst leaves the same
+    /// quarantine state as the equivalent sequence of
+    /// [`ReceiverClient::receive_update`] calls.
+    pub fn receive_updates(&mut self, updates: &[KeyUpdate<L>], delivered_at: u64) -> BatchReport {
+        let _span = tre_obs::span("client.receive_updates");
+        self.health.updates_received += updates.len() as u64;
+        // Phase 1: screening, no crypto. First fresh occurrence per tag is
+        // provisionally accepted; conflicts poison the tag retroactively.
+        let mut outcomes = vec![UpdateOutcome::Duplicate; updates.len()];
+        let mut first_of: HashMap<&ReleaseTag, usize> = HashMap::new();
+        let mut poisoned: HashSet<&ReleaseTag> = HashSet::new();
+        for (i, u) in updates.iter().enumerate() {
+            if let Some(known) = self.seen_updates.get(u.tag()) {
+                outcomes[i] = if known == u {
+                    UpdateOutcome::Duplicate
+                } else {
+                    UpdateOutcome::Equivocation
+                };
+                continue;
+            }
+            if poisoned.contains(u.tag()) {
+                outcomes[i] = UpdateOutcome::Equivocation;
+                continue;
+            }
+            match first_of.get(u.tag()) {
+                None => {
+                    first_of.insert(u.tag(), i);
+                    outcomes[i] = UpdateOutcome::Accepted { opened: 0 };
+                }
+                Some(&j) if updates[j] == *u => outcomes[i] = UpdateOutcome::Duplicate,
+                Some(&j) => {
+                    poisoned.insert(u.tag());
+                    outcomes[j] = UpdateOutcome::Equivocation;
+                    outcomes[i] = UpdateOutcome::Equivocation;
+                }
+            }
+        }
+        // Phase 2: one batched verification over the survivors.
+        let fresh: Vec<usize> = (0..updates.len())
+            .filter(|&i| matches!(outcomes[i], UpdateOutcome::Accepted { .. }))
+            .collect();
+        if !fresh.is_empty() {
+            let batch: Vec<KeyUpdate<L>> = fresh.iter().map(|&i| updates[i].clone()).collect();
+            let verdict = BatchVerifier::new(self.curve, self.server_pk)
+                .with_threads(self.threads)
+                .verify(&batch);
+            for &k in &verdict.invalid {
+                outcomes[fresh[k]] = UpdateOutcome::Invalid;
+            }
+        }
+        // Phase 3: bookkeeping in input order — streak and quarantine
+        // semantics match sequential delivery.
+        let mut report = BatchReport {
+            outcomes: Vec::new(),
+            ..BatchReport::default()
+        };
+        for (i, u) in updates.iter().enumerate() {
+            match &mut outcomes[i] {
+                UpdateOutcome::Duplicate => {
+                    self.health.duplicates_skipped += 1;
+                    tre_obs::event("client.duplicate_skipped", "");
+                    report.duplicates += 1;
+                }
+                UpdateOutcome::Equivocation => {
+                    self.health.equivocations += 1;
+                    self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+                    tre_obs::event("client.equivocation", "");
+                    self.note_quarantine_transition();
+                    report.equivocations += 1;
+                }
+                UpdateOutcome::Invalid => {
+                    self.health.rejected_updates += 1;
+                    self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+                    tre_obs::event("client.update_rejected", "");
+                    self.note_quarantine_transition();
+                    report.rejected += 1;
+                }
+                UpdateOutcome::Accepted { opened } => {
+                    self.health.invalid_streak = 0;
+                    self.health.accepted_updates += 1;
+                    tre_obs::event("client.update_accepted", "");
+                    *opened = self.admit_update(u.clone(), delivered_at);
+                    report.accepted += 1;
+                    report.opened += *opened;
+                }
+            }
+        }
+        report.outcomes = outcomes;
+        report
     }
 
     /// Recovers any updates this client is still waiting for from the
     /// public archive (the paper's missed-broadcast story), honoring the
     /// per-tag retry backoff. `lookup` maps a release tag to an archive
     /// epoch. Returns how many messages opened.
+    ///
+    /// Recovery is **gather-then-batch**: every due tag is fetched first,
+    /// then all fetched updates are verified together through the
+    /// burst-drain path — a receiver returning from downtime with N
+    /// missed epochs pays 2 verification pairings total instead of 2N
+    /// (plus one decryption pairing per pending ciphertext).
     ///
     /// Unlike the broadcast path, archive failures are not errors the
     /// caller must handle: a miss schedules a bounded-backoff retry, an
@@ -224,12 +387,16 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         lookup: impl Fn(&ReleaseTag) -> Option<u64>,
     ) -> usize {
         let _span = tre_obs::span("client.catch_up");
-        let waiting_tags: Vec<ReleaseTag> = self
-            .pending
-            .iter()
-            .map(|(ct, _)| ct.tag().clone())
-            .collect();
-        let mut opened = 0;
+        let mut waiting_tags: Vec<ReleaseTag> = Vec::new();
+        let mut waiting_set: HashSet<ReleaseTag> = HashSet::new();
+        for (ct, _) in &self.pending {
+            if !waiting_set.contains(ct.tag()) {
+                waiting_set.insert(ct.tag().clone());
+                waiting_tags.push(ct.tag().clone());
+            }
+        }
+        // Gather: one archive fetch per due tag, no crypto yet.
+        let mut fetched: Vec<KeyUpdate<L>> = Vec::new();
         for tag in waiting_tags {
             if self.seen_updates.contains_key(&tag) {
                 continue;
@@ -242,19 +409,33 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             let Some(epoch) = lookup(&tag) else { continue };
             self.health.archive_attempts += 1;
             match archive.get(epoch) {
-                Some(update) => match self.receive_update(update, now) {
-                    Ok(n) => {
-                        self.health.recovered_from_archive += 1;
-                        opened += n;
-                    }
-                    // Invalid or equivocating archive entry: already
-                    // counted by receive_update; back off before retrying.
-                    Err(_) => self.note_archive_failure(tag, now),
-                },
+                Some(update) => fetched.push(update),
                 None => {
                     self.health.archive_misses += 1;
                     self.note_archive_failure(tag, now);
                 }
+            }
+        }
+        if fetched.is_empty() {
+            return 0;
+        }
+        // Batch: verify all fetched updates together, then settle the
+        // per-tag archive bookkeeping from the outcomes.
+        let report = self.receive_updates(&fetched, now);
+        let mut opened = 0;
+        for (update, outcome) in fetched.iter().zip(&report.outcomes) {
+            match outcome {
+                UpdateOutcome::Accepted { opened: n } => {
+                    self.health.recovered_from_archive += 1;
+                    opened += n;
+                }
+                // Exact duplicate of an update learned mid-call (e.g. the
+                // archive returned the same update under two tags): still
+                // a successful recovery, nothing to back off.
+                UpdateOutcome::Duplicate => self.health.recovered_from_archive += 1,
+                // Invalid or equivocating archive entry: already counted
+                // by the burst path; back off before retrying this tag.
+                _ => self.note_archive_failure(update.tag().clone(), now),
             }
         }
         opened
@@ -316,7 +497,10 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         received_at: u64,
         opened_at: u64,
     ) {
-        match tre::decrypt(self.curve, &self.server_pk, &self.keys, update, &ct) {
+        // Every update reaching this point passed (batch) verification on
+        // admission, so the trusted decryptor applies: one pairing per
+        // ciphertext instead of three.
+        match tre::decrypt_trusted(self.curve, &self.keys, update, &ct) {
             Ok(plaintext) => {
                 let latency = opened_at.saturating_sub(received_at);
                 self.health.open_latency.record(latency);

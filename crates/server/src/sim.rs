@@ -123,8 +123,16 @@ impl<'c, const L: usize> Simulation<'c, L> {
         }
         let mut opened = 0;
         for (client, sub) in &mut self.clients {
-            for (at, update) in self.net.poll(*sub) {
-                opened += client.receive_update(update, at).unwrap_or(0);
+            // Burst-drain: deliveries come back sorted by delivery tick;
+            // same-tick groups are verified as one batch (2 pairings per
+            // group) without perturbing per-message latency accounting.
+            let mut deliveries = self.net.poll(*sub).into_iter().peekable();
+            while let Some((at, first)) = deliveries.next() {
+                let mut batch = vec![first];
+                while deliveries.peek().is_some_and(|(a, _)| *a == at) {
+                    batch.push(deliveries.next().unwrap().1);
+                }
+                opened += client.receive_updates(&batch, at).opened;
             }
         }
         opened

@@ -1,8 +1,13 @@
 //! Offline, API-compatible subset of `crossbeam`: the unbounded MPMC
 //! channel surface this workspace uses (`unbounded`, `Sender::try_send` /
-//! `send`, `Receiver::recv` / `try_recv` / `len` / `iter`).
+//! `send`, `Receiver::recv` / `try_recv` / `len` / `iter`) and the
+//! structured scoped-thread surface (`scope`, `Scope::spawn`).
 //!
-//! Built on a `Mutex<VecDeque>` + `Condvar`; adequate for the fan-out hub
-//! and tests, not a lock-free reimplementation.
+//! Channels are built on a `Mutex<VecDeque>` + `Condvar`; scoped threads
+//! wrap `std::thread::scope`. Adequate for the fan-out hub, the worker
+//! pool, and tests — not a lock-free reimplementation.
 
 pub mod channel;
+pub mod scope;
+
+pub use scope::{scope, Scope, ScopedJoinHandle};

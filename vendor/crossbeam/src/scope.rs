@@ -1,0 +1,80 @@
+//! Offline, API-compatible subset of `crossbeam::scope`: structured
+//! scoped threads that may borrow from the caller's stack.
+//!
+//! Built directly on `std::thread::scope` (stable since 1.63); the shim
+//! exists so workspace code can use the `crossbeam` spelling — including
+//! the closure's `&Scope` argument for nested spawns — without the real
+//! dependency. Unlike real crossbeam, a panicking child propagates on
+//! join rather than being collected into the outer `Err`.
+
+use std::thread;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned
+/// thread's closure (real crossbeam does the same so children can spawn
+/// siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T>(thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload as `Err`).
+    pub fn join(self) -> thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope so it can
+    /// spawn further siblings, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+    }
+}
+
+/// Creates a scope in which threads borrowing non-`'static` data can be
+/// spawned; all spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_stack_data_and_joins() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let h1 = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let h2 = s.spawn(|_| data[2..].iter().sum::<u64>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}
