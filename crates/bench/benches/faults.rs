@@ -2,6 +2,10 @@
 //! archive catch-up throughput after missing a window of epochs, and the
 //! dedup-hit receive path vs the full two-pairing verification it avoids.
 
+// The legacy free-function paths stay benchmarked alongside the session
+// replacements until they are removed.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tre_bench::{rng, Fixture};
 use tre_core::{tre, ReleaseTag};

@@ -4,6 +4,10 @@
 //! disabled rows here should be indistinguishable from pre-instrumentation
 //! numbers; the enabled rows bound the worst-case recording cost.
 
+// The legacy free-function and codec paths stay benchmarked alongside the
+// session/wire replacements until they are removed.
+#![allow(deprecated)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tre_bench::{rng, Fixture};
 use tre_core::{tre, ReleaseTag};

@@ -1,5 +1,9 @@
 //! E10 Criterion benches: basic scheme vs FO vs REACT vs hybrid KEM-DEM.
 
+// The legacy free-function and codec paths stay benchmarked alongside the
+// session/wire replacements until they are removed.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use tre_bench::{rng, Fixture};
 use tre_core::{fo, hybrid, react, tre as basic, ReleaseTag};

@@ -37,6 +37,28 @@ pub enum TreError {
         /// Number of components supplied.
         got: usize,
     },
+    /// A transport-level I/O failure (socket read/write, connect,
+    /// listener). Carries the [`std::io::ErrorKind`] so callers can
+    /// distinguish e.g. `WouldBlock` from `ConnectionReset` without
+    /// shoehorning the condition into [`TreError::Malformed`].
+    Io(std::io::ErrorKind),
+    /// A wire frame declared a format version this build does not speak.
+    WireVersion {
+        /// Version byte found in the frame header.
+        got: u8,
+        /// Version this implementation expects.
+        want: u8,
+    },
+    /// A receiver was asked to open a ciphertext before any verified key
+    /// update for its release tag was observed (the tag has not been
+    /// broadcast yet, or the update was missed and not yet caught up).
+    MissingUpdate,
+}
+
+impl From<std::io::Error> for TreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.kind())
+    }
 }
 
 impl fmt::Display for TreError {
@@ -56,6 +78,13 @@ impl fmt::Display for TreError {
             Self::Binding(what) => write!(f, "mismatched binding: {what}"),
             Self::ArityMismatch { expected, got } => {
                 write!(f, "expected {expected} multi-server components, got {got}")
+            }
+            Self::Io(kind) => write!(f, "transport I/O error: {kind}"),
+            Self::WireVersion { got, want } => {
+                write!(f, "unsupported wire format version {got} (expected {want})")
+            }
+            Self::MissingUpdate => {
+                write!(f, "no verified key update cached for the release tag")
             }
         }
     }
@@ -81,8 +110,20 @@ mod tests {
                 expected: 3,
                 got: 2,
             },
+            TreError::Io(std::io::ErrorKind::ConnectionReset),
+            TreError::WireVersion { got: 9, want: 1 },
+            TreError::MissingUpdate,
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn io_error_converts_keeping_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        assert_eq!(
+            TreError::from(io),
+            TreError::Io(std::io::ErrorKind::UnexpectedEof)
+        );
     }
 }

@@ -127,14 +127,15 @@ fn verdict_exponents<const L: usize>(
 ) -> Vec<U256> {
     let mut h = Sha256::new();
     h.update(VERDICT_DRBG_DOMAIN);
+    let mut buf = Vec::new();
     for &i in candidates {
-        h.update(&servers[i].to_bytes(curve));
-        h.update(
-            &updates[i]
-                .as_ref()
-                .expect("candidate present")
-                .to_bytes(curve),
-        );
+        buf.clear();
+        servers[i].write_body(curve, &mut buf);
+        updates[i]
+            .as_ref()
+            .expect("candidate present")
+            .write_body(curve, &mut buf);
+        h.update(&buf);
     }
     let mut drbg = HmacDrbg::new(&h.finalize(), VERDICT_DRBG_DOMAIN);
     let mut e = vec![U256::ZERO; updates.len()];

@@ -46,26 +46,29 @@ impl<const L: usize> FoCiphertext<L> {
         &self.tag
     }
 
-    /// Total wire size in bytes.
+    /// Total body size in bytes (excluding any wire framing).
     pub fn size(&self, curve: &Curve<L>) -> usize {
-        self.to_bytes(curve).len()
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out.len()
     }
 
-    /// Serializes as `tag ‖ U ‖ C2 ‖ len ‖ body`.
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ U ‖ C2 ‖ len ‖ body`, appended to
+    /// `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.u));
         out.extend_from_slice(&self.c2);
         out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.body);
-        out
     }
 
-    /// Parses the canonical encoding.
+    /// Parses the canonical body encoding, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, mut off) = ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("fo tag"))?;
         let plen = curve.point_len();
         if bytes.len() < off + plen + SEED_LEN + 4 {
@@ -88,6 +91,25 @@ impl<const L: usize> FoCiphertext<L> {
             body: bytes[off..].to_vec(),
             tag,
         })
+    }
+
+    /// Serializes as `tag ‖ U ‖ C2 ‖ len ‖ body`.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -240,13 +262,14 @@ mod tests {
         )
         .unwrap();
         let update = server.issue_update(curve, &tag);
-        let bytes = ct.to_bytes(curve);
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
         // Flip every byte of the serialized ciphertext in turn; each variant
         // must either fail to parse or fail to decrypt.
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 1;
-            match FoCiphertext::from_bytes(curve, &bad) {
+            match FoCiphertext::read_body(curve, &bad) {
                 Err(_) => {}
                 Ok(parsed) => {
                     let r = decrypt(curve, server.public(), &user, &update, &parsed);
@@ -287,7 +310,9 @@ mod tests {
         let (server, user) = setup();
         let tag = ReleaseTag::time("t");
         let ct = encrypt(curve, server.public(), user.public(), &tag, b"m", &mut rng).unwrap();
-        let parsed = FoCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
+        let parsed = FoCiphertext::read_body(curve, &bytes).unwrap();
         assert_eq!(parsed, ct);
     }
 

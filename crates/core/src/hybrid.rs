@@ -33,25 +33,27 @@ impl<const L: usize> HybridCiphertext<L> {
         &self.tag
     }
 
-    /// Total wire size in bytes.
+    /// Total body size in bytes (excluding any wire framing).
     pub fn size(&self, curve: &Curve<L>) -> usize {
-        self.to_bytes(curve).len()
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out.len()
     }
 
-    /// Serializes as `tag ‖ U ‖ len ‖ body`.
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ U ‖ len ‖ body`, appended to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.u));
         out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.body);
-        out
     }
 
-    /// Parses the canonical encoding.
+    /// Parses the canonical body encoding, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, mut off) =
             ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("hybrid tag"))?;
         let plen = curve.point_len();
@@ -72,6 +74,25 @@ impl<const L: usize> HybridCiphertext<L> {
             body: bytes[off..].to_vec(),
             tag,
         })
+    }
+
+    /// Serializes as `tag ‖ U ‖ len ‖ body`.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -243,10 +264,9 @@ mod tests {
         let (server, user) = setup();
         let tag = ReleaseTag::time("t");
         let ct = encrypt(curve, server.public(), user.public(), &tag, b"m", &mut rng).unwrap();
-        assert_eq!(
-            HybridCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap(),
-            ct
-        );
-        assert!(HybridCiphertext::<8>::from_bytes(curve, &[1, 2, 3]).is_err());
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
+        assert_eq!(HybridCiphertext::read_body(curve, &bytes).unwrap(), ct);
+        assert!(HybridCiphertext::<8>::read_body(curve, &[1, 2, 3]).is_err());
     }
 }

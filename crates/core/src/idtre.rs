@@ -64,20 +64,20 @@ impl<const L: usize> IdCiphertext<L> {
         self.tag.to_bytes().len() + curve.point_len() + 4 + self.v.len()
     }
 
-    /// Serializes as `tag ‖ U ‖ len ‖ V`.
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ U ‖ len ‖ V`, appended to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.u));
         out.extend_from_slice(&(self.v.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.v);
-        out
     }
 
-    /// Parses the canonical encoding.
+    /// Parses the canonical body encoding, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, mut off) =
             ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("id ciphertext tag"))?;
         let plen = curve.point_len();
@@ -98,6 +98,25 @@ impl<const L: usize> IdCiphertext<L> {
             v: bytes[off..].to_vec(),
             tag,
         })
+    }
+
+    /// Serializes as `tag ‖ U ‖ len ‖ V`.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -216,10 +235,12 @@ mod tests {
             b"m",
             &mut rng,
         );
-        let parsed = IdCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
+        let parsed = IdCiphertext::read_body(curve, &bytes).unwrap();
         assert_eq!(parsed, ct);
-        assert!(IdCiphertext::<8>::from_bytes(curve, &[]).is_err());
-        assert!(IdCiphertext::<8>::from_bytes(curve, &ct.to_bytes(curve)[..8]).is_err());
+        assert!(IdCiphertext::<8>::read_body(curve, &[]).is_err());
+        assert!(IdCiphertext::<8>::read_body(curve, &bytes[..8]).is_err());
     }
     #[test]
     fn key_escrow_is_inherent() {

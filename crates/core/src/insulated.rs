@@ -90,8 +90,8 @@ impl<const L: usize> EpochKey<L> {
 mod tests {
     use super::*;
     use crate::keys::ServerKeyPair;
+    use crate::session::{Receiver, Sender};
     use crate::tag::ReleaseTag;
-    use crate::tre;
     use tre_pairing::toy64;
 
     struct Setup {
@@ -107,48 +107,36 @@ mod tests {
         Setup { server, user }
     }
 
+    fn seal(s: &Setup, tag: &ReleaseTag, msg: &[u8]) -> crate::tre::Ciphertext<8> {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        Sender::new(curve, s.server.public(), s.user.public())
+            .unwrap()
+            .encrypt(tag, msg, &mut rng)
+    }
+
     #[test]
     fn epoch_key_decrypts_without_long_term_secret() {
         let curve = toy64();
-        let mut rng = rand::thread_rng();
         let s = setup();
         let tag = ReleaseTag::time("epoch-5");
         let msg = b"insulated message";
-        let ct = tre::encrypt(
-            curve,
-            s.server.public(),
-            s.user.public(),
-            &tag,
-            msg,
-            &mut rng,
-        )
-        .unwrap();
+        let ct = seal(&s, &tag, msg);
         let update = s.server.issue_update(curve, &tag);
         let epoch = EpochKey::derive(curve, s.server.public(), &s.user, &update).unwrap();
         assert_eq!(epoch.decrypt(curve, &ct).unwrap(), msg);
         // Matches the standard decryption path.
-        assert_eq!(
-            tre::decrypt(curve, s.server.public(), &s.user, &update, &ct).unwrap(),
-            msg
-        );
+        let mut receiver = Receiver::new(curve, *s.server.public(), s.user.clone());
+        assert_eq!(receiver.open_with(&update, &ct).unwrap(), msg);
     }
 
     #[test]
     fn epoch_key_is_epoch_scoped() {
         let curve = toy64();
-        let mut rng = rand::thread_rng();
         let s = setup();
         let t5 = ReleaseTag::time("epoch-5");
         let t6 = ReleaseTag::time("epoch-6");
-        let ct6 = tre::encrypt(
-            curve,
-            s.server.public(),
-            s.user.public(),
-            &t6,
-            b"m",
-            &mut rng,
-        )
-        .unwrap();
+        let ct6 = seal(&s, &t6, b"m");
         let u5 = s.server.issue_update(curve, &t5);
         let epoch5 = EpochKey::derive(curve, s.server.public(), &s.user, &u5).unwrap();
         assert_eq!(
@@ -163,7 +151,6 @@ mod tests {
         // D_{T6}: re-labelling produces a key that fails public
         // verification and decrypts epoch-6 traffic to garbage.
         let curve = toy64();
-        let mut rng = rand::thread_rng();
         let s = setup();
         let t5 = ReleaseTag::time("epoch-5");
         let t6 = ReleaseTag::time("epoch-6");
@@ -177,15 +164,7 @@ mod tests {
         };
         assert!(!forged.verify(curve, s.server.public(), s.user.public(), &u6));
         let msg = b"epoch six secret";
-        let ct6 = tre::encrypt(
-            curve,
-            s.server.public(),
-            s.user.public(),
-            &t6,
-            msg,
-            &mut rng,
-        )
-        .unwrap();
+        let ct6 = seal(&s, &t6, msg);
         assert_ne!(forged.decrypt(curve, &ct6).unwrap(), msg);
     }
 

@@ -128,18 +128,20 @@ impl<const L: usize> ServerPublicKey<L> {
         &self.s_g
     }
 
-    /// Serializes as `G ‖ sG` (compressed points).
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = curve.g1_to_bytes(&self.g);
+    /// Canonical body encoding `G ‖ sG` (compressed points), appended to
+    /// `out`. This is the exact payload a versioned `tre-wire` frame
+    /// carries for this type.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&curve.g1_to_bytes(&self.g));
         out.extend_from_slice(&curve.g1_to_bytes(&self.s_g));
-        out
     }
 
-    /// Parses `G ‖ sG`, verifying both points.
+    /// Parses a canonical body `G ‖ sG`, verifying both points and
+    /// requiring `bytes` to be consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on bad encodings.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let n = curve.point_len();
         if bytes.len() != 2 * n {
             return Err(TreError::Malformed("server public key length"));
@@ -154,6 +156,25 @@ impl<const L: usize> ServerPublicKey<L> {
             return Err(TreError::Malformed("server generator is infinity"));
         }
         Ok(Self { g, s_g })
+    }
+
+    /// Serializes as `G ‖ sG` (compressed points).
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses `G ‖ sG`, verifying both points.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -231,19 +252,19 @@ impl<const L: usize> UserPublicKey<L> {
         }
     }
 
-    /// Serializes as `aG ‖ asG` (compressed points).
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = curve.g1_to_bytes(&self.a_g);
+    /// Canonical body encoding `aG ‖ asG` (compressed points), appended
+    /// to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&curve.g1_to_bytes(&self.a_g));
         out.extend_from_slice(&curve.g1_to_bytes(&self.a_s_g));
-        out
     }
 
-    /// Parses `aG ‖ asG`.
+    /// Parses a canonical body `aG ‖ asG`.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on bad encodings. Does **not** run
     /// the pairing validation; call [`UserPublicKey::validate`].
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let n = curve.point_len();
         if bytes.len() != 2 * n {
             return Err(TreError::Malformed("user public key length"));
@@ -255,6 +276,26 @@ impl<const L: usize> UserPublicKey<L> {
             .g1_from_bytes_checked(&bytes[n..])
             .map_err(|_| TreError::Malformed("user asG"))?;
         Ok(Self { a_g, a_s_g })
+    }
+
+    /// Serializes as `aG ‖ asG` (compressed points).
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses `aG ‖ asG`.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings. Does **not** run
+    /// the pairing validation; call [`UserPublicKey::validate`].
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -283,18 +324,19 @@ impl<const L: usize> KeyUpdate<L> {
         curve.pairing(server.s_g(), &h) == curve.pairing(server.g(), &self.sig)
     }
 
-    /// Serializes as `tag ‖ sig` (compressed point).
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ sig` (compressed point), appended
+    /// to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.sig));
-        out
     }
 
-    /// Parses `tag ‖ sig`.
+    /// Parses a canonical body `tag ‖ sig`, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on bad encodings.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, consumed) =
             ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("update tag"))?;
         let rest = &bytes[consumed..];
@@ -305,6 +347,25 @@ impl<const L: usize> KeyUpdate<L> {
             .g1_from_bytes_checked(rest)
             .map_err(|_| TreError::Malformed("update signature"))?;
         Ok(Self { tag, sig })
+    }
+
+    /// Serializes as `tag ‖ sig` (compressed point).
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses `tag ‖ sig`.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on bad encodings.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 
     /// The derandomized exponent source for one batch: a DRBG seeded by
@@ -318,9 +379,13 @@ impl<const L: usize> KeyUpdate<L> {
     fn batch_drbg(curve: &Curve<L>, server: &ServerPublicKey<L>, updates: &[Self]) -> HmacDrbg {
         let mut h = Sha256::new();
         h.update(BATCH_DRBG_DOMAIN);
-        h.update(&server.to_bytes(curve));
+        let mut buf = Vec::new();
+        server.write_body(curve, &mut buf);
+        h.update(&buf);
         for u in updates {
-            h.update(&u.to_bytes(curve));
+            buf.clear();
+            u.write_body(curve, &mut buf);
+            h.update(&buf);
         }
         HmacDrbg::new(&h.finalize(), BATCH_DRBG_DOMAIN)
     }
@@ -531,6 +596,14 @@ mod tests {
         assert!(user.public().validate(curve, s2.public()).is_err());
     }
 
+    macro_rules! body {
+        ($curve:expr, $x:expr) => {{
+            let mut out = Vec::new();
+            $x.write_body($curve, &mut out);
+            out
+        }};
+    }
+
     #[test]
     fn serialization_roundtrips() {
         let curve = toy64();
@@ -538,24 +611,42 @@ mod tests {
         let server = ServerKeyPair::generate(curve, &mut rng);
         let spk = server.public();
         assert_eq!(
-            ServerPublicKey::from_bytes(curve, &spk.to_bytes(curve)).unwrap(),
+            ServerPublicKey::read_body(curve, &body!(curve, spk)).unwrap(),
             *spk
         );
         let user = UserKeyPair::generate(curve, spk, &mut rng);
         let upk = user.public();
         assert_eq!(
-            UserPublicKey::from_bytes(curve, &upk.to_bytes(curve)).unwrap(),
+            UserPublicKey::read_body(curve, &body!(curve, upk)).unwrap(),
             *upk
         );
         let update = server.issue_update(curve, &ReleaseTag::time("x"));
         assert_eq!(
-            KeyUpdate::from_bytes(curve, &update.to_bytes(curve)).unwrap(),
+            KeyUpdate::read_body(curve, &body!(curve, &update)).unwrap(),
             update
         );
         // Truncations rejected.
-        assert!(ServerPublicKey::from_bytes(curve, &spk.to_bytes(curve)[1..]).is_err());
-        assert!(UserPublicKey::from_bytes(curve, &[]).is_err());
-        assert!(KeyUpdate::from_bytes(curve, &update.to_bytes(curve)[..4]).is_err());
+        assert!(ServerPublicKey::read_body(curve, &body!(curve, spk)[1..]).is_err());
+        assert!(UserPublicKey::read_body(curve, &[]).is_err());
+        assert!(KeyUpdate::read_body(curve, &body!(curve, &update)[..4]).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_body_codec() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let spk = server.public();
+        let user = UserKeyPair::generate(curve, spk, &mut rng);
+        let update = server.issue_update(curve, &ReleaseTag::time("shim"));
+        assert_eq!(spk.to_bytes(curve), body!(curve, spk));
+        assert_eq!(user.public().to_bytes(curve), body!(curve, user.public()));
+        assert_eq!(update.to_bytes(curve), body!(curve, &update));
+        assert_eq!(
+            KeyUpdate::from_bytes(curve, &update.to_bytes(curve)).unwrap(),
+            update
+        );
     }
 
     #[test]

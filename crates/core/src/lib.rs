@@ -28,28 +28,32 @@
 //!   updates are demoted to missing with per-server verdicts, so up to
 //!   `N − k` crashed *or Byzantine* servers are survivable.
 //!
+//! * [`session`] — the [`Sender`]/[`Receiver`] session API: key
+//!   validation and update verification happen once and become state,
+//!   replacing the deprecated free functions in [`tre`].
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use tre_core::{keys::{ServerKeyPair, UserKeyPair}, tag::ReleaseTag, tre};
+//! use tre_core::{keys::ServerKeyPair, tag::ReleaseTag, Receiver, Sender};
 //!
 //! let curve = tre_pairing::toy64();
 //! let mut rng = rand::thread_rng();
 //!
 //! // A passive time server and a receiver bound to it.
 //! let server = ServerKeyPair::generate(curve, &mut rng);
-//! let alice = UserKeyPair::generate(curve, server.public(), &mut rng);
+//! let mut alice = Receiver::generate(curve, *server.public(), &mut rng);
 //!
 //! // Sender encrypts for a future instant — no server interaction.
+//! let sender = Sender::new(curve, server.public(), alice.public_key())?;
 //! let tag = ReleaseTag::time("2026-07-04T12:00:00Z");
-//! let ct = tre::encrypt(curve, server.public(), alice.public(), &tag,
-//!                       b"sealed bid: $1M", &mut rng)?;
+//! let ct = sender.encrypt(&tag, b"sealed bid: $1M", &mut rng);
 //!
 //! // At noon the server broadcasts one update for *all* users...
 //! let update = server.issue_update(curve, &tag);
-//! // ...and Alice can decrypt.
-//! let msg = tre::decrypt(curve, server.public(), &alice, &update, &ct)?;
-//! assert_eq!(msg, b"sealed bid: $1M");
+//! // ...and once Alice has verified it, she can decrypt.
+//! alice.observe_update(update)?;
+//! assert_eq!(alice.open(&ct)?, b"sealed bid: $1M");
 //! # Ok::<(), tre_core::TreError>(())
 //! ```
 
@@ -65,6 +69,7 @@ pub mod policy;
 pub mod react;
 pub mod resilient;
 pub mod server_change;
+pub mod session;
 pub mod tag;
 pub mod threshold;
 pub mod tre;
@@ -73,4 +78,5 @@ pub use error::TreError;
 pub use keys::{
     KeyUpdate, SenderPrecomp, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey,
 };
+pub use session::{Receiver, Sender};
 pub use tag::{ReleaseTag, TagKind};

@@ -332,7 +332,7 @@ mod tests {
             curve,
             server.public(),
             user.public(),
-            &[cond.clone()],
+            std::slice::from_ref(&cond),
             msg,
             &mut rng,
         )
@@ -377,7 +377,13 @@ mod tests {
         );
         // Only one: structural failure.
         assert!(matches!(
-            decrypt(curve, server.public(), &user, &[a1.clone()], &ct),
+            decrypt(
+                curve,
+                server.public(),
+                &user,
+                std::slice::from_ref(&a1),
+                &ct
+            ),
             Err(TreError::ArityMismatch { .. })
         ));
         // Duplicate of one instead of the other: missing-tag failure.
@@ -422,7 +428,7 @@ mod tests {
             curve,
             server.public(),
             user.public(),
-            &[cond.clone()],
+            std::slice::from_ref(&cond),
             b"m",
             &mut rng,
         )

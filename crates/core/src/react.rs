@@ -44,27 +44,30 @@ impl<const L: usize> ReactCiphertext<L> {
         &self.tag
     }
 
-    /// Total wire size in bytes.
+    /// Total body size in bytes (excluding any wire framing).
     pub fn size(&self, curve: &Curve<L>) -> usize {
-        self.to_bytes(curve).len()
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out.len()
     }
 
-    /// Serializes as `tag ‖ U ‖ C1 ‖ len ‖ C2 ‖ C3`.
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ U ‖ C1 ‖ len ‖ C2 ‖ C3`, appended
+    /// to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.u));
         out.extend_from_slice(&self.c1);
         out.extend_from_slice(&(self.c2.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.c2);
         out.extend_from_slice(&self.c3);
-        out
     }
 
-    /// Parses the canonical encoding.
+    /// Parses the canonical body encoding, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, mut off) =
             ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("react tag"))?;
         let plen = curve.point_len();
@@ -86,6 +89,25 @@ impl<const L: usize> ReactCiphertext<L> {
         off += c2len;
         let c3: [u8; TAG_LEN] = bytes[off..].try_into().unwrap();
         Ok(Self { u, c1, c2, c3, tag })
+    }
+
+    /// Serializes as `tag ‖ U ‖ C1 ‖ len ‖ C2 ‖ C3`.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -278,10 +300,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert_eq!(
-            ReactCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap(),
-            ct
-        );
-        assert!(ReactCiphertext::<8>::from_bytes(curve, &[]).is_err());
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
+        assert_eq!(ReactCiphertext::read_body(curve, &bytes).unwrap(), ct);
+        assert!(ReactCiphertext::<8>::read_body(curve, &[]).is_err());
     }
 }

@@ -166,9 +166,14 @@ impl<const L: usize> ResilientBroadcast<L> {
 
     /// Wire size in bytes.
     pub fn size(&self, curve: &Curve<L>) -> usize {
+        let mut buf = Vec::new();
         self.updates
             .iter()
-            .map(|(_, u)| u.to_bytes(curve).len() + 12)
+            .map(|(_, u)| {
+                buf.clear();
+                u.write_body(curve, &mut buf);
+                buf.len() + 12
+            })
             .sum()
     }
 

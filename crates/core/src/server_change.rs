@@ -92,8 +92,8 @@ impl<const L: usize> ReboundKey<L> {
 mod tests {
     use super::*;
     use crate::keys::ServerKeyPair;
+    use crate::session::{Receiver, Sender};
     use crate::tag::ReleaseTag;
-    use crate::tre;
     use tre_pairing::toy64;
 
     #[test]
@@ -118,12 +118,11 @@ mod tests {
         new_pk.validate(curve, new_server.public()).unwrap();
         let tag = ReleaseTag::time("t");
         let msg = b"via new server";
-        let ct = tre::encrypt(curve, new_server.public(), &new_pk, &tag, msg, &mut rng).unwrap();
+        let sender = Sender::new(curve, new_server.public(), &new_pk).unwrap();
+        let ct = sender.encrypt(&tag, msg, &mut rng);
         let update = new_server.issue_update(curve, &tag);
-        assert_eq!(
-            tre::decrypt(curve, new_server.public(), &user, &update, &ct).unwrap(),
-            msg
-        );
+        let mut receiver = Receiver::new(curve, *new_server.public(), user);
+        assert_eq!(receiver.open_with(&update, &ct).unwrap(), msg);
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Sender/receiver session types — the stateful front door to the basic
+//! TRE scheme (§5.1).
+//!
+//! The free functions in [`crate::tre`] force every caller to re-decide
+//! two things per call: whether the receiver key has been validated (the
+//! 2-pairing `ê(aG, sG) = ê(G, asG)` check) and whether the key update
+//! has been verified (the 2-pairing BLS check). [`Sender`] and
+//! [`Receiver`] make both decisions *once* and carry them as state:
+//!
+//! * [`Sender`] owns a [`SenderPrecomp`] — the receiver key is validated
+//!   at construction and every [`Sender::encrypt`] runs off fixed-base
+//!   tables (one pairing + two table-driven scalar muls per message);
+//! * [`Receiver`] owns the user key pair and a verified-update cache, so
+//!   the trusted/untrusted decrypt split of the old
+//!   `decrypt`/`decrypt_trusted` pair becomes internal state: the first
+//!   sighting of an update pays the 2-pairing verification, every open
+//!   against the cache pays exactly one pairing.
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+use tre_pairing::Curve;
+
+use crate::error::TreError;
+use crate::keys::{KeyUpdate, SenderPrecomp, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::tag::ReleaseTag;
+use crate::tre::{decrypt_trusted_impl, encrypt_with_impl, Ciphertext};
+
+/// A sending session bound to one `(server, receiver)` pair.
+///
+/// Construction validates the receiver key (2 pairings) and builds the
+/// fixed-base tables; each [`Sender::encrypt`] afterwards is infallible
+/// and pays only the marginal per-message cost.
+#[derive(Clone, Debug)]
+pub struct Sender<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    pre: SenderPrecomp<L>,
+}
+
+impl<'c, const L: usize> Sender<'c, L> {
+    /// Opens a sending session: validates `user` against `server` once
+    /// and precomputes the encryption tables.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the receiver key fails
+    /// the `ê(aG, sG) = ê(G, asG)` check.
+    pub fn new(
+        curve: &'c Curve<L>,
+        server: &ServerPublicKey<L>,
+        user: &UserPublicKey<L>,
+    ) -> Result<Self, TreError> {
+        Ok(Self {
+            curve,
+            pre: SenderPrecomp::new(curve, server, user)?,
+        })
+    }
+
+    /// Wraps an existing precomputation (already validated).
+    pub fn from_precomp(curve: &'c Curve<L>, pre: SenderPrecomp<L>) -> Self {
+        Self { curve, pre }
+    }
+
+    /// The server key this session is bound to.
+    pub fn server(&self) -> &ServerPublicKey<L> {
+        self.pre.server()
+    }
+
+    /// The (validated) receiver key this session is bound to.
+    pub fn user(&self) -> &UserPublicKey<L> {
+        self.pre.user()
+    }
+
+    /// The underlying precomputation tables.
+    pub fn precomp(&self) -> &SenderPrecomp<L> {
+        &self.pre
+    }
+
+    /// Encrypts `msg` locked to `tag` (basic §5.1 scheme). Infallible:
+    /// every failure mode was checked at session construction.
+    pub fn encrypt(
+        &self,
+        tag: &ReleaseTag,
+        msg: &[u8],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Ciphertext<L> {
+        encrypt_with_impl(self.curve, &self.pre, tag, msg, rng)
+    }
+}
+
+/// A receiving session: the user key pair plus a cache of updates that
+/// have already been verified against the server key.
+///
+/// The cache is what makes the old trusted/untrusted split internal:
+/// [`Receiver::observe_update`] pays the 2-pairing verification on first
+/// sighting (and detects equivocation on later ones), after which
+/// [`Receiver::open`] decrypts with a single pairing and no caller-side
+/// "is this update trusted?" judgement.
+#[derive(Clone, Debug)]
+pub struct Receiver<'c, const L: usize> {
+    curve: &'c Curve<L>,
+    server: ServerPublicKey<L>,
+    keys: UserKeyPair<L>,
+    verified: HashMap<ReleaseTag, KeyUpdate<L>>,
+}
+
+impl<'c, const L: usize> Receiver<'c, L> {
+    /// Opens a receiving session for an existing key pair bound to
+    /// `server`.
+    pub fn new(curve: &'c Curve<L>, server: ServerPublicKey<L>, keys: UserKeyPair<L>) -> Self {
+        Self {
+            curve,
+            server,
+            keys,
+            verified: HashMap::new(),
+        }
+    }
+
+    /// Generates a fresh user key pair bound to `server` and opens a
+    /// session for it.
+    pub fn generate(
+        curve: &'c Curve<L>,
+        server: ServerPublicKey<L>,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Self {
+        let keys = UserKeyPair::generate(curve, &server, rng);
+        Self::new(curve, server, keys)
+    }
+
+    /// The public key senders encrypt to.
+    pub fn public_key(&self) -> &UserPublicKey<L> {
+        self.keys.public()
+    }
+
+    /// The full user key pair (e.g. to persist it).
+    pub fn key_pair(&self) -> &UserKeyPair<L> {
+        &self.keys
+    }
+
+    /// The server key updates are verified against.
+    pub fn server(&self) -> &ServerPublicKey<L> {
+        &self.server
+    }
+
+    /// The verified update cached for `tag`, if any.
+    pub fn cached_update(&self, tag: &ReleaseTag) -> Option<&KeyUpdate<L>> {
+        self.verified.get(tag)
+    }
+
+    /// Number of verified updates held in the cache.
+    pub fn cached_updates(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// Ingests a key update from an untrusted source: verifies it
+    /// against the server key (2 pairings) and caches it.
+    ///
+    /// Returns `Ok(true)` if the update was fresh and admitted,
+    /// `Ok(false)` if a byte-identical update was already cached (the
+    /// verification is skipped).
+    ///
+    /// # Errors
+    /// * [`TreError::Equivocation`] if a *different* update is cached
+    ///   for the same tag — honest updates are deterministic, so this is
+    ///   evidence of a Byzantine server or an active attacker;
+    /// * [`TreError::InvalidUpdate`] if self-authentication fails (the
+    ///   update is not cached).
+    pub fn observe_update(&mut self, update: KeyUpdate<L>) -> Result<bool, TreError> {
+        if let Some(known) = self.verified.get(update.tag()) {
+            return if *known == update {
+                Ok(false)
+            } else {
+                Err(TreError::Equivocation)
+            };
+        }
+        if !update.verify(self.curve, &self.server) {
+            return Err(TreError::InvalidUpdate);
+        }
+        self.verified.insert(update.tag().clone(), update);
+        Ok(true)
+    }
+
+    /// Caches an update that was **already verified** out of band —
+    /// e.g. by the small-exponent batch test, where per-update
+    /// re-verification would defeat the 2-pairings-per-batch economics.
+    /// Only the duplicate/equivocation screening runs; no pairings.
+    ///
+    /// Correctness contract: `update` must have passed
+    /// [`KeyUpdate::verify`] or a batch equivalent against this
+    /// session's server key.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Equivocation`] if a different update is
+    /// already cached for the same tag.
+    pub fn admit_verified(&mut self, update: KeyUpdate<L>) -> Result<bool, TreError> {
+        if let Some(known) = self.verified.get(update.tag()) {
+            return if *known == update {
+                Ok(false)
+            } else {
+                Err(TreError::Equivocation)
+            };
+        }
+        self.verified.insert(update.tag().clone(), update);
+        Ok(true)
+    }
+
+    /// Opens a ciphertext against the verified-update cache: one pairing,
+    /// no re-verification.
+    ///
+    /// # Errors
+    /// Returns [`TreError::MissingUpdate`] if no verified update for the
+    /// ciphertext's tag has been observed — the release instant has not
+    /// arrived (or its broadcast was missed).
+    pub fn open(&self, ct: &Ciphertext<L>) -> Result<Vec<u8>, TreError> {
+        let update = self.verified.get(ct.tag()).ok_or(TreError::MissingUpdate)?;
+        decrypt_trusted_impl(self.curve, &self.keys, update, ct)
+    }
+
+    /// Convenience path for callers holding the update and the
+    /// ciphertext together: verifies/caches the update (first sighting
+    /// only), then opens.
+    ///
+    /// # Errors
+    /// Any [`Receiver::observe_update`] error, plus
+    /// [`TreError::UpdateTagMismatch`] if `update` is for a different
+    /// tag than the ciphertext.
+    pub fn open_with(
+        &mut self,
+        update: &KeyUpdate<L>,
+        ct: &Ciphertext<L>,
+    ) -> Result<Vec<u8>, TreError> {
+        if update.tag() != ct.tag() {
+            return Err(TreError::UpdateTagMismatch);
+        }
+        self.observe_update(update.clone())?;
+        self.open(ct)
+    }
+
+    /// Opens many ciphertexts locked to the **same tag**: the update is
+    /// verified once through the cache, then the per-ciphertext work
+    /// (one pairing each) fans out over `threads` workers (`0` = auto,
+    /// `1` = inline). Results are in input order for any thread count.
+    ///
+    /// # Errors
+    /// Any [`Receiver::observe_update`] error, plus
+    /// [`TreError::UpdateTagMismatch`] if any ciphertext is for a
+    /// different tag (checked before decryption work starts).
+    pub fn open_bulk(
+        &mut self,
+        update: &KeyUpdate<L>,
+        cts: &[Ciphertext<L>],
+        threads: usize,
+    ) -> Result<Vec<Vec<u8>>, TreError> {
+        let _span = tre_obs::span("tre.decrypt_bulk");
+        self.observe_update(update.clone())?;
+        if cts.iter().any(|ct| ct.tag() != update.tag()) {
+            return Err(TreError::UpdateTagMismatch);
+        }
+        let update = &self.verified[update.tag()];
+        let keys = &self.keys;
+        let curve = self.curve;
+        tre_par::par_map(cts, threads, |ct| {
+            decrypt_trusted_impl(curve, keys, update, ct)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::ServerKeyPair;
+    use tre_pairing::toy64;
+
+    fn world() -> (ServerKeyPair<8>, Receiver<'static, 8>) {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let receiver = Receiver::generate(curve, *server.public(), &mut rng);
+        (server, receiver)
+    }
+
+    #[test]
+    fn session_roundtrip() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("2026-08-06T00:00Z");
+        let ct = sender.encrypt(&tag, b"sealed until midnight", &mut rng);
+
+        // Before the update arrives the ciphertext stays sealed.
+        assert_eq!(receiver.open(&ct), Err(TreError::MissingUpdate));
+
+        let update = server.issue_update(curve, &tag);
+        assert!(receiver.observe_update(update).unwrap());
+        assert_eq!(receiver.open(&ct).unwrap(), b"sealed until midnight");
+    }
+
+    #[test]
+    fn open_is_one_pairing_after_observe() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let ct = sender.encrypt(&tag, b"m", &mut rng);
+        receiver
+            .observe_update(server.issue_update(curve, &tag))
+            .unwrap();
+        tre_obs::enable();
+        receiver.open(&ct).unwrap();
+        let trace = tre_obs::finish();
+        assert_eq!(trace.spans_named("tre.decrypt_trusted")[0].ops.pairings, 1);
+    }
+
+    #[test]
+    fn duplicate_and_equivocating_updates() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let tag = ReleaseTag::time("t");
+        let update = server.issue_update(curve, &tag);
+        assert!(receiver.observe_update(update.clone()).unwrap());
+        assert!(!receiver.observe_update(update.clone()).unwrap());
+        assert_eq!(receiver.cached_updates(), 1);
+        let conflicting = KeyUpdate::from_parts(
+            tag.clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            receiver.observe_update(conflicting.clone()),
+            Err(TreError::Equivocation)
+        );
+        assert_eq!(
+            receiver.admit_verified(conflicting),
+            Err(TreError::Equivocation)
+        );
+        // The original verified update survives the attack.
+        assert_eq!(receiver.cached_update(&tag), Some(&update));
+    }
+
+    #[test]
+    fn forged_update_rejected_and_not_cached() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (_server, mut receiver) = world();
+        let tag = ReleaseTag::time("t");
+        let forged = KeyUpdate::from_parts(
+            tag.clone(),
+            curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            receiver.observe_update(forged),
+            Err(TreError::InvalidUpdate)
+        );
+        assert!(receiver.cached_update(&tag).is_none());
+    }
+
+    #[test]
+    fn open_with_verifies_then_caches() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let ct = sender.encrypt(&tag, b"m", &mut rng);
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(receiver.open_with(&update, &ct).unwrap(), b"m");
+        // Cached now: plain open works without re-presenting the update.
+        assert_eq!(receiver.open(&ct).unwrap(), b"m");
+        // Mismatched update refused before any verification.
+        let other = server.issue_update(curve, &ReleaseTag::time("u"));
+        assert_eq!(
+            receiver.open_with(&other, &ct),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    fn open_bulk_matches_individual_opens() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let msgs: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; i as usize + 1]).collect();
+        let cts: Vec<_> = msgs
+            .iter()
+            .map(|m| sender.encrypt(&tag, m, &mut rng))
+            .collect();
+        let update = server.issue_update(curve, &tag);
+        for threads in [0usize, 1, 3] {
+            let mut fresh = Receiver::new(curve, *server.public(), receiver.key_pair().clone());
+            assert_eq!(
+                fresh.open_bulk(&update, &cts, threads).unwrap(),
+                msgs,
+                "threads={threads}"
+            );
+        }
+        // A mistagged ciphertext aborts the whole batch.
+        let stray = sender.encrypt(&ReleaseTag::time("u"), b"x", &mut rng);
+        let mut mixed = cts.clone();
+        mixed.push(stray);
+        assert_eq!(
+            receiver.open_bulk(&update, &mixed, 1),
+            Err(TreError::UpdateTagMismatch)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn session_interoperates_with_free_functions() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let tag = ReleaseTag::time("t");
+        // Free-function ciphertexts open through the session…
+        let ct = crate::tre::encrypt(
+            curve,
+            server.public(),
+            receiver.public_key(),
+            &tag,
+            b"legacy",
+            &mut rng,
+        )
+        .unwrap();
+        let update = server.issue_update(curve, &tag);
+        assert_eq!(receiver.open_with(&update, &ct).unwrap(), b"legacy");
+        // …and session ciphertexts open through the free functions.
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let ct2 = sender.encrypt(&tag, b"session", &mut rng);
+        assert_eq!(
+            crate::tre::decrypt(curve, server.public(), receiver.key_pair(), &update, &ct2)
+                .unwrap(),
+            b"session"
+        );
+    }
+}

@@ -47,25 +47,27 @@ impl<const L: usize> Ciphertext<L> {
         &self.v
     }
 
-    /// Total wire size in bytes.
+    /// Total body size in bytes (excluding any wire framing).
     pub fn size(&self, curve: &Curve<L>) -> usize {
-        self.to_bytes(curve).len()
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out.len()
     }
 
-    /// Serializes as `tag ‖ U ‖ len(V) ‖ V`.
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = self.tag.to_bytes();
+    /// Canonical body encoding `tag ‖ U ‖ len(V) ‖ V`, appended to `out`.
+    pub fn write_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tag.to_bytes());
         out.extend_from_slice(&curve.g1_to_bytes(&self.u));
         out.extend_from_slice(&(self.v.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.v);
-        out
     }
 
-    /// Parses the canonical encoding.
+    /// Parses the canonical body encoding, requiring `bytes` to be
+    /// consumed exactly.
     ///
     /// # Errors
     /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+    pub fn read_body(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
         let (tag, mut off) =
             ReleaseTag::from_bytes(bytes).ok_or(TreError::Malformed("ciphertext tag"))?;
         let plen = curve.point_len();
@@ -86,6 +88,25 @@ impl<const L: usize> Ciphertext<L> {
             v: bytes[off..].to_vec(),
             tag,
         })
+    }
+
+    /// Serializes as `tag ‖ U ‖ len(V) ‖ V`.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `write_body` for the raw body encoding")]
+    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_body(curve, &mut out);
+        out
+    }
+
+    /// Parses the canonical encoding.
+    ///
+    /// # Errors
+    /// Returns [`TreError::Malformed`] on truncated or invalid input.
+    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
+                         `read_body` for the raw body encoding")]
+    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
+        Self::read_body(curve, bytes)
     }
 }
 
@@ -122,7 +143,20 @@ pub(crate) fn receiver_key<const L: usize>(
 /// # Errors
 /// Returns [`TreError::InvalidUserKey`] if the receiver key fails the
 /// `ê(aG, sG) = ê(G, asG)` check.
+#[deprecated(note = "use `tre_core::Sender` — it validates the receiver \
+                     key once and precomputes the fixed-base tables")]
 pub fn encrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserPublicKey<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Result<Ciphertext<L>, TreError> {
+    encrypt_impl(curve, server, user, tag, msg, rng)
+}
+
+pub(crate) fn encrypt_impl<const L: usize>(
     curve: &Curve<L>,
     server: &ServerPublicKey<L>,
     user: &UserPublicKey<L>,
@@ -152,7 +186,19 @@ pub fn encrypt<const L: usize>(
 ///
 /// Infallible: every failure mode of [`encrypt`] is caught at
 /// precomputation time.
+#[deprecated(note = "use `tre_core::Sender`, which owns the precomputed \
+                     tables and exposes `Sender::encrypt`")]
 pub fn encrypt_with<const L: usize>(
+    curve: &Curve<L>,
+    pre: &SenderPrecomp<L>,
+    tag: &ReleaseTag,
+    msg: &[u8],
+    rng: &mut (impl RngCore + ?Sized),
+) -> Ciphertext<L> {
+    encrypt_with_impl(curve, pre, tag, msg, rng)
+}
+
+pub(crate) fn encrypt_with_impl<const L: usize>(
     curve: &Curve<L>,
     pre: &SenderPrecomp<L>,
     tag: &ReleaseTag,
@@ -182,7 +228,19 @@ pub fn encrypt_with<const L: usize>(
 /// The basic scheme provides no ciphertext integrity: any `V` decrypts to
 /// *something*. Use [`crate::fo`] or [`crate::hybrid`] when integrity
 /// matters.
+#[deprecated(note = "use `tre_core::Receiver::open_with`, which verifies \
+                     and caches the update so later opens skip re-verification")]
 pub fn decrypt<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &Ciphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    decrypt_impl(curve, server, user, update, ct)
+}
+
+pub(crate) fn decrypt_impl<const L: usize>(
     curve: &Curve<L>,
     server: &ServerPublicKey<L>,
     user: &UserKeyPair<L>,
@@ -213,7 +271,18 @@ pub fn decrypt<const L: usize>(
 /// # Errors
 /// Returns [`TreError::UpdateTagMismatch`] if `update` is for a different
 /// tag than the ciphertext.
+#[deprecated(note = "use `tre_core::Receiver::open` — the verified-update \
+                     cache makes the trusted/untrusted split internal state")]
 pub fn decrypt_trusted<const L: usize>(
+    curve: &Curve<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    ct: &Ciphertext<L>,
+) -> Result<Vec<u8>, TreError> {
+    decrypt_trusted_impl(curve, user, update, ct)
+}
+
+pub(crate) fn decrypt_trusted_impl<const L: usize>(
     curve: &Curve<L>,
     user: &UserKeyPair<L>,
     update: &KeyUpdate<L>,
@@ -242,7 +311,20 @@ pub fn decrypt_trusted<const L: usize>(
 /// * [`TreError::InvalidUpdate`] if the update fails self-authentication;
 /// * [`TreError::UpdateTagMismatch`] if any ciphertext is for a different
 ///   tag (checked before any decryption work starts).
+#[deprecated(note = "use `tre_core::Receiver::open_bulk`, which verifies \
+                     the update once through the receiver's cache")]
 pub fn decrypt_bulk<const L: usize>(
+    curve: &Curve<L>,
+    server: &ServerPublicKey<L>,
+    user: &UserKeyPair<L>,
+    update: &KeyUpdate<L>,
+    cts: &[Ciphertext<L>],
+    threads: usize,
+) -> Result<Vec<Vec<u8>>, TreError> {
+    decrypt_bulk_impl(curve, server, user, update, cts, threads)
+}
+
+pub(crate) fn decrypt_bulk_impl<const L: usize>(
     curve: &Curve<L>,
     server: &ServerPublicKey<L>,
     user: &UserKeyPair<L>,
@@ -265,7 +347,11 @@ pub fn decrypt_bulk<const L: usize>(
     }))
 }
 
+// The unit tests deliberately exercise the deprecated free functions so
+// the shims stay covered; the session API has its own tests in
+// `crate::session`.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::keys::ServerKeyPair;

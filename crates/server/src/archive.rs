@@ -65,12 +65,14 @@ impl<const L: usize> UpdateArchive<L> {
             .collect()
     }
 
-    /// Total bytes a client would download to fetch `from..=to` — used by
-    /// the scalability experiments.
+    /// Total bytes a client would download to fetch `from..=to` (framed
+    /// wire encoding, as the TCP catch-up path ships it) — used by the
+    /// scalability experiments.
     pub fn range_size_bytes(&self, from: u64, to: u64, curve: &tre_pairing::Curve<L>) -> usize {
+        use tre_wire::Wire;
         self.range(from, to)
             .iter()
-            .map(|(_, u)| u.to_bytes(curve).len())
+            .map(|(_, u)| u.wire_bytes(curve).len())
             .sum()
     }
 }

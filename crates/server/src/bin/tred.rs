@@ -1,0 +1,120 @@
+//! `tred` — the passive time-server broadcast daemon.
+//!
+//! Boots a [`tre_server::Tred`] on the toy 64-bit curve with a freshly
+//! generated server key pair and drives its epoch clock from real wall
+//! time: one epoch per `--interval-ms`. Subscribers connect with
+//! [`tre_server::TcpFeed`] (or anything speaking the `tre-wire` framing),
+//! receive every key update as it becomes due, and can request archived
+//! epochs with a `CatchUpRequest` frame.
+//!
+//! ```text
+//! tred [--addr 127.0.0.1:7100] [--interval-ms 1000] [--epochs N]
+//! ```
+//!
+//! With `--epochs N` the daemon publishes epochs `0..=N`, prints its
+//! counters, and exits (the CI smoke-test mode); without it the daemon
+//! runs until killed. The bound address and the server public key (hex,
+//! `tre-wire` framed) are printed on startup so clients can be pointed
+//! at a `--addr 127.0.0.1:0` ephemeral port.
+
+use std::process::exit;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use tre_core::ServerKeyPair;
+use tre_pairing::toy64;
+use tre_server::{Granularity, SimClock, TimeServer, Tred, TredConfig};
+use tre_wire::Wire;
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    epochs: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N]");
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7100".to_string(),
+        interval: Duration::from_millis(1000),
+        epochs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => args.addr = value(),
+            "--interval-ms" => {
+                args.interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--epochs" => args.epochs = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let curve = toy64();
+    let mut rng = rand::thread_rng();
+    let keys = ServerKeyPair::generate(curve, &mut rng);
+    let clock = SimClock::new();
+    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+
+    let tred = match Tred::bind(&args.addr, curve, server, TredConfig::default()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tred: cannot bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    println!("tred: listening on {}", tred.local_addr());
+    println!(
+        "tred: server public key {}",
+        hex(&tred.public_key().wire_bytes(curve))
+    );
+    println!(
+        "tred: 1 epoch per {:?}{}",
+        args.interval,
+        match args.epochs {
+            Some(n) => format!(", exiting after epoch {n}"),
+            None => String::new(),
+        }
+    );
+
+    // Epoch 0 is due immediately; each interval makes one more epoch due.
+    let mut published = 0u64;
+    loop {
+        if let Some(last) = args.epochs {
+            if published >= last {
+                break;
+            }
+        }
+        std::thread::sleep(args.interval);
+        published = clock.advance(1);
+    }
+    // Leave one interval for the ticker to flush the final epoch.
+    std::thread::sleep(args.interval.max(Duration::from_millis(50)));
+
+    let stats = tred.stats();
+    println!(
+        "tred: done — {} broadcasts, {} connections, {} catch-up requests ({} replies), {} evictions, {} wire errors",
+        stats.broadcasts.load(Ordering::Relaxed),
+        stats.connections.load(Ordering::Relaxed),
+        stats.catch_up_requests.load(Ordering::Relaxed),
+        stats.catch_up_replies.load(Ordering::Relaxed),
+        stats.evicted.load(Ordering::Relaxed),
+        stats.wire_errors.load(Ordering::Relaxed),
+    );
+    tred.shutdown();
+}

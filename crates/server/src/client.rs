@@ -24,12 +24,14 @@
 
 use std::collections::{HashMap, HashSet};
 
-use tre_core::{tre, KeyUpdate, ReleaseTag, ServerPublicKey, TreError, UserKeyPair};
+use tre_core::{tre, KeyUpdate, Receiver, ReleaseTag, ServerPublicKey, TreError, UserKeyPair};
 use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
 use crate::batch::BatchVerifier;
 use crate::metrics::ClientHealth;
+use crate::net::SubscriberId;
+use crate::transport::Transport;
 
 /// A message successfully opened by the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,13 +110,18 @@ pub struct BatchReport {
     pub rejected: usize,
 }
 
-/// A receiver endpoint in the simulation.
+/// A receiver endpoint, usable against any [`Transport`] (simulated
+/// broadcast or live TCP).
+///
+/// The cryptographic state — user key pair, server binding, and the
+/// cache of *verified* updates — lives in a [`tre_core::Receiver`]
+/// session; this type layers the distribution-side resilience on top:
+/// pending queues, batch verification, archive recovery with backoff,
+/// health accounting, and quarantine.
 pub struct ReceiverClient<'c, const L: usize> {
     curve: &'c Curve<L>,
-    server_pk: ServerPublicKey<L>,
-    keys: UserKeyPair<L>,
+    session: Receiver<'c, L>,
     pending: Vec<(tre::Ciphertext<L>, u64)>,
-    seen_updates: HashMap<ReleaseTag, KeyUpdate<L>>,
     opened: Vec<OpenedMessage>,
     dead_letters: Vec<(tre::Ciphertext<L>, TreError)>,
     retry: HashMap<ReleaseTag, RetryState>,
@@ -138,10 +145,8 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
     pub fn new(curve: &'c Curve<L>, server_pk: ServerPublicKey<L>, keys: UserKeyPair<L>) -> Self {
         Self {
             curve,
-            server_pk,
-            keys,
+            session: Receiver::new(curve, server_pk, keys),
             pending: Vec::new(),
-            seen_updates: HashMap::new(),
             opened: Vec::new(),
             dead_letters: Vec::new(),
             retry: HashMap::new(),
@@ -177,15 +182,21 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
 
     /// The client's public key (what senders encrypt to).
     pub fn public_key(&self) -> &tre_core::UserPublicKey<L> {
-        self.keys.public()
+        self.session.public_key()
+    }
+
+    /// The underlying crypto session (verified-update cache, server
+    /// binding) — read access for diagnostics and tests.
+    pub fn session(&self) -> &Receiver<'c, L> {
+        &self.session
     }
 
     /// Hands the client a ciphertext at clock tick `now`. If the matching
     /// update is already known (release time long past), it opens
     /// immediately; otherwise it is queued.
     pub fn receive_ciphertext(&mut self, ct: tre::Ciphertext<L>, now: u64) {
-        if let Some(update) = self.seen_updates.get(ct.tag()).cloned() {
-            self.open_now(ct, &update, now, now);
+        if self.session.cached_update(ct.tag()).is_some() {
+            self.open_now(ct, now, now);
         } else {
             self.pending.push((ct, now));
         }
@@ -208,35 +219,40 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         delivered_at: u64,
     ) -> Result<usize, TreError> {
         self.health.updates_received += 1;
-        if let Some(known) = self.seen_updates.get(update.tag()) {
-            if *known == update {
+        match self.session.observe_update(update.clone()) {
+            Ok(false) => {
                 self.health.duplicates_skipped += 1;
                 tre_obs::event("client.duplicate_skipped", "");
-                return Ok(0);
+                Ok(0)
             }
-            self.health.equivocations += 1;
-            self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
-            tre_obs::event("client.equivocation", "");
-            self.note_quarantine_transition();
-            return Err(TreError::Equivocation);
+            Err(err @ TreError::Equivocation) => {
+                self.health.equivocations += 1;
+                self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+                tre_obs::event("client.equivocation", "");
+                self.note_quarantine_transition();
+                Err(err)
+            }
+            Err(err) => {
+                self.health.rejected_updates += 1;
+                self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
+                tre_obs::event("client.update_rejected", "");
+                self.note_quarantine_transition();
+                Err(err)
+            }
+            Ok(true) => {
+                self.health.invalid_streak = 0;
+                self.health.accepted_updates += 1;
+                tre_obs::event("client.update_accepted", "");
+                Ok(self.settle_update(&update, delivered_at))
+            }
         }
-        if !update.verify(self.curve, &self.server_pk) {
-            self.health.rejected_updates += 1;
-            self.health.invalid_streak = self.health.invalid_streak.saturating_add(1);
-            tre_obs::event("client.update_rejected", "");
-            self.note_quarantine_transition();
-            return Err(TreError::InvalidUpdate);
-        }
-        self.health.invalid_streak = 0;
-        self.health.accepted_updates += 1;
-        tre_obs::event("client.update_accepted", "");
-        Ok(self.admit_update(update, delivered_at))
     }
 
-    /// Bookkeeping for a *verified* update: epoch-gap accounting, retry
-    /// state cleanup, dedup-cache insertion, and opening every pending
-    /// ciphertext it unlocks. Returns how many messages opened.
-    fn admit_update(&mut self, update: KeyUpdate<L>, delivered_at: u64) -> usize {
+    /// Distribution-side bookkeeping for an update the session just
+    /// admitted: epoch-gap accounting, retry state cleanup, and opening
+    /// every pending ciphertext it unlocks. Returns how many messages
+    /// opened.
+    fn settle_update(&mut self, update: &KeyUpdate<L>, delivered_at: u64) -> usize {
         if let Some(epoch) = epoch_hint(update.tag()) {
             match self.highest_epoch {
                 Some(h) if epoch > h => {
@@ -251,15 +267,13 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             }
         }
         self.retry.remove(update.tag());
-        self.seen_updates
-            .insert(update.tag().clone(), update.clone());
         let (matching, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
             .into_iter()
             .partition(|(ct, _)| ct.tag() == update.tag());
         self.pending = rest;
         let before = self.opened.len();
         for (ct, received_at) in matching {
-            self.open_now(ct, &update, received_at, delivered_at);
+            self.open_now(ct, received_at, delivered_at);
         }
         self.opened.len() - before
     }
@@ -286,7 +300,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         let mut first_of: HashMap<&ReleaseTag, usize> = HashMap::new();
         let mut poisoned: HashSet<&ReleaseTag> = HashSet::new();
         for (i, u) in updates.iter().enumerate() {
-            if let Some(known) = self.seen_updates.get(u.tag()) {
+            if let Some(known) = self.session.cached_update(u.tag()) {
                 outcomes[i] = if known == u {
                     UpdateOutcome::Duplicate
                 } else {
@@ -317,7 +331,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             .collect();
         if !fresh.is_empty() {
             let batch: Vec<KeyUpdate<L>> = fresh.iter().map(|&i| updates[i].clone()).collect();
-            let verdict = BatchVerifier::new(self.curve, self.server_pk)
+            let verdict = BatchVerifier::new(self.curve, *self.session.server())
                 .with_threads(self.threads)
                 .verify(&batch);
             for &k in &verdict.invalid {
@@ -355,7 +369,13 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
                     self.health.invalid_streak = 0;
                     self.health.accepted_updates += 1;
                     tre_obs::event("client.update_accepted", "");
-                    *opened = self.admit_update(u.clone(), delivered_at);
+                    // Screening guaranteed this tag is fresh and
+                    // conflict-free, so the batch-verified admission
+                    // cannot be refused.
+                    self.session
+                        .admit_verified(u.clone())
+                        .expect("screened update conflicts with session cache");
+                    *opened = self.settle_update(u, delivered_at);
                     report.accepted += 1;
                     report.opened += *opened;
                 }
@@ -363,6 +383,25 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         }
         report.outcomes = outcomes;
         report
+    }
+
+    /// Drains every deliverable update from a [`Transport`] subscription
+    /// and feeds it through the burst-drain path: updates sharing a
+    /// delivery stamp arrived together and are verified as one batch (2
+    /// pairings per group instead of 2 each). This is the single receive
+    /// loop for both the simulated [`crate::BroadcastNet`] and the live
+    /// [`crate::TcpFeed`]. Returns how many messages opened.
+    pub fn pump(&mut self, transport: &mut impl Transport<L>, id: SubscriberId) -> usize {
+        let mut deliveries = transport.poll(id).into_iter().peekable();
+        let mut opened = 0;
+        while let Some((at, first)) = deliveries.next() {
+            let mut batch = vec![first];
+            while deliveries.peek().is_some_and(|(a, _)| *a == at) {
+                batch.push(deliveries.next().unwrap().1);
+            }
+            opened += self.receive_updates(&batch, at).opened;
+        }
+        opened
     }
 
     /// Recovers any updates this client is still waiting for from the
@@ -398,7 +437,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         // Gather: one archive fetch per due tag, no crypto yet.
         let mut fetched: Vec<KeyUpdate<L>> = Vec::new();
         for tag in waiting_tags {
-            if self.seen_updates.contains_key(&tag) {
+            if self.session.cached_update(&tag).is_some() {
                 continue;
             }
             if let Some(state) = self.retry.get(&tag) {
@@ -450,7 +489,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             .pending
             .iter()
             .map(|(ct, _)| ct.tag().clone())
-            .filter(|t| !self.seen_updates.contains_key(t))
+            .filter(|t| self.session.cached_update(t).is_none())
             .collect();
         for tag in waiting_tags {
             if let Some(state) = self.retry.get(&tag) {
@@ -490,17 +529,11 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         state.next_attempt_at = now.saturating_add(delay);
     }
 
-    fn open_now(
-        &mut self,
-        ct: tre::Ciphertext<L>,
-        update: &KeyUpdate<L>,
-        received_at: u64,
-        opened_at: u64,
-    ) {
-        // Every update reaching this point passed (batch) verification on
-        // admission, so the trusted decryptor applies: one pairing per
-        // ciphertext instead of three.
-        match tre::decrypt_trusted(self.curve, &self.keys, update, &ct) {
+    fn open_now(&mut self, ct: tre::Ciphertext<L>, received_at: u64, opened_at: u64) {
+        // Every update in the session cache passed (batch) verification
+        // on admission, so the session's trusted open applies: one
+        // pairing per ciphertext instead of three.
+        match self.session.open(&ct) {
             Ok(plaintext) => {
                 let latency = opened_at.saturating_sub(received_at);
                 self.health.open_latency.record(latency);
@@ -571,6 +604,17 @@ mod tests {
     use tre_core::ServerKeyPair;
     use tre_pairing::toy64;
 
+    fn seal(
+        spk: &ServerPublicKey<8>,
+        upk: &tre_core::UserPublicKey<8>,
+        tag: &ReleaseTag,
+        msg: &[u8],
+    ) -> tre::Ciphertext<8> {
+        tre_core::Sender::new(toy64(), spk, upk)
+            .unwrap()
+            .encrypt(tag, msg, &mut rand::thread_rng())
+    }
+
     fn world() -> (SimClock, TimeServer<'static, 8>, ReceiverClient<'static, 8>) {
         let curve = toy64();
         let mut rng = rand::thread_rng();
@@ -585,20 +629,15 @@ mod tests {
 
     #[test]
     fn message_opens_when_update_arrives() {
-        let curve = toy64();
-        let mut rng = rand::thread_rng();
         let (clock, mut server, mut client) = world();
         // Sender locks a message to epoch 5.
         let tag = server.tag_for_epoch(5);
-        let ct = tre::encrypt(
-            curve,
+        let ct = seal(
             server.public_key(),
             client.public_key(),
             &tag,
             b"contest problems",
-            &mut rng,
-        )
-        .unwrap();
+        );
         client.receive_ciphertext(ct, clock.now());
         assert_eq!(client.pending_count(), 1);
         // Time passes; server broadcasts each epoch.
@@ -617,8 +656,6 @@ mod tests {
 
     #[test]
     fn late_ciphertext_opens_immediately_from_cache() {
-        let curve = toy64();
-        let mut rng = rand::thread_rng();
         let (clock, mut server, mut client) = world();
         clock.advance(10);
         for u in server.poll() {
@@ -626,15 +663,7 @@ mod tests {
         }
         // A ciphertext for the already-passed epoch 3 arrives late.
         let tag = server.tag_for_epoch(3);
-        let ct = tre::encrypt(
-            curve,
-            server.public_key(),
-            client.public_key(),
-            &tag,
-            b"old news",
-            &mut rng,
-        )
-        .unwrap();
+        let ct = seal(server.public_key(), client.public_key(), &tag, b"old news");
         client.receive_ciphertext(ct, clock.now());
         assert_eq!(client.pending_count(), 0);
         assert_eq!(client.opened()[0].plaintext, b"old news");
@@ -642,19 +671,9 @@ mod tests {
 
     #[test]
     fn missed_update_recovered_from_archive() {
-        let curve = toy64();
-        let mut rng = rand::thread_rng();
         let (clock, mut server, mut client) = world();
         let tag = server.tag_for_epoch(2);
-        let ct = tre::encrypt(
-            curve,
-            server.public_key(),
-            client.public_key(),
-            &tag,
-            b"missed me",
-            &mut rng,
-        )
-        .unwrap();
+        let ct = seal(server.public_key(), client.public_key(), &tag, b"missed me");
         client.receive_ciphertext(ct, 0);
         // Server broadcasts while the client is offline.
         clock.advance(6);
@@ -758,7 +777,7 @@ mod tests {
         let mut client =
             ReceiverClient::new(curve, spk, ukeys).with_backoff(BackoffConfig { base: 2, max: 8 });
         let tag = server.tag_for_epoch(4);
-        let ct = tre::encrypt(curve, &spk, client.public_key(), &tag, b"m", &mut rng).unwrap();
+        let ct = seal(&spk, client.public_key(), &tag, b"m");
         client.receive_ciphertext(ct, 0);
         let empty = UpdateArchive::new();
         let g = server.granularity();
@@ -795,7 +814,7 @@ mod tests {
         let mut client =
             ReceiverClient::new(curve, spk, ukeys).with_backoff(BackoffConfig { base: 4, max: 16 });
         let tag = server.tag_for_epoch(1);
-        let ct = tre::encrypt(curve, &spk, client.public_key(), &tag, b"m", &mut rng).unwrap();
+        let ct = seal(&spk, client.public_key(), &tag, b"m");
         client.receive_ciphertext(ct, 0);
         client.archive_unreachable(0);
         assert_eq!(client.health().archive_misses, 1);
@@ -823,15 +842,7 @@ mod tests {
             .collect();
         let tag = server.tag_for_epoch(1);
         for (i, c) in clients.iter_mut().enumerate() {
-            let ct = tre::encrypt(
-                curve,
-                &spk,
-                c.public_key(),
-                &tag,
-                format!("msg-{i}").as_bytes(),
-                &mut rng,
-            )
-            .unwrap();
+            let ct = seal(&spk, c.public_key(), &tag, format!("msg-{i}").as_bytes());
             c.receive_ciphertext(ct, 0);
         }
         clock.advance(1);

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use tre_core::{tre, KeyUpdate, ServerKeyPair, UserKeyPair};
+use tre_core::{KeyUpdate, Sender, ServerKeyPair, UserKeyPair};
 use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
@@ -402,15 +402,9 @@ impl<'c, const L: usize> ChaosSim<'c, L> {
         let tag = self.granularity.tag_for_epoch(epoch);
         let spk = *self.keys.public();
         let (receiver, _) = &mut self.clients[client];
-        let ct = tre::encrypt(
-            self.curve,
-            &spk,
-            receiver.public_key(),
-            &tag,
-            msg,
-            &mut self.rng,
-        )
-        .expect("receiver key is honestly generated");
+        let ct = Sender::new(self.curve, &spk, receiver.public_key())
+            .expect("receiver key is honestly generated")
+            .encrypt(&tag, msg, &mut self.rng);
         let now = self.clock.now();
         receiver.receive_ciphertext(ct, now);
         self.expectations.push(Expectation {

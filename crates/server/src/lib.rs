@@ -25,7 +25,13 @@
 //!   Byzantine equivocation/forgery, archive outages) with safety and
 //!   liveness invariant checking (experiment E13);
 //! * [`LiveHub`] — a thread-based fan-out hub (crossbeam channels) for
-//!   running real server/receiver threads instead of the simulation.
+//!   running real server/receiver threads instead of the simulation;
+//! * [`Transport`] — the client-side transport abstraction both
+//!   [`BroadcastNet`] and [`TcpFeed`] implement, so
+//!   [`ReceiverClient::pump`] works against either;
+//! * [`Tred`] / [`TcpFeed`] — the real TCP broadcast daemon (bounded
+//!   per-subscriber queues, slow-subscriber eviction, archive catch-up
+//!   over the versioned `tre-wire` framing) and its subscriber feed.
 //!
 //! # Example
 //! ```
@@ -54,6 +60,8 @@ mod metrics;
 mod net;
 mod server;
 mod sim;
+mod tcp;
+mod transport;
 
 pub use archive::UpdateArchive;
 pub use batch::{BatchVerdict, BatchVerifier};
@@ -68,3 +76,5 @@ pub use metrics::{ClientHealth, LatencyHistogram};
 pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
 pub use server::{FutureEpochError, TimeServer};
 pub use sim::{ClientId, Simulation};
+pub use tcp::{FeedStats, TcpFeed, Tred, TredConfig, TredStats};
+pub use transport::Transport;

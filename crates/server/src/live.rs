@@ -64,7 +64,7 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
-    use tre_core::{tre, ReleaseTag, ServerKeyPair, UserKeyPair};
+    use tre_core::{Receiver as SessionReceiver, ReleaseTag, Sender, ServerKeyPair, UserKeyPair};
     use tre_pairing::toy64;
 
     #[test]
@@ -80,19 +80,16 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..4 {
             let user = UserKeyPair::generate(curve, &spk, &mut rng);
-            let ct = tre::encrypt(
-                curve,
-                &spk,
-                user.public(),
+            let ct = Sender::new(curve, &spk, user.public()).unwrap().encrypt(
                 &tag,
                 format!("live-{i}").as_bytes(),
                 &mut rng,
-            )
-            .unwrap();
+            );
             let rx = hub.subscribe();
             handles.push(thread::spawn(move || {
                 let update = rx.recv().expect("update arrives");
-                tre::decrypt(toy64(), &spk, &user, &update, &ct).unwrap()
+                let mut session = SessionReceiver::new(toy64(), spk, user);
+                session.open_with(&update, &ct).unwrap()
             }));
         }
         assert_eq!(hub.subscriber_count(), 4);

@@ -35,9 +35,20 @@ impl Default for NetConfig {
     }
 }
 
-/// Handle identifying a subscriber on the channel.
+/// Handle identifying a subscriber on a broadcast transport (the
+/// simulated [`BroadcastNet`] or the TCP-backed [`crate::TcpFeed`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriberId(usize);
+
+impl SubscriberId {
+    pub(crate) fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Aggregate channel statistics (for the scalability experiment E2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -213,8 +224,9 @@ mod tests {
         let mut rng = rand::thread_rng();
         let server = ServerKeyPair::generate(curve, &mut rng);
         let u = server.issue_update(curve, &ReleaseTag::time("t"));
-        let size = u.to_bytes(curve).len();
-        (u, size)
+        let mut body = Vec::new();
+        u.write_body(curve, &mut body);
+        (u, body.len())
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! re-wiring the plumbing every time.
 
 use rand::RngCore;
-use tre_core::{tre, ReleaseTag, ServerKeyPair, TreError, UserKeyPair};
+use tre_core::{ReleaseTag, Sender, ServerKeyPair, TreError, UserKeyPair};
 use tre_pairing::Curve;
+use tre_wire::Wire;
 
 use crate::client::ReceiverClient;
 use crate::clock::{Granularity, SimClock};
@@ -80,7 +81,8 @@ impl<'c, const L: usize> Simulation<'c, L> {
     /// updates ride the lossy broadcast channel).
     ///
     /// # Errors
-    /// Propagates [`tre::encrypt`] failures.
+    /// Propagates receiver-key validation failures from
+    /// [`Sender::new`].
     pub fn send(
         &mut self,
         to: ClientId,
@@ -90,7 +92,7 @@ impl<'c, const L: usize> Simulation<'c, L> {
     ) -> Result<(), TreError> {
         let spk = *self.server.public_key();
         let (client, _) = &mut self.clients[to.0];
-        let ct = tre::encrypt(self.curve, &spk, client.public_key(), tag, msg, rng)?;
+        let ct = Sender::new(self.curve, &spk, client.public_key())?.encrypt(tag, msg, rng);
         let now = self.clock.now();
         client.receive_ciphertext(ct, now);
         Ok(())
@@ -100,7 +102,8 @@ impl<'c, const L: usize> Simulation<'c, L> {
     /// granularity convention).
     ///
     /// # Errors
-    /// Propagates [`tre::encrypt`] failures.
+    /// Propagates receiver-key validation failures from
+    /// [`Sender::new`].
     pub fn send_for_epoch(
         &mut self,
         to: ClientId,
@@ -118,22 +121,17 @@ impl<'c, const L: usize> Simulation<'c, L> {
     pub fn tick(&mut self, dt: u64) -> usize {
         self.clock.advance(dt);
         for update in self.server.poll() {
-            let bytes = update.to_bytes(self.curve).len();
+            // On-air size is the framed wire encoding — what the TCP
+            // transport actually ships.
+            let bytes = update.wire_bytes(self.curve).len();
             self.net.broadcast(&update, bytes);
         }
         let mut opened = 0;
         for (client, sub) in &mut self.clients {
-            // Burst-drain: deliveries come back sorted by delivery tick;
-            // same-tick groups are verified as one batch (2 pairings per
-            // group) without perturbing per-message latency accounting.
-            let mut deliveries = self.net.poll(*sub).into_iter().peekable();
-            while let Some((at, first)) = deliveries.next() {
-                let mut batch = vec![first];
-                while deliveries.peek().is_some_and(|(a, _)| *a == at) {
-                    batch.push(deliveries.next().unwrap().1);
-                }
-                opened += client.receive_updates(&batch, at).opened;
-            }
+            // Burst-drain via the shared transport pump: same-tick groups
+            // are verified as one batch (2 pairings per group) without
+            // perturbing per-message latency accounting.
+            opened += client.pump(&mut self.net, *sub);
         }
         opened
     }

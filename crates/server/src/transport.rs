@@ -1,0 +1,64 @@
+//! The client-side transport abstraction.
+//!
+//! A [`Transport`] is anything a [`crate::ReceiverClient`] can drain key
+//! updates from: the deterministic in-process [`BroadcastNet`] simulation
+//! and the real TCP subscriber feed [`crate::TcpFeed`] implement the same
+//! two operations, so client code (and [`crate::Simulation`]-style
+//! orchestration) is written once and runs against either.
+
+use tre_core::KeyUpdate;
+
+use crate::net::{BroadcastNet, SubscriberId};
+
+/// A source of broadcast key updates with per-subscriber delivery.
+pub trait Transport<const L: usize> {
+    /// Registers a new subscriber and returns its handle.
+    fn subscribe(&mut self) -> SubscriberId;
+
+    /// Drains every update currently deliverable to `id`, as
+    /// `(delivered_at, update)` pairs in delivery order. Updates sharing
+    /// a `delivered_at` stamp arrived together and may be batch-verified
+    /// as one burst (see [`crate::ReceiverClient::pump`]).
+    fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)>;
+}
+
+impl<const L: usize> Transport<L> for BroadcastNet<L> {
+    fn subscribe(&mut self) -> SubscriberId {
+        BroadcastNet::subscribe(self)
+    }
+
+    fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)> {
+        BroadcastNet::poll(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::net::NetConfig;
+    use tre_core::{ReleaseTag, ServerKeyPair};
+    use tre_pairing::toy64;
+
+    /// Generic over the trait — proves dynamic-free polymorphic use.
+    fn drain_all<const L: usize, T: Transport<L>>(
+        t: &mut T,
+        id: SubscriberId,
+    ) -> Vec<KeyUpdate<L>> {
+        t.poll(id).into_iter().map(|(_, u)| u).collect()
+    }
+
+    #[test]
+    fn broadcast_net_is_a_transport() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let mut net: BroadcastNet<8> = BroadcastNet::new(clock.clone(), NetConfig::default(), 5);
+        let id = Transport::subscribe(&mut net);
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let u = server.issue_update(curve, &ReleaseTag::time("t"));
+        net.broadcast(&u, 64);
+        clock.advance(1);
+        assert_eq!(drain_all(&mut net, id), vec![u]);
+    }
+}

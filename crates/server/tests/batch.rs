@@ -10,7 +10,7 @@
 //!    spends at most 4 verification pairings (the sequential path spends
 //!    128).
 
-use tre_core::{tre, KeyUpdate, ReleaseTag, ServerKeyPair, UserKeyPair};
+use tre_core::{KeyUpdate, ReleaseTag, Sender, ServerKeyPair, UserKeyPair};
 use tre_pairing::toy64;
 use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer, UpdateOutcome};
 
@@ -111,15 +111,9 @@ fn catch_up_over_64_archived_updates_spends_at_most_4_verification_pairings() {
     // 64 ciphertexts across 64 distinct epochs, all missed on air.
     for epoch in 1..=64u64 {
         let tag = server.tag_for_epoch(epoch);
-        let ct = tre::encrypt(
-            curve,
-            &spk,
-            client.public_key(),
-            &tag,
-            format!("m{epoch}").as_bytes(),
-            &mut rng,
-        )
-        .unwrap();
+        let ct = Sender::new(curve, &spk, client.public_key())
+            .unwrap()
+            .encrypt(&tag, format!("m{epoch}").as_bytes(), &mut rng);
         client.receive_ciphertext(ct, 0);
     }
     clock.advance(70);

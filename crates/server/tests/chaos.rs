@@ -10,7 +10,7 @@
 //! Every run is deterministic under its fixed seed: same plan + same seed
 //! reproduce the same delivery trace and the same health counters.
 
-use tre_core::{tre, TreError};
+use tre_core::{Sender, TreError};
 use tre_pairing::toy64;
 use tre_server::{ChaosSim, Fault, FaultPlan, Granularity};
 
@@ -263,15 +263,9 @@ mod delivery_semantics {
         let mut rng = thread_rng();
         let (clock, mut server, mut client) = world();
         let tag = server.tag_for_epoch(1);
-        let ct = tre::encrypt(
-            curve,
-            server.public_key(),
-            client.public_key(),
-            &tag,
-            b"once",
-            &mut rng,
-        )
-        .unwrap();
+        let ct = Sender::new(curve, server.public_key(), client.public_key())
+            .unwrap()
+            .encrypt(&tag, b"once", &mut rng);
         client.receive_ciphertext(ct, 0);
         clock.advance(1);
         let updates = server.poll();
@@ -299,15 +293,9 @@ mod delivery_semantics {
         let (clock, mut server, mut client) = world();
         for epoch in [2u64, 5] {
             let tag = server.tag_for_epoch(epoch);
-            let ct = tre::encrypt(
-                curve,
-                server.public_key(),
-                client.public_key(),
-                &tag,
-                format!("epoch {epoch}").as_bytes(),
-                &mut rng,
-            )
-            .unwrap();
+            let ct = Sender::new(curve, server.public_key(), client.public_key())
+                .unwrap()
+                .encrypt(&tag, format!("epoch {epoch}").as_bytes(), &mut rng);
             client.receive_ciphertext(ct, 0);
         }
         clock.advance(5);
@@ -347,15 +335,9 @@ mod delivery_semantics {
         );
         assert_eq!(client.receive_update(twin, 2), Err(TreError::Equivocation));
         // The cached honest update still opens late ciphertexts.
-        let ct = tre::encrypt(
-            curve,
-            server.public_key(),
-            client.public_key(),
-            honest.tag(),
-            b"still fine",
-            &mut rng,
-        )
-        .unwrap();
+        let ct = Sender::new(curve, server.public_key(), client.public_key())
+            .unwrap()
+            .encrypt(honest.tag(), b"still fine", &mut rng);
         client.receive_ciphertext(ct, 3);
         assert_eq!(client.opened().last().unwrap().plaintext, b"still fine");
     }

@@ -24,22 +24,9 @@ fn main() -> Result<(), TreError> {
     // Two messages, locked to consecutive epochs.
     let monday = ReleaseTag::time("2026-07-06 (monday)");
     let tuesday = ReleaseTag::time("2026-07-07 (tuesday)");
-    let ct_mon = tre::core::tre::encrypt(
-        curve,
-        server.public(),
-        smart_card.public(),
-        &monday,
-        b"monday briefing",
-        &mut rng,
-    )?;
-    let ct_tue = tre::core::tre::encrypt(
-        curve,
-        server.public(),
-        smart_card.public(),
-        &tuesday,
-        b"tuesday briefing",
-        &mut rng,
-    )?;
+    let sender = Sender::new(curve, server.public(), smart_card.public())?;
+    let ct_mon = sender.encrypt(&monday, b"monday briefing", &mut rng);
+    let ct_tue = sender.encrypt(&tuesday, b"tuesday briefing", &mut rng);
 
     // Monday's update arrives; the card derives Monday's epoch key and
     // exports it to the laptop.

@@ -26,20 +26,17 @@ fn main() -> Result<(), TreError> {
     let mut handles = Vec::new();
     for i in 0..3 {
         let user = UserKeyPair::generate(curve, &spk, &mut rng);
-        let ct = tre::core::tre::encrypt(
-            curve,
-            &spk,
-            user.public(),
+        let ct = Sender::new(curve, &spk, user.public())?.encrypt(
             &tag,
             format!("payload for thread {i}").as_bytes(),
             &mut rng,
-        )?;
+        );
         let rx = hub.subscribe();
         handles.push(thread::spawn(move || {
             // Blocks until the broadcast arrives.
             let update = rx.recv().expect("hub broadcast");
-            let msg = tre::core::tre::decrypt(tre::pairing::toy64(), &spk, &user, &update, &ct)
-                .expect("decrypts");
+            let mut session = Receiver::new(tre::pairing::toy64(), spk, user);
+            let msg = session.open_with(&update, &ct).expect("decrypts");
             println!("thread {i} opened: {:?}", String::from_utf8_lossy(&msg));
         }));
     }

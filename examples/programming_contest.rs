@@ -56,14 +56,8 @@ fn main() -> Result<(), TreError> {
     let cts: Vec<_> = teams
         .iter()
         .map(|t| {
-            tre::core::tre::encrypt(
-                curve,
-                &server_pk,
-                t.public_key(),
-                &start_tag,
-                problems,
-                &mut rng,
-            )
+            Sender::new(curve, &server_pk, t.public_key())
+                .map(|s| s.encrypt(&start_tag, problems, &mut rng))
         })
         .collect::<Result<_, _>>()?;
 
@@ -84,7 +78,7 @@ fn main() -> Result<(), TreError> {
         }
         // Server broadcasts new epochs; the net delays them per team.
         for update in time_server.poll() {
-            let bytes = update.to_bytes(curve).len();
+            let bytes = update.wire_bytes(curve).len();
             net.broadcast(&update, bytes);
         }
         for (i, sub) in subs.iter().enumerate() {

@@ -14,28 +14,24 @@ fn main() -> Result<(), TreError> {
     //    only ever broadcasts signed time tags. It never learns who uses it.
     let server = ServerKeyPair::generate(curve, &mut rng);
     println!(
-        "time server online (public key: {} bytes)",
-        server.public().to_bytes(curve).len()
+        "time server online (public key: {} bytes on the wire)",
+        server.public().wire_bytes(curve).len()
     );
 
-    // 2. Alice (receiver) binds a key pair to that server: (aG, a·sG).
-    let alice = UserKeyPair::generate(curve, server.public(), &mut rng);
+    // 2. Alice (receiver) binds a key pair to that server: (aG, a·sG) —
+    //    a `Receiver` session generates and holds it.
+    let mut alice = Receiver::generate(curve, *server.public(), &mut rng);
     println!(
-        "alice's public key: {} bytes",
-        alice.public().to_bytes(curve).len()
+        "alice's public key: {} bytes on the wire",
+        alice.public_key().wire_bytes(curve).len()
     );
 
     // 3. Bob (sender) encrypts for a future instant. He talks to NOBODY —
     //    he only needs the two public keys, and may pick any tag at all.
+    //    `Sender::new` validates alice's key once, up front.
     let tag = ReleaseTag::time("2027-01-01T00:00:00Z");
-    let ct = tre::core::tre::encrypt(
-        curve,
-        server.public(),
-        alice.public(),
-        &tag,
-        b"happy new year, alice",
-        &mut rng,
-    )?;
+    let bob = Sender::new(curve, server.public(), alice.public_key())?;
+    let ct = bob.encrypt(&tag, b"happy new year, alice", &mut rng);
     println!("ciphertext locked to {}: {} bytes", tag, ct.size(curve));
 
     // 4. Alice cannot read it yet: there is no update for that tag, and
@@ -45,12 +41,12 @@ fn main() -> Result<(), TreError> {
     let update = server.issue_update(curve, &tag);
     assert!(update.verify(curve, server.public()), "self-authenticating");
     println!(
-        "key update published: {} bytes, verifies against server key",
-        update.to_bytes(curve).len()
+        "key update published: {} bytes on the wire, verifies against server key",
+        update.wire_bytes(curve).len()
     );
 
     // 6. Alice decrypts with her private key + the public update.
-    let msg = tre::core::tre::decrypt(curve, server.public(), &alice, &update, &ct)?;
+    let msg = alice.open_with(&update, &ct)?;
     println!("alice reads: {:?}", String::from_utf8_lossy(&msg));
     assert_eq!(msg, b"happy new year, alice");
     Ok(())

@@ -17,7 +17,8 @@
 //! | [`pairing`] | Gap-DH group, Tate pairing, hash-to-curve |
 //! | [`sym`] | ChaCha20-Poly1305 DEM |
 //! | [`core`] | the paper's schemes (TRE, ID-TRE, FO, REACT, hybrid, policy locks, key insulation, multi-server) |
-//! | [`server`] | passive time server, broadcast net, archive, clients |
+//! | [`server`] | passive time server, broadcast net, archive, clients, the `tred` TCP daemon |
+//! | [`wire`] | the versioned wire framing every network object ships in |
 //! | [`baselines`] | RSW puzzle, May escrow, Rivest servers, per-user IBE, PKE+IBE |
 //! | [`obs`] | metrics registry, span tracing, crypto cost accounting |
 //!
@@ -29,14 +30,13 @@
 //! let curve = tre::pairing::toy64();
 //! let mut rng = rand::thread_rng();
 //! let server = ServerKeyPair::generate(curve, &mut rng);
-//! let alice = UserKeyPair::generate(curve, server.public(), &mut rng);
+//! let mut alice = Receiver::generate(curve, *server.public(), &mut rng);
 //!
 //! let tag = ReleaseTag::time("2027-01-01T00:00:00Z");
-//! let ct = tre::core::tre::encrypt(curve, server.public(), alice.public(),
-//!                                  &tag, b"happy new year", &mut rng)?;
+//! let ct = Sender::new(curve, server.public(), alice.public_key())?
+//!     .encrypt(&tag, b"happy new year", &mut rng);
 //! let update = server.issue_update(curve, &tag); // broadcast once, for everyone
-//! assert_eq!(tre::core::tre::decrypt(curve, server.public(), &alice, &update, &ct)?,
-//!            b"happy new year");
+//! assert_eq!(alice.open_with(&update, &ct)?, b"happy new year");
 //! # Ok::<(), TreError>(())
 //! ```
 
@@ -48,13 +48,14 @@ pub use tre_obs as obs;
 pub use tre_pairing as pairing;
 pub use tre_server as server;
 pub use tre_sym as sym;
+pub use tre_wire as wire;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use tre_core::{
-        KeyUpdate, ReleaseTag, ServerKeyPair, ServerPublicKey, TagKind, TreError, UserKeyPair,
-        UserPublicKey,
+        KeyUpdate, Receiver, ReleaseTag, Sender, ServerKeyPair, ServerPublicKey, TreError,
+        UserKeyPair, UserPublicKey,
     };
-    pub use tre_pairing::{Curve, G1Affine, Gt};
-    pub use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer};
+    pub use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer, Transport};
+    pub use tre_wire::Wire;
 }

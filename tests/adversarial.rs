@@ -1,7 +1,7 @@
 //! Adversarial integration tests: every cheating strategy the paper's
 //! security sketch (§5.1) discusses, plus systematic mauling.
 
-use tre::core::{fo, tre as basic};
+use tre::core::fo;
 use tre::prelude::*;
 
 fn curve() -> &'static tre::pairing::CurveToy64 {
@@ -30,15 +30,9 @@ fn receiver_cannot_decrypt_before_release() {
     let w = world();
     let target = ReleaseTag::time("secret-release-time");
     let msg = b"premature access forbidden";
-    let ct = basic::encrypt(
-        curve,
-        w.server.public(),
-        w.alice.public(),
-        &target,
-        msg,
-        &mut rng,
-    )
-    .unwrap();
+    let ct = Sender::new(curve, w.server.public(), w.alice.public())
+        .unwrap()
+        .encrypt(&target, msg, &mut rng);
 
     // Strategy 1: harvest updates for many other times and try each.
     for i in 0..10 {
@@ -46,11 +40,12 @@ fn receiver_cannot_decrypt_before_release() {
             .server
             .issue_update(curve, &ReleaseTag::time(format!("other-{i}")));
         // Structurally blocked (tag mismatch)...
-        assert!(basic::decrypt(curve, w.server.public(), &w.alice, &other, &ct).is_err());
+        let mut session = Receiver::new(curve, *w.server.public(), w.alice.clone());
+        assert!(session.open_with(&other, &ct).is_err());
         // ...and cryptographically: force-feeding the foreign signature
-        // point under the right tag yields garbage, never the message.
+        // point under the right tag fails verification, never unmasking.
         let relabeled = KeyUpdate::from_parts(target.clone(), *other.sig());
-        assert!(basic::decrypt(curve, w.server.public(), &w.alice, &relabeled, &ct).is_err());
+        assert!(session.open_with(&relabeled, &ct).is_err());
         // Even bypassing all checks and pairing directly:
         let k = curve
             .pairing(ct.u(), other.sig())
@@ -81,15 +76,9 @@ fn curious_server_cannot_read_user_traffic() {
     let w = world();
     let tag = ReleaseTag::time("t");
     let msg = b"none of the server's business";
-    let ct = basic::encrypt(
-        curve,
-        w.server.public(),
-        w.alice.public(),
-        &tag,
-        msg,
-        &mut rng,
-    )
-    .unwrap();
+    let ct = Sender::new(curve, w.server.public(), w.alice.public())
+        .unwrap()
+        .encrypt(&tag, msg, &mut rng);
     let update = w.server.issue_update(curve, &tag);
 
     // The server can compute ê(U, I_T) and even ê(U, I_T)^s — neither is
@@ -168,15 +157,10 @@ fn malformed_user_keys_rejected_at_encryption() {
         ),
     ];
     for (i, pk) in tries.into_iter().enumerate() {
-        let r = basic::encrypt(
-            curve,
-            w.server.public(),
-            &pk,
-            &ReleaseTag::time("t"),
-            b"m",
-            &mut rng,
-        );
-        assert_eq!(r, Err(TreError::InvalidUserKey), "bad key {i} accepted");
+        // `Sender::new` front-loads the key validation, so the rogue key
+        // is rejected before any message is ever encrypted to it.
+        let r = Sender::new(curve, w.server.public(), &pk).err();
+        assert_eq!(r, Some(TreError::InvalidUserKey), "bad key {i} accepted");
     }
 }
 
@@ -198,11 +182,12 @@ fn fo_ciphertext_systematic_mauling() {
     )
     .unwrap();
     let update = w.server.issue_update(curve, &tag);
-    let bytes = ct.to_bytes(curve);
+    let mut bytes = Vec::new();
+    ct.write_body(curve, &mut bytes);
     for i in (0..bytes.len()).step_by(5) {
         let mut bad = bytes.clone();
         bad[i] ^= 0x40;
-        if let Ok(parsed) = tre::core::fo::FoCiphertext::from_bytes(curve, &bad) {
+        if let Ok(parsed) = tre::core::fo::FoCiphertext::read_body(curve, &bad) {
             assert!(
                 fo::decrypt(curve, w.server.public(), &w.alice, &update, &parsed).is_err(),
                 "mauled byte {i} accepted"
@@ -246,19 +231,13 @@ fn cross_server_updates_are_useless() {
     let evil_server = ServerKeyPair::generate(curve, &mut rng);
     let tag = ReleaseTag::time("t");
     let msg = b"bound to the honest server";
-    let ct = basic::encrypt(
-        curve,
-        w.server.public(),
-        w.alice.public(),
-        &tag,
-        msg,
-        &mut rng,
-    )
-    .unwrap();
+    let ct = Sender::new(curve, w.server.public(), w.alice.public())
+        .unwrap()
+        .encrypt(&tag, msg, &mut rng);
     let evil_update = evil_server.issue_update(curve, &tag);
     assert!(!evil_update.verify(curve, w.server.public()));
     assert_eq!(
-        basic::decrypt(curve, w.server.public(), &w.alice, &evil_update, &ct),
+        Receiver::new(curve, *w.server.public(), w.alice.clone()).open_with(&evil_update, &ct),
         Err(TreError::InvalidUpdate)
     );
 }

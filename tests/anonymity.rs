@@ -25,8 +25,9 @@ fn server_transcript(n_users: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
     let _cts: Vec<_> = users
         .iter()
         .map(|u| {
-            tre::core::tre::encrypt(curve, server.public_key(), u.public(), &tag, b"m", &mut rng)
+            Sender::new(curve, server.public_key(), u.public())
                 .unwrap()
+                .encrypt(&tag, b"m", &mut rng)
         })
         .collect();
 
@@ -35,7 +36,7 @@ fn server_transcript(n_users: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
     for _ in 0..5 {
         clock.advance(1);
         for update in server.poll() {
-            transcript.push(update.to_bytes(curve));
+            transcript.push(update.wire_bytes(curve));
         }
     }
     (transcript, server.broadcast_count())
@@ -64,9 +65,9 @@ fn updates_carry_no_receiver_information() {
     let with_users = {
         let mut rng = rand::thread_rng();
         let _alice = UserKeyPair::generate(curve, server.public(), &mut rng);
-        server.issue_update(curve, &tag).to_bytes(curve)
+        server.issue_update(curve, &tag).wire_bytes(curve)
     };
-    let without_users = server.issue_update(curve, &tag).to_bytes(curve);
+    let without_users = server.issue_update(curve, &tag).wire_bytes(curve);
     assert_eq!(with_users, without_users);
 }
 

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning the whole stack: pairing →
 //! schemes → server runtime → network simulation.
 
-use tre::core::{fo, hybrid, react, tre as basic};
+use tre::core::{fo, hybrid, react};
 use tre::prelude::*;
 use tre::server::{BroadcastNet, NetConfig};
 
@@ -21,9 +21,13 @@ fn all_four_schemes_roundtrip_same_setup() {
     let update = server.issue_update(curve, &tag);
     let msg = b"the same message through four pipelines";
 
-    let ct = basic::encrypt(curve, server.public(), user.public(), &tag, msg, &mut rng).unwrap();
+    let ct = Sender::new(curve, server.public(), user.public())
+        .unwrap()
+        .encrypt(&tag, msg, &mut rng);
     assert_eq!(
-        basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        Receiver::new(curve, *server.public(), user.clone())
+            .open_with(&update, &ct)
+            .unwrap(),
         msg
     );
 
@@ -73,22 +77,18 @@ fn full_simulation_with_lossy_network_and_archive_recovery() {
     // Each client gets a message locked to epoch 3.
     let tag = server.tag_for_epoch(3);
     for (i, c) in clients.iter_mut().enumerate() {
-        let ct = basic::encrypt(
-            curve,
-            &spk,
-            c.public_key(),
+        let ct = Sender::new(curve, &spk, c.public_key()).unwrap().encrypt(
             &tag,
             format!("payload-{i}").as_bytes(),
             &mut rng,
-        )
-        .unwrap();
+        );
         c.receive_ciphertext(ct, 0);
     }
 
     // Run 8 ticks of simulation.
     for _ in 0..8 {
         for u in server.poll() {
-            let bytes = u.to_bytes(curve).len();
+            let bytes = u.wire_bytes(curve).len();
             net.broadcast(&u, bytes);
         }
         for (i, sub) in subs.iter().enumerate() {
@@ -127,19 +127,15 @@ fn sender_needs_no_server_state_for_far_future_tags() {
     let server = ServerKeyPair::generate(curve, &mut rng);
     let user = UserKeyPair::generate(curve, server.public(), &mut rng);
     let far = ReleaseTag::time("9999-12-31T23:59:59Z");
-    let ct = basic::encrypt(
-        curve,
-        server.public(),
-        user.public(),
-        &far,
-        b"time capsule",
-        &mut rng,
-    )
-    .unwrap();
+    let ct = Sender::new(curve, server.public(), user.public())
+        .unwrap()
+        .encrypt(&far, b"time capsule", &mut rng);
     // Centuries later the server (same key) signs that instant.
     let update = server.issue_update(curve, &far);
     assert_eq!(
-        basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(),
+        Receiver::new(curve, *server.public(), user)
+            .open_with(&update, &ct)
+            .unwrap(),
         b"time capsule"
     );
 }
@@ -159,21 +155,17 @@ fn one_update_many_receivers() {
         .iter()
         .enumerate()
         .map(|(i, u)| {
-            basic::encrypt(
-                curve,
-                server.public(),
-                u.public(),
-                &tag,
-                format!("m{i}").as_bytes(),
-                &mut rng,
-            )
-            .unwrap()
+            Sender::new(curve, server.public(), u.public())
+                .unwrap()
+                .encrypt(&tag, format!("m{i}").as_bytes(), &mut rng)
         })
         .collect();
     let update = server.issue_update(curve, &tag); // exactly one
     for (i, (u, ct)) in users.iter().zip(&cts).enumerate() {
         assert_eq!(
-            basic::decrypt(curve, server.public(), u, &update, ct).unwrap(),
+            Receiver::new(curve, *server.public(), u.clone())
+                .open_with(&update, ct)
+                .unwrap(),
             format!("m{i}").as_bytes()
         );
     }
@@ -187,21 +179,22 @@ fn wire_format_survives_serialization_across_components() {
     let server = ServerKeyPair::generate(curve, &mut rng);
     let user = UserKeyPair::generate(curve, server.public(), &mut rng);
 
-    // Receiver publishes its key as bytes; sender parses and validates.
-    let pk_bytes = user.public().to_bytes(curve);
-    let parsed_pk = UserPublicKey::from_bytes(curve, &pk_bytes).unwrap();
+    // Receiver publishes its key as framed wire bytes; the sender parses
+    // and validates it.
+    let pk_bytes = user.public().wire_bytes(curve);
+    let parsed_pk = UserPublicKey::wire_read(curve, &mut &pk_bytes[..]).unwrap();
     parsed_pk.validate(curve, server.public()).unwrap();
 
     let tag = ReleaseTag::time("t");
     let ct = fo::encrypt(curve, server.public(), &parsed_pk, &tag, b"wire", &mut rng).unwrap();
-    let ct_bytes = ct.to_bytes(curve);
+    let ct_bytes = ct.wire_bytes(curve);
 
-    // Update also travels as bytes.
-    let update_bytes = server.issue_update(curve, &tag).to_bytes(curve);
-    let update = KeyUpdate::from_bytes(curve, &update_bytes).unwrap();
+    // Update also travels as framed bytes.
+    let update_bytes = server.issue_update(curve, &tag).wire_bytes(curve);
+    let update = KeyUpdate::wire_read(curve, &mut &update_bytes[..]).unwrap();
     assert!(update.verify(curve, server.public()));
 
-    let ct2 = tre::core::fo::FoCiphertext::from_bytes(curve, &ct_bytes).unwrap();
+    let ct2 = tre::core::fo::FoCiphertext::wire_read(curve, &mut &ct_bytes[..]).unwrap();
     assert_eq!(
         fo::decrypt(curve, server.public(), &user, &update, &ct2).unwrap(),
         b"wire"
@@ -219,9 +212,13 @@ fn id_tre_and_tre_coexist_on_one_server() {
     let update = server.issue_update(curve, &tag);
 
     let user = UserKeyPair::generate(curve, server.public(), &mut rng);
-    let ct1 = basic::encrypt(curve, server.public(), user.public(), &tag, b"pk", &mut rng).unwrap();
+    let ct1 = Sender::new(curve, server.public(), user.public())
+        .unwrap()
+        .encrypt(&tag, b"pk", &mut rng);
     assert_eq!(
-        basic::decrypt(curve, server.public(), &user, &update, &ct1).unwrap(),
+        Receiver::new(curve, *server.public(), user)
+            .open_with(&update, &ct1)
+            .unwrap(),
         b"pk"
     );
 

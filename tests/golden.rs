@@ -1,8 +1,10 @@
-//! Golden wire-format vectors: deterministic key material must serialize
-//! to exactly these bytes. Guards against silent regressions in the
-//! embedded parameters, hash-to-curve, scalar multiplication, or the
-//! serialization formats. (Regenerate with the snippet in each test if a
-//! deliberate format change is made.)
+//! Golden body-encoding vectors: deterministic key material must
+//! serialize to exactly these bytes. Guards against silent regressions in
+//! the embedded parameters, hash-to-curve, scalar multiplication, or the
+//! serialization formats. These pin the raw *body* layout (`write_body`);
+//! the framed layout on top of it is pinned by `tests/wire_vectors.rs`.
+//! (Regenerate with the snippet in each test if a deliberate format
+//! change is made.)
 
 use tre::bigint::U256;
 use tre::hashes::hex;
@@ -16,8 +18,10 @@ fn fixed_server() -> ServerKeyPair<8> {
 #[test]
 fn golden_server_public_key() {
     let curve = tre::pairing::toy64();
+    let mut body = Vec::new();
+    fixed_server().public().write_body(curve, &mut body);
     assert_eq!(
-        hex::encode(&fixed_server().public().to_bytes(curve)),
+        hex::encode(&body),
         "03744b3ed74bbe9354afdcf2f05bd9e5aa4222c94e8b494b7128d1d16a9e29542e\
          f4a264cb4e0fdf57fff5ea03540aeab7f6bed2da2b7d1ba17f869558d0580b6f03\
          2e1c5808afd891c0446f522162248810b4519c2b1c65d6e467aa2765e2dfc16b14\
@@ -29,14 +33,16 @@ fn golden_server_public_key() {
 fn golden_key_update() {
     let curve = tre::pairing::toy64();
     let update = fixed_server().issue_update(curve, &ReleaseTag::time("golden-test-tag"));
+    let mut body = Vec::new();
+    update.write_body(curve, &mut body);
     assert_eq!(
-        hex::encode(&update.to_bytes(curve)),
+        hex::encode(&body),
         "010000000f676f6c64656e2d746573742d746167027a850b77fe6153a81e233a37\
          4a2f4e1b326e726cd01f8a372e8bd36213e1ea22f0bb7f00fc234bb649275a7a32\
          8fd25cb02774323be73b8ce8e475e11d1a0a6c"
     );
     // And it still verifies after a byte-level round trip.
-    let parsed = KeyUpdate::from_bytes(curve, &update.to_bytes(curve)).unwrap();
+    let parsed = KeyUpdate::read_body(curve, &body).unwrap();
     assert!(parsed.verify(curve, fixed_server().public()));
 }
 
@@ -45,8 +51,10 @@ fn golden_user_public_key() {
     let curve = tre::pairing::toy64();
     let user =
         UserKeyPair::from_secret(curve, fixed_server().public(), U256::from_u64(987_654_321));
+    let mut body = Vec::new();
+    user.public().write_body(curve, &mut body);
     assert_eq!(
-        hex::encode(&user.public().to_bytes(curve)),
+        hex::encode(&body),
         "0201373cbaf3c2e2c57db7dd507613f36e8972d59383426eb8ee159cdf2b353138\
          20636fe632ac63852200fbd298850ee2a446e64ab6f0317df0c7e3a45459750103\
          0c15f24e9e9fb233ab55b81d6cb32dc94005c446b62f15129bcd9b737c33576d23\
@@ -65,33 +73,20 @@ fn golden_deterministic_decryption() {
     let server = fixed_server();
     let user = UserKeyPair::from_secret(curve, server.public(), U256::from_u64(42));
     let tag = ReleaseTag::time("golden");
-    let ct1 = tre::core::tre::encrypt(
-        curve,
-        server.public(),
-        user.public(),
-        &tag,
-        b"stable",
-        &mut drbg,
-    )
-    .unwrap();
+    let sender = Sender::new(curve, server.public(), user.public()).unwrap();
+    let ct1 = sender.encrypt(&tag, b"stable", &mut drbg);
     let mut drbg2 = tre::hashes::HmacDrbg::new(b"golden-run", b"");
-    let ct2 = tre::core::tre::encrypt(
-        curve,
-        server.public(),
-        user.public(),
-        &tag,
-        b"stable",
-        &mut drbg2,
-    )
-    .unwrap();
+    let ct2 = sender.encrypt(&tag, b"stable", &mut drbg2);
     assert_eq!(
-        ct1.to_bytes(curve),
-        ct2.to_bytes(curve),
+        ct1.wire_bytes(curve),
+        ct2.wire_bytes(curve),
         "seeded runs are bit-identical"
     );
     let update = server.issue_update(curve, &tag);
     assert_eq!(
-        tre::core::tre::decrypt(curve, server.public(), &user, &update, &ct1).unwrap(),
+        Receiver::new(curve, *server.public(), user)
+            .open_with(&update, &ct1)
+            .unwrap(),
         b"stable"
     );
 }

@@ -16,18 +16,21 @@ proptest! {
     fn random_bytes_never_panic_any_parser(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let c = curve();
         // Each parser either errors or yields a structurally valid object.
-        let _ = basic::Ciphertext::from_bytes(c, &bytes);
-        let _ = fo::FoCiphertext::from_bytes(c, &bytes);
-        let _ = react::ReactCiphertext::from_bytes(c, &bytes);
-        let _ = hybrid::HybridCiphertext::from_bytes(c, &bytes);
-        let _ = idtre::IdCiphertext::from_bytes(c, &bytes);
+        let _ = basic::Ciphertext::read_body(c, &bytes);
+        let _ = fo::FoCiphertext::read_body(c, &bytes);
+        let _ = react::ReactCiphertext::read_body(c, &bytes);
+        let _ = hybrid::HybridCiphertext::read_body(c, &bytes);
+        let _ = idtre::IdCiphertext::read_body(c, &bytes);
         let _ = multi_server::MultiCiphertext::from_bytes(c, &bytes);
         let _ = policy::PolicyCiphertext::from_bytes(c, &bytes);
-        let _ = KeyUpdate::from_bytes(c, &bytes);
-        let _ = UserPublicKey::from_bytes(c, &bytes);
-        let _ = ServerPublicKey::from_bytes(c, &bytes);
+        let _ = KeyUpdate::read_body(c, &bytes);
+        let _ = UserPublicKey::read_body(c, &bytes);
+        let _ = ServerPublicKey::read_body(c, &bytes);
         let _ = c.g1_from_bytes(&bytes);
         let _ = ReleaseTag::from_bytes(&bytes);
+        // The framed layer is total too, and so is a full framed decode.
+        let _ = tre::wire::peek_frame(&bytes);
+        let _ = KeyUpdate::wire_read(c, &mut &bytes[..]);
     }
 
     #[test]
@@ -38,14 +41,15 @@ proptest! {
         let user = UserKeyPair::generate(c, server.public(), &mut rng);
         let tag = ReleaseTag::time("robust");
         let ct = fo::encrypt(c, server.public(), user.public(), &tag, b"msg", &mut rng).unwrap();
-        let bytes = ct.to_bytes(c);
+        let mut bytes = Vec::new();
+        ct.write_body(c, &mut bytes);
         let cut = cut % bytes.len();
         // Any strict prefix must fail to parse (length framing is exact).
-        prop_assert!(fo::FoCiphertext::from_bytes(c, &bytes[..cut]).is_err());
+        prop_assert!(fo::FoCiphertext::read_body(c, &bytes[..cut]).is_err());
         // Any extension must fail too.
         let mut extended = bytes.clone();
         extended.push(0);
-        prop_assert!(fo::FoCiphertext::from_bytes(c, &extended).is_err());
+        prop_assert!(fo::FoCiphertext::read_body(c, &extended).is_err());
     }
 
     #[test]

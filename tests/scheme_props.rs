@@ -2,7 +2,7 @@
 //! scheme over arbitrary messages, tags, and keys.
 
 use proptest::prelude::*;
-use tre::core::{fo, hybrid, idtre, policy, react, tre as basic};
+use tre::core::{fo, hybrid, idtre, policy, react};
 use tre::prelude::*;
 
 fn curve() -> &'static tre::pairing::CurveToy64 {
@@ -31,9 +31,14 @@ proptest! {
         let server = ServerKeyPair::from_secret(curve, curve.generator(), scalar(s_raw));
         let user = UserKeyPair::from_secret(curve, server.public(), scalar(a_raw));
         let tag = ReleaseTag::time(tag_bytes);
-        let ct = basic::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let ct = Sender::new(curve, server.public(), user.public())
+            .unwrap()
+            .encrypt(&tag, &msg, &mut rng);
         let update = server.issue_update(curve, &tag);
-        prop_assert_eq!(basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
+        prop_assert_eq!(
+            Receiver::new(curve, *server.public(), user).open_with(&update, &ct).unwrap(),
+            msg
+        );
     }
 
     #[test]
@@ -44,7 +49,7 @@ proptest! {
         let user = UserKeyPair::generate(curve, server.public(), &mut rng);
         let tag = ReleaseTag::time("prop");
         let ct = fo::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
-        let ct = tre::core::fo::FoCiphertext::from_bytes(curve, &ct.to_bytes(curve)).unwrap();
+        let ct = tre::core::fo::FoCiphertext::wire_read(curve, &mut &ct.wire_bytes(curve)[..]).unwrap();
         let update = server.issue_update(curve, &tag);
         prop_assert_eq!(fo::decrypt(curve, server.public(), &user, &update, &ct).unwrap(), msg);
     }
@@ -114,12 +119,13 @@ proptest! {
         let user = UserKeyPair::generate(curve, server.public(), &mut rng);
         let tag = ReleaseTag::time("prop");
         let ct = fo::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
-        let mut bytes = ct.to_bytes(curve);
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
         let pos = (flip.0 as usize) % bytes.len();
         let mask = if flip.1 == 0 { 1 } else { flip.1 };
         bytes[pos] ^= mask;
         let update = server.issue_update(curve, &tag);
-        if let Ok(parsed) = tre::core::fo::FoCiphertext::from_bytes(curve, &bytes) {
+        if let Ok(parsed) = tre::core::fo::FoCiphertext::read_body(curve, &bytes) {
             let r = fo::decrypt(curve, server.public(), &user, &update, &parsed);
             match r {
                 Err(_) => {}
@@ -144,9 +150,13 @@ proptest! {
         let server = ServerKeyPair::generate(curve, &mut rng);
         let user = UserKeyPair::generate(curve, server.public(), &mut rng);
         let tag = ReleaseTag::time("prop");
-        let ct = basic::encrypt(curve, server.public(), user.public(), &tag, &msg, &mut rng).unwrap();
+        let ct = Sender::new(curve, server.public(), user.public())
+            .unwrap()
+            .encrypt(&tag, &msg, &mut rng);
         let update = server.issue_update(curve, &tag);
-        let via_secret = basic::decrypt(curve, server.public(), &user, &update, &ct).unwrap();
+        let via_secret = Receiver::new(curve, *server.public(), user.clone())
+            .open_with(&update, &ct)
+            .unwrap();
         let epoch = tre::core::insulated::EpochKey::derive(curve, server.public(), &user, &update).unwrap();
         let via_epoch = epoch.decrypt(curve, &ct).unwrap();
         prop_assert_eq!(via_secret.clone(), via_epoch);

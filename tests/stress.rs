@@ -1,7 +1,7 @@
 //! A heavier end-to-end scenario: many epochs, many receivers, mixed
 //! schemes, lossy network — the whole stack under sustained load.
 
-use tre::core::{fo, tre as basic};
+use tre::core::fo;
 use tre::prelude::*;
 use tre::server::{NetConfig, Simulation};
 
@@ -66,28 +66,23 @@ fn many_tags_one_server() {
     let cts: Vec<_> = (0..n)
         .map(|i| {
             let tag = ReleaseTag::time(format!("slot-{i}"));
-            let ct = basic::encrypt(
-                curve,
-                server.public(),
-                user.public(),
-                &tag,
-                format!("payload-{i}").as_bytes(),
-                &mut rng,
-            )
-            .unwrap();
+            let ct = Sender::new(curve, server.public(), user.public())
+                .unwrap()
+                .encrypt(&tag, format!("payload-{i}").as_bytes(), &mut rng);
             (tag, ct)
         })
         .collect();
+    let mut session = Receiver::new(curve, *server.public(), user);
     for (i, (tag, ct)) in cts.iter().enumerate() {
         let update = server.issue_update(curve, tag);
         assert_eq!(
-            basic::decrypt(curve, server.public(), &user, &update, ct).unwrap(),
+            session.open_with(&update, ct).unwrap(),
             format!("payload-{i}").as_bytes()
         );
         // The same update fails on every other slot.
         for (j, (_, other)) in cts.iter().enumerate() {
             if j != i {
-                assert!(basic::decrypt(curve, server.public(), &user, &update, other).is_err());
+                assert!(session.open_with(&update, other).is_err());
             }
         }
     }
@@ -114,7 +109,7 @@ fn fo_bulk_roundtrip_unique_ciphertexts() {
         )
         .unwrap();
         assert!(
-            seen.insert(ct.to_bytes(curve)),
+            seen.insert(ct.wire_bytes(curve)),
             "ciphertexts must be unique"
         );
         assert_eq!(

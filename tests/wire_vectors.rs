@@ -1,0 +1,159 @@
+//! Golden framed wire vectors: the `tre-wire` v1 encoding of every
+//! network object, for deterministic fixtures, must match the committed
+//! vectors in `tests/vectors/wire_v1.json` byte for byte. This freezes
+//! the *framed* layout (magic, version, type tag, length, body); the raw
+//! body layouts underneath are pinned separately by `tests/golden.rs`.
+//!
+//! Regenerate after a deliberate format change with:
+//!
+//! ```text
+//! cargo test --test wire_vectors -- --ignored regenerate
+//! ```
+
+use tre::bigint::U256;
+use tre::core::{fo, hybrid, idtre, react};
+use tre::hashes::{hex, HmacDrbg};
+use tre::prelude::*;
+use tre::wire::{peek_frame, CatchUpRequest, Hello, HEADER_LEN};
+
+const VECTORS_PATH: &str = "tests/vectors/wire_v1.json";
+
+/// Deterministic fixtures, each serialized **twice** through independent
+/// `wire_bytes` calls: (name, expected type tag, first, second).
+fn fixtures() -> Vec<(&'static str, u8, Vec<u8>, Vec<u8>)> {
+    let curve = tre::pairing::toy64();
+    let server = ServerKeyPair::from_secret(curve, curve.generator(), U256::from_u64(123_456_789));
+    let user = UserKeyPair::from_secret(curve, server.public(), U256::from_u64(987_654_321));
+    let tag = ReleaseTag::time("wire-v1");
+    let update = server.issue_update(curve, &tag);
+    let sender = Sender::new(curve, server.public(), user.public()).unwrap();
+    let msg: &[u8] = b"golden wire";
+
+    let basic_ct = sender.encrypt(&tag, msg, &mut HmacDrbg::new(b"wire-v1/basic", b""));
+    let fo_ct = fo::encrypt(
+        curve,
+        server.public(),
+        user.public(),
+        &tag,
+        msg,
+        &mut HmacDrbg::new(b"wire-v1/fo", b""),
+    )
+    .unwrap();
+    let react_ct = react::encrypt(
+        curve,
+        server.public(),
+        user.public(),
+        &tag,
+        msg,
+        &mut HmacDrbg::new(b"wire-v1/react", b""),
+    )
+    .unwrap();
+    let hybrid_ct = hybrid::encrypt(
+        curve,
+        server.public(),
+        user.public(),
+        &tag,
+        msg,
+        &mut HmacDrbg::new(b"wire-v1/hybrid", b""),
+    )
+    .unwrap();
+    let id_ct = idtre::encrypt(
+        curve,
+        server.public(),
+        b"alice",
+        &tag,
+        msg,
+        &mut HmacDrbg::new(b"wire-v1/id", b""),
+    );
+
+    macro_rules! row {
+        ($name:expr, $ty:ty, $val:expr) => {{
+            let v = $val;
+            (
+                $name,
+                <$ty as Wire<8>>::TYPE_TAG,
+                v.wire_bytes(curve),
+                v.wire_bytes(curve),
+            )
+        }};
+    }
+    vec![
+        row!("server_public_key", ServerPublicKey<8>, server.public()),
+        row!("user_public_key", UserPublicKey<8>, user.public()),
+        row!("key_update", KeyUpdate<8>, &update),
+        row!("release_tag", ReleaseTag, &tag),
+        row!("ciphertext", tre::core::tre::Ciphertext<8>, &basic_ct),
+        row!("fo_ciphertext", fo::FoCiphertext<8>, &fo_ct),
+        row!("react_ciphertext", react::ReactCiphertext<8>, &react_ct),
+        row!("hybrid_ciphertext", hybrid::HybridCiphertext<8>, &hybrid_ct),
+        row!("id_ciphertext", idtre::IdCiphertext<8>, &id_ct),
+        row!("hello", Hello, Hello::current()),
+        row!(
+            "catch_up_request",
+            CatchUpRequest,
+            CatchUpRequest { from: 3, to: 9 }
+        ),
+    ]
+}
+
+#[test]
+fn wire_vectors_byte_stable_across_independent_serializations() {
+    for (name, tag, first, second) in fixtures() {
+        assert_eq!(first, second, "{name}: two serializations differ");
+        let (header, _, rest) = peek_frame(&first)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name}: incomplete frame"));
+        assert_eq!(header.type_tag, tag, "{name}: unexpected type tag");
+        assert!(rest.is_empty(), "{name}: trailing bytes after frame");
+        assert_eq!(first.len(), HEADER_LEN + header.body_len);
+    }
+}
+
+#[test]
+fn wire_vectors_match_committed_file() {
+    let committed = parse_vectors(&std::fs::read_to_string(VECTORS_PATH).unwrap());
+    let fresh = fixtures();
+    assert_eq!(committed.len(), fresh.len(), "vector count drifted");
+    for (name, _, bytes, _) in fresh {
+        let want = committed
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name}: missing from {VECTORS_PATH}"))
+            .1
+            .clone();
+        assert_eq!(hex::encode(&bytes), want, "{name}: wire bytes drifted");
+    }
+}
+
+#[test]
+#[ignore = "writes tests/vectors/wire_v1.json from the current encoders"]
+fn regenerate() {
+    std::fs::create_dir_all("tests/vectors").unwrap();
+    std::fs::write(VECTORS_PATH, render_vectors(&fixtures())).unwrap();
+}
+
+/// Minimal JSON rendering: one `"name": "hex"` entry per vector.
+fn render_vectors(rows: &[(&'static str, u8, Vec<u8>, Vec<u8>)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, _, bytes, _)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{name}\": \"{}\"{comma}\n",
+            hex::encode(bytes)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal JSON parsing for the flat `"name": "hex"` map written above.
+fn parse_vectors(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let mut parts = line.split('"');
+            let (_, name, _, value) = (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+            Some((name.to_string(), value.to_string()))
+        })
+        .collect()
+}
