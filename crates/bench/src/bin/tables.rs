@@ -18,8 +18,8 @@ use tre_core::{fo, hybrid, insulated::EpochKey, multi_server, react, server_chan
 use tre_core::{tre as basic, ReleaseTag, ServerKeyPair, UserKeyPair};
 use tre_pairing::{mid96, toy64, Curve};
 use tre_server::{
-    BroadcastNet, ChaosSim, Fault, FaultPlan, Granularity, NetConfig, ReceiverClient, SimClock,
-    TimeServer,
+    BroadcastNet, ChaosSim, Fault, FaultPlan, Granularity, JournalConfig, NetConfig,
+    ReceiverClient, SimClock, TcpFeed, TimeServer, Transport, Tred, TredConfig, UpdateArchive,
 };
 
 fn main() {
@@ -1073,6 +1073,46 @@ fn e14() {
     client.health().export_into(&mut registry, "tre_client");
     net.stats().export_into(&mut registry, "tre_net");
     registry.counter_set("tre_server_broadcasts", server.broadcast_count());
+
+    // The live daemon joins the same exposition: an in-process `tred` on
+    // loopback with a journal-backed archive and one TCP subscriber, so
+    // the snapshot covers the real transport (broadcasts, connections,
+    // catch-ups, evictions) and the journal (appends, fsyncs) alongside
+    // the simulated stack.
+    {
+        let journal_dir = std::path::Path::new("target/e14/journal");
+        let _ = std::fs::remove_dir_all(journal_dir);
+        let (archive, _) =
+            UpdateArchive::open_durable(journal_dir, curve, JournalConfig::default())
+                .expect("open e14 journal");
+        let live_clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, &mut r);
+        let live = TimeServer::recover(
+            curve,
+            keys,
+            live_clock.clone(),
+            g,
+            std::sync::Arc::new(archive),
+        );
+        let tred =
+            Tred::bind("127.0.0.1:0", curve, live, TredConfig::default()).expect("bind e14 daemon");
+        let mut feed: TcpFeed<8> =
+            TcpFeed::new(curve, tred.local_addr()).with_clock(live_clock.clone());
+        let live_sub = feed.subscribe();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while tred.subscriber_count() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        live_clock.advance(3);
+        let mut live_updates = 0usize;
+        while live_updates < 3 && std::time::Instant::now() < deadline {
+            live_updates += feed.poll(live_sub).len();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        tred.export_into(&mut registry, "tre_tred");
+        tred.shutdown();
+    }
+
     println!("Prometheus exposition snapshot:\n");
     println!("```");
     print!("{}", registry.render_prometheus());

@@ -6,31 +6,171 @@
 //! work; the archive is the paper's interim answer).
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use tre_core::KeyUpdate;
+use tre_pairing::Curve;
+
+use crate::journal::{Journal, JournalConfig, JournalStats, ReplayReport};
+
+/// The on-disk backing of a durable archive: the append-only journal and
+/// the curve needed to encode / decode record bodies.
+struct Durable<const L: usize> {
+    curve: &'static Curve<L>,
+    journal: Mutex<Journal>,
+}
+
+impl<const L: usize> std::fmt::Debug for Durable<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durable").finish_non_exhaustive()
+    }
+}
 
 /// Thread-safe archive of published updates, indexed by epoch.
+///
+/// By default the archive is purely in-memory; [`UpdateArchive::open_durable`]
+/// backs it with an append-only [`Journal`] so every publish hits stable
+/// storage *before* it is visible to readers, and a restarted server
+/// recovers its complete archive from disk.
 #[derive(Debug, Default)]
 pub struct UpdateArchive<const L: usize> {
     entries: RwLock<BTreeMap<u64, KeyUpdate<L>>>,
+    durable: Option<Durable<L>>,
 }
 
 impl<const L: usize> UpdateArchive<L> {
-    /// An empty archive.
+    /// An empty, in-memory archive.
     pub fn new() -> Self {
         Self {
             entries: RwLock::new(BTreeMap::new()),
+            durable: None,
+        }
+    }
+
+    /// Opens a journal-backed archive at `dir`, replaying any existing
+    /// records: the returned archive already contains every update that
+    /// survived on disk (torn tails truncated, corrupt records
+    /// quarantined — see [`Journal::open`]), and all subsequent
+    /// [`publish`](Self::publish) calls append to the journal before
+    /// acknowledging.
+    ///
+    /// Records whose body no longer decodes as a [`KeyUpdate`] (curve
+    /// mismatch, partial corruption that slipped framing) are dropped and
+    /// counted in the report's `quarantined_records`.
+    ///
+    /// # Errors
+    /// Propagates journal / filesystem errors.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        curve: &'static Curve<L>,
+        config: JournalConfig,
+    ) -> io::Result<(Self, ReplayReport)> {
+        let (journal, records, mut report) = Journal::open(dir, config)?;
+        let mut map = BTreeMap::new();
+        for (epoch, body) in records {
+            match KeyUpdate::read_body(curve, &body) {
+                Ok(update) => {
+                    map.insert(epoch, update);
+                }
+                Err(_) => {
+                    report.records -= 1;
+                    report.quarantined_records += 1;
+                }
+            }
+        }
+        report.latest_epoch = map.keys().next_back().copied();
+        let archive = Self {
+            entries: RwLock::new(map),
+            durable: Some(Durable {
+                curve,
+                journal: Mutex::new(journal),
+            }),
+        };
+        Ok((archive, report))
+    }
+
+    /// Whether publishes are journaled to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Journal counters, when durable.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.durable.as_ref().map(|d| d.journal.lock().stats())
+    }
+
+    /// Forces any buffered journal appends to stable storage (no-op for
+    /// an in-memory archive or when nothing is pending).
+    ///
+    /// # Errors
+    /// Propagates the underlying fsync error.
+    pub fn sync(&self) -> io::Result<()> {
+        match &self.durable {
+            Some(d) => d.journal.lock().sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Seals the active journal segment and starts a new one.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; errors on an in-memory archive never
+    /// occur (no-op).
+    pub fn rotate_journal(&self) -> io::Result<()> {
+        match &self.durable {
+            Some(d) => d.journal.lock().rotate(),
+            None => Ok(()),
+        }
+    }
+
+    /// Drops journal records older than `horizon` from sealed segments
+    /// (the in-memory map keeps serving them until restart; the paper's
+    /// archive is conceptually unbounded, so retention is an operator
+    /// decision). Returns records dropped; 0 for an in-memory archive.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn compact_journal(&self, horizon: u64) -> io::Result<u64> {
+        match &self.durable {
+            Some(d) => d.journal.lock().compact(horizon),
+            None => Ok(0),
         }
     }
 
     /// Publishes an update for `epoch` (idempotent — re-publishing the same
     /// epoch overwrites, which is harmless since updates are deterministic).
+    ///
+    /// On a durable archive the update is appended to the journal **before**
+    /// it becomes visible to readers, so an acknowledged publish survives a
+    /// crash (under `FsyncPolicy::EveryRecord`; `EveryN` bounds the loss
+    /// window to N-1 records).
+    ///
+    /// # Panics
+    /// If the journal append fails: serving an update that is not durable
+    /// would silently break the recovery guarantee, so the server crashes
+    /// instead.
     pub fn publish(&self, epoch: u64, update: KeyUpdate<L>) {
+        if let Some(d) = &self.durable {
+            let mut body = Vec::new();
+            update.write_body(d.curve, &mut body);
+            d.journal
+                .lock()
+                .append(epoch, &body)
+                .expect("journal append failed: refusing to ack a non-durable update");
+        }
         self.entries.write().insert(epoch, update);
     }
 
-    /// Fetches the update for `epoch`, if its release time has passed.
+    /// Fetches the stored update for `epoch`, if any.
+    ///
+    /// No release-time check happens here: the server only ever *stores*
+    /// an update once its epoch has been reached ([`crate::TimeServer`]
+    /// refuses to sign future epochs), so presence in the archive already
+    /// implies the release time has passed. Callers that accept archives
+    /// from untrusted sources must enforce their own clock check — this
+    /// is a `get_unchecked` in that sense.
     pub fn get(&self, epoch: u64) -> Option<KeyUpdate<L>> {
         let found = self.entries.read().get(&epoch).cloned();
         if tre_obs::is_enabled() {
@@ -137,5 +277,72 @@ mod tests {
             assert!(h.join().unwrap());
         }
         assert_eq!(archive.len(), 4);
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tre-archive-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_archive_survives_reopen() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let dir = tmp_dir("reopen");
+        {
+            let (archive, report) =
+                UpdateArchive::open_durable(&dir, curve, JournalConfig::default()).unwrap();
+            assert!(archive.is_durable());
+            assert_eq!(report.records, 0);
+            for e in 0..6 {
+                archive.publish(e, update(&server, e));
+            }
+            assert_eq!(archive.journal_stats().unwrap().appends, 6);
+        }
+        // "Restart": a fresh process opening the same directory sees the
+        // complete archive, and every replayed update still verifies.
+        let (archive, report) =
+            UpdateArchive::open_durable(&dir, curve, JournalConfig::default()).unwrap();
+        assert_eq!(report.records, 6);
+        assert_eq!(report.latest_epoch, Some(5));
+        assert_eq!(archive.latest_epoch(), Some(5));
+        for e in 0..6 {
+            let u = archive.get(e).expect("replayed epoch present");
+            assert!(u.verify(curve, server.public()), "replayed update verifies");
+        }
+        assert_eq!(archive.range(0, 5).len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_archive_is_idempotent_across_republish() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let dir = tmp_dir("idem");
+        {
+            let (archive, _) =
+                UpdateArchive::open_durable(&dir, curve, JournalConfig::default()).unwrap();
+            let u = update(&server, 7);
+            archive.publish(7, u.clone());
+            archive.publish(7, u); // duplicate append — harmless
+        }
+        let (archive, report) =
+            UpdateArchive::open_durable(&dir, curve, JournalConfig::default()).unwrap();
+        assert_eq!(report.records, 2, "journal keeps both appends");
+        assert_eq!(archive.len(), 1, "map deduplicates by epoch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_archive_durability_hooks_are_noops() {
+        let archive: UpdateArchive<8> = UpdateArchive::new();
+        assert!(!archive.is_durable());
+        assert!(archive.journal_stats().is_none());
+        archive.sync().unwrap();
+        archive.rotate_journal().unwrap();
+        assert_eq!(archive.compact_journal(100).unwrap(), 0);
     }
 }

@@ -1,40 +1,74 @@
 //! `tred` — the passive time-server broadcast daemon.
 //!
-//! Boots a [`tre_server::Tred`] on the toy 64-bit curve with a freshly
-//! generated server key pair and drives its epoch clock from real wall
-//! time: one epoch per `--interval-ms`. Subscribers connect with
-//! [`tre_server::TcpFeed`] (or anything speaking the `tre-wire` framing),
-//! receive every key update as it becomes due, and can request archived
-//! epochs with a `CatchUpRequest` frame.
+//! Boots a [`tre_server::Tred`] on the toy 64-bit curve and drives its
+//! epoch clock from real wall time: one epoch per `--interval-ms`.
+//! Subscribers connect with [`tre_server::TcpFeed`] (or anything
+//! speaking the `tre-wire` framing), receive every key update as it
+//! becomes due, and can request archived epochs with a `CatchUpRequest`
+//! frame.
 //!
 //! ```text
 //! tred [--addr 127.0.0.1:7100] [--interval-ms 1000] [--epochs N]
+//!      [--journal DIR] [--fsync every|every=N|close] [--retain N]
 //! ```
 //!
-//! With `--epochs N` the daemon publishes epochs `0..=N`, prints its
+//! Without `--journal` the daemon is ephemeral: a fresh random key pair
+//! and an in-memory archive, both lost on exit. With `--journal DIR`
+//! the archive is backed by the durable append-only journal in `DIR`
+//! (every publish hits disk before it is acked), the server key pair is
+//! persisted to `DIR/key.trek`, and a restart — even after `SIGKILL` —
+//! recovers the complete archive, the same public key, and resumes
+//! publishing at the next epoch. `--fsync` picks the journal durability
+//! policy (default `every`: fsync per record); `--retain N` compacts
+//! journal epochs older than `latest - N` as the daemon runs.
+//!
+//! With `--epochs N` the daemon publishes epochs up to `N`, prints its
 //! counters, and exits (the CI smoke-test mode); without it the daemon
 //! runs until killed. The bound address and the server public key (hex,
 //! `tre-wire` framed) are printed on startup so clients can be pointed
 //! at a `--addr 127.0.0.1:0` ephemeral port.
 
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
-use tre_core::ServerKeyPair;
-use tre_pairing::toy64;
-use tre_server::{Granularity, SimClock, TimeServer, Tred, TredConfig};
+use tre_bigint::U256;
+use tre_core::{ServerKeyPair, ServerPublicKey};
+use tre_pairing::{toy64, Curve};
+use tre_server::{
+    FsyncPolicy, Granularity, JournalConfig, SimClock, TimeServer, Tred, TredConfig, UpdateArchive,
+};
 use tre_wire::Wire;
 
 struct Args {
     addr: String,
     interval: Duration,
     epochs: Option<u64>,
+    journal: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    retain: Option<u64>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N]");
+    eprintln!(
+        "usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
+         [--journal DIR] [--fsync every|every=N|close] [--retain N]"
+    );
     exit(2);
+}
+
+fn parse_fsync(s: &str) -> FsyncPolicy {
+    match s {
+        "every" => FsyncPolicy::EveryRecord,
+        "close" => FsyncPolicy::OnClose,
+        _ => match s.strip_prefix("every=").and_then(|n| n.parse().ok()) {
+            Some(n) if n > 0 => FsyncPolicy::EveryN(n),
+            _ => usage(),
+        },
+    }
 }
 
 fn parse_args() -> Args {
@@ -42,6 +76,9 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7100".to_string(),
         interval: Duration::from_millis(1000),
         epochs: None,
+        journal: None,
+        fsync: FsyncPolicy::EveryRecord,
+        retain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,9 +89,16 @@ fn parse_args() -> Args {
                 args.interval = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
             }
             "--epochs" => args.epochs = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--journal" => args.journal = Some(PathBuf::from(value())),
+            "--fsync" => args.fsync = parse_fsync(&value()),
+            "--retain" => args.retain = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if args.journal.is_none() && args.retain.is_some() {
+        eprintln!("tred: --retain requires --journal");
+        exit(2);
     }
     args
 }
@@ -63,13 +107,100 @@ fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
+/// Loads the persisted server key pair from `DIR/key.trek`, or generates
+/// and persists a fresh one. Layout: the public key's canonical body
+/// (two curve points) followed by the 32-byte big-endian secret — enough
+/// to reconstruct the pair with [`ServerKeyPair::from_secret`], so a
+/// restarted daemon signs with the *same* key and old updates keep
+/// verifying.
+fn load_or_create_keys(curve: &'static Curve<8>, dir: &Path) -> ServerKeyPair<8> {
+    let path = dir.join("key.trek");
+    let point_bytes = 2 * curve.point_len();
+    if let Ok(mut f) = std::fs::File::open(&path) {
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes).expect("read key.trek");
+        if bytes.len() != point_bytes + 32 {
+            eprintln!(
+                "tred: {} is malformed ({} bytes)",
+                path.display(),
+                bytes.len()
+            );
+            exit(1);
+        }
+        let public = ServerPublicKey::read_body(curve, &bytes[..point_bytes]).unwrap_or_else(|e| {
+            eprintln!("tred: {} holds a bad public key: {e:?}", path.display());
+            exit(1);
+        });
+        let secret = U256::from_be_bytes(&bytes[point_bytes..]).expect("32-byte secret");
+        return ServerKeyPair::from_secret(curve, *public.g(), secret);
+    }
+    let mut rng = rand::thread_rng();
+    let keys = ServerKeyPair::generate(curve, &mut rng);
+    let mut bytes = Vec::with_capacity(point_bytes + 32);
+    keys.public().write_body(curve, &mut bytes);
+    bytes.extend_from_slice(&keys.secret_scalar().to_be_bytes());
+    std::fs::create_dir_all(dir).expect("create journal dir");
+    let tmp = path.with_extension("trek.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).expect("write key.trek");
+        f.write_all(&bytes).expect("write key.trek");
+        f.sync_data().expect("fsync key.trek");
+    }
+    std::fs::rename(&tmp, &path).expect("persist key.trek");
+    keys
+}
+
 fn main() {
     let args = parse_args();
     let curve = toy64();
-    let mut rng = rand::thread_rng();
-    let keys = ServerKeyPair::generate(curve, &mut rng);
     let clock = SimClock::new();
-    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+
+    let server = match &args.journal {
+        Some(dir) => {
+            let config = JournalConfig {
+                fsync: args.fsync,
+                ..JournalConfig::default()
+            };
+            let (archive, report) = match UpdateArchive::open_durable(dir, curve, config) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("tred: cannot open journal {}: {e}", dir.display());
+                    exit(1);
+                }
+            };
+            println!(
+                "tred: journal {} replayed {} records (latest epoch {}, {} quarantined, {} torn-tail bytes)",
+                dir.display(),
+                report.records,
+                report
+                    .latest_epoch
+                    .map_or_else(|| "none".to_string(), |e| e.to_string()),
+                report.quarantined_records,
+                report.torn_tail_bytes,
+            );
+            let keys = load_or_create_keys(curve, dir);
+            // Resume the epoch clock where the archive left off: recover
+            // sets the publish cursor to latest+1, so the next interval
+            // tick publishes exactly the next epoch — no gaps, no
+            // double-publish.
+            if let Some(latest) = report.latest_epoch {
+                clock.set(latest);
+            }
+            TimeServer::recover(
+                curve,
+                keys,
+                clock.clone(),
+                Granularity::Seconds,
+                Arc::new(archive),
+            )
+        }
+        None => {
+            let mut rng = rand::thread_rng();
+            let keys = ServerKeyPair::generate(curve, &mut rng);
+            TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds)
+        }
+    };
+    let archive = server.archive_handle();
 
     let tred = match Tred::bind(&args.addr, curve, server, TredConfig::default()) {
         Ok(t) => t,
@@ -92,8 +223,9 @@ fn main() {
         }
     );
 
-    // Epoch 0 is due immediately; each interval makes one more epoch due.
-    let mut published = 0u64;
+    // Epoch 0 is due immediately (or, after recovery, the clock resumes
+    // at the last archived epoch); each interval makes one more due.
+    let mut published = clock.now();
     loop {
         if let Some(last) = args.epochs {
             if published >= last {
@@ -102,6 +234,13 @@ fn main() {
         }
         std::thread::sleep(args.interval);
         published = clock.advance(1);
+        if let Some(retain) = args.retain {
+            if published > retain {
+                if let Err(e) = archive.compact_journal(published - retain) {
+                    eprintln!("tred: journal compaction failed: {e}");
+                }
+            }
+        }
     }
     // Leave one interval for the ticker to flush the final epoch.
     std::thread::sleep(args.interval.max(Duration::from_millis(50)));
@@ -116,5 +255,14 @@ fn main() {
         stats.evicted.load(Ordering::Relaxed),
         stats.wire_errors.load(Ordering::Relaxed),
     );
+    if let Some(js) = archive.journal_stats() {
+        println!(
+            "tred: journal — {} appends, {} fsyncs, {} rotations, {} compacted",
+            js.appends, js.fsyncs, js.rotations, js.compacted_records,
+        );
+    }
+    if let Err(e) = archive.sync() {
+        eprintln!("tred: final journal sync failed: {e}");
+    }
     tred.shutdown();
 }

@@ -1,0 +1,767 @@
+//! Live-socket fault injection: a chaos proxy between `tred` and its
+//! feeds, plus a reconnect supervisor for the client side.
+//!
+//! The PR 1 [`crate::ChaosSim`] exercises the *simulated* broadcast
+//! channel; this module points the same [`FaultPlan`] vocabulary at the
+//! real TCP transport. A [`ChaosProxy`] listens on its own port,
+//! forwards every accepted connection to an upstream [`crate::Tred`]
+//! daemon, and perturbs the byte stream according to the plan's
+//! transport faults:
+//!
+//! * [`Fault::Partition`] — the proxy stalls all forwarding for the
+//!   window (bytes are held, not dropped — TCP semantics);
+//! * [`Fault::LatencySpike`] — each relayed chunk picks up a fixed
+//!   extra delay;
+//! * [`Fault::TornFrame`] — the proxy forwards *half* of a
+//!   server→client chunk and severs the connection mid-frame;
+//! * [`Fault::CorruptByte`] — one byte of each server→client chunk is
+//!   flipped in transit;
+//! * [`Fault::ConnReset`] — every connection alive at the instant is
+//!   abruptly closed.
+//!
+//! In a proxy plan, [`FaultEvent::at`] and all window lengths are
+//! **milliseconds of proxy uptime** (the sim interprets the same fields
+//! as clock ticks). The `client` field of `Partition` is ignored here:
+//! the proxy cannot attribute a TCP connection to a sim client index,
+//! so partitions are global stalls.
+//!
+//! [`SupervisedFeed`] wraps a [`TcpFeed`] with what a production
+//! receiver needs to survive the proxy: detection of dead connections,
+//! reconnection with jittered exponential backoff, and gap repair — on
+//! every successful reconnect it issues a [`CatchUpRequest`]-backed
+//! replay from the last epoch it saw, so a receiver that lived through
+//! a partition or reset still converges on the complete epoch range
+//! (liveness) while the client's signature verification continues to
+//! reject anything the proxy mangled (safety).
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use tre_core::KeyUpdate;
+
+use crate::clock::Granularity;
+use crate::faults::{fault_name, Fault, FaultEvent, FaultPlan};
+use crate::net::SubscriberId;
+use crate::tcp::TcpFeed;
+use crate::transport::Transport;
+
+/// Proxy counters (all monotone; readable while the proxy runs).
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Client connections accepted (and bridged upstream).
+    pub connections: AtomicU64,
+    /// Bytes relayed client → server.
+    pub bytes_up: AtomicU64,
+    /// Bytes relayed server → client.
+    pub bytes_down: AtomicU64,
+    /// Chunks held back by a partition stall window.
+    pub stalled_chunks: AtomicU64,
+    /// Chunks delayed by a latency spike window.
+    pub delayed_chunks: AtomicU64,
+    /// Bytes flipped by corruption windows.
+    pub corrupted_bytes: AtomicU64,
+    /// Connections severed mid-frame by torn-frame windows.
+    pub torn_frames: AtomicU64,
+    /// Connections killed by reset events.
+    pub resets: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Publishes the counters into a shared registry under
+    /// `<prefix>_<stat>` names. Absolute values, so re-export overwrites.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        let pairs = [
+            ("connections", &self.connections),
+            ("bytes_up", &self.bytes_up),
+            ("bytes_down", &self.bytes_down),
+            ("stalled_chunks", &self.stalled_chunks),
+            ("delayed_chunks", &self.delayed_chunks),
+            ("corrupted_bytes", &self.corrupted_bytes),
+            ("torn_frames", &self.torn_frames),
+            ("resets", &self.resets),
+        ];
+        for (name, counter) in pairs {
+            registry.counter_set(&format!("{prefix}_{name}"), counter.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// The transport fault schedule, resolved from a [`FaultPlan`] into
+/// absolute millisecond windows at bind time.
+#[derive(Debug, Clone, Default)]
+struct Schedule {
+    /// Partition stall windows `[start, end)`.
+    stalls: Vec<(u64, u64)>,
+    /// Latency windows `(start, end, delay_ms)`.
+    latency: Vec<(u64, u64, u64)>,
+    /// Torn-frame windows `[start, end)`.
+    torn: Vec<(u64, u64)>,
+    /// Corruption windows `[start, end)`.
+    corrupt: Vec<(u64, u64)>,
+    /// Reset instants, sorted.
+    resets: Vec<u64>,
+}
+
+impl Schedule {
+    fn from_plan(plan: &FaultPlan) -> Self {
+        let mut s = Self::default();
+        for FaultEvent { at, fault } in plan.events() {
+            let at = *at;
+            match *fault {
+                Fault::Partition { heal_after, .. } => s.stalls.push((at, at + heal_after)),
+                Fault::LatencySpike { delay_ms, for_ms } => {
+                    s.latency.push((at, at + for_ms, delay_ms));
+                }
+                Fault::TornFrame { for_ms } => s.torn.push((at, at + for_ms)),
+                Fault::CorruptByte { for_ms } => s.corrupt.push((at, at + for_ms)),
+                Fault::ConnReset => s.resets.push(at),
+                // Sim-only faults have no transport meaning.
+                _ => {}
+            }
+        }
+        s.resets.sort_unstable();
+        s
+    }
+
+    /// Latest end among stall windows containing `now` (None = not stalled).
+    fn stalled_until(&self, now: u64) -> Option<u64> {
+        self.stalls
+            .iter()
+            .filter(|(a, b)| *a <= now && now < *b)
+            .map(|(_, b)| *b)
+            .max()
+    }
+
+    /// Extra delay active at `now` (max across overlapping windows).
+    fn delay_at(&self, now: u64) -> Option<u64> {
+        self.latency
+            .iter()
+            .filter(|(a, b, _)| *a <= now && now < *b)
+            .map(|(_, _, d)| *d)
+            .max()
+    }
+
+    fn tearing(&self, now: u64) -> bool {
+        self.torn.iter().any(|(a, b)| *a <= now && now < *b)
+    }
+
+    fn corrupting(&self, now: u64) -> bool {
+        self.corrupt.iter().any(|(a, b)| *a <= now && now < *b)
+    }
+
+    /// Whether a reset fires in `(born, now]` — i.e. while this
+    /// connection has been alive.
+    fn reset_since(&self, born: u64, now: u64) -> bool {
+        self.resets.iter().any(|&t| born < t && t <= now)
+    }
+}
+
+struct ProxyShared {
+    upstream: SocketAddr,
+    schedule: Schedule,
+    start: Instant,
+    stats: Arc<ProxyStats>,
+    shutdown: AtomicBool,
+    seed: u64,
+    pipe_counter: AtomicU64,
+}
+
+impl ProxyShared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A fault-injecting TCP proxy in front of a [`crate::Tred`] daemon.
+/// Point feeds at [`ChaosProxy::local_addr`] instead of the daemon and
+/// drive the transport faults of a [`FaultPlan`] against real sockets.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`), forwarding every accepted
+    /// connection to `upstream` through the plan's transport-fault
+    /// windows. The fault clock (event `at` offsets, in milliseconds)
+    /// starts now.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind.
+    pub fn bind(
+        listen: &str,
+        upstream: SocketAddr,
+        plan: &FaultPlan,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream,
+            schedule: Schedule::from_plan(plan),
+            start: Instant::now(),
+            stats: Arc::new(ProxyStats::default()),
+            shutdown: AtomicBool::new(false),
+            seed,
+            pipe_counter: AtomicU64::new(0),
+        });
+        if tre_obs::is_enabled() {
+            for FaultEvent { at, fault } in plan.events() {
+                tre_obs::event(
+                    "chaos_proxy.scheduled",
+                    &format!("at_ms={at} {}", fault_name(fault)),
+                );
+            }
+        }
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(client) = stream {
+                        bridge(&shared, client);
+                    }
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The proxy's listen address — what feeds should dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live proxy counters.
+    pub fn stats(&self) -> Arc<ProxyStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Stops accepting, severs the relay pipes, and joins the accept
+    /// loop. Established `tred` connections close as their pipes notice
+    /// the flag.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bridges one accepted client connection to the upstream daemon: two
+/// pipe threads, one per direction. Faults that mangle payload bytes
+/// (`TornFrame`, `CorruptByte`) apply only server→client — the chaos
+/// model attacks what receivers *consume*; mangling the client's
+/// control frames would just make the daemon drop the connection.
+fn bridge(shared: &Arc<ProxyShared>, client: TcpStream) {
+    let Ok(upstream) = TcpStream::connect(shared.upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    let up_id = shared.pipe_counter.fetch_add(1, Ordering::Relaxed);
+    let down_id = shared.pipe_counter.fetch_add(1, Ordering::Relaxed);
+    {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pipe(&shared, client_r, upstream, false, up_id));
+    }
+    {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pipe(&shared, upstream_r, client, true, down_id));
+    }
+}
+
+/// Relays `src` → `dst` through the fault schedule until EOF, error,
+/// shutdown, or an injected kill. `downstream` marks the server→client
+/// direction (the only one whose payload is mangled).
+fn pipe(shared: &ProxyShared, mut src: TcpStream, mut dst: TcpStream, downstream: bool, id: u64) {
+    use std::io::{Read, Write};
+    let _ = src.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut rng = StdRng::seed_from_u64(shared.seed ^ (0x9E37_79B9 * (id + 1)));
+    let born = shared.now_ms();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // Reset events kill connections even while idle.
+        if shared.schedule.reset_since(born, shared.now_ms()) {
+            shared.stats.resets.fetch_add(1, Ordering::Relaxed);
+            if tre_obs::is_enabled() {
+                tre_obs::event("chaos_proxy.reset", &format!("pipe={id}"));
+            }
+            break;
+        }
+        let n = match src.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let mut data = chunk[..n].to_vec();
+
+        // Partition: hold the bytes until every stall window closes
+        // (TCP never drops; it delays).
+        let mut stalled = false;
+        while let Some(until) = shared.schedule.stalled_until(shared.now_ms()) {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            stalled = true;
+            let remaining = until.saturating_sub(shared.now_ms());
+            std::thread::sleep(Duration::from_millis(remaining.clamp(1, 10)));
+        }
+        if stalled {
+            shared.stats.stalled_chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(delay) = shared.schedule.delay_at(shared.now_ms()) {
+            shared.stats.delayed_chunks.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        if downstream && shared.schedule.corrupting(shared.now_ms()) {
+            // Flip one bit of one byte: enough to break the signature
+            // (or the framing) without desyncing deterministic replays.
+            let i = (rng.next_u64() as usize) % data.len();
+            let bit = 1u8 << (rng.next_u64() % 8) as u8;
+            data[i] ^= bit;
+            shared.stats.corrupted_bytes.fetch_add(1, Ordering::Relaxed);
+            if tre_obs::is_enabled() {
+                tre_obs::event("chaos_proxy.corrupt", &format!("pipe={id} offset={i}"));
+            }
+        }
+        if downstream && shared.schedule.tearing(shared.now_ms()) && data.len() >= 2 {
+            // Forward half the chunk, then sever mid-frame.
+            let _ = dst.write_all(&data[..data.len() / 2]);
+            shared.stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+            if tre_obs::is_enabled() {
+                tre_obs::event("chaos_proxy.torn", &format!("pipe={id}"));
+            }
+            break;
+        }
+        if dst.write_all(&data).is_err() {
+            break;
+        }
+        let counter = if downstream {
+            &shared.stats.bytes_down
+        } else {
+            &shared.stats.bytes_up
+        };
+        counter.fetch_add(data.len() as u64, Ordering::Relaxed);
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// Reconnect supervision knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// First-retry backoff.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// How many epochs past the last-seen one a reconnect catch-up
+    /// requests (the daemon clamps the range to what it has archived).
+    pub catch_up_horizon: u64,
+    /// Minimum spacing between in-stream gap-repair requests per
+    /// subscriber (anti-entropy rate limit).
+    pub repair_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+            catch_up_horizon: 1024,
+            repair_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Per-supervised-subscriber counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Dead connections detected.
+    pub disconnects_seen: u64,
+    /// Reconnect attempts (successful or not).
+    pub reconnect_attempts: u64,
+    /// Successful reconnects.
+    pub reconnects: u64,
+    /// Gap-repair catch-up requests issued after a reconnect.
+    pub gap_repairs: u64,
+}
+
+#[derive(Debug, Default)]
+struct SubState {
+    /// Every epoch seen on this subscription (tracked across faults, so
+    /// interior gaps — a corrupted frame on a live connection — are
+    /// detectable, not just tail gaps after a disconnect).
+    seen: std::collections::BTreeSet<u64>,
+    /// Consecutive failed reconnect attempts.
+    attempts: u32,
+    /// Earliest instant the next reconnect may be tried.
+    retry_at: Option<Instant>,
+    /// Earliest instant the next in-stream gap repair may be issued.
+    next_repair_at: Option<Instant>,
+}
+
+/// A [`TcpFeed`] wrapped with reconnect supervision: dead connections
+/// are detected on [`Transport::poll`], re-dialed with jittered
+/// exponential backoff, and repaired with an archive catch-up from the
+/// last epoch the subscriber saw. Implements [`Transport`], so a
+/// [`crate::ReceiverClient`] pumps it exactly like a bare feed — the
+/// supervision is invisible above the transport line.
+pub struct SupervisedFeed<const L: usize> {
+    feed: TcpFeed<L>,
+    granularity: Granularity,
+    config: SupervisorConfig,
+    rng: StdRng,
+    subs: HashMap<usize, SubState>,
+    stats: SupervisorStats,
+}
+
+impl<const L: usize> SupervisedFeed<L> {
+    /// Wraps `feed`. `granularity` maps update tags back to epochs for
+    /// gap tracking; `seed` makes the backoff jitter reproducible.
+    pub fn new(
+        feed: TcpFeed<L>,
+        granularity: Granularity,
+        config: SupervisorConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            feed,
+            granularity,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            subs: HashMap::new(),
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Supervision counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// The wrapped feed (e.g. for [`TcpFeed::stats`]).
+    pub fn inner(&self) -> &TcpFeed<L> {
+        &self.feed
+    }
+
+    /// Highest epoch this subscriber has seen, if any.
+    pub fn last_epoch(&self, id: SubscriberId) -> Option<u64> {
+        self.subs
+            .get(&id.index())
+            .and_then(|s| s.seen.iter().next_back().copied())
+    }
+
+    /// Epochs missing from the contiguous range `0..=last_epoch` — what
+    /// the next gap repair will request.
+    pub fn missing_epochs(&self, id: SubscriberId) -> Vec<u64> {
+        let Some(state) = self.subs.get(&id.index()) else {
+            return Vec::new();
+        };
+        let Some(&max) = state.seen.iter().next_back() else {
+            return Vec::new();
+        };
+        (0..=max).filter(|e| !state.seen.contains(e)).collect()
+    }
+
+    /// Whether the subscriber's connection is currently up.
+    pub fn is_connected(&self, id: SubscriberId) -> bool {
+        self.feed.is_connected(id)
+    }
+
+    /// Jittered exponential backoff: `base * 2^attempts` capped at
+    /// `max`, then uniformly jittered into `[d/2, d]` so a fleet of
+    /// receivers does not reconnect in lockstep after a partition heals.
+    fn backoff(&mut self, attempts: u32) -> Duration {
+        let base = self.config.base_delay.as_millis() as u64;
+        let max = self.config.max_delay.as_millis() as u64;
+        let d = base
+            .saturating_mul(1u64 << attempts.min(20))
+            .clamp(1, max.max(1));
+        let jittered = d / 2 + self.rng.next_u64() % (d / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+
+    /// Runs the supervision state machine for one dead subscriber.
+    fn supervise(&mut self, id: SubscriberId) {
+        let idx = id.index();
+        let now = Instant::now();
+        {
+            let state = self.subs.entry(idx).or_default();
+            if state.retry_at.is_none() {
+                // Freshly detected disconnect: back off before the
+                // first re-dial (the daemon may still be restarting).
+                self.stats.disconnects_seen += 1;
+                state.attempts = 0;
+            }
+        }
+        let delay_due = match self.subs[&idx].retry_at {
+            Some(at) => now >= at,
+            None => true,
+        };
+        if !delay_due {
+            return;
+        }
+        self.stats.reconnect_attempts += 1;
+        match self.feed.reconnect(id) {
+            Ok(()) => {
+                self.stats.reconnects += 1;
+                let last = self.subs[&idx].seen.iter().next_back().copied();
+                let state = self.subs.get_mut(&idx).expect("state inserted above");
+                state.attempts = 0;
+                state.retry_at = None;
+                // Ask for an immediate interior-gap sweep too.
+                state.next_repair_at = None;
+                // Tail repair: replay everything after the last epoch we
+                // saw. The daemon serves only what the archive holds, so
+                // an over-wide range is harmless.
+                let from = last.map_or(0, |e| e + 1);
+                let to = from + self.config.catch_up_horizon;
+                if self.feed.request_catch_up(id, from, to).is_ok() {
+                    self.stats.gap_repairs += 1;
+                    if tre_obs::is_enabled() {
+                        tre_obs::event(
+                            "supervisor.gap_repair",
+                            &format!("sub={idx} from={from} to={to}"),
+                        );
+                    }
+                }
+            }
+            Err(_) => {
+                let attempts = self.subs[&idx].attempts;
+                let delay = self.backoff(attempts);
+                let state = self.subs.get_mut(&idx).expect("state inserted above");
+                state.attempts = attempts.saturating_add(1);
+                state.retry_at = Some(now + delay);
+            }
+        }
+    }
+
+    /// Requests a replay of any interior gaps (epochs missing from
+    /// `0..=max_seen`) — the anti-entropy path that recovers updates a
+    /// fault mangled *without* killing the connection. Rate-limited by
+    /// `repair_interval`.
+    fn repair_gaps(&mut self, id: SubscriberId) {
+        let idx = id.index();
+        let now = Instant::now();
+        let (from, to) = {
+            let Some(state) = self.subs.get(&idx) else {
+                return;
+            };
+            if state.next_repair_at.is_some_and(|at| now < at) {
+                return;
+            }
+            let Some(&max) = state.seen.iter().next_back() else {
+                return;
+            };
+            let missing: Vec<u64> = (0..=max).filter(|e| !state.seen.contains(e)).collect();
+            match (missing.first(), missing.last()) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => return,
+            }
+        };
+        if self.feed.request_catch_up(id, from, to).is_ok() {
+            self.stats.gap_repairs += 1;
+            if tre_obs::is_enabled() {
+                tre_obs::event(
+                    "supervisor.gap_repair",
+                    &format!("sub={idx} from={from} to={to}"),
+                );
+            }
+        }
+        let state = self.subs.get_mut(&idx).expect("checked above");
+        state.next_repair_at = Some(now + self.config.repair_interval);
+    }
+}
+
+impl<const L: usize> Transport<L> for SupervisedFeed<L> {
+    fn subscribe(&mut self) -> SubscriberId {
+        let id = self.feed.subscribe();
+        self.subs.insert(id.index(), SubState::default());
+        id
+    }
+
+    fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)> {
+        let updates = self.feed.poll(id);
+        {
+            let granularity = self.granularity;
+            let state = self.subs.entry(id.index()).or_default();
+            for epoch in updates
+                .iter()
+                .filter_map(|(_, u)| granularity.epoch_of_tag(u.tag()))
+            {
+                state.seen.insert(epoch);
+            }
+        }
+        if self.feed.is_connected(id) {
+            self.repair_gaps(id);
+        } else {
+            self.supervise(id);
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_windows_resolve_from_plan() {
+        let plan = FaultPlan::new()
+            .at(
+                10,
+                Fault::Partition {
+                    client: 0,
+                    heal_after: 30,
+                },
+            )
+            .at(
+                50,
+                Fault::LatencySpike {
+                    delay_ms: 7,
+                    for_ms: 20,
+                },
+            )
+            .at(100, Fault::TornFrame { for_ms: 5 })
+            .at(200, Fault::CorruptByte { for_ms: 5 })
+            .at(300, Fault::ConnReset)
+            // Sim-only faults must not leak into the transport schedule.
+            .at(400, Fault::ServerCrash { down_for: 9 });
+        let s = Schedule::from_plan(&plan);
+        assert_eq!(s.stalled_until(9), None);
+        assert_eq!(s.stalled_until(10), Some(40));
+        assert_eq!(s.stalled_until(39), Some(40));
+        assert_eq!(s.stalled_until(40), None);
+        assert_eq!(s.delay_at(49), None);
+        assert_eq!(s.delay_at(60), Some(7));
+        assert!(s.tearing(100) && !s.tearing(105));
+        assert!(s.corrupting(204) && !s.corrupting(205));
+        assert!(
+            s.reset_since(0, 300),
+            "reset fires for conns born before it"
+        );
+        assert!(!s.reset_since(300, 1000), "born at the instant: not killed");
+        assert!(!s.reset_since(0, 299), "not yet fired");
+    }
+
+    #[test]
+    fn overlapping_stalls_take_the_latest_end() {
+        let plan = FaultPlan::new()
+            .at(
+                0,
+                Fault::Partition {
+                    client: 0,
+                    heal_after: 10,
+                },
+            )
+            .at(
+                5,
+                Fault::Partition {
+                    client: 1,
+                    heal_after: 20,
+                },
+            );
+        let s = Schedule::from_plan(&plan);
+        assert_eq!(s.stalled_until(6), Some(25));
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_deterministically() {
+        let curve = tre_pairing::toy64();
+        let feed: TcpFeed<8> = TcpFeed::new(curve, "127.0.0.1:1".parse().unwrap());
+        let config = SupervisorConfig {
+            base_delay: Duration::from_millis(8),
+            max_delay: Duration::from_millis(100),
+            catch_up_horizon: 16,
+            repair_interval: Duration::from_millis(50),
+        };
+        let mut a = SupervisedFeed::new(feed, Granularity::Seconds, config, 7);
+        let delays: Vec<u64> = (0..8).map(|n| a.backoff(n).as_millis() as u64).collect();
+        for (n, d) in delays.iter().enumerate() {
+            let ceiling = (8u64 << n).min(100);
+            assert!(
+                (ceiling / 2..=ceiling).contains(d),
+                "attempt {n}: {d}ms outside [{}, {ceiling}]",
+                ceiling / 2
+            );
+        }
+        assert!(delays.iter().skip(4).all(|&d| d <= 100), "cap respected");
+        // Same seed → same jitter sequence.
+        let feed2: TcpFeed<8> = TcpFeed::new(curve, "127.0.0.1:1".parse().unwrap());
+        let mut b = SupervisedFeed::new(feed2, Granularity::Seconds, config, 7);
+        let delays2: Vec<u64> = (0..8).map(|n| b.backoff(n).as_millis() as u64).collect();
+        assert_eq!(delays, delays2);
+    }
+
+    /// Clean proxy (empty plan) is a transparent relay: a feed through
+    /// it behaves exactly like a direct connection.
+    #[test]
+    fn transparent_proxy_relays_broadcasts() {
+        use crate::clock::SimClock;
+        use crate::server::TimeServer;
+        use crate::tcp::{Tred, TredConfig};
+        use tre_core::ServerKeyPair;
+
+        let curve = tre_pairing::toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let spk = *keys.public();
+        let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+        let tred = Tred::bind("127.0.0.1:0", curve, server, TredConfig::default()).unwrap();
+        let proxy =
+            ChaosProxy::bind("127.0.0.1:0", tred.local_addr(), &FaultPlan::new(), 1).unwrap();
+
+        let mut feed: TcpFeed<8> =
+            TcpFeed::new(curve, proxy.local_addr()).with_clock(clock.clone());
+        let sub = feed.subscribe();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while tred.subscriber_count() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        clock.advance(2);
+        let mut got: Vec<KeyUpdate<8>> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < 2 && Instant::now() < deadline {
+            got.extend(feed.poll(sub).into_iter().map(|(_, u)| u));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(got.len() >= 2, "broadcasts crossed the proxy");
+        for u in &got {
+            assert!(u.verify(curve, &spk), "nothing mangled in transit");
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.connections.load(Ordering::Relaxed), 1);
+        assert!(stats.bytes_down.load(Ordering::Relaxed) > 0);
+        assert_eq!(stats.corrupted_bytes.load(Ordering::Relaxed), 0);
+        proxy.shutdown();
+        tred.shutdown();
+    }
+}

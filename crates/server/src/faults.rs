@@ -99,6 +99,34 @@ pub enum Fault {
         /// Window length in ticks.
         for_ticks: u64,
     },
+    /// (Live transport) Every chunk relayed by a [`crate::ChaosProxy`]
+    /// picks up a fixed extra delay. In a proxy plan, `at` and window
+    /// lengths are milliseconds of proxy uptime; the tick-based
+    /// [`ChaosSim`] ignores this variant.
+    LatencySpike {
+        /// Extra delay added to each relayed chunk, in milliseconds.
+        delay_ms: u64,
+        /// Window length in milliseconds.
+        for_ms: u64,
+    },
+    /// (Live transport) The proxy forwards only half of an in-flight
+    /// chunk, then severs the connection mid-frame — the torn-write
+    /// failure the stream decoder must survive. Ignored by [`ChaosSim`].
+    TornFrame {
+        /// Window length in milliseconds.
+        for_ms: u64,
+    },
+    /// (Live transport) One byte of each server→client chunk is flipped
+    /// in transit, so frames fail CRC-of-trust (signature verification)
+    /// or framing. Ignored by [`ChaosSim`].
+    CorruptByte {
+        /// Window length in milliseconds.
+        for_ms: u64,
+    },
+    /// (Live transport) Every connection alive through the proxy at this
+    /// instant is reset (RST-style abrupt close). Ignored by
+    /// [`ChaosSim`].
+    ConnReset,
 }
 
 /// A fault scheduled at an absolute clock tick.
@@ -232,6 +260,13 @@ impl FaultInjector {
                     w.forging_until = w.forging_until.max(start + for_ticks);
                     w.forge_ahead = epochs_ahead;
                 }
+                Fault::LatencySpike { .. }
+                | Fault::TornFrame { .. }
+                | Fault::CorruptByte { .. }
+                | Fault::ConnReset => {
+                    // Live-transport faults: interpreted by the
+                    // ChaosProxy against real sockets, not by the sim.
+                }
             }
             self.cursor += 1;
         }
@@ -267,7 +302,7 @@ impl FaultInjector {
 }
 
 /// Stable fault-variant label for trace events.
-fn fault_name(fault: &Fault) -> &'static str {
+pub(crate) fn fault_name(fault: &Fault) -> &'static str {
     match fault {
         Fault::ServerCrash { .. } => "server_crash",
         Fault::Partition { .. } => "partition",
@@ -277,6 +312,10 @@ fn fault_name(fault: &Fault) -> &'static str {
         Fault::ArchiveOutage { .. } => "archive_outage",
         Fault::Equivocate { .. } => "equivocate",
         Fault::Forge { .. } => "forge",
+        Fault::LatencySpike { .. } => "latency_spike",
+        Fault::TornFrame { .. } => "torn_frame",
+        Fault::CorruptByte { .. } => "corrupt_byte",
+        Fault::ConnReset => "conn_reset",
     }
 }
 

@@ -31,7 +31,16 @@
 //!   [`ReceiverClient::pump`] works against either;
 //! * [`Tred`] / [`TcpFeed`] — the real TCP broadcast daemon (bounded
 //!   per-subscriber queues, slow-subscriber eviction, archive catch-up
-//!   over the versioned `tre-wire` framing) and its subscriber feed.
+//!   over the versioned `tre-wire` framing) and its subscriber feed;
+//! * [`Journal`] — the durable append-only update log behind
+//!   [`UpdateArchive::open_durable`]: CRC32-framed records, configurable
+//!   fsync policy, torn-tail truncation and corruption quarantine on
+//!   replay, segment rotation + retention compaction;
+//! * [`ChaosProxy`] / [`SupervisedFeed`] — live-socket fault injection
+//!   (partitions, latency spikes, torn frames, byte corruption,
+//!   connection resets) between `tred` and its feeds, plus a reconnect
+//!   supervisor with jittered exponential backoff and catch-up gap
+//!   repair.
 //!
 //! # Example
 //! ```
@@ -52,9 +61,11 @@
 
 mod archive;
 mod batch;
+mod chaos_tcp;
 mod client;
 mod clock;
 mod faults;
+mod journal;
 mod live;
 mod metrics;
 mod net;
@@ -65,12 +76,17 @@ mod transport;
 
 pub use archive::UpdateArchive;
 pub use batch::{BatchVerdict, BatchVerifier};
+pub use chaos_tcp::{ChaosProxy, ProxyStats, SupervisedFeed, SupervisorConfig, SupervisorStats};
 pub use client::{
     BackoffConfig, BatchReport, OpenedMessage, ReceiverClient, UpdateOutcome,
     DEFAULT_QUARANTINE_THRESHOLD,
 };
 pub use clock::{Granularity, SimClock};
 pub use faults::{ChaosSim, Fault, FaultEvent, FaultPlan, InvariantReport};
+pub use journal::{
+    FsyncPolicy, Journal, JournalConfig, JournalStats, ReplayReport, RECORD_HEADER_LEN,
+    RECORD_MAGIC, RECORD_TRAILER_LEN,
+};
 pub use live::LiveHub;
 pub use metrics::{ClientHealth, LatencyHistogram};
 pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};

@@ -46,6 +46,14 @@ pub struct TredConfig {
     /// epochs (real time; the epoch schedule itself follows the
     /// server's [`crate::SimClock`]).
     pub poll_interval: Duration,
+    /// Cap on the kernel send buffer per subscriber socket, in bytes
+    /// (`SO_SNDBUF`; Linux only, ignored elsewhere). Without a cap the
+    /// kernel autotunes the buffer into the megabytes, so a stalled
+    /// subscriber can absorb minutes of broadcasts before the bounded
+    /// queue ever fills and evicts it; capping bounds both the memory a
+    /// slow peer pins and the delay until it is detected. `None` keeps
+    /// the OS default.
+    pub send_buffer: Option<u32>,
 }
 
 impl Default for TredConfig {
@@ -53,9 +61,41 @@ impl Default for TredConfig {
         Self {
             queue_capacity: 64,
             poll_interval: Duration::from_millis(5),
+            send_buffer: None,
         }
     }
 }
+
+/// Applies [`TredConfig::send_buffer`] to an accepted socket. Best
+/// effort: a failed setsockopt leaves the OS default in place.
+#[cfg(target_os = "linux")]
+fn cap_send_buffer(stream: &TcpStream, bytes: u32) {
+    use std::os::unix::io::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    let val = bytes as i32;
+    unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&val as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        );
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn cap_send_buffer(_stream: &TcpStream, _bytes: u32) {}
 
 /// Daemon counters (all monotone; readable while the daemon runs).
 #[derive(Debug, Default)]
@@ -135,6 +175,7 @@ struct Shared<const L: usize> {
     stats: Arc<TredStats>,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    send_buffer: Option<u32>,
 }
 
 /// A running broadcast daemon. Dropping without [`Tred::shutdown`]
@@ -171,6 +212,7 @@ impl<const L: usize> Tred<L> {
             stats: Arc::new(TredStats::default()),
             shutdown: AtomicBool::new(false),
             queue_capacity: config.queue_capacity,
+            send_buffer: config.send_buffer,
         });
 
         let ticker_handle = {
@@ -231,6 +273,27 @@ impl<const L: usize> Tred<L> {
         self.shared.slots.lock().len()
     }
 
+    /// The archive this daemon serves catch-ups from (durable when the
+    /// [`TimeServer`] was recovered over a journal-backed archive).
+    pub fn archive(&self) -> Arc<UpdateArchive<L>> {
+        Arc::clone(&self.shared.archive)
+    }
+
+    /// Exports the daemon's counters, the live subscriber count, and —
+    /// when the archive is journal-backed — the journal counters into a
+    /// shared registry under `<prefix>_*` names, so `tables --exp e14`
+    /// style reports cover the live daemon, not just the sim.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        self.shared.stats.export_into(registry, prefix);
+        registry.gauge_set(
+            &format!("{prefix}_subscribers"),
+            self.subscriber_count() as i64,
+        );
+        if let Some(js) = self.shared.archive.journal_stats() {
+            js.export_into(registry, &format!("{prefix}_journal"));
+        }
+    }
+
     /// Stops the ticker and accept loops, closes every subscriber, and
     /// joins the daemon threads.
     pub fn shutdown(mut self) {
@@ -254,6 +317,9 @@ impl<const L: usize> Tred<L> {
 /// handling [`Hello`] and [`CatchUpRequest`] frames.
 fn accept_subscriber<const L: usize>(shared: &Arc<Shared<L>>, stream: TcpStream) {
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    if let Some(bytes) = shared.send_buffer {
+        cap_send_buffer(&stream, bytes);
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };

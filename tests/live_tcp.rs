@@ -14,8 +14,14 @@ use tre::server::{TcpFeed, Tred, TredConfig};
 
 const DEADLINE: Duration = Duration::from_secs(30);
 
+/// Both tests here drive real-time socket loops with latency deadlines;
+/// on small CI machines running them in parallel starves one of CPU and
+/// trips the deadlines, so they take turns.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn three_receivers_over_loopback_with_disconnect_and_catch_up() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let curve = tre::pairing::toy64();
     let mut rng = rand::thread_rng();
     let clock = SimClock::new();
@@ -124,5 +130,114 @@ fn three_receivers_over_loopback_with_disconnect_and_catch_up() {
     assert_eq!(stats.wire_errors.load(Ordering::Relaxed), 0);
     assert!(feed.stats().updates_decoded >= 12, "3 live feeds + replays");
     assert_eq!(feed.stats().reconnects, 1);
+    tred.shutdown();
+}
+
+/// Eviction under load: a subscriber that stops reading must be evicted
+/// once its bounded queue fills (after the kernel socket buffers
+/// saturate), and — the point of the bounded-queue design — a healthy
+/// subscriber on the same daemon keeps receiving fresh broadcasts with
+/// bounded latency while the slow peer is being strangled and dropped.
+///
+/// The load is archive catch-up replies: they ride the same bounded
+/// queue as live broadcasts but cost no signing work, so the slow
+/// subscriber's socket saturates fast without racing the epoch ticker.
+#[test]
+fn slow_subscriber_is_evicted_and_healthy_feed_stays_live() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let clock = SimClock::new();
+    let keys = ServerKeyPair::generate(curve, &mut rng);
+    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+    let config = TredConfig {
+        queue_capacity: 16,          // evict quickly once the socket stops draining
+        send_buffer: Some(16 << 10), // bounded kernel backlog: saturation is ~KBs, not autotuned MBs
+        ..TredConfig::default()
+    };
+    let tred = Tred::bind("127.0.0.1:0", curve, server, config).unwrap();
+    let stats = tred.stats();
+
+    // Build up an archive worth replaying *before* anyone connects, so
+    // every broadcast a subscriber ever receives is a single frame —
+    // a draining subscriber can then never overflow the bounded queue,
+    // regardless of scheduler jitter.
+    const ARCHIVED: u64 = 40;
+    clock.advance(ARCHIVED);
+    let start = Instant::now();
+    while stats.broadcasts.load(Ordering::Relaxed) <= ARCHIVED && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        stats.broadcasts.load(Ordering::Relaxed) > ARCHIVED,
+        "epochs 0..=40 archived"
+    );
+
+    // One healthy subscriber, pumped throughout, and one slow one whose
+    // socket is never read — its kernel buffers will fill and stay full.
+    let mut feed: TcpFeed<8> = TcpFeed::new(curve, tred.local_addr()).with_clock(clock.clone());
+    let healthy = feed.subscribe();
+    let slow = feed.subscribe();
+    let start = Instant::now();
+    while tred.subscriber_count() < 2 && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tred.subscriber_count(), 2, "both subscribers registered");
+    let g = Granularity::Seconds;
+    let mut healthy_seen = 0u64;
+
+    // Hammer the slow subscriber with full-archive replays it never
+    // reads. Replies stack up in its kernel buffers, then its bounded
+    // queue; the next broadcast that finds the queue full evicts it.
+    // The healthy feed keeps being pumped and receives those same
+    // broadcasts — load on one subscriber never stalls another.
+    let start = Instant::now();
+    let mut i = 0u64;
+    while stats.evicted.load(Ordering::Relaxed) == 0 && start.elapsed() < DEADLINE {
+        for _ in 0..32 {
+            let _ = feed.request_catch_up(slow, 0, ARCHIVED);
+        }
+        if i.is_multiple_of(20) {
+            clock.advance(1); // an occasional broadcast trips the eviction
+        }
+        i += 1;
+        healthy_seen += feed.poll(healthy).len() as u64;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        stats.evicted.load(Ordering::Relaxed) >= 1,
+        "slow subscriber evicted under load"
+    );
+    let start = Instant::now();
+    while tred.subscriber_count() > 1 && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tred.subscriber_count(), 1, "only the healthy one remains");
+
+    // Broadcast latency bound: with the slow peer gone (and even with
+    // its backlog still in flight), a fresh epoch reaches the healthy
+    // subscriber promptly — the eviction policy kept the hot path clear.
+    let target = clock.advance(1);
+    let sent = Instant::now();
+    let mut arrived = None;
+    while arrived.is_none() && sent.elapsed() < DEADLINE {
+        for (_, u) in feed.poll(healthy) {
+            healthy_seen += 1;
+            if g.epoch_of_tag(u.tag()) == Some(target) {
+                arrived = Some(sent.elapsed());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let latency = arrived.expect("fresh epoch reached the healthy subscriber");
+    assert!(
+        latency < Duration::from_secs(2),
+        "broadcast latency {latency:?} exceeds the 2s bound"
+    );
+    assert!(
+        healthy_seen > 0,
+        "healthy subscriber received broadcasts throughout"
+    );
+    feed.disconnect(slow);
     tred.shutdown();
 }
