@@ -8,13 +8,9 @@
 //! path with `TRE_BENCH_E15_OUT`); set `TRE_BENCH_QUICK=1` for a
 //! single-iteration smoke run — the CI mode.
 
-// The legacy free-function and codec paths stay benchmarked alongside the
-// session/wire replacements until they are removed.
-#![allow(deprecated)]
-
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tre_bench::{rng, time_ms, Fixture};
-use tre_core::{tre, KeyUpdate, ReleaseTag, SenderPrecomp};
+use tre_core::{KeyUpdate, Receiver, ReleaseTag, Sender};
 use tre_pairing::toy64;
 
 fn updates(fx: &Fixture<8>, n: usize) -> Vec<KeyUpdate<8>> {
@@ -76,40 +72,55 @@ fn bulk_decrypt(c: &mut Criterion) {
     let spk = *fx.server.public();
     let tag = ReleaseTag::time("e15/bulk");
     let update = fx.server.issue_update(curve, &tag);
+    let sender = Sender::new(curve, &spk, fx.user.public()).unwrap();
     let cts: Vec<_> = (0..32)
-        .map(|i| tre::encrypt(curve, &spk, fx.user.public(), &tag, &[i as u8; 32], &mut r).unwrap())
+        .map(|i| sender.encrypt(&tag, &[i as u8; 32], &mut r))
         .collect();
     let mut grp = c.benchmark_group("e15_decrypt");
     grp.sample_size(10);
     grp.bench_function("loop_32", |b| {
+        // Fresh session per ciphertext so every open re-verifies the
+        // update — the naive loop the bulk path is measured against.
         b.iter(|| {
             cts.iter()
-                .map(|ct| tre::decrypt(curve, &spk, &fx.user, &update, ct).unwrap())
+                .map(|ct| {
+                    Receiver::new(curve, spk, fx.user.clone())
+                        .open_with(&update, ct)
+                        .unwrap()
+                })
                 .collect::<Vec<_>>()
         })
     });
     grp.bench_function("bulk_32", |b| {
-        b.iter(|| tre::decrypt_bulk(curve, &spk, &fx.user, &update, black_box(&cts), 1).unwrap())
+        b.iter(|| {
+            Receiver::new(curve, spk, fx.user.clone())
+                .open_bulk(&update, black_box(&cts), 1)
+                .unwrap()
+        })
     });
     grp.finish();
 }
 
-/// Plain encrypt (per-call key check + generic scalar muls) vs the
-/// precomputed sender path (tables for `G` and `asG`, validated once).
+/// Per-call session open (key check + table build every encrypt) vs a
+/// reused [`Sender`] (tables for `G` and `asG`, validated once).
 fn sender_precomp(c: &mut Criterion) {
     let curve = toy64();
     let mut r = rng();
     let fx = Fixture::new(curve);
     let spk = *fx.server.public();
-    let pre = SenderPrecomp::new(curve, &spk, fx.user.public()).unwrap();
+    let sender = Sender::new(curve, &spk, fx.user.public()).unwrap();
     let tag = ReleaseTag::time("e15/sender");
     let mut grp = c.benchmark_group("e15_encrypt");
     grp.sample_size(10);
     grp.bench_function("plain", |b| {
-        b.iter(|| tre::encrypt(curve, &spk, fx.user.public(), &tag, b"msg", &mut r).unwrap())
+        b.iter(|| {
+            Sender::new(curve, &spk, fx.user.public())
+                .unwrap()
+                .encrypt(&tag, b"msg", &mut r)
+        })
     });
     grp.bench_function("precomputed", |b| {
-        b.iter(|| tre::encrypt_with(curve, &pre, &tag, b"msg", &mut r))
+        b.iter(|| sender.encrypt(&tag, b"msg", &mut r))
     });
     grp.finish();
 }

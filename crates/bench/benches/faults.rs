@@ -2,13 +2,9 @@
 //! archive catch-up throughput after missing a window of epochs, and the
 //! dedup-hit receive path vs the full two-pairing verification it avoids.
 
-// The legacy free-function paths stay benchmarked alongside the session
-// replacements until they are removed.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tre_bench::{rng, Fixture};
-use tre_core::{tre, ReleaseTag};
+use tre_core::{ReleaseTag, Sender};
 use tre_pairing::toy64;
 use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer};
 
@@ -27,18 +23,9 @@ fn archive_catch_up(c: &mut Criterion) {
         let mut server = TimeServer::new(curve, fx.server.clone(), clock.clone(), g);
         clock.advance(missed);
         server.poll(); // archive now holds epochs 0..=missed
+        let sender = Sender::new(curve, &spk, fx.user.public()).unwrap();
         let cts: Vec<_> = (0..missed)
-            .map(|e| {
-                tre::encrypt(
-                    curve,
-                    &spk,
-                    fx.user.public(),
-                    &g.tag_for_epoch(e),
-                    b"payload",
-                    &mut r,
-                )
-                .unwrap()
-            })
+            .map(|e| sender.encrypt(&g.tag_for_epoch(e), b"payload", &mut r))
             .collect();
         grp.bench_with_input(
             BenchmarkId::new("missed_epochs", missed),
@@ -69,7 +56,9 @@ fn receive_path(c: &mut Criterion) {
     let spk = *fx.server.public();
     let tag = ReleaseTag::time("faults-bench");
     let update = fx.server.issue_update(curve, &tag);
-    let ct = tre::encrypt(curve, &spk, fx.user.public(), &tag, b"payload", &mut r).unwrap();
+    let ct = Sender::new(curve, &spk, fx.user.public())
+        .unwrap()
+        .encrypt(&tag, b"payload", &mut r);
     let mut grp = c.benchmark_group("receive_update");
     grp.sample_size(10);
     grp.bench_function("fresh_verify", |b| b.iter(|| update.verify(curve, &spk)));

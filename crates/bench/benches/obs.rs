@@ -4,13 +4,9 @@
 //! disabled rows here should be indistinguishable from pre-instrumentation
 //! numbers; the enabled rows bound the worst-case recording cost.
 
-// The legacy free-function and codec paths stay benchmarked alongside the
-// session/wire replacements until they are removed.
-#![allow(deprecated)]
-
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tre_bench::{rng, Fixture};
-use tre_core::{tre, ReleaseTag};
+use tre_core::{Receiver, ReleaseTag, Sender};
 use tre_pairing::toy64;
 
 /// A full decrypt (pairing + Gt exponentiation + mask) with the recorder
@@ -21,23 +17,27 @@ fn decrypt_overhead(c: &mut Criterion) {
     let fx = Fixture::new(curve);
     let tag = ReleaseTag::time("obs-bench");
     let update = fx.server.issue_update(curve, &tag);
-    let ct = tre::encrypt(
-        curve,
-        fx.server.public(),
-        fx.user.public(),
-        &tag,
-        b"payload",
-        &mut r,
-    )
-    .unwrap();
+    let ct = Sender::new(curve, fx.server.public(), fx.user.public())
+        .unwrap()
+        .encrypt(&tag, b"payload", &mut r);
     let mut grp = c.benchmark_group("obs_decrypt");
     grp.sample_size(10);
+    // Fresh session per open so every iteration pays the full
+    // verify-then-decrypt path the recorder instruments.
     grp.bench_function("recorder_disabled", |b| {
-        b.iter(|| tre::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap())
+        b.iter(|| {
+            Receiver::new(curve, *fx.server.public(), fx.user.clone())
+                .open_with(&update, &ct)
+                .unwrap()
+        })
     });
     grp.bench_function("recorder_enabled", |b| {
         tre_obs::enable();
-        b.iter(|| tre::decrypt(curve, fx.server.public(), &fx.user, &update, &ct).unwrap());
+        b.iter(|| {
+            Receiver::new(curve, *fx.server.public(), fx.user.clone())
+                .open_with(&update, &ct)
+                .unwrap()
+        });
         let trace = tre_obs::finish();
         assert!(
             trace.total_ops().pairings > 0,

@@ -1,12 +1,8 @@
 //! E10 Criterion benches: basic scheme vs FO vs REACT vs hybrid KEM-DEM.
 
-// The legacy free-function and codec paths stay benchmarked alongside the
-// session/wire replacements until they are removed.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use tre_bench::{rng, Fixture};
-use tre_core::{fo, hybrid, react, tre as basic, ReleaseTag};
+use tre_core::{fo, hybrid, react, Receiver, ReleaseTag, Sender};
 use tre_pairing::toy64;
 
 fn benches(c: &mut Criterion) {
@@ -21,12 +17,24 @@ fn benches(c: &mut Criterion) {
 
     let mut grp = c.benchmark_group("transforms/toy64/64B");
     grp.sample_size(10);
+    // Session opened per call so the basic rows carry the same per-call
+    // key-validation cost as the transform rows they are compared with.
     grp.bench_function("basic_encrypt", |b| {
-        b.iter(|| basic::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())
+        b.iter(|| {
+            Sender::new(curve, spk, upk)
+                .unwrap()
+                .encrypt(&tag, &msg, &mut r)
+        })
     });
-    let ct = basic::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap();
+    let ct = Sender::new(curve, spk, upk)
+        .unwrap()
+        .encrypt(&tag, &msg, &mut r);
     grp.bench_function("basic_decrypt", |b| {
-        b.iter(|| basic::decrypt(curve, spk, &fx.user, &update, &ct).unwrap())
+        b.iter(|| {
+            Receiver::new(curve, *spk, fx.user.clone())
+                .open_with(&update, &ct)
+                .unwrap()
+        })
     });
     grp.bench_function("fo_encrypt", |b| {
         b.iter(|| fo::encrypt(curve, spk, upk, &tag, &msg, &mut r).unwrap())

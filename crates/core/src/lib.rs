@@ -27,6 +27,11 @@
 //! * [`failover`] — graceful degradation on top of [`threshold`]: faulty
 //!   updates are demoted to missing with per-server verdicts, so up to
 //!   `N − k` crashed *or Byzantine* servers are survivable.
+//! * [`committee`] — the live t-of-n committee form of §5.3.5: dealer
+//!   setup Shamir-splits the master secret, members publish per-epoch
+//!   key-update shares `s_i·H1(T)`, and receivers verify shares against
+//!   public commitments and Lagrange-interpolate in the exponent to
+//!   recover `I_T` from any k of n — senders are oblivious.
 //!
 //! * [`session`] — the [`Sender`]/[`Receiver`] session API: key
 //!   validation and update verification happen once and become state,
@@ -57,6 +62,7 @@
 //! # Ok::<(), tre_core::TreError>(())
 //! ```
 
+pub mod committee;
 pub mod error;
 pub mod failover;
 pub mod fo;
@@ -74,6 +80,10 @@ pub mod tag;
 pub mod threshold;
 pub mod tre;
 
+pub use committee::{
+    aggregate_shares, dealer_setup, dealer_setup_with_generator, verify_and_aggregate,
+    verify_share_batch, CommitteeMember, CommitteeRoster, MemberVerdict, ShareFault,
+};
 pub use error::TreError;
 pub use keys::{
     KeyUpdate, SenderPrecomp, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey,

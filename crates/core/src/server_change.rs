@@ -160,6 +160,114 @@ mod tests {
     }
 
     #[test]
+    fn forged_multiple_of_new_server_key_rejected() {
+        // The strongest structural forgery: a·s'G' replaced by r·s'G'
+        // for an attacker-chosen r — a perfectly well-formed multiple of
+        // the new server's key, just not one descending from the
+        // certified aG. The pairing check must catch exactly this.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let new_server = ServerKeyPair::generate(curve, &mut rng);
+        let alice = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let r = curve.random_scalar(&mut rng);
+        let forged = ReboundKey::from_points(
+            *alice.public().a_g(),
+            curve.g1_mul(new_server.public().s_g(), &r),
+        );
+        assert_eq!(
+            forged.verify(curve, old_server.public(), new_server.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn tampered_and_swapped_components_rejected() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let new_server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let honest = ReboundKey::derive(curve, user.public(), new_server.public(), &user);
+        honest
+            .verify(curve, old_server.public(), new_server.public())
+            .unwrap();
+
+        // One-point malleation of the honest key: a·s'G' + G.
+        let nudged = ReboundKey::from_points(
+            *user.public().a_g(),
+            curve.g1_add(
+                &curve.g1_mul(new_server.public().s_g(), user.secret_scalar()),
+                &curve.generator(),
+            ),
+        );
+        assert_eq!(
+            nudged.verify(curve, old_server.public(), new_server.public()),
+            Err(TreError::InvalidUserKey)
+        );
+
+        // Components transposed in transit.
+        let swapped = ReboundKey::from_points(
+            curve.g1_mul(new_server.public().s_g(), user.secret_scalar()),
+            *user.public().a_g(),
+        );
+        assert_eq!(
+            swapped.verify(curve, old_server.public(), new_server.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn rebound_is_bound_to_its_new_server() {
+        // A rebind derived for S' must not verify as a rebind to some
+        // other server S'' — otherwise a sender could be tricked into
+        // encrypting toward a server the receiver never accepted.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let s_prime = ServerKeyPair::generate(curve, &mut rng);
+        let s_other = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let rebound = ReboundKey::derive(curve, user.public(), s_prime.public(), &user);
+        rebound
+            .verify(curve, old_server.public(), s_prime.public())
+            .unwrap();
+        assert_eq!(
+            rebound.verify(curve, old_server.public(), s_other.public()),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn honest_rebind_round_trips_across_epochs() {
+        // The full §5.3.4 flow over several epochs: certify under S,
+        // migrate to S' (same generator), and keep sealing/opening.
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let old_server = ServerKeyPair::generate(curve, &mut rng);
+        let new_server = ServerKeyPair::from_secret(
+            curve,
+            *old_server.public().g(),
+            curve.random_scalar(&mut rng),
+        );
+        let user = UserKeyPair::generate(curve, old_server.public(), &mut rng);
+        let rebound = ReboundKey::derive(curve, user.public(), new_server.public(), &user);
+        rebound
+            .verify(curve, old_server.public(), new_server.public())
+            .unwrap();
+        let new_pk = rebound.into_user_key();
+        let sender = Sender::new(curve, new_server.public(), &new_pk).unwrap();
+        let mut receiver = Receiver::new(curve, *new_server.public(), user);
+        for epoch in 0..3u64 {
+            let tag = ReleaseTag::time(format!("rebind/{epoch}"));
+            let msg = format!("epoch {epoch} via S'");
+            let ct = sender.encrypt(&tag, msg.as_bytes(), &mut rng);
+            let update = new_server.issue_update(curve, &tag);
+            assert_eq!(receiver.open_with(&update, &ct).unwrap(), msg.as_bytes());
+        }
+    }
+
+    #[test]
     fn infinity_components_rejected() {
         let curve = toy64();
         let mut rng = rand::thread_rng();

@@ -29,10 +29,24 @@ const AUTO_THREAD_CAP: usize = 16;
 /// The machine's available parallelism (1 if it cannot be determined),
 /// capped at 16 — the worker count used by "auto" (`threads == 0`) calls.
 pub fn auto_threads() -> usize {
+    host_parallelism().min(AUTO_THREAD_CAP)
+}
+
+/// Raw available parallelism of the host, 1 if it cannot be determined.
+fn host_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-        .min(AUTO_THREAD_CAP)
+}
+
+/// How many OS threads to actually spawn for a logical worker count:
+/// never more than the host has cores. Chunk *boundaries* are still
+/// derived from the caller's requested count (host-independent results);
+/// this only stops a `threads=4` request on a 1-core container from
+/// oversubscribing — the chunks run inline instead, at sequential speed
+/// rather than slower (the E15 negative-scaling fix).
+fn spawn_width(workers: usize) -> usize {
+    workers.min(host_parallelism())
 }
 
 /// Maps `f` over `items` using up to `threads` scoped worker threads
@@ -56,7 +70,10 @@ where
     } else {
         threads
     };
-    let workers = threads.min(items.len());
+    // For a map the chunk boundaries are invisible in the result, so the
+    // effective worker count is clamped by the host's cores directly: a
+    // 4-thread request on a 1-core box runs inline.
+    let workers = spawn_width(threads.min(items.len()));
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -116,11 +133,22 @@ where
     if workers <= 1 {
         return Some(map_chunk(items));
     }
+    // Chunk boundaries ARE observable here (map_chunk sees them), so
+    // they stay a pure function of (len, threads). Only the number of
+    // OS threads is clamped: each spawned thread walks a contiguous run
+    // of chunks, producing the same per-chunk values in the same order
+    // as a one-thread-per-chunk execution would.
     let chunk = items.len().div_ceil(workers);
-    let parts: Vec<U> = crossbeam::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| s.spawn(|_| map_chunk(c)))
+    let spawn = spawn_width(workers);
+    if spawn <= 1 {
+        return items.chunks(chunk).map(map_chunk).reduce(combine);
+    }
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let run = chunks.len().div_ceil(spawn);
+    let parts: Vec<Vec<U>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .chunks(run)
+            .map(|cs| s.spawn(|_| cs.iter().map(|c| map_chunk(c)).collect::<Vec<U>>()))
             .collect();
         handles
             .into_iter()
@@ -131,7 +159,7 @@ where
             .collect()
     })
     .expect("scope itself never fails");
-    parts.into_iter().reduce(combine)
+    parts.into_iter().flatten().reduce(combine)
 }
 
 #[cfg(test)]
@@ -200,5 +228,67 @@ mod tests {
     fn auto_threads_is_sane() {
         let t = auto_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn chunks_reduce_boundaries_are_host_independent() {
+        // map_chunk observes its chunk length; the per-chunk values must
+        // depend only on (len, threads), never on how many OS threads
+        // the host allows — so requesting more threads than cores yields
+        // exactly the per-chunk lengths a big machine would compute.
+        let items: Vec<u8> = vec![0; 23];
+        for threads in [2usize, 3, 7, 16] {
+            let expect: Vec<usize> = items
+                .chunks(items.len().div_ceil(threads))
+                .map(|c| c.len())
+                .collect();
+            let got = par_chunks_reduce(
+                &items,
+                threads,
+                |chunk| vec![chunk.len()],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    /// Bench guard for the E15 negative-scaling fix: asking for 4
+    /// threads must never run slower than asking for 1, including on a
+    /// single-core host (where the spawn clamp makes the 4-thread call
+    /// run inline instead of oversubscribing).
+    #[test]
+    fn four_threads_not_slower_than_one() {
+        let items: Vec<u64> = (0..64).collect();
+        let work = |x: &u64| {
+            let mut acc = *x;
+            for _ in 0..50_000 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let time = |threads: usize| {
+            (0..5)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    std::hint::black_box(par_map(&items, threads, work));
+                    start.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        // min-of-5 timing; 25% head-room absorbs scheduler noise while
+        // still catching the 1.3x regression this guards against.
+        assert!(
+            t4.as_secs_f64() <= t1.as_secs_f64() * 1.25,
+            "4-thread par_map slower than 1-thread: {t4:?} vs {t1:?}"
+        );
     }
 }

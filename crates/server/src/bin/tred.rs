@@ -10,7 +10,30 @@
 //! ```text
 //! tred [--addr 127.0.0.1:7100] [--interval-ms 1000] [--epochs N]
 //!      [--journal DIR] [--fsync every|every=N|close] [--retain N]
+//! tred --committee-setup K,N --committee-dir DIR
+//! tred --member DIR/member-1.trek [--addr ...] [--interval-ms ...] [--epochs N]
+//! tred --watch DIR --members 1=HOST:PORT,2=HOST:PORT,... [--epochs N]
 //! ```
+//!
+//! Committee mode runs the server as a live k-of-n threshold committee
+//! instead of a single daemon:
+//!
+//! * `--committee-setup K,N --committee-dir DIR` — dealer setup: splits
+//!   a fresh master secret into N Shamir shares, writes the public
+//!   roster (master public key + per-member commitments) to
+//!   `DIR/roster.trec` and each member's private share key to
+//!   `DIR/member-<i>.trek`, then exits. Hand each member file to one
+//!   operator; the roster file is public.
+//! * `--member FILE` — boots one committee member: a normal broadcast
+//!   daemon except every update it publishes is its *share*
+//!   `s_i·H1(T)`, framed with its roster index, and it greets each
+//!   subscriber with its index. It never holds the master secret.
+//! * `--watch DIR --members 1=addr,...` — boots a committee receiver:
+//!   dials every member, verifies each share against its roster
+//!   commitment, names Byzantine members in per-member verdicts, and
+//!   prints each epoch's aggregated full update as soon as any k valid
+//!   shares arrive. Any n−k members may be down, partitioned, or
+//!   malicious without stopping the stream.
 //!
 //! Without `--journal` the daemon is ephemeral: a fresh random key pair
 //! and an in-memory archive, both lost on exit. With `--journal DIR`
@@ -29,6 +52,7 @@
 //! at a `--addr 127.0.0.1:0` ephemeral port.
 
 use std::io::{Read, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::Ordering;
@@ -36,10 +60,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tre_bigint::U256;
-use tre_core::{ServerKeyPair, ServerPublicKey};
+use tre_core::{dealer_setup, CommitteeRoster, ServerKeyPair, ServerPublicKey};
 use tre_pairing::{toy64, Curve};
 use tre_server::{
-    FsyncPolicy, Granularity, JournalConfig, SimClock, TimeServer, Tred, TredConfig, UpdateArchive,
+    CollectorConfig, CommitteeFeed, FsyncPolicy, Granularity, JournalConfig, SimClock,
+    SupervisorConfig, TimeServer, Transport, Tred, TredConfig, UpdateArchive,
 };
 use tre_wire::Wire;
 
@@ -50,12 +75,20 @@ struct Args {
     journal: Option<PathBuf>,
     fsync: FsyncPolicy,
     retain: Option<u64>,
+    committee_setup: Option<(u32, u32)>,
+    committee_dir: Option<PathBuf>,
+    member: Option<PathBuf>,
+    watch: Option<PathBuf>,
+    members: Vec<(u32, String)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
-         [--journal DIR] [--fsync every|every=N|close] [--retain N]"
+         [--journal DIR] [--fsync every|every=N|close] [--retain N]\n\
+         \x20      tred --committee-setup K,N --committee-dir DIR\n\
+         \x20      tred --member FILE [--addr HOST:PORT] [--interval-ms MS] [--epochs N]\n\
+         \x20      tred --watch DIR --members 1=HOST:PORT,2=HOST:PORT,... [--epochs N]"
     );
     exit(2);
 }
@@ -79,6 +112,11 @@ fn parse_args() -> Args {
         journal: None,
         fsync: FsyncPolicy::EveryRecord,
         retain: None,
+        committee_setup: None,
+        committee_dir: None,
+        member: None,
+        watch: None,
+        members: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,12 +130,41 @@ fn parse_args() -> Args {
             "--journal" => args.journal = Some(PathBuf::from(value())),
             "--fsync" => args.fsync = parse_fsync(&value()),
             "--retain" => args.retain = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--committee-setup" => {
+                let v = value();
+                let (k, n) = v.split_once(',').unwrap_or_else(|| usage());
+                let k = k.trim().parse().unwrap_or_else(|_| usage());
+                let n = n.trim().parse().unwrap_or_else(|_| usage());
+                args.committee_setup = Some((k, n));
+            }
+            "--committee-dir" => args.committee_dir = Some(PathBuf::from(value())),
+            "--member" => args.member = Some(PathBuf::from(value())),
+            "--watch" => args.watch = Some(PathBuf::from(value())),
+            "--members" => {
+                for entry in value().split(',') {
+                    let (idx, addr) = entry.split_once('=').unwrap_or_else(|| usage());
+                    let idx = idx.trim().parse().unwrap_or_else(|_| usage());
+                    args.members.push((idx, addr.trim().to_string()));
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     if args.journal.is_none() && args.retain.is_some() {
         eprintln!("tred: --retain requires --journal");
+        exit(2);
+    }
+    if args.committee_setup.is_some() != args.committee_dir.is_some() {
+        eprintln!("tred: --committee-setup and --committee-dir go together");
+        exit(2);
+    }
+    if args.member.is_some() && args.journal.is_some() {
+        eprintln!("tred: --member daemons are ephemeral; --journal is not supported");
+        exit(2);
+    }
+    if args.watch.is_some() && args.members.is_empty() {
+        eprintln!("tred: --watch requires --members 1=HOST:PORT,...");
         exit(2);
     }
     args
@@ -140,20 +207,241 @@ fn load_or_create_keys(curve: &'static Curve<8>, dir: &Path) -> ServerKeyPair<8>
     keys.public().write_body(curve, &mut bytes);
     bytes.extend_from_slice(&keys.secret_scalar().to_be_bytes());
     std::fs::create_dir_all(dir).expect("create journal dir");
-    let tmp = path.with_extension("trek.tmp");
-    {
-        let mut f = std::fs::File::create(&tmp).expect("write key.trek");
-        f.write_all(&bytes).expect("write key.trek");
-        f.sync_data().expect("fsync key.trek");
-    }
-    std::fs::rename(&tmp, &path).expect("persist key.trek");
+    write_atomic(&path, &bytes);
     keys
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file + rename, so
+/// a crash mid-write never leaves a torn key or roster file behind.
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f =
+            std::fs::File::create(&tmp).unwrap_or_else(|e| panic!("create {}: {e}", tmp.display()));
+        f.write_all(bytes).expect("write temp file");
+        f.sync_data().expect("fsync temp file");
+    }
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("persist {}: {e}", path.display()));
+}
+
+/// Dealer setup: splits a fresh master secret into `n` Shamir share
+/// keys with threshold `k`, persisting the public roster to
+/// `DIR/roster.trec` and member `i`'s private share key to
+/// `DIR/member-<i>.trek` (layout: roster index u32 BE, then the same
+/// public-body‖secret layout as `key.trek`). The master secret itself
+/// is dropped on exit — after setup it exists nowhere.
+fn run_committee_setup(curve: &'static Curve<8>, dir: &Path, k: u32, n: u32) -> ! {
+    if k == 0 || k > n {
+        eprintln!("tred: --committee-setup needs 1 <= K <= N, got {k},{n}");
+        exit(2);
+    }
+    let mut rng = rand::thread_rng();
+    let (roster, members) = dealer_setup(curve, k, n, &mut rng);
+    std::fs::create_dir_all(dir).expect("create committee dir");
+    let mut bytes = Vec::new();
+    roster.write_body(curve, &mut bytes);
+    write_atomic(&dir.join("roster.trec"), &bytes);
+    for member in &members {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&member.index().to_be_bytes());
+        member.key_pair().public().write_body(curve, &mut bytes);
+        bytes.extend_from_slice(&member.key_pair().secret_scalar().to_be_bytes());
+        write_atomic(&dir.join(format!("member-{}.trek", member.index())), &bytes);
+    }
+    println!(
+        "tred: committee {k}-of-{n} dealt into {} — roster.trec plus {n} member-*.trek share keys",
+        dir.display()
+    );
+    println!(
+        "tred: committee public key {}",
+        hex(&roster.public().wire_bytes(curve))
+    );
+    exit(0);
+}
+
+/// Loads a member share key written by [`run_committee_setup`],
+/// returning the roster index and the share key pair.
+fn load_member_key(curve: &'static Curve<8>, path: &Path) -> (u32, ServerKeyPair<8>) {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .unwrap_or_else(|e| {
+            eprintln!("tred: cannot read {}: {e}", path.display());
+            exit(1);
+        });
+    let point_bytes = 2 * curve.point_len();
+    if bytes.len() != 4 + point_bytes + 32 {
+        eprintln!(
+            "tred: {} is malformed ({} bytes)",
+            path.display(),
+            bytes.len()
+        );
+        exit(1);
+    }
+    let index = u32::from_be_bytes(bytes[..4].try_into().unwrap());
+    let public =
+        ServerPublicKey::read_body(curve, &bytes[4..4 + point_bytes]).unwrap_or_else(|e| {
+            eprintln!("tred: {} holds a bad public key: {e:?}", path.display());
+            exit(1);
+        });
+    let secret = U256::from_be_bytes(&bytes[4 + point_bytes..]).expect("32-byte secret");
+    (
+        index,
+        ServerKeyPair::from_secret(curve, *public.g(), secret),
+    )
+}
+
+/// Committee receiver: dials every member, verifies shares against the
+/// roster, prints each aggregated epoch and any per-member faults, and
+/// exits after `--epochs N` aggregations (or runs until killed).
+fn run_watch(curve: &'static Curve<8>, dir: &Path, args: &Args) -> ! {
+    let roster_path = dir.join("roster.trec");
+    let mut bytes = Vec::new();
+    std::fs::File::open(&roster_path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .unwrap_or_else(|e| {
+            eprintln!("tred: cannot read {}: {e}", roster_path.display());
+            exit(1);
+        });
+    let roster = CommitteeRoster::read_body(curve, &bytes).unwrap_or_else(|e| {
+        eprintln!("tred: {} is malformed: {e:?}", roster_path.display());
+        exit(1);
+    });
+    let members: Vec<(u32, SocketAddr)> = args
+        .members
+        .iter()
+        .map(|(idx, addr)| {
+            let resolved = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .unwrap_or_else(|| {
+                    eprintln!("tred: cannot resolve member {idx} address {addr}");
+                    exit(1);
+                });
+            (*idx, resolved)
+        })
+        .collect();
+    println!(
+        "tred: watching {}-of-{} committee ({} member links)",
+        roster.k(),
+        roster.n(),
+        members.len()
+    );
+    println!(
+        "tred: committee public key {}",
+        hex(&roster.public().wire_bytes(curve))
+    );
+    let k = roster.k();
+    let n = roster.n();
+    let mut feed = CommitteeFeed::new(
+        curve,
+        roster,
+        Granularity::Seconds,
+        &members,
+        SupervisorConfig::default(),
+        CollectorConfig {
+            quorum_timeout: args.interval * 4,
+        },
+        0x7265_6463, // arbitrary fixed seed for backoff jitter
+    );
+    let sub = feed.subscribe();
+    let mut aggregated = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+        for (_, update) in feed.poll(sub) {
+            let epoch = Granularity::Seconds
+                .epoch_of_tag(update.tag())
+                .expect("aggregated updates carry canonical epoch tags");
+            let faults: Vec<String> = feed
+                .verdicts(epoch)
+                .iter()
+                .filter_map(|v| v.fault.map(|f| format!("member {} {f:?}", v.member)))
+                .collect();
+            if faults.is_empty() {
+                println!("tred: epoch {epoch} aggregated ({k}-of-{n} quorum, all shares clean)");
+            } else {
+                println!(
+                    "tred: epoch {epoch} aggregated ({k}-of-{n} quorum; faults: {})",
+                    faults.join(", ")
+                );
+            }
+            aggregated += 1;
+        }
+        if args.epochs.is_some_and(|limit| aggregated > limit) {
+            break;
+        }
+    }
+    let stats = feed.stats();
+    println!(
+        "tred: done — {} epochs aggregated, {} shares received, {} rejected, {} verify batches, {} quorum timeouts",
+        stats.epochs_aggregated,
+        stats.shares_received,
+        stats.shares_rejected.values().sum::<u64>(),
+        stats.verify_batches,
+        stats.quorum_timeouts,
+    );
+    for (member, link) in feed.member_stats() {
+        if link.reconnects > 0 {
+            println!(
+                "tred: member {member} link — {} reconnects",
+                link.reconnects
+            );
+        }
+    }
+    exit(0);
 }
 
 fn main() {
     let args = parse_args();
     let curve = toy64();
+    if let (Some((k, n)), Some(dir)) = (args.committee_setup, &args.committee_dir) {
+        run_committee_setup(curve, dir, k, n);
+    }
+    if let Some(dir) = &args.watch {
+        run_watch(curve, dir, &args);
+    }
     let clock = SimClock::new();
+
+    if let Some(path) = &args.member {
+        let (index, keys) = load_member_key(curve, path);
+        let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+        let tred = match Tred::bind_member(&args.addr, curve, index, server, TredConfig::default())
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tred: cannot bind {}: {e}", args.addr);
+                exit(1);
+            }
+        };
+        println!(
+            "tred: committee member {index} listening on {}",
+            tred.local_addr()
+        );
+        println!(
+            "tred: share commitment {}",
+            hex(&tred.public_key().wire_bytes(curve))
+        );
+        let mut published = clock.now();
+        loop {
+            if let Some(last) = args.epochs {
+                if published >= last {
+                    break;
+                }
+            }
+            std::thread::sleep(args.interval);
+            published = clock.advance(1);
+        }
+        std::thread::sleep(args.interval.max(Duration::from_millis(50)));
+        let stats = tred.stats();
+        println!(
+            "tred: member {index} done — {} share broadcasts, {} connections",
+            stats.broadcasts.load(Ordering::Relaxed),
+            stats.connections.load(Ordering::Relaxed),
+        );
+        tred.shutdown();
+        return;
+    }
 
     let server = match &args.journal {
         Some(dir) => {

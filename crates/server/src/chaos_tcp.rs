@@ -495,6 +495,58 @@ impl<const L: usize> SupervisedFeed<L> {
         self.feed.is_connected(id)
     }
 
+    /// Registers a subscriber without dialing: the supervision loop's
+    /// next [`Transport::poll`] treats it as a dead connection and
+    /// establishes it with the usual backoff machinery. Lets a
+    /// `CommitteeFeed` start supervising members that are down (or not
+    /// yet up) at construction time.
+    pub fn subscribe_lazy(&mut self) -> SubscriberId {
+        let id = self.feed.subscribe_lazy();
+        self.subs.insert(id.index(), SubState::default());
+        id
+    }
+
+    /// The member index this subscriber's peer announced in its
+    /// committee greeting, once one has been decoded.
+    pub fn announced_member(&self, id: SubscriberId) -> Option<u32> {
+        self.feed.announced_member(id)
+    }
+
+    /// Passes an explicit archive catch-up request through to the
+    /// underlying feed (supervision also issues its own on reconnect
+    /// and gap detection).
+    ///
+    /// # Errors
+    /// [`TreError::Io`] if the subscriber is disconnected or the write
+    /// fails.
+    pub fn request_catch_up(
+        &mut self,
+        id: SubscriberId,
+        from: u64,
+        to: u64,
+    ) -> Result<(), tre_core::TreError> {
+        self.feed.request_catch_up(id, from, to)
+    }
+
+    /// [`Transport::poll`] plus committee shares: runs the normal
+    /// supervised poll (socket drain, reconnect supervision, gap
+    /// repair), then drains the `(stamp, member, share)` triples the
+    /// poll decoded. Share epochs feed the same gap tracker as plain
+    /// updates, so catch-up repair works identically in committee mode.
+    pub fn poll_shares(&mut self, id: SubscriberId) -> Vec<(u64, u32, KeyUpdate<L>)> {
+        let _updates = self.poll(id);
+        let shares = self.feed.take_shares(id);
+        let granularity = self.granularity;
+        let state = self.subs.entry(id.index()).or_default();
+        for epoch in shares
+            .iter()
+            .filter_map(|(_, _, u)| granularity.epoch_of_tag(u.tag()))
+        {
+            state.seen.insert(epoch);
+        }
+        shares
+    }
+
     /// Jittered exponential backoff: `base * 2^attempts` capped at
     /// `max`, then uniformly jittered into `[d/2, d]` so a fleet of
     /// receivers does not reconnect in lockstep after a partition heals.

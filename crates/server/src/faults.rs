@@ -127,6 +127,25 @@ pub enum Fault {
     /// instant is reset (RST-style abrupt close). Ignored by
     /// [`ChaosSim`].
     ConnReset,
+    /// (Committee harness) Member `member` of a threshold committee is
+    /// Byzantine for the whole run: its daemon signs key-update shares
+    /// with a secret unrelated to its dealt share, so every share fails
+    /// the commitment pairing check. Consumed by committee test
+    /// harnesses when booting the member fleet; ignored by [`ChaosSim`]
+    /// and [`crate::ChaosProxy`].
+    ByzantineShare {
+        /// The 1-based roster index of the corrupt member.
+        member: u32,
+    },
+    /// (Committee harness) Member `member` equivocates: for each epoch
+    /// it publishes two conflicting key-update shares, which is
+    /// cryptographic evidence of misbehaviour and must convict the
+    /// member without spending pairings. Consumed by committee test
+    /// harnesses; ignored by [`ChaosSim`] and [`crate::ChaosProxy`].
+    EquivocatingShare {
+        /// The 1-based roster index of the equivocating member.
+        member: u32,
+    },
 }
 
 /// A fault scheduled at an absolute clock tick.
@@ -263,9 +282,12 @@ impl FaultInjector {
                 Fault::LatencySpike { .. }
                 | Fault::TornFrame { .. }
                 | Fault::CorruptByte { .. }
-                | Fault::ConnReset => {
-                    // Live-transport faults: interpreted by the
-                    // ChaosProxy against real sockets, not by the sim.
+                | Fault::ConnReset
+                | Fault::ByzantineShare { .. }
+                | Fault::EquivocatingShare { .. } => {
+                    // Live-transport and committee-harness faults:
+                    // interpreted by the ChaosProxy / committee chaos
+                    // harness against real sockets, not by the sim.
                 }
             }
             self.cursor += 1;
@@ -316,6 +338,8 @@ pub(crate) fn fault_name(fault: &Fault) -> &'static str {
         Fault::TornFrame { .. } => "torn_frame",
         Fault::CorruptByte { .. } => "corrupt_byte",
         Fault::ConnReset => "conn_reset",
+        Fault::ByzantineShare { .. } => "byzantine_share",
+        Fault::EquivocatingShare { .. } => "equivocating_share",
     }
 }
 

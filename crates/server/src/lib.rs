@@ -40,7 +40,13 @@
 //!   (partitions, latency spikes, torn frames, byte corruption,
 //!   connection resets) between `tred` and its feeds, plus a reconnect
 //!   supervisor with jittered exponential backoff and catch-up gap
-//!   repair.
+//!   repair;
+//! * [`ShareCollector`] / [`CommitteeFeed`] — the live t-of-n committee
+//!   receiver: per-epoch quorum tracking over n supervised member
+//!   connections, batched pairing verification of key-update shares
+//!   against roster commitments, Byzantine quarantine with per-member
+//!   verdicts, and exponent-Lagrange aggregation to the full update
+//!   (`Tred::bind_member` is the member-daemon side).
 //!
 //! # Example
 //! ```
@@ -64,6 +70,7 @@ mod batch;
 mod chaos_tcp;
 mod client;
 mod clock;
+mod committee;
 mod faults;
 mod journal;
 mod live;
@@ -82,6 +89,7 @@ pub use client::{
     DEFAULT_QUARANTINE_THRESHOLD,
 };
 pub use clock::{Granularity, SimClock};
+pub use committee::{CollectorConfig, CommitteeFeed, CommitteeStats, ShareCollector};
 pub use faults::{ChaosSim, Fault, FaultEvent, FaultPlan, InvariantReport};
 pub use journal::{
     FsyncPolicy, Journal, JournalConfig, JournalStats, ReplayReport, RECORD_HEADER_LEN,

@@ -29,7 +29,9 @@ use parking_lot::Mutex;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use tre_core::{KeyUpdate, ServerPublicKey, TreError};
 use tre_pairing::Curve;
-use tre_wire::{peek_frame, CatchUpRequest, Hello, Wire, HEADER_LEN};
+use tre_wire::{
+    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Wire, HEADER_LEN,
+};
 
 use crate::archive::UpdateArchive;
 use crate::net::SubscriberId;
@@ -176,6 +178,26 @@ struct Shared<const L: usize> {
     shutdown: AtomicBool,
     queue_capacity: usize,
     send_buffer: Option<u32>,
+    /// `Some(i)`: committee mode — this daemon is member `i` of a
+    /// threshold committee and frames every update (live and replayed)
+    /// as a [`KeyUpdateShare`] instead of a bare [`KeyUpdate`].
+    member: Option<u32>,
+}
+
+/// Encodes one update as this daemon's broadcast frame: a bare
+/// [`KeyUpdate`] normally, a member-tagged [`KeyUpdateShare`] in
+/// committee mode.
+fn encode_update_frame<const L: usize>(shared: &Shared<L>, update: &KeyUpdate<L>) -> Arc<Vec<u8>> {
+    match shared.member {
+        Some(member) => Arc::new(
+            KeyUpdateShare {
+                member,
+                update: update.clone(),
+            }
+            .wire_bytes(shared.curve),
+        ),
+        None => Arc::new(update.wire_bytes(shared.curve)),
+    }
 }
 
 /// A running broadcast daemon. Dropping without [`Tred::shutdown`]
@@ -202,6 +224,36 @@ impl<const L: usize> Tred<L> {
         server: TimeServer<'static, L>,
         config: TredConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, curve, server, config, None)
+    }
+
+    /// Like [`Tred::bind`], but runs the daemon as committee member
+    /// `member` (1-based roster index): every broadcast and catch-up
+    /// reply is framed as a [`KeyUpdateShare`] carrying this index, and
+    /// each new subscriber is greeted with a [`CommitteeHello`] so a
+    /// `CommitteeFeed` can check it dialed the member it expected. The
+    /// [`TimeServer`]'s key pair must be the member's *share* key
+    /// `(G, s_i)` — never the master secret.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind.
+    pub fn bind_member(
+        addr: &str,
+        curve: &'static Curve<L>,
+        member: u32,
+        server: TimeServer<'static, L>,
+        config: TredConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, curve, server, config, Some(member))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        curve: &'static Curve<L>,
+        server: TimeServer<'static, L>,
+        config: TredConfig,
+        member: Option<u32>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let public_key = *server.public_key();
@@ -213,6 +265,7 @@ impl<const L: usize> Tred<L> {
             shutdown: AtomicBool::new(false),
             queue_capacity: config.queue_capacity,
             send_buffer: config.send_buffer,
+            member,
         });
 
         let ticker_handle = {
@@ -221,7 +274,7 @@ impl<const L: usize> Tred<L> {
             std::thread::spawn(move || {
                 while !shared.shutdown.load(Ordering::Relaxed) {
                     for update in server.poll() {
-                        let frame = Arc::new(update.wire_bytes(shared.curve));
+                        let frame = encode_update_frame(&shared, &update);
                         shared.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
                         offer_frame(&mut shared.slots.lock(), &frame, &shared.stats);
                     }
@@ -325,6 +378,17 @@ fn accept_subscriber<const L: usize>(shared: &Arc<Shared<L>>, stream: TcpStream)
     };
     let (tx, rx) = sync_channel::<Arc<Vec<u8>>>(shared.queue_capacity);
     let closed = Arc::new(AtomicBool::new(false));
+    if let Some(member) = shared.member {
+        // Committee mode: the greeting is the first frame on the wire,
+        // before any share, so the feed can vet the member identity.
+        let hello = CommitteeHello {
+            version: tre_wire::VERSION,
+            member,
+        };
+        let mut frame = Vec::new();
+        <CommitteeHello as Wire<L>>::wire_write(&hello, shared.curve, &mut frame);
+        let _ = tx.try_send(Arc::new(frame));
+    }
     shared.slots.lock().push(Slot {
         tx: tx.clone(),
         closed: Arc::clone(&closed),
@@ -441,7 +505,7 @@ fn handle_control_frame<const L: usize>(
             .catch_up_requests
             .fetch_add(1, Ordering::Relaxed);
         for (_, update) in shared.archive.range(req.from, req.to) {
-            let frame = Arc::new(update.wire_bytes(curve));
+            let frame = encode_update_frame(shared, &update);
             // try_send: a subscriber whose queue cannot absorb its own
             // catch-up response will be evicted by the next broadcast
             // anyway; do not block the reader on it.
@@ -462,6 +526,8 @@ fn handle_control_frame<const L: usize>(
 pub struct FeedStats {
     /// Key-update frames decoded.
     pub updates_decoded: u64,
+    /// Committee key-update-share frames decoded.
+    pub shares_decoded: u64,
     /// Raw bytes received.
     pub bytes_received: u64,
     /// Frames dropped for wire errors (bad magic/version/body).
@@ -477,6 +543,7 @@ impl FeedStats {
     /// `<prefix>_<stat>` names.
     pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
         registry.counter_set(&format!("{prefix}_updates_decoded"), self.updates_decoded);
+        registry.counter_set(&format!("{prefix}_shares_decoded"), self.shares_decoded);
         registry.counter_set(&format!("{prefix}_bytes_received"), self.bytes_received);
         registry.counter_set(&format!("{prefix}_wire_errors"), self.wire_errors);
         registry.counter_set(&format!("{prefix}_reconnects"), self.reconnects);
@@ -487,9 +554,26 @@ impl FeedStats {
     }
 }
 
-struct FeedConn {
+struct FeedConn<const L: usize> {
     stream: Option<TcpStream>,
     buf: Vec<u8>,
+    /// Committee shares decoded but not yet taken: `(stamp, member,
+    /// share)` in arrival order. Drained by [`TcpFeed::take_shares`].
+    shares: Vec<(u64, u32, KeyUpdate<L>)>,
+    /// The member index this connection's peer announced in its
+    /// [`CommitteeHello`], if any arrived yet.
+    announced: Option<u32>,
+}
+
+impl<const L: usize> FeedConn<L> {
+    fn new(stream: Option<TcpStream>) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            shares: Vec::new(),
+            announced: None,
+        }
+    }
 }
 
 /// A TCP subscriber feed: the client-side [`Transport`] over a running
@@ -502,7 +586,7 @@ struct FeedConn {
 pub struct TcpFeed<const L: usize> {
     curve: &'static Curve<L>,
     addr: SocketAddr,
-    conns: Vec<FeedConn>,
+    conns: Vec<FeedConn<L>>,
     clock: Option<crate::clock::SimClock>,
     polls: u64,
     stats: FeedStats,
@@ -568,6 +652,30 @@ impl<const L: usize> TcpFeed<L> {
         Ok(())
     }
 
+    /// Drains the committee key-update shares decoded on this
+    /// subscriber's connection since the last call: `(stamp, member,
+    /// share)` in arrival order. Call after [`Transport::poll`] (which
+    /// does the socket draining and decoding).
+    pub fn take_shares(&mut self, id: SubscriberId) -> Vec<(u64, u32, KeyUpdate<L>)> {
+        std::mem::take(&mut self.conns[id.index()].shares)
+    }
+
+    /// The member index this subscriber's peer announced in its
+    /// [`CommitteeHello`], once one has been decoded.
+    pub fn announced_member(&self, id: SubscriberId) -> Option<u32> {
+        self.conns[id.index()].announced
+    }
+
+    /// Registers a subscriber slot *without* dialing: the connection
+    /// starts disconnected and is established by the first
+    /// [`TcpFeed::reconnect`] (e.g. driven by a `SupervisedFeed`'s
+    /// backoff loop). This is how a `CommitteeFeed` tolerates members
+    /// that are down at construction time.
+    pub fn subscribe_lazy(&mut self) -> SubscriberId {
+        self.conns.push(FeedConn::new(None));
+        SubscriberId::new(self.conns.len() - 1)
+    }
+
     /// Asks the daemon to replay archived epochs `from..=to`; the
     /// replayed updates arrive through [`Transport::poll`] like any
     /// broadcast.
@@ -601,10 +709,7 @@ impl<const L: usize> Transport<L> for TcpFeed<L> {
     /// for fallible recovery after the initial subscribe.
     fn subscribe(&mut self) -> SubscriberId {
         let stream = self.dial().expect("tcp feed: initial subscribe failed");
-        self.conns.push(FeedConn {
-            stream: Some(stream),
-            buf: Vec::new(),
-        });
+        self.conns.push(FeedConn::new(Some(stream)));
         SubscriberId::new(self.conns.len() - 1)
     }
 
@@ -652,6 +757,19 @@ impl<const L: usize> Transport<L> for TcpFeed<L> {
                                 self.stats.updates_decoded += 1;
                                 out.push((stamp, update));
                             }
+                            Err(_) => self.stats.wire_errors += 1,
+                        }
+                    } else if header.type_tag == <KeyUpdateShare<L> as Wire<L>>::TYPE_TAG {
+                        match <KeyUpdateShare<L> as Wire<L>>::wire_read_body(curve, body) {
+                            Ok(share) => {
+                                self.stats.shares_decoded += 1;
+                                conn.shares.push((stamp, share.member, share.update));
+                            }
+                            Err(_) => self.stats.wire_errors += 1,
+                        }
+                    } else if header.type_tag == <CommitteeHello as Wire<L>>::TYPE_TAG {
+                        match <CommitteeHello as Wire<L>>::wire_read_body(curve, body) {
+                            Ok(hello) => conn.announced = Some(hello.member),
                             Err(_) => self.stats.wire_errors += 1,
                         }
                     }

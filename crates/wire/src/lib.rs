@@ -98,6 +98,10 @@ pub const TAG_ID_CIPHERTEXT: u8 = 0x09;
 pub const TAG_HELLO: u8 = 0x10;
 /// Type tag: [`CatchUpRequest`] (transport control).
 pub const TAG_CATCH_UP_REQUEST: u8 = 0x11;
+/// Type tag: [`KeyUpdateShare`] (committee mode).
+pub const TAG_KEY_UPDATE_SHARE: u8 = 0x12;
+/// Type tag: [`CommitteeHello`] (committee mode, transport control).
+pub const TAG_COMMITTEE_HELLO: u8 = 0x13;
 
 /// A parsed frame header (magic and version already validated).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -354,6 +358,72 @@ impl<const L: usize> Wire<L> for CatchUpRequest {
     }
 }
 
+/// Committee mode: one member's per-epoch key-update share
+/// `s_i·H1(T)`, tagged with the member's 1-based roster index so the
+/// receiving `CommitteeFeed` can verify it against that member's public
+/// share commitment before aggregation.
+///
+/// Body layout: `member` (u32, big-endian) ‖ [`KeyUpdate`] body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyUpdateShare<const L: usize> {
+    /// The publishing member's 1-based roster index.
+    pub member: u32,
+    /// The member's share of the epoch update: `s_i·H1(T)`, structurally
+    /// an ordinary [`KeyUpdate`] verifiable against `(G, s_i·G)`.
+    pub update: KeyUpdate<L>,
+}
+
+impl<const L: usize> Wire<L> for KeyUpdateShare<L> {
+    const TYPE_TAG: u8 = TAG_KEY_UPDATE_SHARE;
+
+    fn wire_body(&self, curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.member.to_be_bytes());
+        self.update.write_body(curve, out);
+    }
+
+    fn wire_read_body(curve: &Curve<L>, body: &[u8]) -> Result<Self, TreError> {
+        if body.len() < 4 {
+            return Err(TreError::Malformed("key update share body"));
+        }
+        Ok(Self {
+            member: u32::from_be_bytes(body[..4].try_into().unwrap()),
+            update: KeyUpdate::read_body(curve, &body[4..])?,
+        })
+    }
+}
+
+/// Committee mode, transport control: the first frame a committee
+/// member daemon sends to every subscriber, announcing its wire version
+/// and claimed roster index. A `CommitteeFeed` checks the claim against
+/// the roster slot it dialed, so a member answering on the wrong (or a
+/// hijacked) address is flagged before any share is consumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommitteeHello {
+    /// Wire format version the member speaks.
+    pub version: u8,
+    /// The member's claimed 1-based roster index.
+    pub member: u32,
+}
+
+impl<const L: usize> Wire<L> for CommitteeHello {
+    const TYPE_TAG: u8 = TAG_COMMITTEE_HELLO;
+
+    fn wire_body(&self, _curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.push(self.version);
+        out.extend_from_slice(&self.member.to_be_bytes());
+    }
+
+    fn wire_read_body(_curve: &Curve<L>, body: &[u8]) -> Result<Self, TreError> {
+        if body.len() != 5 {
+            return Err(TreError::Malformed("committee hello body"));
+        }
+        Ok(Self {
+            version: body[0],
+            member: u32::from_be_bytes(body[1..5].try_into().unwrap()),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +541,14 @@ mod tests {
         roundtrip(&id);
         roundtrip(&Hello::current());
         roundtrip(&CatchUpRequest { from: 3, to: 17 });
+        roundtrip(&KeyUpdateShare {
+            member: 2,
+            update: update.clone(),
+        });
+        roundtrip(&CommitteeHello {
+            version: VERSION,
+            member: 4,
+        });
 
         fuzz_frame(fx.server.public());
         fuzz_frame(fx.user.public());
@@ -479,6 +557,14 @@ mod tests {
         fuzz_frame(&basic);
         fuzz_frame(&Hello::current());
         fuzz_frame(&CatchUpRequest { from: 3, to: 17 });
+        fuzz_frame(&KeyUpdateShare {
+            member: 2,
+            update: update.clone(),
+        });
+        fuzz_frame(&CommitteeHello {
+            version: VERSION,
+            member: 4,
+        });
     }
 
     #[test]
@@ -603,6 +689,20 @@ mod tests {
         #[test]
         fn prop_catch_up_request_roundtrips(from in any::<u64>(), to in any::<u64>()) {
             roundtrip(&CatchUpRequest { from, to });
+        }
+
+        #[test]
+        fn prop_committee_frames_roundtrip(
+            seed in any::<u64>(),
+            member in any::<u32>(),
+            version in any::<u8>(),
+            tag_value in proptest::collection::vec(any::<u8>(), 1..24),
+        ) {
+            let curve = toy64();
+            let (fx, _) = fixture(seed);
+            let update = fx.server.issue_update(curve, &ReleaseTag::time(tag_value));
+            roundtrip(&KeyUpdateShare { member, update });
+            roundtrip(&CommitteeHello { version, member });
         }
 
         #[test]

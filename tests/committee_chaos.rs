@@ -1,0 +1,515 @@
+//! E13 for the live threshold committee: five member daemons publish
+//! key-update shares over real sockets, each behind its own chaos
+//! proxy, and a [`CommitteeFeed`] receiver must keep aggregating the
+//! full update from any k=3 valid shares while n−k=2 members are
+//! partitioned, crashed, Byzantine, or equivocating:
+//!
+//! * **safety** — no client ever opens a message early or from a forged
+//!   aggregate: every opened message has the right plaintext, opened
+//!   at-or-after its release epoch, exactly once; faulty members are
+//!   named in per-member verdicts, never silently tolerated;
+//! * **liveness** — every epoch closes quorum and decrypts as long as
+//!   any k honest members are eventually reachable;
+//! * **cost** — in non-Byzantine runs the clean aggregation path spends
+//!   at most k+1 pairings per aggregated epoch (one batched
+//!   multi-pairing), never 2k.
+//!
+//! The Byzantine scenario writes its per-member verdicts to
+//! `target/committee/verdicts.json` (uploaded as a CI artifact); the
+//! composite matrix runs over a fixed seed set (`TRE_CHAOS_SEED`).
+
+use std::io::Write as IoWrite;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tre::core::{dealer_setup, MemberVerdict, ShareFault};
+use tre::pairing::Curve;
+use tre::prelude::*;
+use tre::server::{
+    ChaosProxy, CollectorConfig, CommitteeFeed, CommitteeStats, FaultPlan, SupervisorConfig, Tred,
+    TredConfig,
+};
+use tre::wire::{CommitteeHello, KeyUpdateShare, VERSION};
+
+const DEADLINE: Duration = Duration::from_secs(30);
+const EPOCHS: u64 = 6;
+const CLIENTS: usize = 3;
+const K: u32 = 3;
+const N: u32 = 5;
+
+fn seed_from_env(default: u64) -> u64 {
+    std::env::var("TRE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// How each of the five roster slots behaves.
+#[derive(Clone, Copy, PartialEq)]
+enum MemberKind {
+    /// A real member daemon publishing its correct share.
+    Honest,
+    /// A real member daemon whose key is *not* its dealt share: its
+    /// shares are well-formed but fail verification against the roster
+    /// commitment.
+    Byzantine,
+    /// A fake daemon that greets correctly, then publishes two
+    /// conflicting shares per epoch.
+    Equivocating,
+}
+
+/// A fake committee member: speaks the wire protocol (greeting first,
+/// then member-tagged share frames) but sends two *different* garbage
+/// shares for every epoch — the classic equivocation attack.
+fn spawn_equivocator(
+    curve: &'static Curve<8>,
+    member: u32,
+    clock: SimClock,
+    stop: Arc<AtomicBool>,
+) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut rng = rand::thread_rng();
+        let g = Granularity::Seconds;
+        // (stream, next epoch to equivocate on) per accepted connection.
+        let mut conns: Vec<(TcpStream, u64)> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut frame = Vec::new();
+                let hello = CommitteeHello {
+                    version: VERSION,
+                    member,
+                };
+                <CommitteeHello as Wire<8>>::wire_write(&hello, curve, &mut frame);
+                let mut stream = stream;
+                if stream.write_all(&frame).is_ok() {
+                    conns.push((stream, 0));
+                }
+            }
+            let now = clock.now();
+            conns.retain_mut(|(stream, next)| {
+                while *next <= now {
+                    let tag = g.tag_for_epoch(*next);
+                    for _ in 0..2 {
+                        let sig = curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut rng));
+                        let share = KeyUpdateShare {
+                            member,
+                            update: KeyUpdate::from_parts(tag.clone(), sig),
+                        };
+                        if stream.write_all(&share.wire_bytes(curve)).is_err() {
+                            return false;
+                        }
+                    }
+                    *next += 1;
+                }
+                true
+            });
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    (addr, handle)
+}
+
+struct CommitteeRun {
+    opened_per_client: Vec<usize>,
+    stats: CommitteeStats,
+    /// `(epoch, verdicts)` for every broadcast epoch `1..=EPOCHS`.
+    verdicts: Vec<(u64, Vec<MemberVerdict>)>,
+}
+
+/// Boots the five-member committee (each real member behind its own
+/// chaos proxy), a [`CommitteeFeed`] receiver, and [`CLIENTS`]
+/// receivers each holding one sealed message per epoch `1..=EPOCHS`
+/// encrypted against the *committee* public key. Drives the shared
+/// epoch clock while faults play out (optionally crashing members
+/// outright at a scheduled epoch), settles, and asserts the safety
+/// invariants. Scenario-specific assertions use the returned counters
+/// and verdicts.
+fn run_committee(
+    kinds: [MemberKind; N as usize],
+    plans: [FaultPlan; N as usize],
+    crash_after: &[(u32, u64)],
+    seed: u64,
+) -> CommitteeRun {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let clock = SimClock::new();
+    let (roster, members) = dealer_setup(curve, K, N, &mut rng);
+    let spk = *roster.public();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut treds: Vec<Option<Tred<8>>> = Vec::new();
+    let mut proxies: Vec<Option<ChaosProxy>> = Vec::new();
+    let mut evil: Vec<JoinHandle<()>> = Vec::new();
+    let mut addrs: Vec<(u32, SocketAddr)> = Vec::new();
+    for (slot, member) in members.iter().enumerate() {
+        let index = member.index();
+        match kinds[slot] {
+            MemberKind::Equivocating => {
+                let (addr, handle) =
+                    spawn_equivocator(curve, index, clock.clone(), Arc::clone(&stop));
+                addrs.push((index, addr));
+                treds.push(None);
+                proxies.push(None);
+                evil.push(handle);
+            }
+            kind => {
+                let keys = match kind {
+                    MemberKind::Honest => member.key_pair().clone(),
+                    // A share key the dealer never issued: consistent,
+                    // well-formed, and wrong.
+                    _ => ServerKeyPair::from_secret(curve, *spk.g(), curve.random_scalar(&mut rng)),
+                };
+                let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+                let tred =
+                    Tred::bind_member("127.0.0.1:0", curve, index, server, TredConfig::default())
+                        .unwrap();
+                let proxy = ChaosProxy::bind(
+                    "127.0.0.1:0",
+                    tred.local_addr(),
+                    &plans[slot],
+                    seed ^ u64::from(index),
+                )
+                .unwrap();
+                addrs.push((index, proxy.local_addr()));
+                treds.push(Some(tred));
+                proxies.push(Some(proxy));
+            }
+        }
+    }
+
+    let mut feed = CommitteeFeed::new(
+        curve,
+        roster,
+        Granularity::Seconds,
+        &addrs,
+        SupervisorConfig::default(),
+        CollectorConfig {
+            quorum_timeout: Duration::from_secs(2),
+        },
+        seed,
+    )
+    .with_clock(clock.clone());
+
+    let mut clients: Vec<ReceiverClient<8>> = (0..CLIENTS)
+        .map(|_| ReceiverClient::new(curve, spk, UserKeyPair::generate(curve, &spk, &mut rng)))
+        .collect();
+    let subs: Vec<_> = clients.iter().map(|_| feed.subscribe()).collect();
+
+    let g = Granularity::Seconds;
+    for (i, c) in clients.iter_mut().enumerate() {
+        let sender = Sender::new(curve, &spk, c.public_key()).unwrap();
+        for epoch in 1..=EPOCHS {
+            let ct = sender.encrypt(
+                &g.tag_for_epoch(epoch),
+                format!("m-{i}-{epoch}").as_bytes(),
+                &mut rng,
+            );
+            c.receive_ciphertext(ct, 0);
+        }
+    }
+
+    // Broadcast one epoch per 50ms so member traffic overlaps the fault
+    // windows, pumping (and thereby supervising + aggregating)
+    // throughout. Scheduled crashes kill the member daemon *and* its
+    // proxy — from the feed's side the member simply vanishes.
+    for epoch in 1..=EPOCHS {
+        clock.advance(1);
+        for &(member, at) in crash_after {
+            if at == epoch {
+                let slot = addrs.iter().position(|&(m, _)| m == member).unwrap();
+                if let Some(tred) = treds[slot].take() {
+                    tred.shutdown();
+                }
+                if let Some(proxy) = proxies[slot].take() {
+                    proxy.shutdown();
+                }
+            }
+        }
+        let slice = Instant::now();
+        while slice.elapsed() < Duration::from_millis(50) {
+            for (c, sub) in clients.iter_mut().zip(&subs) {
+                c.pump(&mut feed, *sub);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Settle: fault windows clear, supervision re-dials, quorum closes.
+    let start = Instant::now();
+    while clients.iter().any(|c| c.opened().len() < EPOCHS as usize) && start.elapsed() < DEADLINE {
+        for (c, sub) in clients.iter_mut().zip(&subs) {
+            c.pump(&mut feed, *sub);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Safety: right plaintext, never early, exactly once — no matter
+    // which members misbehaved.
+    for (i, c) in clients.iter().enumerate() {
+        let mut epochs_opened: Vec<u64> = Vec::new();
+        for m in c.opened() {
+            let epoch = g.epoch_of_tag(&m.tag).expect("canonical epoch tag");
+            assert_eq!(
+                m.plaintext,
+                format!("m-{i}-{epoch}").as_bytes(),
+                "client {i}: wrong plaintext for epoch {epoch}"
+            );
+            assert!(
+                m.opened_at >= epoch,
+                "client {i}: epoch {epoch} opened early at t={}",
+                m.opened_at
+            );
+            epochs_opened.push(epoch);
+        }
+        epochs_opened.sort_unstable();
+        let expected: Vec<u64> = (1..=EPOCHS).collect();
+        assert_eq!(
+            epochs_opened, expected,
+            "client {i}: each message opened exactly once"
+        );
+        assert_eq!(c.pending_count(), 0, "client {i}: nothing left pending");
+    }
+
+    let verdicts = (1..=EPOCHS).map(|e| (e, feed.verdicts(e))).collect();
+    let run = CommitteeRun {
+        opened_per_client: clients.iter().map(|c| c.opened().len()).collect(),
+        stats: feed.stats().clone(),
+        verdicts,
+    };
+    stop.store(true, Ordering::Relaxed);
+    for handle in evil {
+        handle.join().unwrap();
+    }
+    for proxy in proxies.into_iter().flatten() {
+        proxy.shutdown();
+    }
+    for tred in treds.into_iter().flatten() {
+        tred.shutdown();
+    }
+    run
+}
+
+fn assert_all_settled(run: &CommitteeRun, label: &str) {
+    assert!(
+        run.opened_per_client.iter().all(|&n| n == EPOCHS as usize),
+        "{label}: every client opened every epoch"
+    );
+    assert!(
+        run.stats.epochs_aggregated >= EPOCHS,
+        "{label}: every broadcast epoch closed quorum (got {})",
+        run.stats.epochs_aggregated
+    );
+}
+
+/// The experiment's cost guard: on paths with no forged shares the
+/// batched verification plus exponent-Lagrange aggregation spends at
+/// most k+1 pairings per aggregated epoch. (Byzantine epochs pay extra
+/// for bisection — that's the attack's cost, not the protocol's.)
+fn assert_pairing_guard(run: &CommitteeRun, label: &str) {
+    assert!(
+        run.stats.aggregation_pairings <= run.stats.epochs_aggregated * u64::from(K + 1),
+        "{label}: {} pairings over {} epochs exceeds the k+1 budget",
+        run.stats.aggregation_pairings,
+        run.stats.epochs_aggregated
+    );
+}
+
+#[test]
+fn all_honest_members_aggregate_within_pairing_budget() {
+    let run = run_committee(
+        [MemberKind::Honest; 5],
+        std::array::from_fn(|_| FaultPlan::new()),
+        &[],
+        seed_from_env(21),
+    );
+    assert_all_settled(&run, "honest");
+    assert_pairing_guard(&run, "honest");
+    assert_eq!(
+        run.stats.shares_rejected.values().sum::<u64>(),
+        0,
+        "no share from an honest committee is rejected"
+    );
+}
+
+#[test]
+fn two_members_partitioned_mid_run_degrade_to_k_of_n() {
+    // Members 4 and 5 go dark from 40ms of proxy uptime until 240ms —
+    // most of the broadcast window. The three remaining honest members
+    // are exactly a quorum.
+    let dark = |at| {
+        FaultPlan::new().at(
+            at,
+            tre::server::Fault::Partition {
+                client: 0,
+                heal_after: 200,
+            },
+        )
+    };
+    let mut plans: [FaultPlan; 5] = std::array::from_fn(|_| FaultPlan::new());
+    plans[3] = dark(40);
+    plans[4] = dark(40);
+    let run = run_committee([MemberKind::Honest; 5], plans, &[], seed_from_env(22));
+    assert_all_settled(&run, "partition");
+    assert_pairing_guard(&run, "partition");
+}
+
+#[test]
+fn two_members_crashed_mid_run_degrade_to_k_of_n() {
+    // Members 2 and 5 are killed outright (daemon + proxy) once epoch 2
+    // has been broadcast and never come back. Later epochs must still
+    // close from the surviving k=3, and the dead members must show up
+    // as Missing in the final epoch's verdicts.
+    let run = run_committee(
+        [MemberKind::Honest; 5],
+        std::array::from_fn(|_| FaultPlan::new()),
+        &[(2, 3), (5, 3)],
+        seed_from_env(23),
+    );
+    assert_all_settled(&run, "crash");
+    assert_pairing_guard(&run, "crash");
+    let (_, last) = run.verdicts.last().expect("verdicts for the last epoch");
+    for member in [2u32, 5] {
+        let v = last.iter().find(|v| v.member == member).unwrap();
+        assert_eq!(
+            v.fault,
+            Some(ShareFault::Missing),
+            "crashed member {member} is named Missing in epoch {EPOCHS}"
+        );
+    }
+}
+
+#[test]
+fn byzantine_and_equivocating_members_are_named_and_survived() {
+    // Member 2 publishes consistent shares under a key the dealer never
+    // issued; member 4 equivocates with two conflicting shares per
+    // epoch. Both are n−k tolerable: every epoch still aggregates from
+    // the three honest members, and both attackers are named in every
+    // epoch's verdicts.
+    let mut kinds = [MemberKind::Honest; 5];
+    kinds[1] = MemberKind::Byzantine;
+    kinds[3] = MemberKind::Equivocating;
+    let seed = seed_from_env(24);
+    let run = run_committee(kinds, std::array::from_fn(|_| FaultPlan::new()), &[], seed);
+    assert_all_settled(&run, "byzantine");
+    // The lazy verifier only examines shares that could still close the
+    // quorum (that's the k+1-pairing budget), so a forged share that
+    // loses the race to an already-closed epoch stays unexamined. The
+    // forger must be named in every epoch where its share was checked —
+    // and at least one — and never pass as valid anywhere.
+    let mut member2_named = 0u64;
+    for (epoch, verdicts) in &run.verdicts {
+        let v2 = verdicts.iter().find(|v| v.member == 2).unwrap();
+        match v2.fault {
+            Some(ShareFault::BadShare) => member2_named += 1,
+            None => {}
+            other => panic!("epoch {epoch}: unexpected verdict {other:?} for the forger"),
+        }
+        let v4 = verdicts.iter().find(|v| v.member == 4).unwrap();
+        assert!(
+            matches!(
+                v4.fault,
+                Some(ShareFault::Equivocation) | Some(ShareFault::BadShare)
+            ),
+            "epoch {epoch}: equivocator 4 is convicted (got {:?})",
+            v4.fault
+        );
+        for honest in [1u32, 3, 5] {
+            let v = verdicts.iter().find(|v| v.member == honest).unwrap();
+            assert!(
+                v.fault.is_none() || v.fault == Some(ShareFault::Missing),
+                "epoch {epoch}: honest member {honest} is never convicted (got {:?})",
+                v.fault
+            );
+        }
+    }
+    assert!(
+        member2_named >= 1,
+        "the forger is named BadShare in at least one epoch's verdicts"
+    );
+    assert!(
+        *run.stats.shares_rejected.get(&2).unwrap_or(&0) > 0
+            && *run.stats.shares_rejected.get(&4).unwrap_or(&0) > 0,
+        "both attackers show up in the rejection counters"
+    );
+    write_verdict_artifact(&run, seed);
+}
+
+/// Dumps the Byzantine scenario's per-member verdicts to
+/// `target/committee/verdicts.json` so the CI chaos job can upload them
+/// as a build artifact.
+fn write_verdict_artifact(run: &CommitteeRun, seed: u64) {
+    let fault = |f: &Option<ShareFault>| match f {
+        None => "null".to_string(),
+        Some(f) => format!("{f:?}").to_lowercase().replace('"', ""),
+    };
+    let epochs: Vec<String> = run
+        .verdicts
+        .iter()
+        .map(|(epoch, verdicts)| {
+            let rows: Vec<String> = verdicts
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"member\": {}, \"fault\": {}}}",
+                        v.member,
+                        match v.fault {
+                            None => "null".to_string(),
+                            Some(_) => format!("\"{}\"", fault(&v.fault)),
+                        }
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"epoch\": {epoch}, \"verdicts\": [{}]}}",
+                rows.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scenario\": \"byzantine_and_equivocating\",\n  \"seed\": {seed},\n  \
+         \"k\": {K},\n  \"n\": {N},\n  \"epochs_aggregated\": {},\n  \
+         \"shares_received\": {},\n  \"shares_rejected\": {},\n  \"epochs\": [\n{}\n  ]\n}}\n",
+        run.stats.epochs_aggregated,
+        run.stats.shares_received,
+        run.stats.shares_rejected.values().sum::<u64>(),
+        epochs.join(",\n")
+    );
+    let dir = std::path::Path::new("target/committee");
+    std::fs::create_dir_all(dir).expect("create target/committee");
+    std::fs::write(dir.join("verdicts.json"), json).expect("write verdicts.json");
+}
+
+#[test]
+fn full_fault_matrix_over_seed_matrix() {
+    // The composite: a Byzantine member, an equivocating member, and a
+    // healing partition on one of the three honest members, repeated
+    // over a small seed matrix (CI pins seeds via TRE_CHAOS_SEED). Once
+    // the partition heals, k honest members are reachable and every
+    // epoch must close.
+    for seed in [1u64, 2, 3] {
+        let mut kinds = [MemberKind::Honest; 5];
+        kinds[1] = MemberKind::Byzantine;
+        kinds[3] = MemberKind::Equivocating;
+        let mut plans: [FaultPlan; 5] = std::array::from_fn(|_| FaultPlan::new());
+        plans[0] = FaultPlan::new().at(
+            40,
+            tre::server::Fault::Partition {
+                client: 0,
+                heal_after: 120,
+            },
+        );
+        plans[2] = FaultPlan::new().at(150, tre::server::Fault::ConnReset);
+        let run = run_committee(kinds, plans, &[], seed);
+        assert_all_settled(&run, "composite");
+        assert!(
+            run.stats.shares_rejected.values().sum::<u64>() > 0,
+            "seed {seed}: the attackers' shares were actually rejected"
+        );
+    }
+}

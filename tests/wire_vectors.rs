@@ -14,7 +14,9 @@ use tre::bigint::U256;
 use tre::core::{fo, hybrid, idtre, react};
 use tre::hashes::{hex, HmacDrbg};
 use tre::prelude::*;
-use tre::wire::{peek_frame, CatchUpRequest, Hello, HEADER_LEN};
+use tre::wire::{
+    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, HEADER_LEN, VERSION,
+};
 
 const VECTORS_PATH: &str = "tests/vectors/wire_v1.json";
 
@@ -92,6 +94,22 @@ fn fixtures() -> Vec<(&'static str, u8, Vec<u8>, Vec<u8>)> {
             "catch_up_request",
             CatchUpRequest,
             CatchUpRequest { from: 3, to: 9 }
+        ),
+        row!(
+            "key_update_share",
+            KeyUpdateShare<8>,
+            KeyUpdateShare {
+                member: 2,
+                update: update.clone(),
+            }
+        ),
+        row!(
+            "committee_hello",
+            CommitteeHello,
+            CommitteeHello {
+                version: VERSION,
+                member: 2,
+            }
         ),
     ]
 }
