@@ -3,11 +3,18 @@
 //! AEAD, hashing) funnels through a thread-local flag check, so the
 //! disabled rows here should be indistinguishable from pre-instrumentation
 //! numbers; the enabled rows bound the worst-case recording cost.
+//!
+//! The E18 telemetry plane rides the same rule: the wire-trailer guard
+//! below hard-asserts the per-broadcast [`Telemetry`] frame stays within
+//! its 40-byte budget, and benches the trailer encode plus the sink's
+//! stamp path so a creeping trailer or a lock-heavy sink fails CI.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tre_bench::{rng, Fixture};
 use tre_core::{Receiver, ReleaseTag, Sender};
 use tre_pairing::toy64;
+use tre_server::{Stage, TraceSink};
+use tre_wire::{Telemetry, Wire, HEADER_LEN, TELEMETRY_BODY_LEN};
 
 /// A full decrypt (pairing + Gt exponentiation + mask) with the recorder
 /// off vs on — the dominant instrumented operation on the receive path.
@@ -75,5 +82,52 @@ fn hook_overhead(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(obs_benches, decrypt_overhead, hook_overhead);
+/// The E18 wire-trailer overhead guard. A traced broadcast appends one
+/// [`Telemetry`] frame to the update's buffer; the frame-size assertion
+/// pins that delta to ≤ 40 bytes (it is 31 today: 10-byte header +
+/// 21-byte body), and the bench rows bound the encode cost and the
+/// per-stamp cost of a live [`TraceSink`].
+fn telemetry_overhead(c: &mut Criterion) {
+    let curve = toy64();
+    // Worst-case field values — the encoding is fixed-width, so any
+    // accidental switch to a variable-length encoding shows up here.
+    let ctx = Telemetry {
+        epoch: u64::MAX,
+        origin: u32::MAX,
+        publish_ns: u64::MAX,
+        hops: u8::MAX,
+    };
+    let frame = <Telemetry as Wire<8>>::wire_bytes(&ctx, curve);
+    assert_eq!(
+        frame.len(),
+        HEADER_LEN + TELEMETRY_BODY_LEN,
+        "telemetry frame is exactly header + fixed body"
+    );
+    assert!(
+        frame.len() <= 40,
+        "telemetry trailer outgrew its per-broadcast budget: {} > 40 bytes",
+        frame.len()
+    );
+
+    let mut grp = c.benchmark_group("obs_telemetry");
+    grp.sample_size(10);
+    grp.bench_function("trailer_encode", |b| {
+        b.iter(|| <Telemetry as Wire<8>>::wire_bytes(black_box(&ctx), curve))
+    });
+    // One stage stamp on a live sink: a mutex lock + BTreeMap entry.
+    // This is the whole added cost per hop when tracing is on; an
+    // untraced rig never constructs a sink and pays one `Option` check.
+    let sink = TraceSink::new();
+    grp.bench_function("sink_record_now", |b| {
+        b.iter(|| sink.record_now(black_box(7), Stage::Verified))
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    obs_benches,
+    decrypt_overhead,
+    hook_overhead,
+    telemetry_overhead
+);
 criterion_main!(obs_benches);

@@ -15,8 +15,9 @@ use tre_core::{fo, hybrid, insulated::EpochKey, multi_server, react, server_chan
 use tre_core::{KeyUpdate, Receiver, ReleaseTag, Sender, ServerKeyPair, UserKeyPair};
 use tre_pairing::{mid96, toy64, Curve};
 use tre_server::{
-    BroadcastNet, ChaosSim, Fault, FaultPlan, Granularity, JournalConfig, NetConfig,
-    ReceiverClient, SimClock, TcpFeed, TimeServer, Transport, Tred, TredConfig, UpdateArchive,
+    BroadcastNet, ChaosProxy, ChaosSim, Fault, FaultPlan, Granularity, JournalConfig, NetConfig,
+    ReceiverClient, SimClock, Stage, SupervisedFeed, SupervisorConfig, TcpFeed, TimeServer,
+    TraceSink, Transport, Tred, TredConfig, UpdateArchive,
 };
 
 /// Canonical body-encoding size of one key update (what the size tables
@@ -84,6 +85,9 @@ fn main() {
     }
     if want("e17") {
         e17();
+    }
+    if want("e18") {
+        e18();
     }
 }
 
@@ -1461,4 +1465,308 @@ fn e17() {
         let _ = std::fs::write(dir.join("e17.json"), json);
         println!("artifacts: target/e17/e17.json\n");
     }
+}
+
+/// Stage-transition names in pipeline order, plus the end-to-end total —
+/// the row order of every E18 table (BTreeMap iteration would scramble
+/// the pipeline).
+fn e18_stage_order() -> Vec<String> {
+    let mut names: Vec<String> = Stage::ALL
+        .windows(2)
+        .map(|w| format!("{}_to_{}", w[0].name(), w[1].name()))
+        .collect();
+    names.push("end_to_end".to_string());
+    names
+}
+
+/// Prints one E18 attribution table and returns its JSON rows.
+fn e18_table(hists: &std::collections::BTreeMap<String, tre_obs::LatencyHistogram>) -> Vec<String> {
+    header(&["stage", "samples", "p50 µs", "p99 µs", "max µs"]);
+    let mut rows_json = Vec::new();
+    for name in e18_stage_order() {
+        let Some(h) = hists.get(&name) else { continue };
+        let p50 = h.quantile(0.5).unwrap_or(0);
+        let p99 = h.quantile(0.99).unwrap_or(0);
+        row(&[
+            name.replace("_to_", " → ")
+                .replace("end → end", "end-to-end"),
+            format!("{}", h.count()),
+            format!("{p50}"),
+            format!("{p99}"),
+            format!("{}", h.max()),
+        ]);
+        rows_json.push(format!(
+            "{{\"stage\": \"{name}\", \"samples\": {}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+             \"max_us\": {}}}",
+            h.count(),
+            h.max()
+        ));
+    }
+    println!();
+    rows_json
+}
+
+/// Asserts the attribution-conservation identity for `epoch`: every
+/// stage stamped, and the stage deltas telescope to the end-to-end
+/// latency. Each delta is floored to whole microseconds, so the sum may
+/// undershoot the (also floored) total by at most one µs per transition.
+fn e18_assert_conserved(sink: &TraceSink, epoch: u64, section: &str) {
+    let trace = sink
+        .epoch_trace(epoch)
+        .unwrap_or_else(|| panic!("{section}: epoch {epoch} traced"));
+    let deltas = trace.stage_deltas_us();
+    assert!(
+        deltas.iter().all(Option::is_some),
+        "{section}: epoch {epoch} missing a stage stamp: {deltas:?}"
+    );
+    let sum: u64 = deltas.iter().map(|d| d.unwrap()).sum();
+    let e2e = trace.end_to_end_us().unwrap();
+    assert!(
+        sum <= e2e && e2e - sum <= 5,
+        "{section}: epoch {epoch} stage deltas do not telescope: sum {sum}µs vs end-to-end {e2e}µs"
+    );
+}
+
+/// The E18 sim rig: `subs` subscribers on the deterministic broadcast
+/// channel (zero modeled latency — the table measures the *software*
+/// pipeline), each holding one sealed message; the last subscriber
+/// holds one per epoch so every epoch's final delivery comes from the
+/// client that also verifies last, keeping the latest-delivery stamps
+/// monotone across stages.
+fn e18_sim(
+    subs: usize,
+    epochs: u64,
+) -> std::collections::BTreeMap<String, tre_obs::LatencyHistogram> {
+    let curve = toy64();
+    let mut r = rng();
+    let clock = SimClock::new();
+    let keys = ServerKeyPair::generate(curve, &mut r);
+    let mut server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+    let spk = *server.public_key();
+    let sink = TraceSink::new();
+    server.set_trace_sink(sink.clone());
+    let mut net: BroadcastNet<8> = BroadcastNet::new(
+        clock.clone(),
+        NetConfig {
+            base_latency: 0,
+            jitter: 0,
+            loss_prob: 0.0,
+        },
+        18,
+    );
+
+    let g = Granularity::Seconds;
+    let mut clients = Vec::with_capacity(subs);
+    for i in 0..subs {
+        let user = UserKeyPair::generate(curve, &spk, &mut r);
+        let mut client = ReceiverClient::new(curve, spk, user).with_trace_sink(sink.clone());
+        let sender = Sender::new(curve, &spk, client.public_key()).unwrap();
+        let own: Vec<u64> = if i + 1 == subs {
+            (0..epochs).collect()
+        } else {
+            vec![i as u64 % epochs]
+        };
+        for &epoch in &own {
+            let ct = sender.encrypt(
+                &g.tag_for_epoch(epoch),
+                format!("e18-{i}-{epoch}").as_bytes(),
+                &mut r,
+            );
+            client.receive_ciphertext(ct, 0);
+        }
+        let sub = net.subscribe();
+        clients.push((client, sub));
+    }
+
+    // One epoch per tick: publish → broadcast → deliver to every
+    // subscriber (epoch 0 is due at boot, so the first tick skips the
+    // clock advance).
+    for tick in 0..epochs {
+        if tick > 0 {
+            clock.advance(1);
+        }
+        for update in server.poll() {
+            let epoch = g.epoch_of_tag(update.tag()).expect("canonical epoch tag");
+            net.broadcast(&update, update_body_len(curve, &update));
+            sink.record_now(epoch, Stage::Broadcast);
+        }
+        for (client, sub) in clients.iter_mut() {
+            let arrived = net.poll(*sub);
+            if arrived.is_empty() {
+                continue;
+            }
+            for (_, update) in &arrived {
+                if let Some(epoch) = g.epoch_of_tag(update.tag()) {
+                    sink.record_now(epoch, Stage::FirstByte);
+                }
+            }
+            let delivered_at = arrived[0].0;
+            let batch: Vec<KeyUpdate<8>> = arrived.into_iter().map(|(_, u)| u).collect();
+            client.receive_updates(&batch, delivered_at);
+        }
+    }
+
+    for epoch in 0..epochs {
+        e18_assert_conserved(&sink, epoch, "sim");
+    }
+    assert!(
+        clients.iter().all(|(c, _)| c.pending_count() == 0),
+        "every sim subscriber decrypted its sealed message"
+    );
+    sink.stage_histograms()
+}
+
+/// The E18 live rig: a `tred` daemon behind a chaos proxy injecting a
+/// mid-run latency spike, three supervised TCP clients each holding one
+/// sealed message per epoch. The fault plan is reset-free on purpose:
+/// catch-up replays re-stamp `first_byte` (latest delivery, by design),
+/// so strict telescoping holds only on replay-free epochs — replay
+/// tracing is exercised by the chaos integration tests instead.
+fn e18_live(epochs: u64) -> std::collections::BTreeMap<String, tre_obs::LatencyHistogram> {
+    use std::time::{Duration, Instant};
+    const CLIENTS: usize = 3;
+    const DEADLINE: Duration = Duration::from_secs(30);
+
+    let curve = toy64();
+    let mut r = rng();
+    let clock = SimClock::new();
+    let keys = ServerKeyPair::generate(curve, &mut r);
+    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+    let sink = TraceSink::new();
+    let tred = Tred::bind_traced(
+        "127.0.0.1:0",
+        curve,
+        server,
+        TredConfig::default(),
+        sink.clone(),
+    )
+    .unwrap();
+    let spk = *tred.public_key();
+    let plan = FaultPlan::new().at(
+        40,
+        Fault::LatencySpike {
+            delay_ms: 30,
+            for_ms: 120,
+        },
+    );
+    let proxy = ChaosProxy::bind("127.0.0.1:0", tred.local_addr(), &plan, 18).unwrap();
+
+    let feed: TcpFeed<8> = TcpFeed::new(curve, proxy.local_addr()).with_clock(clock.clone());
+    let mut feed = SupervisedFeed::new(feed, Granularity::Seconds, SupervisorConfig::default(), 18);
+    feed.set_trace_sink(sink.clone());
+    let mut clients: Vec<ReceiverClient<8>> = (0..CLIENTS)
+        .map(|_| {
+            ReceiverClient::new(curve, spk, UserKeyPair::generate(curve, &spk, &mut r))
+                .with_trace_sink(sink.clone())
+        })
+        .collect();
+    let subs: Vec<_> = clients.iter().map(|_| feed.subscribe()).collect();
+    let start = Instant::now();
+    while tred.subscriber_count() < CLIENTS && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tred.subscriber_count(), CLIENTS, "subscribers bridged");
+
+    let g = Granularity::Seconds;
+    for (i, c) in clients.iter_mut().enumerate() {
+        let sender = Sender::new(curve, &spk, c.public_key()).unwrap();
+        for epoch in 0..=epochs {
+            let ct = sender.encrypt(
+                &g.tag_for_epoch(epoch),
+                format!("m-{i}-{epoch}").as_bytes(),
+                &mut r,
+            );
+            c.receive_ciphertext(ct, 0);
+        }
+    }
+
+    // ~40ms per epoch so the spike window overlaps live traffic.
+    for _ in 1..=epochs {
+        clock.advance(1);
+        let slice = Instant::now();
+        while slice.elapsed() < Duration::from_millis(40) {
+            for (c, sub) in clients.iter_mut().zip(&subs) {
+                c.pump(&mut feed, *sub);
+            }
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    }
+    let want = (epochs + 1) as usize;
+    let start = Instant::now();
+    while clients.iter().any(|c| c.opened().len() < want) && start.elapsed() < DEADLINE {
+        for (c, sub) in clients.iter_mut().zip(&subs) {
+            c.pump(&mut feed, *sub);
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert!(
+        clients.iter().all(|c| c.opened().len() == want),
+        "all live clients settled to every epoch"
+    );
+
+    for epoch in 0..=epochs {
+        e18_assert_conserved(&sink, epoch, "live");
+        let ctx = feed
+            .trace_for(epoch)
+            .unwrap_or_else(|| panic!("live: epoch {epoch} telemetry trailer decoded"));
+        assert_eq!(ctx.epoch, epoch, "trailer names its epoch");
+    }
+
+    // Daemon-side frame conservation after quiescence: everything the
+    // broadcaster offered was resolved — nothing stuck in flight.
+    let stats = tred.stats();
+    assert_eq!(
+        stats.in_flight(),
+        0,
+        "live: no broadcast frames left in flight after settling"
+    );
+
+    proxy.shutdown();
+    tred.shutdown();
+    sink.stage_histograms()
+}
+
+/// E18: end-to-end epoch-delivery latency attribution. One shared
+/// [`TraceSink`] is threaded through every hop of each rig; per-epoch
+/// stage stamps (publish → journal-fsync → broadcast → first-byte →
+/// verified → decrypted, origin stages keeping the first stamp and
+/// delivery stages the *last* across subscribers) telescope into the
+/// p50/p99/max table below, with the conservation identity asserted per
+/// epoch. Quick mode (`TRE_BENCH_QUICK=1`) trims epochs but keeps the
+/// full subscriber count.
+fn e18() {
+    println!("## E18 — epoch-delivery latency attribution (sim + live)\n");
+    let quick = std::env::var("TRE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let sim_subs = 1000usize;
+    let sim_epochs: u64 = if quick { 4 } else { 8 };
+    let live_epochs: u64 = if quick { 6 } else { 10 };
+
+    println!("### sim: {sim_subs} subscribers, {sim_epochs} epochs, zero-latency channel\n");
+    let sim = e18_sim(sim_subs, sim_epochs);
+    let sim_rows = e18_table(&sim);
+    println!("(per-epoch stage deltas telescope to end-to-end — asserted for every epoch.)\n");
+
+    println!(
+        "### live: 3 TCP clients via chaos proxy (30ms latency spike), {live_epochs} epochs\n"
+    );
+    let live = e18_live(live_epochs);
+    let live_rows = e18_table(&live);
+    println!(
+        "(conservation asserted per epoch; daemon frame balance settled to zero in flight.)\n"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e18\",\n  \"quick\": {quick},\n  \"sim\": {{\n    \
+         \"subscribers\": {sim_subs},\n    \"epochs\": {sim_epochs},\n    \"stages\": [\n      {}\n    ]\n  }},\n  \
+         \"live\": {{\n    \"clients\": 3,\n    \"epochs\": {live_epochs},\n    \"stages\": [\n      {}\n    ]\n  }}\n}}\n",
+        sim_rows.join(",\n      "),
+        live_rows.join(",\n      ")
+    );
+    let dir = std::path::Path::new("target/e18");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join("e18.json"), &json);
+    }
+    let out = std::env::var("TRE_BENCH_E18_OUT").unwrap_or_else(|_| "BENCH_e18.json".to_string());
+    let _ = std::fs::write(&out, &json);
+    println!("artifacts: target/e18/e18.json, {out}\n");
 }

@@ -20,6 +20,21 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Reconstructs a histogram from its exported parts: per-bucket
+    /// counts, the observation sum, and the observed maximum. The count
+    /// is the bucket total, so a histogram round-trips exactly through
+    /// `(buckets(), sum(), max())` — the basis of cross-process
+    /// collection, where an exposition endpoint publishes these parts
+    /// and a scraper reassembles them for [`merge`](Self::merge).
+    pub fn from_parts(buckets: [u64; 16], sum: u64, max: u64) -> Self {
+        Self {
+            buckets,
+            count: buckets.iter().sum(),
+            sum,
+            max,
+        }
+    }
+
     /// Records one latency observation.
     pub fn record(&mut self, latency: u64) {
         let idx = if latency == 0 {
@@ -150,6 +165,19 @@ mod tests {
         assert_eq!(h.quantile(0.9), Some(99));
         assert_eq!(h.quantile(1.0), Some(99));
         assert_eq!(h.quantile(1.5), None, "q out of range");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_exported_state() {
+        let mut h = LatencyHistogram::default();
+        for v in [0u64, 1, 7, 300, 5000, 5000] {
+            h.record(v);
+        }
+        let back = LatencyHistogram::from_parts(*h.buckets(), h.sum(), h.max());
+        assert_eq!(back, h);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(back.quantile(q), h.quantile(q));
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::trace::json_str;
 /// Plain value types, no interior mutability: callers own a `Registry` and
 /// record through `&mut` access, which matches the single-threaded
 /// simulation harness. Aggregate across threads with [`Registry::merge`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
@@ -85,6 +85,21 @@ impl Registry {
         self.histograms.get(name)
     }
 
+    /// Iterates every counter in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates every gauge in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterates every histogram in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
     /// Folds every metric of `other` into `self`: counters and histograms
     /// add; for gauges the other registry's value wins (last-write).
     pub fn merge(&mut self, other: &Registry) {
@@ -124,8 +139,124 @@ impl Registry {
             }
             out.push_str(&format!("{name}_sum {}\n", h.sum()));
             out.push_str(&format!("{name}_count {}\n", h.count()));
+            // Non-standard extra sample: the exact observed maximum.
+            // Cumulative buckets alone cannot recover it (the +Inf
+            // bucket is unbounded), and without it a parse-back →
+            // merge round-trip would inflate the merged max to a
+            // bucket bound. Scrapers that only understand standard
+            // histogram series see an extra untyped sample and ignore
+            // it.
+            out.push_str(&format!("{name}_max {}\n", h.max()));
         }
         out
+    }
+
+    /// Parses a [`Registry::render_prometheus`] exposition back into a
+    /// registry — the scraper half of cross-process collection.
+    /// `tretop` polls each daemon's `/metrics`, parses the text with
+    /// this, and [`Registry::merge`]s the snapshots; because
+    /// [`LatencyHistogram::merge`] is bucket-exact and the exposition
+    /// carries buckets, sum, and the `_max` sample, the merged
+    /// quantiles match a single-process recording.
+    ///
+    /// Unknown sample names (no preceding `# TYPE` line) are skipped
+    /// for forward compatibility.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line: a sample
+    /// with no value, a non-numeric value, or a histogram whose
+    /// `_count` disagrees with its cumulative buckets.
+    pub fn parse_prometheus(text: &str) -> Result<Self, String> {
+        #[derive(Default)]
+        struct HistAcc {
+            cum: Vec<u64>,
+            sum: u64,
+            max: u64,
+            count: Option<u64>,
+        }
+        let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+        let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+        let mut reg = Registry::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return Err(format!("malformed TYPE line: {line}"));
+                };
+                kinds.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("sample with no value: {line}"))?;
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("non-numeric sample: {line}"))
+            };
+            if let Some((base, _)) = name.split_once("_bucket{") {
+                if kinds.get(base).map(String::as_str) == Some("histogram") {
+                    hists
+                        .entry(base.to_string())
+                        .or_default()
+                        .cum
+                        .push(parse_u64(value)?);
+                    continue;
+                }
+            }
+            let hist_suffix = ["_sum", "_count", "_max"].iter().find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                (kinds.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| (base.to_string(), *suffix))
+            });
+            if let Some((base, suffix)) = hist_suffix {
+                let acc = hists.entry(base).or_default();
+                match suffix {
+                    "_sum" => acc.sum = parse_u64(value)?,
+                    "_count" => acc.count = Some(parse_u64(value)?),
+                    _ => acc.max = parse_u64(value)?,
+                }
+                continue;
+            }
+            match kinds.get(name).map(String::as_str) {
+                Some("counter") => reg.counter_set(name, parse_u64(value)?),
+                Some("gauge") => {
+                    let v = value
+                        .parse::<i64>()
+                        .map_err(|_| format!("non-numeric sample: {line}"))?;
+                    reg.gauge_set(name, v);
+                }
+                _ => {} // unknown sample: skip, forward compat
+            }
+        }
+        for (name, acc) in hists {
+            if acc.cum.len() != 16 {
+                return Err(format!(
+                    "histogram {name} has {} bucket samples, want 16",
+                    acc.cum.len()
+                ));
+            }
+            let mut buckets = [0u64; 16];
+            let mut prev = 0u64;
+            for (b, &cum) in buckets.iter_mut().zip(&acc.cum) {
+                *b = cum
+                    .checked_sub(prev)
+                    .ok_or_else(|| format!("histogram {name} buckets not cumulative"))?;
+                prev = cum;
+            }
+            let hist = LatencyHistogram::from_parts(buckets, acc.sum, acc.max);
+            if acc.count.is_some_and(|c| c != hist.count()) {
+                return Err(format!("histogram {name} count disagrees with buckets"));
+            }
+            reg.histogram_set(&name, hist);
+        }
+        Ok(reg)
     }
 
     /// Renders the registry as a single JSON object with `counters`,
@@ -254,6 +385,68 @@ mod tests {
         assert!(text.contains("lat_sum 1003\n"));
         assert!(text.contains("lat_count 3\n"));
         assert_eq!(text, r.render_prometheus(), "stable across renders");
+    }
+
+    #[test]
+    fn prometheus_parse_back_roundtrips() {
+        let mut r = Registry::new();
+        r.counter_add("requests", 17);
+        r.gauge_set("depth", -3);
+        for v in [0u64, 1, 5, 900, 70_000] {
+            r.observe("lat", v);
+        }
+        let back = Registry::parse_prometheus(&r.render_prometheus()).unwrap();
+        assert_eq!(back, r, "render → parse is the identity");
+        // Exact max survives via the _max sample (70 000 sits in an
+        // unbounded bucket, so buckets alone could not recover it).
+        assert_eq!(back.histogram("lat").unwrap().max(), 70_000);
+        // Unknown samples are skipped, malformed lines are errors.
+        assert_eq!(
+            Registry::parse_prometheus("mystery_sample 9").unwrap(),
+            Registry::new()
+        );
+        assert!(Registry::parse_prometheus("# TYPE c counter\nc nope").is_err());
+    }
+
+    /// Satellite: multi-process collection. Two "daemons" record into
+    /// their own registries; a scraper parses each exposition and
+    /// merges. The merged quantiles must equal a single-process
+    /// recording of all observations (bucket-exact merge), and
+    /// re-merging fresh snapshots must not double-count.
+    #[test]
+    fn cross_process_scrape_merge_matches_single_process() {
+        let daemon_a: Vec<u64> = (0..200).map(|i| i * 3).collect();
+        let daemon_b: Vec<u64> = (0..100).map(|i| 10_000 + i * 17).collect();
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let mut whole = Registry::new();
+        for &v in &daemon_a {
+            a.observe("stage_broadcast_to_first_byte", v);
+            whole.observe("stage_broadcast_to_first_byte", v);
+        }
+        for &v in &daemon_b {
+            b.observe("stage_broadcast_to_first_byte", v);
+            whole.observe("stage_broadcast_to_first_byte", v);
+        }
+        a.counter_add("broadcasts", 200);
+        b.counter_add("broadcasts", 100);
+
+        let scrape = |reg: &Registry| Registry::parse_prometheus(&reg.render_prometheus()).unwrap();
+        let mut merged = scrape(&a);
+        merged.merge(&scrape(&b));
+        assert_eq!(merged.counter("broadcasts"), 300);
+        let m = merged.histogram("stage_broadcast_to_first_byte").unwrap();
+        let w = whole.histogram("stage_broadcast_to_first_byte").unwrap();
+        assert_eq!(m, w);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(m.quantile(q), w.quantile(q), "quantile {q}");
+        }
+        // A scraper re-polling keeps only the latest snapshot per
+        // source, so merging fresh scrapes again yields the same
+        // totals — no double-counting across polls.
+        let mut remerged = scrape(&a);
+        remerged.merge(&scrape(&b));
+        assert_eq!(remerged, merged);
     }
 
     #[test]

@@ -63,8 +63,9 @@ use tre_bigint::U256;
 use tre_core::{dealer_setup, CommitteeRoster, ServerKeyPair, ServerPublicKey};
 use tre_pairing::{toy64, Curve};
 use tre_server::{
-    CollectorConfig, CommitteeFeed, FsyncPolicy, Granularity, JournalConfig, SimClock,
-    SupervisorConfig, TimeServer, Transport, Tred, TredConfig, UpdateArchive,
+    CollectorConfig, CommitteeFeed, FsyncPolicy, Granularity, HealthSnapshot, JournalConfig,
+    SimClock, SupervisorConfig, TelemetryServer, TelemetrySnapshot, TimeServer, TraceSink,
+    Transport, Tred, TredConfig, TredStats, UpdateArchive,
 };
 use tre_wire::Wire;
 
@@ -80,14 +81,16 @@ struct Args {
     member: Option<PathBuf>,
     watch: Option<PathBuf>,
     members: Vec<(u32, String)>,
+    telemetry: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
-         [--journal DIR] [--fsync every|every=N|close] [--retain N]\n\
+         [--journal DIR] [--fsync every|every=N|close] [--retain N] [--telemetry HOST:PORT]\n\
          \x20      tred --committee-setup K,N --committee-dir DIR\n\
-         \x20      tred --member FILE [--addr HOST:PORT] [--interval-ms MS] [--epochs N]\n\
+         \x20      tred --member FILE [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
+         [--telemetry HOST:PORT]\n\
          \x20      tred --watch DIR --members 1=HOST:PORT,2=HOST:PORT,... [--epochs N]"
     );
     exit(2);
@@ -117,6 +120,7 @@ fn parse_args() -> Args {
         member: None,
         watch: None,
         members: Vec::new(),
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -147,6 +151,7 @@ fn parse_args() -> Args {
                     args.members.push((idx, addr.trim().to_string()));
                 }
             }
+            "--telemetry" => args.telemetry = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -392,6 +397,50 @@ fn run_watch(curve: &'static Curve<8>, dir: &Path, args: &Args) -> ! {
     exit(0);
 }
 
+/// Boots the live exposition plane on `addr`: every scrape re-exports
+/// the daemon's counters (including the delivery-conservation set) and
+/// the trace sink's stage histograms into a fresh registry, so
+/// `/metrics` is always a consistent point-in-time view. Readiness
+/// means the journal — when there is one — has fsynced at least once
+/// for what it appended; an ephemeral daemon is ready on listen.
+fn start_telemetry(
+    addr: &str,
+    stats: Arc<TredStats>,
+    sink: TraceSink,
+    archive: Option<Arc<UpdateArchive<8>>>,
+) -> TelemetryServer {
+    let snapshot: TelemetrySnapshot = Arc::new(move || {
+        let mut registry = tre_obs::Registry::new();
+        stats.export_into(&mut registry, "tred");
+        sink.export_into(&mut registry, "tred_trace");
+        let (ready, detail) = match archive.as_ref().and_then(|a| a.journal_stats()) {
+            Some(js) => (
+                js.appends == 0 || js.fsyncs > 0,
+                format!("journal appends={} fsyncs={}", js.appends, js.fsyncs),
+            ),
+            None => (true, "ephemeral archive".to_string()),
+        };
+        (
+            registry,
+            HealthSnapshot {
+                healthy: true,
+                ready,
+                detail,
+            },
+        )
+    });
+    match TelemetryServer::bind(addr, snapshot) {
+        Ok(server) => {
+            println!("tred: telemetry on http://{}", server.local_addr());
+            server
+        }
+        Err(e) => {
+            eprintln!("tred: cannot bind telemetry {addr}: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let curve = toy64();
@@ -406,14 +455,32 @@ fn main() {
     if let Some(path) = &args.member {
         let (index, keys) = load_member_key(curve, path);
         let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
-        let tred = match Tred::bind_member(&args.addr, curve, index, server, TredConfig::default())
-        {
+        let bound = match &args.telemetry {
+            Some(_) => Tred::bind_member_traced(
+                &args.addr,
+                curve,
+                index,
+                server,
+                TredConfig::default(),
+                TraceSink::new(),
+            ),
+            None => Tred::bind_member(&args.addr, curve, index, server, TredConfig::default()),
+        };
+        let tred = match bound {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("tred: cannot bind {}: {e}", args.addr);
                 exit(1);
             }
         };
+        let _telemetry = args.telemetry.as_ref().map(|addr| {
+            start_telemetry(
+                addr,
+                tred.stats(),
+                tred.trace_sink().expect("traced bind installs a sink"),
+                None,
+            )
+        });
         println!(
             "tred: committee member {index} listening on {}",
             tred.local_addr()
@@ -490,13 +557,31 @@ fn main() {
     };
     let archive = server.archive_handle();
 
-    let tred = match Tred::bind(&args.addr, curve, server, TredConfig::default()) {
+    let bound = match &args.telemetry {
+        Some(_) => Tred::bind_traced(
+            &args.addr,
+            curve,
+            server,
+            TredConfig::default(),
+            TraceSink::new(),
+        ),
+        None => Tred::bind(&args.addr, curve, server, TredConfig::default()),
+    };
+    let tred = match bound {
         Ok(t) => t,
         Err(e) => {
             eprintln!("tred: cannot bind {}: {e}", args.addr);
             exit(1);
         }
     };
+    let _telemetry = args.telemetry.as_ref().map(|addr| {
+        start_telemetry(
+            addr,
+            tred.stats(),
+            tred.trace_sink().expect("traced bind installs a sink"),
+            Some(Arc::clone(&archive)),
+        )
+    });
     println!("tred: listening on {}", tred.local_addr());
     println!(
         "tred: server public key {}",

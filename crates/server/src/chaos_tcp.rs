@@ -44,11 +44,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use tre_core::KeyUpdate;
+use tre_wire::Telemetry;
 
 use crate::clock::Granularity;
 use crate::faults::{fault_name, Fault, FaultEvent, FaultPlan};
 use crate::net::SubscriberId;
 use crate::tcp::TcpFeed;
+use crate::telemetry::TraceSink;
 use crate::transport::Transport;
 
 /// Proxy counters (all monotone; readable while the proxy runs).
@@ -413,6 +415,20 @@ pub struct SupervisorStats {
     pub gap_repairs: u64,
 }
 
+impl SupervisorStats {
+    /// Publishes the counters into a shared registry under
+    /// `<prefix>_<stat>` names. Absolute values, so re-export overwrites.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        registry.counter_set(&format!("{prefix}_disconnects_seen"), self.disconnects_seen);
+        registry.counter_set(
+            &format!("{prefix}_reconnect_attempts"),
+            self.reconnect_attempts,
+        );
+        registry.counter_set(&format!("{prefix}_reconnects"), self.reconnects);
+        registry.counter_set(&format!("{prefix}_gap_repairs"), self.gap_repairs);
+    }
+}
+
 #[derive(Debug, Default)]
 struct SubState {
     /// Every epoch seen on this subscription (tracked across faults, so
@@ -469,6 +485,32 @@ impl<const L: usize> SupervisedFeed<L> {
     /// The wrapped feed (e.g. for [`TcpFeed::stats`]).
     pub fn inner(&self) -> &TcpFeed<L> {
         &self.feed
+    }
+
+    /// Attaches an epoch-delivery [`TraceSink`] to the wrapped feed:
+    /// decoded `Telemetry` trailers are adopted there and every decode
+    /// stamps [`crate::Stage::FirstByte`]. Supervision itself never
+    /// touches the sink — reconnects and gap repairs surface through
+    /// [`SupervisorStats`] instead.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.feed.set_trace_sink(sink);
+    }
+
+    /// The most recent wire trace context the wrapped feed decoded for
+    /// `epoch` (catch-up replays overwrite the original broadcast's).
+    pub fn trace_for(&self, epoch: u64) -> Option<Telemetry> {
+        self.feed.trace_for(epoch)
+    }
+
+    /// Publishes supervision counters (`<prefix>_supervisor_*`) and the
+    /// wrapped feed's counters (`<prefix>_feed_*`) into a shared
+    /// registry, so one scrape covers both layers of a supervised link.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        self.stats
+            .export_into(registry, &format!("{prefix}_supervisor"));
+        self.feed
+            .stats()
+            .export_into(registry, &format!("{prefix}_feed"));
     }
 
     /// Highest epoch this subscriber has seen, if any.
@@ -770,6 +812,25 @@ mod tests {
         let mut b = SupervisedFeed::new(feed2, Granularity::Seconds, config, 7);
         let delays2: Vec<u64> = (0..8).map(|n| b.backoff(n).as_millis() as u64).collect();
         assert_eq!(delays, delays2);
+    }
+
+    #[test]
+    fn supervisor_stats_export_lands_in_registry() {
+        let stats = SupervisorStats {
+            disconnects_seen: 3,
+            reconnect_attempts: 5,
+            reconnects: 2,
+            gap_repairs: 4,
+        };
+        let mut reg = tre_obs::Registry::new();
+        stats.export_into(&mut reg, "sup");
+        assert_eq!(reg.counter("sup_disconnects_seen"), 3);
+        assert_eq!(reg.counter("sup_reconnect_attempts"), 5);
+        assert_eq!(reg.counter("sup_reconnects"), 2);
+        assert_eq!(reg.counter("sup_gap_repairs"), 4);
+        // Re-export overwrites (absolute semantics), never accumulates.
+        stats.export_into(&mut reg, "sup");
+        assert_eq!(reg.counter("sup_gap_repairs"), 4);
     }
 
     /// Clean proxy (empty plan) is a transparent relay: a feed through

@@ -31,6 +31,7 @@ use crate::archive::UpdateArchive;
 use crate::batch::BatchVerifier;
 use crate::metrics::ClientHealth;
 use crate::net::SubscriberId;
+use crate::telemetry::{Stage, TraceSink};
 use crate::transport::Transport;
 
 /// A message successfully opened by the client.
@@ -130,6 +131,7 @@ pub struct ReceiverClient<'c, const L: usize> {
     threads: usize,
     highest_epoch: Option<u64>,
     health: ClientHealth,
+    trace: Option<TraceSink>,
 }
 
 /// Best-effort epoch hint from the `epoch/<unit>/<n>` tag convention —
@@ -155,6 +157,24 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
             threads: 1,
             highest_epoch: None,
             health: ClientHealth::default(),
+            trace: None,
+        }
+    }
+
+    /// Attaches an epoch-delivery [`TraceSink`] (builder style): admitted
+    /// updates stamp [`Stage::Verified`] and successful decryptions stamp
+    /// [`Stage::Decrypted`], closing the end-to-end attribution chain the
+    /// server and transport opened.
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Stamps `stage` for the epoch `tag` encodes, if tracing is on and
+    /// the tag follows the epoch convention.
+    fn trace_stage(&self, tag: &ReleaseTag, stage: Stage) {
+        if let (Some(sink), Some(epoch)) = (&self.trace, epoch_hint(tag)) {
+            sink.record_now(epoch, stage);
         }
     }
 
@@ -243,6 +263,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
                 self.health.invalid_streak = 0;
                 self.health.accepted_updates += 1;
                 tre_obs::event("client.update_accepted", "");
+                self.trace_stage(update.tag(), Stage::Verified);
                 Ok(self.settle_update(&update, delivered_at))
             }
         }
@@ -369,6 +390,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
                     self.health.invalid_streak = 0;
                     self.health.accepted_updates += 1;
                     tre_obs::event("client.update_accepted", "");
+                    self.trace_stage(u.tag(), Stage::Verified);
                     // Screening guaranteed this tag is fresh and
                     // conflict-free, so the batch-verified admission
                     // cannot be refused.
@@ -535,6 +557,7 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         // pairing per ciphertext instead of three.
         match self.session.open(&ct) {
             Ok(plaintext) => {
+                self.trace_stage(ct.tag(), Stage::Decrypted);
                 let latency = opened_at.saturating_sub(received_at);
                 self.health.open_latency.record(latency);
                 if tre_obs::is_enabled() {

@@ -59,10 +59,24 @@ impl Default for CollectorConfig {
 }
 
 /// Health counters for committee share collection and aggregation.
+///
+/// Share-frame conservation: every ingested frame resolves into exactly
+/// one of the two terminal counters, so
+/// `shares_received == shares_admitted + shares_dropped`
+/// holds at every instant. (An equivocator's *first* share stays
+/// `admitted` even after conviction evicts it from the candidate pool —
+/// the identity accounts ingest events, not pool membership.)
 #[derive(Debug, Clone, Default)]
 pub struct CommitteeStats {
     /// Share frames ingested (any provenance, including duplicates).
     pub shares_received: u64,
+    /// Frames that entered an epoch's candidate pool as a member's
+    /// first structurally-clean share.
+    pub shares_admitted: u64,
+    /// Frames that did not: unparseable tag, off-roster index,
+    /// non-canonical tag bytes, already-convicted member, exact
+    /// duplicate, or an equivocating second share.
+    pub shares_dropped: u64,
     /// Shares rejected, per member index: structural screening
     /// (wrong tag, equivocation) plus pairing failures. Each member is
     /// counted at most once per epoch per fault kind.
@@ -89,6 +103,12 @@ pub struct CommitteeStats {
     pub misattributed_shares: u64,
     /// Milliseconds from an epoch's first share to its aggregation.
     pub quorum_latency: LatencyHistogram,
+    /// Per-member share-arrival offsets: milliseconds from an epoch's
+    /// first share to this member's admitted share. The epoch's opener
+    /// records 0; a straggler's growing tail here (against a flat
+    /// [`CommitteeStats::quorum_latency`]) attributes quorum slowness
+    /// to the member rather than the collector.
+    pub share_arrival: BTreeMap<u32, LatencyHistogram>,
 }
 
 impl CommitteeStats {
@@ -98,8 +118,16 @@ impl CommitteeStats {
     /// re-export overwrites.
     pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
         registry.counter_set(&format!("{prefix}_shares_received"), self.shares_received);
+        registry.counter_set(&format!("{prefix}_shares_admitted"), self.shares_admitted);
+        registry.counter_set(&format!("{prefix}_shares_dropped"), self.shares_dropped);
         for (member, n) in &self.shares_rejected {
             registry.counter_set(&format!("{prefix}_member_{member}_shares_rejected"), *n);
+        }
+        for (member, hist) in &self.share_arrival {
+            registry.histogram_set(
+                &format!("{prefix}_member_{member}_share_arrival_ms"),
+                hist.clone(),
+            );
         }
         registry.counter_set(
             &format!("{prefix}_epochs_aggregated"),
@@ -264,7 +292,10 @@ impl<const L: usize> ShareCollector<L> {
     /// (duplicate, faulty, below quorum, or epoch already closed).
     pub fn ingest(&mut self, member: u32, share: KeyUpdate<L>) -> Option<(u64, KeyUpdate<L>)> {
         self.stats.shares_received += 1;
-        let epoch = self.granularity.epoch_of_tag(share.tag())?;
+        let Some(epoch) = self.granularity.epoch_of_tag(share.tag()) else {
+            self.stats.shares_dropped += 1;
+            return None;
+        };
         let now = Instant::now();
         let state = self
             .epochs
@@ -273,6 +304,7 @@ impl<const L: usize> ShareCollector<L> {
 
         if self.roster.commitment(member).is_none() {
             state.unknown.insert(member);
+            self.stats.shares_dropped += 1;
             return None;
         }
         // Tag canonical-form check: epoch_of_tag proved the epoch, but a
@@ -280,9 +312,11 @@ impl<const L: usize> ShareCollector<L> {
         // epoch yet differs in bytes from what honest members sign.
         if share.tag() != &self.granularity.tag_for_epoch(epoch) {
             Self::convict(&mut self.stats, state, member, ShareFault::TagMismatch);
+            self.stats.shares_dropped += 1;
             return None;
         }
         if state.faults.contains_key(&member) {
+            self.stats.shares_dropped += 1;
             return None; // already convicted for this epoch
         }
         match state.first.get(&member) {
@@ -291,14 +325,29 @@ impl<const L: usize> ShareCollector<L> {
                 if !state.done {
                     state.pending.push(member);
                 }
+                self.stats.shares_admitted += 1;
+                // Attribute this member's arrival relative to the
+                // epoch's first share (the opener records 0).
+                let offset_ms = now
+                    .saturating_duration_since(state.first_share_at)
+                    .as_millis();
+                self.stats
+                    .share_arrival
+                    .entry(member)
+                    .or_default()
+                    .record(offset_ms as u64);
             }
-            Some(known) if known == &share => return None, // exact duplicate
+            Some(known) if known == &share => {
+                self.stats.shares_dropped += 1;
+                return None; // exact duplicate
+            }
             Some(_) => {
                 // Conflicting second share: cryptographic evidence of a
                 // Byzantine member. Evict every copy, unverified.
                 Self::convict(&mut self.stats, state, member, ShareFault::Equivocation);
                 state.pending.retain(|m| *m != member);
                 state.valid.retain(|(m, _)| *m != member);
+                self.stats.shares_dropped += 1;
                 return None;
             }
         }
@@ -472,16 +521,34 @@ impl<const L: usize> CommitteeFeed<L> {
             .collect()
     }
 
-    /// Publishes committee health plus per-member supervision counters
-    /// into a shared registry under `<prefix>_*` names.
+    /// Publishes committee health plus the full per-member-link stack
+    /// into a shared registry: collector counters under `<prefix>_*`,
+    /// then for every member link its supervision counters
+    /// (`<prefix>_member_<i>_supervisor_*`) and wrapped-feed counters
+    /// (`<prefix>_member_<i>_feed_*`) — one scrape covers the quorum
+    /// machine and all n transport legs.
     pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
         self.collector.stats().export_into(registry, prefix);
         for link in &self.links {
-            registry.counter_set(
-                &format!("{prefix}_member_{}_reconnects", link.member),
-                link.feed.stats().reconnects,
-            );
+            link.feed
+                .export_into(registry, &format!("{prefix}_member_{}", link.member));
         }
+    }
+
+    /// Attaches an epoch-delivery [`crate::TraceSink`] to every member
+    /// link, so `Telemetry` trailers emitted by member daemons stamp
+    /// first-byte arrival and carry origin/publish context into the
+    /// shared sink.
+    pub fn set_trace_sink(&mut self, sink: crate::telemetry::TraceSink) {
+        for link in &mut self.links {
+            link.feed.set_trace_sink(sink.clone());
+        }
+    }
+
+    /// The most recent wire trace context decoded for `epoch` on any
+    /// member link (links are scanned in roster order).
+    pub fn trace_for(&self, epoch: u64) -> Option<tre_wire::Telemetry> {
+        self.links.iter().find_map(|l| l.feed.trace_for(epoch))
     }
 
     /// Pumps every member link once: supervised poll (reconnect/backoff/
@@ -686,6 +753,80 @@ mod tests {
         assert!(verdicts
             .iter()
             .any(|v| v.member == 9 && v.fault == Some(ShareFault::UnknownMember)));
+    }
+
+    #[test]
+    fn share_conservation_identity_holds_across_all_ingest_paths() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (roster, members) = committee(3, 5);
+        let mut collector = collector(roster.clone());
+        let check = |c: &ShareCollector<8>| {
+            let s = c.stats();
+            assert_eq!(
+                s.shares_received,
+                s.shares_admitted + s.shares_dropped,
+                "received == admitted + dropped must hold at every step"
+            );
+        };
+
+        // Admitted.
+        assert!(collector.ingest(1, share_for(&members[0], 1)).is_none());
+        check(&collector);
+        // Exact duplicate → dropped.
+        assert!(collector.ingest(1, share_for(&members[0], 1)).is_none());
+        check(&collector);
+        // Off-roster index → dropped.
+        assert!(collector.ingest(9, share_for(&members[0], 1)).is_none());
+        check(&collector);
+        // Tag that maps to no epoch at all → dropped.
+        let weird = members[1].issue_share(curve, &tre_core::ReleaseTag::time("not-an-epoch"));
+        assert!(collector.ingest(2, weird).is_none());
+        check(&collector);
+        // Equivocation: first admitted, conflicting second dropped,
+        // third attempt dropped as already-convicted.
+        let rogue =
+            ServerKeyPair::from_secret(curve, *roster.public().g(), curve.random_scalar(&mut rng));
+        assert!(collector.ingest(2, share_for(&members[1], 1)).is_none());
+        let conflicting = rogue.issue_update(curve, &Granularity::Seconds.tag_for_epoch(1));
+        assert!(collector.ingest(2, conflicting).is_none());
+        assert!(collector.ingest(2, share_for(&members[1], 1)).is_none());
+        check(&collector);
+        // Quorum still closes from honest members (1, 3, 4 — the
+        // equivocator was evicted from the candidate pool).
+        assert!(collector.ingest(3, share_for(&members[2], 1)).is_none());
+        let closed = collector.ingest(4, share_for(&members[3], 1));
+        assert!(closed.is_some(), "3 honest of 5 close the 3-quorum");
+        check(&collector);
+        // A post-quorum straggler is still admitted (its arrival is
+        // attributed) even though the epoch is already closed.
+        assert!(collector.ingest(5, share_for(&members[4], 1)).is_none());
+        check(&collector);
+
+        let stats = collector.stats();
+        assert_eq!(stats.shares_admitted, 5, "members 1..=5 first shares");
+        assert_eq!(
+            stats.shares_dropped, 5,
+            "duplicate + off-roster + bad tag + conflict + post-conviction"
+        );
+        // Arrival attribution: the epoch opener records offset 0; every
+        // admitted member has exactly one arrival sample.
+        for m in 1..=5u32 {
+            assert_eq!(
+                stats.share_arrival.get(&m).map(|h| h.count()),
+                Some(1),
+                "member {m} arrival sample"
+            );
+        }
+        assert_eq!(stats.share_arrival[&1].max(), 0, "opener offset is 0");
+
+        // The identity survives export + scrape round-trip.
+        let mut reg = tre_obs::Registry::new();
+        stats.export_into(&mut reg, "committee");
+        assert_eq!(
+            reg.counter("committee_shares_received"),
+            reg.counter("committee_shares_admitted") + reg.counter("committee_shares_dropped")
+        );
     }
 
     #[test]

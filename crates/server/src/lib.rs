@@ -46,7 +46,13 @@
 //!   connections, batched pairing verification of key-update shares
 //!   against roster commitments, Byzantine quarantine with per-member
 //!   verdicts, and exponent-Lagrange aggregation to the full update
-//!   (`Tred::bind_member` is the member-daemon side).
+//!   (`Tred::bind_member` is the member-daemon side);
+//! * [`TraceSink`] / [`TelemetryServer`] — end-to-end epoch-delivery
+//!   tracing (publish→journal-fsync→broadcast→first-byte→verified→
+//!   decrypted stage attribution, carried across the wire by the
+//!   `Telemetry` 0x14 trailer frame) and the live HTTP exposition
+//!   plane (`/metrics`, `/metrics.json`, `/healthz`, `/readyz`)
+//!   behind `tred --telemetry` and the `tretop` dashboard.
 //!
 //! # Example
 //! ```
@@ -79,6 +85,7 @@ mod net;
 mod server;
 mod sim;
 mod tcp;
+mod telemetry;
 mod transport;
 
 pub use archive::UpdateArchive;
@@ -101,4 +108,7 @@ pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
 pub use server::{FutureEpochError, TimeServer};
 pub use sim::{ClientId, Simulation};
 pub use tcp::{FeedStats, TcpFeed, Tred, TredConfig, TredStats};
+pub use telemetry::{
+    now_ns, EpochTrace, HealthSnapshot, Stage, TelemetryServer, TelemetrySnapshot, TraceSink,
+};
 pub use transport::Transport;

@@ -12,6 +12,7 @@ use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
 use crate::clock::{Granularity, SimClock};
+use crate::telemetry::{now_ns, Stage, TraceSink};
 
 /// Error returned when asking a server to violate its trust assumptions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +44,7 @@ pub struct TimeServer<'c, const L: usize> {
     archive: Arc<UpdateArchive<L>>,
     next_epoch: u64,
     broadcasts: u64,
+    trace: Option<TraceSink>,
 }
 
 impl<'c, const L: usize> TimeServer<'c, L> {
@@ -62,6 +64,7 @@ impl<'c, const L: usize> TimeServer<'c, L> {
             archive: Arc::new(UpdateArchive::new()),
             next_epoch,
             broadcasts: 0,
+            trace: None,
         }
     }
 
@@ -93,7 +96,16 @@ impl<'c, const L: usize> TimeServer<'c, L> {
             archive,
             next_epoch,
             broadcasts: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches an epoch-delivery [`TraceSink`]: every subsequent
+    /// publish stamps [`Stage::Publish`] after signing and
+    /// [`Stage::JournalFsync`] once the archive write (journal append +
+    /// fsync under a durable archive) returns.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
     }
 
     /// The server's public key — the only thing users ever need from it in
@@ -149,7 +161,13 @@ impl<'c, const L: usize> TimeServer<'c, L> {
             if tre_obs::is_enabled() {
                 tre_obs::event("server.issue", &format!("epoch={}", self.next_epoch));
             }
+            if let Some(sink) = &self.trace {
+                sink.record(self.next_epoch, Stage::Publish, now_ns());
+            }
             self.archive.publish(self.next_epoch, update.clone());
+            if let Some(sink) = &self.trace {
+                sink.record(self.next_epoch, Stage::JournalFsync, now_ns());
+            }
             out.push(update);
             self.next_epoch += 1;
             self.broadcasts += 1;

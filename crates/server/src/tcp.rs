@@ -30,12 +30,14 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryS
 use tre_core::{KeyUpdate, ServerPublicKey, TreError};
 use tre_pairing::Curve;
 use tre_wire::{
-    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Wire, HEADER_LEN,
+    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, Wire, HEADER_LEN,
 };
 
 use crate::archive::UpdateArchive;
+use crate::clock::Granularity;
 use crate::net::SubscriberId;
 use crate::server::TimeServer;
+use crate::telemetry::{Stage, TraceSink};
 use crate::transport::Transport;
 
 /// Tuning knobs for the daemon.
@@ -107,9 +109,25 @@ pub struct TredStats {
     /// Key updates broadcast (frames encoded; one per update, not per
     /// subscriber — the scalability invariant).
     pub broadcasts: AtomicU64,
+    /// Per-subscriber frame offers: each broadcast frame counts once
+    /// per subscriber slot it is offered to. Every offer resolves into
+    /// exactly one of `frames_enqueued`, `evicted`, or
+    /// `frames_dropped` — the delivery-conservation identity the
+    /// telemetry endpoint is checked against.
+    pub frames_offered: AtomicU64,
     /// Frames enqueued across all subscriber queues.
     pub frames_enqueued: AtomicU64,
+    /// Frames actually written to a subscriber socket (deliveries).
+    pub frames_written: AtomicU64,
+    /// Frames that were enqueued but never written: left behind in the
+    /// bounded queue when its subscriber was evicted, disconnected, or
+    /// the daemon shut down.
+    pub frames_abandoned: AtomicU64,
+    /// Offers dropped because the subscriber was already closed or its
+    /// queue receiver was gone.
+    pub frames_dropped: AtomicU64,
     /// Subscribers evicted for falling behind (outbound queue full).
+    /// Each eviction also drops exactly the frame that overflowed.
     pub evicted: AtomicU64,
     /// Catch-up requests served.
     pub catch_up_requests: AtomicU64,
@@ -120,21 +138,62 @@ pub struct TredStats {
 }
 
 impl TredStats {
+    /// Frame offers not yet terminally resolved: still sitting in a
+    /// subscriber queue awaiting its writer thread. The balance of the
+    /// conservation identity `frames_offered == frames_written +
+    /// frames_abandoned + evicted + frames_dropped + in_flight`;
+    /// saturates at zero across the unsynchronised counter reads.
+    pub fn in_flight(&self) -> u64 {
+        let offered = self.frames_offered.load(Ordering::Relaxed);
+        let resolved = self.frames_written.load(Ordering::Relaxed)
+            + self.frames_abandoned.load(Ordering::Relaxed)
+            + self.evicted.load(Ordering::Relaxed)
+            + self.frames_dropped.load(Ordering::Relaxed);
+        offered.saturating_sub(resolved)
+    }
+
     /// Publishes the counters into a shared registry under
     /// `<prefix>_<stat>` names. Absolute values, so re-export overwrites.
+    ///
+    /// The resolution counters are read *before* `frames_offered`:
+    /// every resolution is preceded by its offer (often on the same
+    /// thread — see [`offer_frame`]), so a scrape racing the broadcast
+    /// path can only under-count resolutions. The exported snapshot
+    /// therefore never over-resolves, and its in-flight balance is
+    /// computed from the same reads rather than re-loaded.
     pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        let written = self.frames_written.load(Ordering::Relaxed);
+        let abandoned = self.frames_abandoned.load(Ordering::Relaxed);
+        let dropped = self.frames_dropped.load(Ordering::Relaxed);
+        let evicted = self.evicted.load(Ordering::Relaxed);
+        let offered = self.frames_offered.load(Ordering::Relaxed);
         let pairs = [
-            ("connections", &self.connections),
-            ("broadcasts", &self.broadcasts),
-            ("frames_enqueued", &self.frames_enqueued),
-            ("evicted", &self.evicted),
-            ("catch_up_requests", &self.catch_up_requests),
-            ("catch_up_replies", &self.catch_up_replies),
-            ("wire_errors", &self.wire_errors),
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("broadcasts", self.broadcasts.load(Ordering::Relaxed)),
+            ("frames_offered", offered),
+            (
+                "frames_enqueued",
+                self.frames_enqueued.load(Ordering::Relaxed),
+            ),
+            ("frames_written", written),
+            ("frames_abandoned", abandoned),
+            ("frames_dropped", dropped),
+            ("evicted", evicted),
+            (
+                "catch_up_requests",
+                self.catch_up_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "catch_up_replies",
+                self.catch_up_replies.load(Ordering::Relaxed),
+            ),
+            ("wire_errors", self.wire_errors.load(Ordering::Relaxed)),
         ];
-        for (name, counter) in pairs {
-            registry.counter_set(&format!("{prefix}_{name}"), counter.load(Ordering::Relaxed));
+        for (name, value) in pairs {
+            registry.counter_set(&format!("{prefix}_{name}"), value);
         }
+        let in_flight = offered.saturating_sub(written + abandoned + evicted + dropped);
+        registry.gauge_set(&format!("{prefix}_frames_in_flight"), in_flight as i64);
     }
 }
 
@@ -151,7 +210,12 @@ struct Slot {
 /// unit-testable without sockets.
 fn offer_frame(slots: &mut Vec<Slot>, frame: &Arc<Vec<u8>>, stats: &TredStats) {
     slots.retain(|slot| {
+        // Offer first, then resolve: every offer lands in exactly one
+        // of enqueued / evicted / dropped, keeping the conservation
+        // identity (see [`TredStats::in_flight`]) non-negative.
+        stats.frames_offered.fetch_add(1, Ordering::Relaxed);
         if slot.closed.load(Ordering::Relaxed) {
+            stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         match slot.tx.try_send(Arc::clone(frame)) {
@@ -165,9 +229,26 @@ fn offer_frame(slots: &mut Vec<Slot>, frame: &Arc<Vec<u8>>, stats: &TredStats) {
                 tre_obs::event("tred.evicted", "slow subscriber");
                 false
             }
-            Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Disconnected(_)) => {
+                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
     });
+}
+
+/// Enqueues one frame onto a single subscriber's queue outside the
+/// broadcast path (the committee greeting, catch-up replies), keeping
+/// the offer/resolution accounting identical to [`offer_frame`].
+fn enqueue_direct(stats: &TredStats, tx: &SyncSender<Arc<Vec<u8>>>, frame: Arc<Vec<u8>>) -> bool {
+    stats.frames_offered.fetch_add(1, Ordering::Relaxed);
+    if tx.try_send(frame).is_ok() {
+        stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        false
+    }
 }
 
 struct Shared<const L: usize> {
@@ -182,22 +263,47 @@ struct Shared<const L: usize> {
     /// threshold committee and frames every update (live and replayed)
     /// as a [`KeyUpdateShare`] instead of a bare [`KeyUpdate`].
     member: Option<u32>,
+    /// The epoch schedule, for deriving an update's epoch when
+    /// stamping its telemetry trailer.
+    granularity: Granularity,
+    /// `Some`: epoch-delivery tracing is on — every broadcast and
+    /// catch-up reply carries a [`Telemetry`] trailer frame and the
+    /// daemon stamps its pipeline stages into the sink.
+    trace: Option<TraceSink>,
 }
 
 /// Encodes one update as this daemon's broadcast frame: a bare
 /// [`KeyUpdate`] normally, a member-tagged [`KeyUpdateShare`] in
-/// committee mode.
-fn encode_update_frame<const L: usize>(shared: &Shared<L>, update: &KeyUpdate<L>) -> Arc<Vec<u8>> {
-    match shared.member {
-        Some(member) => Arc::new(
-            KeyUpdateShare {
-                member,
-                update: update.clone(),
-            }
-            .wire_bytes(shared.curve),
-        ),
-        None => Arc::new(update.wire_bytes(shared.curve)),
+/// committee mode. With tracing enabled, a [`Telemetry`] trailer frame
+/// is appended in the same buffer: epoch, origin (0 or the member
+/// index), the sink's publish stamp, and `hops` (0 live, bumped on
+/// catch-up replay) — v1 peers skip the unknown tag.
+fn encode_update_frame<const L: usize>(
+    shared: &Shared<L>,
+    update: &KeyUpdate<L>,
+    hops: u8,
+) -> Arc<Vec<u8>> {
+    let mut bytes = match shared.member {
+        Some(member) => KeyUpdateShare {
+            member,
+            update: update.clone(),
+        }
+        .wire_bytes(shared.curve),
+        None => update.wire_bytes(shared.curve),
+    };
+    if let Some(sink) = &shared.trace {
+        if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
+            let trailer = Telemetry {
+                epoch,
+                origin: shared.member.unwrap_or(0),
+                publish_ns: sink.publish_ns(epoch).unwrap_or(0),
+                hops,
+            };
+            <Telemetry as Wire<L>>::wire_write(&trailer, shared.curve, &mut bytes);
+            sink.count_emitted();
+        }
     }
+    Arc::new(bytes)
 }
 
 /// A running broadcast daemon. Dropping without [`Tred::shutdown`]
@@ -224,7 +330,43 @@ impl<const L: usize> Tred<L> {
         server: TimeServer<'static, L>,
         config: TredConfig,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, curve, server, config, None)
+        Self::bind_inner(addr, curve, server, config, None, None)
+    }
+
+    /// Like [`Tred::bind`], with epoch-delivery tracing: the server
+    /// stamps `publish`/`journal_fsync` into `sink`, the ticker stamps
+    /// `broadcast`, and every outbound update carries a [`Telemetry`]
+    /// trailer frame (hop count bumped on catch-up replays).
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind.
+    pub fn bind_traced(
+        addr: &str,
+        curve: &'static Curve<L>,
+        mut server: TimeServer<'static, L>,
+        config: TredConfig,
+        sink: TraceSink,
+    ) -> std::io::Result<Self> {
+        server.set_trace_sink(sink.clone());
+        Self::bind_inner(addr, curve, server, config, None, Some(sink))
+    }
+
+    /// Like [`Tred::bind_member`], with epoch-delivery tracing (see
+    /// [`Tred::bind_traced`]); the trailer's origin is the member's
+    /// roster index.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind.
+    pub fn bind_member_traced(
+        addr: &str,
+        curve: &'static Curve<L>,
+        member: u32,
+        mut server: TimeServer<'static, L>,
+        config: TredConfig,
+        sink: TraceSink,
+    ) -> std::io::Result<Self> {
+        server.set_trace_sink(sink.clone());
+        Self::bind_inner(addr, curve, server, config, Some(member), Some(sink))
     }
 
     /// Like [`Tred::bind`], but runs the daemon as committee member
@@ -244,7 +386,7 @@ impl<const L: usize> Tred<L> {
         server: TimeServer<'static, L>,
         config: TredConfig,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, curve, server, config, Some(member))
+        Self::bind_inner(addr, curve, server, config, Some(member), None)
     }
 
     fn bind_inner(
@@ -253,6 +395,7 @@ impl<const L: usize> Tred<L> {
         server: TimeServer<'static, L>,
         config: TredConfig,
         member: Option<u32>,
+        trace: Option<TraceSink>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -266,6 +409,8 @@ impl<const L: usize> Tred<L> {
             queue_capacity: config.queue_capacity,
             send_buffer: config.send_buffer,
             member,
+            granularity: server.granularity(),
+            trace,
         });
 
         let ticker_handle = {
@@ -274,9 +419,14 @@ impl<const L: usize> Tred<L> {
             std::thread::spawn(move || {
                 while !shared.shutdown.load(Ordering::Relaxed) {
                     for update in server.poll() {
-                        let frame = encode_update_frame(&shared, &update);
+                        let frame = encode_update_frame(&shared, &update, 0);
                         shared.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
                         offer_frame(&mut shared.slots.lock(), &frame, &shared.stats);
+                        if let Some(sink) = &shared.trace {
+                            if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
+                                sink.record_now(epoch, Stage::Broadcast);
+                            }
+                        }
                     }
                     std::thread::sleep(config.poll_interval);
                 }
@@ -345,6 +495,15 @@ impl<const L: usize> Tred<L> {
         if let Some(js) = self.shared.archive.journal_stats() {
             js.export_into(registry, &format!("{prefix}_journal"));
         }
+        if let Some(sink) = &self.shared.trace {
+            sink.export_into(registry, &format!("{prefix}_trace"));
+        }
+    }
+
+    /// The daemon's trace sink, when bound with tracing
+    /// ([`Tred::bind_traced`] / [`Tred::bind_member_traced`]).
+    pub fn trace_sink(&self) -> Option<TraceSink> {
+        self.shared.trace.clone()
     }
 
     /// Stops the ticker and accept loops, closes every subscriber, and
@@ -387,7 +546,7 @@ fn accept_subscriber<const L: usize>(shared: &Arc<Shared<L>>, stream: TcpStream)
         };
         let mut frame = Vec::new();
         <CommitteeHello as Wire<L>>::wire_write(&hello, shared.curve, &mut frame);
-        let _ = tx.try_send(Arc::new(frame));
+        enqueue_direct(&shared.stats, &tx, Arc::new(frame));
     }
     shared.slots.lock().push(Slot {
         tx: tx.clone(),
@@ -423,13 +582,27 @@ fn writer_loop<const L: usize>(
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(frame) => {
                 if stream.write_all(&frame).is_err() {
+                    // The frame was consumed but not delivered.
+                    shared
+                        .stats
+                        .frames_abandoned
+                        .fetch_add(1, Ordering::Relaxed);
                     closed.store(true, Ordering::Relaxed);
                     break;
                 }
+                shared.stats.frames_written.fetch_add(1, Ordering::Relaxed);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+    }
+    // Resolve whatever is still queued so the conservation identity
+    // closes: these frames were enqueued but will never be written.
+    while rx.try_recv().is_ok() {
+        shared
+            .stats
+            .frames_abandoned
+            .fetch_add(1, Ordering::Relaxed);
     }
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -505,11 +678,13 @@ fn handle_control_frame<const L: usize>(
             .catch_up_requests
             .fetch_add(1, Ordering::Relaxed);
         for (_, update) in shared.archive.range(req.from, req.to) {
-            let frame = encode_update_frame(shared, &update);
-            // try_send: a subscriber whose queue cannot absorb its own
-            // catch-up response will be evicted by the next broadcast
-            // anyway; do not block the reader on it.
-            if tx.try_send(frame).is_err() {
+            // A replayed update has crossed one more process boundary
+            // than a live broadcast: bump the trailer's hop count.
+            let frame = encode_update_frame(shared, &update, 1);
+            // try_send (via enqueue_direct): a subscriber whose queue
+            // cannot absorb its own catch-up response will be evicted
+            // by the next broadcast anyway; do not block the reader.
+            if !enqueue_direct(&shared.stats, tx, frame) {
                 break;
             }
             shared
@@ -536,6 +711,8 @@ pub struct FeedStats {
     pub reconnects: u64,
     /// Catch-up requests sent.
     pub catch_up_requests: u64,
+    /// [`Telemetry`] trailer frames decoded.
+    pub traces_decoded: u64,
 }
 
 impl FeedStats {
@@ -551,6 +728,7 @@ impl FeedStats {
             &format!("{prefix}_catch_up_requests"),
             self.catch_up_requests,
         );
+        registry.counter_set(&format!("{prefix}_traces_decoded"), self.traces_decoded);
     }
 }
 
@@ -590,6 +768,14 @@ pub struct TcpFeed<const L: usize> {
     clock: Option<crate::clock::SimClock>,
     polls: u64,
     stats: FeedStats,
+    /// Delivery-side trace sink: [`Stage::FirstByte`] is stamped (and
+    /// the wire trace folded in) whenever a [`Telemetry`] trailer
+    /// decodes.
+    trace: Option<TraceSink>,
+    /// Latest decoded trace context per epoch (catch-up replays
+    /// overwrite with their higher hop count), for test assertions and
+    /// dashboards.
+    traces: std::collections::BTreeMap<u64, Telemetry>,
 }
 
 impl<const L: usize> TcpFeed<L> {
@@ -602,6 +788,8 @@ impl<const L: usize> TcpFeed<L> {
             clock: None,
             polls: 0,
             stats: FeedStats::default(),
+            trace: None,
+            traces: std::collections::BTreeMap::new(),
         }
     }
 
@@ -611,6 +799,31 @@ impl<const L: usize> TcpFeed<L> {
     pub fn with_clock(mut self, clock: crate::clock::SimClock) -> Self {
         self.clock = Some(clock);
         self
+    }
+
+    /// Attaches a delivery-side [`TraceSink`] (builder style): decoded
+    /// [`Telemetry`] trailers stamp [`Stage::FirstByte`] and fold
+    /// their origin context into the sink.
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Attaches (or replaces) the delivery-side [`TraceSink`].
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// The latest [`Telemetry`] trace context decoded for `epoch`, if
+    /// any trailer arrived (on any of this feed's connections).
+    pub fn trace_for(&self, epoch: u64) -> Option<Telemetry> {
+        self.traces.get(&epoch).copied()
+    }
+
+    /// Every epoch with a decoded trace context, with its latest
+    /// context, ascending by epoch.
+    pub fn traces(&self) -> Vec<(u64, Telemetry)> {
+        self.traces.iter().map(|(e, t)| (*e, *t)).collect()
     }
 
     /// Client-side counters.
@@ -770,6 +983,18 @@ impl<const L: usize> Transport<L> for TcpFeed<L> {
                     } else if header.type_tag == <CommitteeHello as Wire<L>>::TYPE_TAG {
                         match <CommitteeHello as Wire<L>>::wire_read_body(curve, body) {
                             Ok(hello) => conn.announced = Some(hello.member),
+                            Err(_) => self.stats.wire_errors += 1,
+                        }
+                    } else if header.type_tag == <Telemetry as Wire<L>>::TYPE_TAG {
+                        match <Telemetry as Wire<L>>::wire_read_body(curve, body) {
+                            Ok(ctx) => {
+                                self.stats.traces_decoded += 1;
+                                self.traces.insert(ctx.epoch, ctx);
+                                if let Some(sink) = &self.trace {
+                                    sink.note_wire_trace(&ctx);
+                                    sink.record_now(ctx.epoch, Stage::FirstByte);
+                                }
+                            }
                             Err(_) => self.stats.wire_errors += 1,
                         }
                     }

@@ -102,6 +102,8 @@ pub const TAG_CATCH_UP_REQUEST: u8 = 0x11;
 pub const TAG_KEY_UPDATE_SHARE: u8 = 0x12;
 /// Type tag: [`CommitteeHello`] (committee mode, transport control).
 pub const TAG_COMMITTEE_HELLO: u8 = 0x13;
+/// Type tag: [`Telemetry`] (epoch-delivery trace context).
+pub const TAG_TELEMETRY: u8 = 0x14;
 
 /// A parsed frame header (magic and version already validated).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -424,6 +426,77 @@ impl<const L: usize> Wire<L> for CommitteeHello {
     }
 }
 
+/// Epoch-delivery trace context: the causal timeline an update carries
+/// across process boundaries so each hop can attribute its own share of
+/// the publish→decrypt latency (the observability plane's unit of
+/// propagation).
+///
+/// A daemon that has tracing enabled emits one `Telemetry` frame as an
+/// optional *trailer* immediately after each [`KeyUpdate`] /
+/// [`KeyUpdateShare`] broadcast frame. The trailer is a standalone
+/// frame, not a body extension, so version-1 peers that predate it skip
+/// it through the ordinary unknown-tag path — no handshake or version
+/// bump required.
+///
+/// Body layout (fixed 21 bytes):
+///
+/// ```text
+/// offset  size  field
+/// ------  ----  ------------------------------------------
+///      0     8  epoch        u64, big-endian
+///      8     4  origin       u32, big-endian (0 = single daemon,
+///                            1-based roster index for members)
+///     12     8  publish_ns   u64, big-endian — origin's monotonic
+///                            clock at publish time
+///     20     1  hops         u8 — process boundaries crossed
+/// ```
+///
+/// `publish_ns` is meaningful only relative to the origin's own
+/// monotonic clock; receivers compare *their* arrival stamps against
+/// the stamps they recorded for other epochs from the same origin, or
+/// (same-host test rigs) directly against the origin's clock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Telemetry {
+    /// The epoch the traced update belongs to.
+    pub epoch: u64,
+    /// Origin identifier: 0 for a single daemon, the 1-based roster
+    /// index for a committee member.
+    pub origin: u32,
+    /// The origin's monotonic clock (nanoseconds) when the update was
+    /// published into the archive.
+    pub publish_ns: u64,
+    /// Process boundaries this update has crossed; a daemon replaying
+    /// an archived update (catch-up) re-stamps with `hops + 1`.
+    pub hops: u8,
+}
+
+/// [`Telemetry`] body length: epoch (8) ‖ origin (4) ‖ publish_ns (8)
+/// ‖ hops (1).
+pub const TELEMETRY_BODY_LEN: usize = 21;
+
+impl<const L: usize> Wire<L> for Telemetry {
+    const TYPE_TAG: u8 = TAG_TELEMETRY;
+
+    fn wire_body(&self, _curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.origin.to_be_bytes());
+        out.extend_from_slice(&self.publish_ns.to_be_bytes());
+        out.push(self.hops);
+    }
+
+    fn wire_read_body(_curve: &Curve<L>, body: &[u8]) -> Result<Self, TreError> {
+        if body.len() != TELEMETRY_BODY_LEN {
+            return Err(TreError::Malformed("telemetry body"));
+        }
+        Ok(Self {
+            epoch: u64::from_be_bytes(body[..8].try_into().unwrap()),
+            origin: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+            publish_ns: u64::from_be_bytes(body[12..20].try_into().unwrap()),
+            hops: body[20],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +622,12 @@ mod tests {
             version: VERSION,
             member: 4,
         });
+        roundtrip(&Telemetry {
+            epoch: 12,
+            origin: 3,
+            publish_ns: 1_234_567_890,
+            hops: 2,
+        });
 
         fuzz_frame(fx.server.public());
         fuzz_frame(fx.user.public());
@@ -565,6 +644,63 @@ mod tests {
             version: VERSION,
             member: 4,
         });
+        fuzz_frame(&Telemetry {
+            epoch: 12,
+            origin: 3,
+            publish_ns: 1_234_567_890,
+            hops: 2,
+        });
+    }
+
+    #[test]
+    fn telemetry_body_is_fixed_21_bytes() {
+        let curve = toy64();
+        let trace = Telemetry {
+            epoch: u64::MAX,
+            origin: u32::MAX,
+            publish_ns: u64::MAX,
+            hops: u8::MAX,
+        };
+        let bytes = trace.wire_bytes(curve);
+        assert_eq!(bytes.len(), HEADER_LEN + TELEMETRY_BODY_LEN);
+        let (header, body, _) = peek_frame(&bytes).unwrap().unwrap();
+        assert_eq!(header.type_tag, TAG_TELEMETRY);
+        assert_eq!(body.len(), TELEMETRY_BODY_LEN);
+    }
+
+    /// A v1 peer that predates the telemetry frame sees an
+    /// unknown-but-well-framed tag and must be able to skip it: the
+    /// stream splitter hands it over intact and resumes cleanly on the
+    /// next frame. (The transports' read loops skip unknown tags; this
+    /// pins the framing contract they rely on.)
+    #[test]
+    fn telemetry_trailer_is_skippable_by_v1_peers() {
+        let curve = toy64();
+        let (fx, _) = fixture(11);
+        let update = fx.server.issue_update(curve, &ReleaseTag::time("t"));
+        let trace = Telemetry {
+            epoch: 1,
+            origin: 0,
+            publish_ns: 42,
+            hops: 0,
+        };
+        let mut stream = Vec::new();
+        update.wire_write(curve, &mut stream);
+        trace.wire_write(curve, &mut stream);
+        update.wire_write(curve, &mut stream);
+
+        // First frame: the update.
+        let (h1, _, rest) = peek_frame(&stream).unwrap().unwrap();
+        assert_eq!(h1.type_tag, TAG_KEY_UPDATE);
+        // Second frame: a tag the peer does not understand — well
+        // framed, so it can be skipped without understanding the body.
+        let (h2, body2, rest) = peek_frame(rest).unwrap().unwrap();
+        assert_eq!(h2.type_tag, TAG_TELEMETRY);
+        assert_eq!(body2.len(), TELEMETRY_BODY_LEN);
+        // Third frame decodes as if the trailer were never there.
+        let (h3, _, rest) = peek_frame(rest).unwrap().unwrap();
+        assert_eq!(h3.type_tag, TAG_KEY_UPDATE);
+        assert!(rest.is_empty());
     }
 
     #[test]
@@ -703,6 +839,16 @@ mod tests {
             let update = fx.server.issue_update(curve, &ReleaseTag::time(tag_value));
             roundtrip(&KeyUpdateShare { member, update });
             roundtrip(&CommitteeHello { version, member });
+        }
+
+        #[test]
+        fn prop_telemetry_frames_roundtrip(
+            epoch in any::<u64>(),
+            origin in any::<u32>(),
+            publish_ns in any::<u64>(),
+            hops in any::<u8>(),
+        ) {
+            roundtrip(&Telemetry { epoch, origin, publish_ns, hops });
         }
 
         #[test]

@@ -234,6 +234,204 @@ fn connection_resets_are_survived() {
     assert!(run.supervisor.reconnects > 0, "supervisor recovered them");
 }
 
+/// Telemetry trace contexts survive transport chaos: after mid-frame
+/// cuts and a connection reset force reconnects and catch-up gap
+/// repair, every delivered epoch still carries a decodable trace
+/// context, replayed epochs show the bumped hop count, and the
+/// origin-to-arrival stamps stay monotone (publish ≤ journal-fsync ≤
+/// broadcast ≤ first-byte) — replays only ever push `first_byte`
+/// later, never earlier.
+#[test]
+fn trace_context_survives_reconnect_and_gap_repair() {
+    use tre::server::TraceSink;
+
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let clock = SimClock::new();
+    let keys = ServerKeyPair::generate(curve, &mut rng);
+    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+    let sink = TraceSink::new();
+    let tred = Tred::bind_traced(
+        "127.0.0.1:0",
+        curve,
+        server,
+        TredConfig::default(),
+        sink.clone(),
+    )
+    .unwrap();
+    let spk = *tred.public_key();
+    let plan = FaultPlan::new()
+        .at(70, Fault::TornFrame { for_ms: 120 })
+        .at(250, Fault::ConnReset);
+    let proxy =
+        ChaosProxy::bind("127.0.0.1:0", tred.local_addr(), &plan, seed_from_env(16)).unwrap();
+
+    let feed: TcpFeed<8> = TcpFeed::new(curve, proxy.local_addr()).with_clock(clock.clone());
+    let mut feed = SupervisedFeed::new(
+        feed,
+        Granularity::Seconds,
+        SupervisorConfig::default(),
+        seed_from_env(16),
+    );
+    feed.set_trace_sink(sink.clone());
+    let mut clients: Vec<ReceiverClient<8>> = (0..CLIENTS)
+        .map(|_| ReceiverClient::new(curve, spk, UserKeyPair::generate(curve, &spk, &mut rng)))
+        .collect();
+    let subs: Vec<_> = clients.iter().map(|_| feed.subscribe()).collect();
+    let start = Instant::now();
+    while tred.subscriber_count() < CLIENTS && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tred.subscriber_count(), CLIENTS, "subscribers bridged");
+
+    let g = Granularity::Seconds;
+    for (i, c) in clients.iter_mut().enumerate() {
+        let sender = Sender::new(curve, &spk, c.public_key()).unwrap();
+        for epoch in 1..=EPOCHS {
+            let ct = sender.encrypt(
+                &g.tag_for_epoch(epoch),
+                format!("m-{i}-{epoch}").as_bytes(),
+                &mut rng,
+            );
+            c.receive_ciphertext(ct, 0);
+        }
+    }
+
+    for _ in 1..=EPOCHS {
+        clock.advance(1);
+        let slice = Instant::now();
+        while slice.elapsed() < Duration::from_millis(50) {
+            for (c, sub) in clients.iter_mut().zip(&subs) {
+                c.pump(&mut feed, *sub);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let start = Instant::now();
+    while clients.iter().any(|c| c.opened().len() < EPOCHS as usize) && start.elapsed() < DEADLINE {
+        for (c, sub) in clients.iter_mut().zip(&subs) {
+            c.pump(&mut feed, *sub);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        clients.iter().all(|c| c.opened().len() == EPOCHS as usize),
+        "all clients settled through the chaos"
+    );
+    let stats = feed.stats();
+    assert!(
+        stats.reconnects > 0,
+        "the faults actually forced reconnects"
+    );
+
+    for epoch in 1..=EPOCHS {
+        // Context delivered and attributed to the right epoch/origin.
+        let ctx = feed
+            .trace_for(epoch)
+            .unwrap_or_else(|| panic!("epoch {epoch}: trace context survived the chaos"));
+        assert_eq!(ctx.epoch, epoch, "context names its epoch");
+        assert_eq!(ctx.origin, 0, "single-daemon origin");
+
+        // Monotone stamps through the first process boundary: a replay
+        // re-stamps `first_byte` later, so the prefix ordering is an
+        // invariant even across reconnect and gap repair.
+        let trace = sink.epoch_trace(epoch).expect("epoch traced at the sink");
+        let stamps: Vec<u64> = trace.stamps[..4]
+            .iter()
+            .map(|s| s.expect("publish..first_byte all stamped"))
+            .collect();
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "epoch {epoch}: non-monotone stamps {stamps:?}"
+        );
+        // The wire context carries the origin's own publish stamp
+        // (same-process rig: directly comparable to the sink's).
+        assert_eq!(
+            ctx.publish_ns,
+            sink.publish_ns(epoch).unwrap(),
+            "epoch {epoch}: trailer carries the origin publish stamp"
+        );
+    }
+    // Gap repair replays crossed one more process boundary than live
+    // broadcasts: at least one surviving context shows the bumped hop.
+    if stats.gap_repairs > 0 {
+        assert!(
+            (1..=EPOCHS).any(|e| feed.trace_for(e).is_some_and(|c| c.hops >= 1)),
+            "a repaired epoch retains its bumped hop count"
+        );
+    }
+
+    proxy.shutdown();
+    tred.shutdown();
+}
+
+/// Forward compatibility: a traced daemon appends `Telemetry` trailer
+/// frames to every broadcast, and a plain sink-less feed must consume
+/// the stream without a single wire error while opening everything —
+/// the trailer is pure metadata riding the same buffer. (A genuine v1
+/// peer skipping the unknown 0x14 tag is covered at the wire layer by
+/// `telemetry_trailer_is_skippable_by_v1_peers`.)
+#[test]
+fn telemetry_trailers_never_break_v1_peers() {
+    let curve = tre::pairing::toy64();
+    let mut rng = rand::thread_rng();
+    let clock = SimClock::new();
+    let keys = ServerKeyPair::generate(curve, &mut rng);
+    let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+    let tred = Tred::bind_traced(
+        "127.0.0.1:0",
+        curve,
+        server,
+        TredConfig::default(),
+        tre::server::TraceSink::new(),
+    )
+    .unwrap();
+    let spk = *tred.public_key();
+
+    // No proxy, no trace sink: the feed decodes updates and skips the
+    // unknown trailer tag exactly like an older peer would.
+    let mut feed: TcpFeed<8> = TcpFeed::new(curve, tred.local_addr()).with_clock(clock.clone());
+    let mut client = ReceiverClient::new(curve, spk, UserKeyPair::generate(curve, &spk, &mut rng));
+    let sub = feed.subscribe();
+    let start = Instant::now();
+    while tred.subscriber_count() < 1 && start.elapsed() < DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let g = Granularity::Seconds;
+    let sender = Sender::new(curve, &spk, client.public_key()).unwrap();
+    for epoch in 1..=EPOCHS {
+        let ct = sender.encrypt(&g.tag_for_epoch(epoch), b"v1-peer", &mut rng);
+        client.receive_ciphertext(ct, 0);
+    }
+    for _ in 1..=EPOCHS {
+        clock.advance(1);
+        let slice = Instant::now();
+        while slice.elapsed() < Duration::from_millis(30) {
+            client.pump(&mut feed, sub);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    }
+    let start = Instant::now();
+    while client.opened().len() < EPOCHS as usize && start.elapsed() < DEADLINE {
+        client.pump(&mut feed, sub);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert_eq!(
+        client.opened().len(),
+        EPOCHS as usize,
+        "a sink-less peer opens every epoch despite the trailers"
+    );
+    let stats = feed.stats();
+    assert_eq!(stats.wire_errors, 0, "trailers never misparse the stream");
+    assert!(
+        stats.traces_decoded >= EPOCHS,
+        "every broadcast carried its trailer"
+    );
+
+    tred.shutdown();
+}
+
 #[test]
 fn full_fault_matrix_over_seed_matrix() {
     // The E13-style composite: stall + corruption + mid-frame cut +

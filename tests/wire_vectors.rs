@@ -15,7 +15,8 @@ use tre::core::{fo, hybrid, idtre, react};
 use tre::hashes::{hex, HmacDrbg};
 use tre::prelude::*;
 use tre::wire::{
-    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, HEADER_LEN, VERSION,
+    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, HEADER_LEN,
+    VERSION,
 };
 
 const VECTORS_PATH: &str = "tests/vectors/wire_v1.json";
@@ -109,6 +110,16 @@ fn fixtures() -> Vec<(&'static str, u8, Vec<u8>, Vec<u8>)> {
             CommitteeHello {
                 version: VERSION,
                 member: 2,
+            }
+        ),
+        row!(
+            "telemetry",
+            Telemetry,
+            Telemetry {
+                epoch: 7,
+                origin: 2,
+                publish_ns: 1_234_567_890,
+                hops: 1,
             }
         ),
     ]
