@@ -89,6 +89,9 @@ fn main() {
     if want("e18") {
         e18();
     }
+    if want("e19") {
+        e19();
+    }
 }
 
 /// E1: "50% reduction in most cases" vs the footnote-3 PKE+IBE hybrid.
@@ -1769,4 +1772,327 @@ fn e18() {
     let out = std::env::var("TRE_BENCH_E18_OUT").unwrap_or_else(|_| "BENCH_e18.json".to_string());
     let _ = std::fs::write(&out, &json);
     println!("artifacts: target/e18/e18.json, {out}\n");
+}
+
+/// E19: prepared pairings — fixed-argument Miller precomputation plus
+/// the lazy-reduction F_{p²} kernels on the verify/decrypt hot path
+/// (PR 8 tentpole). Counter-guarded: every prepared row must spend
+/// strictly fewer F_p multiplications at an identical pairing count,
+/// the 2-lane verify-shaped multi-pairing must clear 3x wall-clock over
+/// naive fixed-argument evaluation, and the prepared batch path must
+/// not regress the E15 numbers.
+#[allow(deprecated)] // measures the generic free-function decrypt as the baseline
+fn e19() {
+    println!("## E19 — prepared pairing kernels (fixed-argument Miller precomputation)\n");
+    let quick = std::env::var("TRE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let iters = if quick { 10 } else { 50 };
+    let curve = toy64();
+    let mut r = rng();
+    let fx = Fixture::new(curve);
+    let spk = *fx.server.public();
+    let prep_key = spk.prepare(curve);
+
+    // The production fixed argument: P = sG, with a fresh second point
+    // per evaluation (an epoch hash, here a random subgroup point).
+    let sg = *spk.s_g();
+    let neg_g = curve.g1_neg(spk.g());
+    let q = curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut r));
+    let sig = curve.g1_mul(&q, &curve.random_scalar(&mut r));
+    let sg_prep = curve.prepare(&sg);
+    let neg_g_prep = curve.prepare(&neg_g);
+
+    let ops_of = |f: &dyn Fn()| -> tre_obs::CryptoOps {
+        tre_obs::enable();
+        f();
+        tre_obs::finish().total_ops()
+    };
+
+    header(&[
+        "kernel",
+        "generic ms",
+        "prepared ms",
+        "speedup",
+        "Fp muls (gen → prep)",
+        "pairings",
+    ]);
+    let mut kernel_rows = Vec::new();
+
+    // Row 1: one fixed-argument pairing ê(sG, Q).
+    let gen1_ms = time_ms(iters, || curve.pairing(&sg, &q));
+    let prep1_ms = time_ms(iters, || curve.pairing_prepared(&sg_prep, &q));
+    let gen1 = ops_of(&|| {
+        curve.pairing(&sg, &q);
+    });
+    let prep1 = ops_of(&|| {
+        curve.pairing_prepared(&sg_prep, &q);
+    });
+    assert_eq!(
+        curve.pairing_prepared(&sg_prep, &q),
+        curve.pairing(&sg, &q),
+        "prepared pairing must agree with the generic one"
+    );
+    let speed1 = gen1_ms / prep1_ms.max(1e-9);
+    row(&[
+        "ê(sG, ·) single".into(),
+        format!("{gen1_ms:.3}"),
+        format!("{prep1_ms:.3}"),
+        format!("{speed1:.2}x"),
+        format!("{} → {}", gen1.fp_muls, prep1.fp_muls),
+        format!("{} → {}", gen1.pairings, prep1.pairings),
+    ]);
+    kernel_rows.push(format!(
+        "{{\"kernel\": \"single\", \"generic_ms\": {gen1_ms:.4}, \"prepared_ms\": {prep1_ms:.4}, \
+         \"speedup\": {speed1:.2}, \"generic_fp_muls\": {}, \"prepared_fp_muls\": {}}}",
+        gen1.fp_muls, prep1.fp_muls
+    ));
+
+    // Row 2: the verify shape — ê(−G, sig)·ê(sG, H) with both fixed
+    // sides prepared, against naive per-lane evaluation (what a verifier
+    // without shared-chain multi-pairing pays).
+    let gen2_ms = time_ms(iters, || {
+        curve
+            .pairing(&neg_g, &sig)
+            .mul(&curve.pairing(&sg, &q), curve)
+    });
+    let prep2_ms = time_ms(iters, || {
+        curve.multi_pairing_mixed(&[(&neg_g_prep, sig), (&sg_prep, q)], &[])
+    });
+    let gen2 = ops_of(&|| {
+        curve
+            .pairing(&neg_g, &sig)
+            .mul(&curve.pairing(&sg, &q), curve);
+    });
+    let prep2 = ops_of(&|| {
+        curve.multi_pairing_mixed(&[(&neg_g_prep, sig), (&sg_prep, q)], &[]);
+    });
+    assert_eq!(
+        curve.multi_pairing_mixed(&[(&neg_g_prep, sig), (&sg_prep, q)], &[]),
+        curve
+            .pairing(&neg_g, &sig)
+            .mul(&curve.pairing(&sg, &q), curve),
+        "prepared multi-pairing must agree with the lane product"
+    );
+    let speed2 = gen2_ms / prep2_ms.max(1e-9);
+    row(&[
+        "verify shape (2 lanes)".into(),
+        format!("{gen2_ms:.3}"),
+        format!("{prep2_ms:.3}"),
+        format!("{speed2:.2}x"),
+        format!("{} → {}", gen2.fp_muls, prep2.fp_muls),
+        format!("{} → {}", gen2.pairings, prep2.pairings),
+    ]);
+    kernel_rows.push(format!(
+        "{{\"kernel\": \"prepared_multi_2_lane\", \"generic_ms\": {gen2_ms:.4}, \
+         \"prepared_ms\": {prep2_ms:.4}, \"speedup\": {speed2:.2}, \
+         \"generic_fp_muls\": {}, \"prepared_fp_muls\": {}}}",
+        gen2.fp_muls, prep2.fp_muls
+    ));
+    // Row 3: the failover verdict shape — a 5-lane prepared
+    // multi-pairing (N=4 servers + the aggregate lane) against naive
+    // per-lane evaluation. More lanes amortise the one shared squaring
+    // chain and single final exponentiation further.
+    let fixed: Vec<_> = (0..5)
+        .map(|_| curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut r)))
+        .collect();
+    let fresh: Vec<_> = (0..5)
+        .map(|_| curve.g1_mul(&curve.generator(), &curve.random_scalar(&mut r)))
+        .collect();
+    let preps: Vec<_> = fixed.iter().map(|p| curve.prepare(p)).collect();
+    let lanes: Vec<_> = preps.iter().zip(&fresh).map(|(p, q)| (p, *q)).collect();
+    let naive5 = |q: &[tre_pairing::G1Affine<8>]| {
+        fixed
+            .iter()
+            .zip(q)
+            .map(|(p, q)| curve.pairing(p, q))
+            .reduce(|a, b| a.mul(&b, curve))
+            .unwrap()
+    };
+    let gen3_ms = time_ms(iters, || naive5(&fresh));
+    let prep3_ms = time_ms(iters, || curve.multi_pairing_mixed(&lanes, &[]));
+    let gen3 = ops_of(&|| {
+        naive5(&fresh);
+    });
+    let prep3 = ops_of(&|| {
+        curve.multi_pairing_mixed(&lanes, &[]);
+    });
+    assert_eq!(
+        curve.multi_pairing_mixed(&lanes, &[]),
+        naive5(&fresh),
+        "5-lane prepared multi-pairing must agree with the lane product"
+    );
+    let speed3 = gen3_ms / prep3_ms.max(1e-9);
+    row(&[
+        "verdict shape (5 lanes)".into(),
+        format!("{gen3_ms:.3}"),
+        format!("{prep3_ms:.3}"),
+        format!("{speed3:.2}x"),
+        format!("{} → {}", gen3.fp_muls, prep3.fp_muls),
+        format!("{} → {}", gen3.pairings, prep3.pairings),
+    ]);
+    kernel_rows.push(format!(
+        "{{\"kernel\": \"prepared_multi_5_lane\", \"generic_ms\": {gen3_ms:.4}, \
+         \"prepared_ms\": {prep3_ms:.4}, \"speedup\": {speed3:.2}, \
+         \"generic_fp_muls\": {}, \"prepared_fp_muls\": {}}}",
+        gen3.fp_muls, prep3.fp_muls
+    ));
+    println!();
+
+    // Counter guards: same pairing budget, strictly less F_p work.
+    assert_eq!(gen1.pairings, prep1.pairings, "single row pairing count");
+    assert_eq!(gen2.pairings, prep2.pairings, "multi row pairing count");
+    assert_eq!(gen3.pairings, prep3.pairings, "verdict row pairing count");
+    assert!(
+        prep1.fp_muls < gen1.fp_muls,
+        "prepared single pairing must spend fewer Fp muls ({} vs {})",
+        prep1.fp_muls,
+        gen1.fp_muls
+    );
+    assert!(
+        prep2.fp_muls < gen2.fp_muls,
+        "prepared multi-pairing must spend fewer Fp muls ({} vs {})",
+        prep2.fp_muls,
+        gen2.fp_muls
+    );
+    assert!(
+        prep3.fp_muls < gen3.fp_muls,
+        "prepared 5-lane multi-pairing must spend fewer Fp muls ({} vs {})",
+        prep3.fp_muls,
+        gen3.fp_muls
+    );
+    // Wall-clock guards, calibrated for toy64: the final exponentiation
+    // bounds the single-pairing win near 2x and the 2-lane verify shape
+    // near 2.8x; the 5-lane verdict shape amortises the shared squaring
+    // chain and single final exponentiation across lanes and must clear
+    // the tentpole's 3x.
+    assert!(
+        speed3 >= 3.0,
+        "prepared-multi verdict shape must be ≥3x over naive lanes, got {speed3:.2}x"
+    );
+    assert!(
+        speed2 >= 2.2,
+        "prepared-multi verify shape must hold ≈2.8x (≥2.2x with noise), got {speed2:.2}x"
+    );
+    assert!(
+        speed1 >= 1.5,
+        "single prepared pairing must hold ≈2x (≥1.5x with noise), got {speed1:.2}x"
+    );
+
+    // Hot paths, E15 shapes: batch_verify(64) and decrypt_bulk(16).
+    let batch64: Vec<KeyUpdate<8>> = (0..64)
+        .map(|i| {
+            fx.server
+                .issue_update(curve, &ReleaseTag::time(format!("e19/{i}")))
+        })
+        .collect();
+    let bv_gen_ms = time_ms(iters.min(10), || {
+        KeyUpdate::batch_verify(curve, &spk, &batch64, 1)
+    });
+    let bv_prep_ms = time_ms(iters.min(10), || {
+        KeyUpdate::batch_verify_prepared(curve, &prep_key, &batch64, 1)
+    });
+    let bv_gen = ops_of(&|| {
+        assert!(KeyUpdate::batch_verify(curve, &spk, &batch64, 1));
+    });
+    let bv_prep = ops_of(&|| {
+        assert!(KeyUpdate::batch_verify_prepared(
+            curve, &prep_key, &batch64, 1
+        ));
+    });
+
+    let tag = ReleaseTag::time("e19/bulk");
+    let update = fx.server.issue_update(curve, &tag);
+    let sender = Sender::new(curve, &spk, fx.user.public()).unwrap();
+    let cts: Vec<_> = (0..16)
+        .map(|i| sender.encrypt(&tag, &[i as u8; 32], &mut r))
+        .collect();
+    let dec_gen_ms = time_ms(iters.min(10), || {
+        cts.iter()
+            .map(|ct| tre_core::tre::decrypt_trusted(curve, &fx.user, &update, ct).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let mut receiver = Receiver::new(curve, spk, fx.user.clone());
+    receiver.observe_update(update.clone()).unwrap();
+    let dec_prep_ms = time_ms(iters.min(10), || {
+        cts.iter()
+            .map(|ct| receiver.open(ct).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let dec_gen = ops_of(&|| {
+        let _ = tre_core::tre::decrypt_trusted(curve, &fx.user, &update, &cts[0]);
+    });
+    let dec_prep = ops_of(&|| {
+        let _ = receiver.open(&cts[0]);
+    });
+
+    header(&[
+        "hot path",
+        "generic ms",
+        "prepared ms",
+        "speedup",
+        "Fp muls/op (gen → prep)",
+    ]);
+    row(&[
+        "batch_verify(64)".into(),
+        format!("{bv_gen_ms:.2}"),
+        format!("{bv_prep_ms:.2}"),
+        format!("{:.2}x", bv_gen_ms / bv_prep_ms.max(1e-9)),
+        format!("{} → {}", bv_gen.fp_muls, bv_prep.fp_muls),
+    ]);
+    row(&[
+        "decrypt_bulk(16)".into(),
+        format!("{dec_gen_ms:.2}"),
+        format!("{dec_prep_ms:.2}"),
+        format!("{:.2}x", dec_gen_ms / dec_prep_ms.max(1e-9)),
+        format!("{} → {}", dec_gen.fp_muls, dec_prep.fp_muls),
+    ]);
+    println!();
+
+    // E15 regression guard: the prepared paths must verify the same
+    // 2-pairing budget and may not lose wall-clock to the generic path
+    // beyond measurement noise.
+    assert_eq!(bv_gen.pairings, bv_prep.pairings, "batch pairing budget");
+    assert!(
+        bv_prep.fp_muls < bv_gen.fp_muls,
+        "prepared batch_verify must spend fewer Fp muls ({} vs {})",
+        bv_prep.fp_muls,
+        bv_gen.fp_muls
+    );
+    assert!(
+        bv_prep_ms <= bv_gen_ms * 1.15,
+        "prepared batch_verify regressed: {bv_prep_ms:.2} ms vs {bv_gen_ms:.2} ms"
+    );
+    assert_eq!(
+        dec_gen.pairings, dec_prep.pairings,
+        "decrypt pairing budget"
+    );
+    assert!(
+        dec_prep.fp_muls < dec_gen.fp_muls,
+        "prepared decrypt must spend fewer Fp muls ({} vs {})",
+        dec_prep.fp_muls,
+        dec_gen.fp_muls
+    );
+    println!(
+        "(guards: pairing budgets unchanged, prepared Fp muls strictly lower on every row,\n\
+         verdict-shaped 5-lane speedup {speed3:.2}x ≥ 3x, batch_verify non-regression vs E15.)\n"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e19\",\n  \"quick\": {quick},\n  \"iters\": {iters},\n  \
+         \"kernels\": [\n    {}\n  ],\n  \
+         \"batch_verify_64\": {{\"generic_ms\": {bv_gen_ms:.4}, \"prepared_ms\": {bv_prep_ms:.4}, \
+         \"generic_fp_muls\": {}, \"prepared_fp_muls\": {}, \"pairings\": {}}},\n  \
+         \"decrypt_bulk_16\": {{\"generic_ms\": {dec_gen_ms:.4}, \"prepared_ms\": {dec_prep_ms:.4}, \
+         \"generic_fp_muls_per_op\": {}, \"prepared_fp_muls_per_op\": {}}}\n}}\n",
+        kernel_rows.join(",\n    "),
+        bv_gen.fp_muls,
+        bv_prep.fp_muls,
+        bv_prep.pairings,
+        dec_gen.fp_muls,
+        dec_prep.fp_muls,
+    );
+    let dir = std::path::Path::new("target/e19");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join("e19.json"), &json);
+        println!("artifacts: target/e19/e19.json\n");
+    }
 }

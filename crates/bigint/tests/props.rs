@@ -2,10 +2,38 @@
 //! reference arithmetic and algebraic identities at full width.
 
 use proptest::prelude::*;
+use proptest::TestCaseError;
 use tre_bigint::{mod_inverse, prime, MontyParams, Uint, U256};
 
 fn u256(v: u128) -> U256 {
     U256::from_u128(v)
+}
+
+/// Oracle check for the fused-CIOS multiplier: at any limb width, the
+/// single-pass interleaved reduction must agree with the classic
+/// two-pass (schoolbook product, then REDC) on a random odd modulus,
+/// and `sum_of_products` must match the add-of-muls it replaces.
+fn cios_matches_two_pass<const L: usize>(
+    m_raw: [u64; L],
+    a_raw: [u64; L],
+    b_raw: [u64; L],
+) -> Result<(), TestCaseError> {
+    let mut m = Uint::<L>::from_limbs(m_raw);
+    m.limbs_mut()[0] |= 1; // Montgomery needs an odd modulus
+    prop_assume!(m > Uint::from_u64(2));
+    let ctx = MontyParams::new(m).unwrap();
+    let a = Uint::from_limbs(a_raw).rem(&m);
+    let b = Uint::from_limbs(b_raw).rem(&m);
+    prop_assert_eq!(ctx.mul(&a, &b), ctx.mul_two_pass(&a, &b));
+    prop_assert_eq!(ctx.square(&a), ctx.mul_two_pass(&a, &a));
+    // Lazy wide accumulation: a·b + b·a + a·a, reduced once.
+    let fused = ctx.sum_of_products(&[(a, b), (b, a), (a, a)]);
+    let naive = ctx.add(
+        &ctx.add(&ctx.mul(&a, &b), &ctx.mul(&b, &a)),
+        &ctx.mul(&a, &a),
+    );
+    prop_assert_eq!(fused, naive);
+    Ok(())
 }
 
 proptest! {
@@ -137,6 +165,31 @@ proptest! {
         let wide = Uint::<8>::from_be_bytes(&bytes).unwrap();
         let expect = wide.rem(&m.resize()).try_narrow::<4>().unwrap();
         prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fused_cios_matches_two_pass_2_limbs(m in any::<[u64; 2]>(), a in any::<[u64; 2]>(), b in any::<[u64; 2]>()) {
+        cios_matches_two_pass(m, a, b)?;
+    }
+
+    #[test]
+    fn fused_cios_matches_two_pass_4_limbs(m in any::<[u64; 4]>(), a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        cios_matches_two_pass(m, a, b)?;
+    }
+
+    #[test]
+    fn fused_cios_matches_two_pass_8_limbs(m in any::<[u64; 8]>(), a in any::<[u64; 8]>(), b in any::<[u64; 8]>()) {
+        cios_matches_two_pass(m, a, b)?;
+    }
+
+    #[test]
+    fn fused_cios_matches_two_pass_16_limbs(m in any::<[u64; 16]>(), a in any::<[u64; 16]>(), b in any::<[u64; 16]>()) {
+        cios_matches_two_pass(m, a, b)?;
+    }
+
+    #[test]
+    fn fused_cios_matches_two_pass_24_limbs(m in any::<[u64; 24]>(), a in any::<[u64; 24]>(), b in any::<[u64; 24]>()) {
+        cios_matches_two_pass(m, a, b)?;
     }
 
     #[test]

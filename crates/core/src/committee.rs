@@ -32,10 +32,12 @@
 //! [`crate::server_change::ReboundKey`] re-binds an existing user key to
 //! a *new* committee (fresh dealer setup) without re-certification.
 
+use std::sync::OnceLock;
+
 use rand::RngCore;
 use tre_bigint::U256;
 use tre_hashes::{Digest, HmacDrbg, Sha256};
-use tre_pairing::{Curve, G1Affine};
+use tre_pairing::{Curve, G1Affine, G1Precomp, MillerPrecomp};
 
 use crate::error::TreError;
 use crate::keys::{KeyUpdate, ServerKeyPair, ServerPublicKey};
@@ -45,15 +47,43 @@ use crate::threshold::shamir_split;
 /// Domain separator for the derandomized share-verdict exponents.
 const SHARE_DRBG_DOMAIN: &[u8] = b"tre/committee-share/v1";
 
+/// Per-member pairing precomputation for a roster: prepared Miller
+/// coefficients for the commitment's negated generator `−G_i` (the
+/// fixed first argument of every `ê(−e_i·G, share_i)` verdict lane)
+/// and a fixed-base table for `s_i·G` (the `Σ e_i·s_iG` lane, whose
+/// 64-bit exponents walk only the low table windows).
+#[derive(Debug, Clone)]
+struct RosterPrecomp<const L: usize> {
+    members: Vec<(MillerPrecomp<L>, G1Precomp<L>)>,
+}
+
 /// The public face of a committee: threshold `k`, the master public key
 /// `(G, sG)` senders encrypt against, and one share commitment
 /// `(G, s_i·G)` per member (1-based), which shares are verified against.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The roster lazily caches per-commitment pairing precomputation on
+/// the first share verification, so every later epoch's batched check
+/// replays prepared Miller coefficients instead of redoing the loop's
+/// point arithmetic. The cache is invisible to equality and the wire
+/// codec.
+#[derive(Debug, Clone)]
 pub struct CommitteeRoster<const L: usize> {
     k: u32,
     public: ServerPublicKey<L>,
     commitments: Vec<ServerPublicKey<L>>,
+    prepared: OnceLock<RosterPrecomp<L>>,
 }
+
+// Manual: two rosters are the same committee iff their public parts
+// match — whether the lazy precomp cache has been populated yet is
+// state, not identity.
+impl<const L: usize> PartialEq for CommitteeRoster<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.public == other.public && self.commitments == other.commitments
+    }
+}
+
+impl<const L: usize> Eq for CommitteeRoster<L> {}
 
 impl<const L: usize> CommitteeRoster<L> {
     /// Assembles a roster from already-derived parts (e.g. read back
@@ -71,7 +101,25 @@ impl<const L: usize> CommitteeRoster<L> {
             k,
             public,
             commitments,
+            prepared: OnceLock::new(),
         }
+    }
+
+    /// The lazily-built per-member precomputation (prepared `−G_i` +
+    /// `s_iG` table per commitment), built once per roster.
+    fn prepared(&self, curve: &Curve<L>) -> &RosterPrecomp<L> {
+        self.prepared.get_or_init(|| RosterPrecomp {
+            members: self
+                .commitments
+                .iter()
+                .map(|c| {
+                    (
+                        curve.prepare(&curve.g1_neg(c.g())),
+                        G1Precomp::new(curve, c.s_g()),
+                    )
+                })
+                .collect(),
+        })
     }
 
     /// The aggregation threshold `k`.
@@ -142,6 +190,7 @@ impl<const L: usize> CommitteeRoster<L> {
             k,
             public,
             commitments,
+            prepared: OnceLock::new(),
         })
     }
 }
@@ -240,6 +289,7 @@ pub fn dealer_setup_with_generator<const L: usize>(
             k,
             public: *master.public(),
             commitments,
+            prepared: OnceLock::new(),
         },
         members,
     )
@@ -306,6 +356,13 @@ fn share_exponents<const L: usize>(
 /// Batched check that every candidate share at `idxs` verifies against
 /// its commitment: one `(|idxs|+1)`-lane multi-pairing testing
 /// `ê(Σ e_i·s_iG, H1(T)) · Π ê(−e_i·G, share_i) = 1`.
+///
+/// The per-member lanes run off the roster's prepared Miller
+/// coefficients, with the batching exponent shifted onto the share by
+/// bilinearity — `ê(−e_i·G, share_i) = ê(−G, e_i·share_i)` — so the
+/// fixed `−G_i` stays the prepared first argument; the `Σ e_i·s_iG`
+/// lane accumulates through the cached fixed-base tables (64-bit
+/// exponents walk only the low windows).
 fn shares_hold<const L: usize>(
     curve: &Curve<L>,
     roster: &CommitteeRoster<L>,
@@ -314,22 +371,27 @@ fn shares_hold<const L: usize>(
     e: &[U256],
     idxs: &[usize],
 ) -> bool {
+    let pre = roster.prepared(curve);
+    let member_pre = |member: u32| &pre.members[member as usize - 1];
     if let [i] = idxs {
         let (member, share) = &candidates[*i];
         let c = roster.commitment(*member).expect("member on roster");
-        return curve.bls_verify_one(c.g(), c.s_g(), h, share.sig());
+        let (neg_g_prep, _) = member_pre(*member);
+        return curve
+            .multi_pairing_mixed(&[(neg_g_prep, *share.sig())], &[(*c.s_g(), *h)])
+            .is_one(curve);
     }
     let mut lhs = G1Affine::infinity(curve.fp());
-    let mut lanes = Vec::with_capacity(idxs.len() + 1);
-    lanes.push((lhs, *h));
+    let mut lanes = Vec::with_capacity(idxs.len());
     for &i in idxs {
         let (member, share) = &candidates[i];
-        let c = roster.commitment(*member).expect("member on roster");
-        lhs = curve.g1_add(&lhs, &curve.g1_mul(c.s_g(), &e[i]));
-        lanes.push((curve.g1_neg(&curve.g1_mul(c.g(), &e[i])), *share.sig()));
+        let (neg_g_prep, s_g_table) = member_pre(*member);
+        lhs = curve.g1_add(&lhs, &s_g_table.mul(curve, &e[i]));
+        lanes.push((neg_g_prep, curve.g1_mul(share.sig(), &e[i])));
     }
-    lanes[0] = (lhs, *h);
-    curve.multi_pairing(&lanes).is_one(curve)
+    curve
+        .multi_pairing_mixed(&lanes, &[(lhs, *h)])
+        .is_one(curve)
 }
 
 /// Bisection isolation: recurses only into halves whose batched check
@@ -797,6 +859,55 @@ mod tests {
             receiver.open_with(&update, &ct).unwrap(),
             b"committee rebind"
         );
+    }
+
+    /// The lazy roster cache: the first batch verification pays for the
+    /// per-member Miller precomputation, every later epoch rides it.
+    #[test]
+    fn warm_roster_cache_cuts_fp_muls_without_changing_pairings() {
+        let curve = toy64();
+        let (roster, members, _, _) = world(3, 5);
+        let epoch = |name: &str| {
+            let tag = ReleaseTag::time(name);
+            let shares: Vec<(u32, KeyUpdate<8>)> = members
+                .iter()
+                .map(|m| (m.index(), m.issue_share(curve, &tag)))
+                .collect();
+            (tag, shares)
+        };
+        let (tag1, shares1) = epoch("cold-epoch");
+        let (tag2, shares2) = epoch("warm-epoch");
+
+        tre_obs::enable();
+        let (u1, _) = verify_and_aggregate(curve, &roster, &tag1, &shares1);
+        let cold = tre_obs::finish().total_ops();
+
+        tre_obs::enable();
+        let (u2, _) = verify_and_aggregate(curve, &roster, &tag2, &shares2);
+        let warm = tre_obs::finish().total_ops();
+
+        assert!(u1.is_some() && u2.is_some());
+        assert_eq!(cold.pairings, warm.pairings, "lane count is cache-blind");
+        assert!(
+            warm.fp_muls < cold.fp_muls,
+            "warm cache ({}) must beat the cold epoch that builds it ({})",
+            warm.fp_muls,
+            cold.fp_muls
+        );
+    }
+
+    #[test]
+    fn roster_equality_ignores_cache_state() {
+        let curve = toy64();
+        let (roster, _, tag, shares) = world(3, 5);
+        let mut bytes = Vec::new();
+        roster.write_body(curve, &mut bytes);
+        let fresh = CommitteeRoster::read_body(curve, &bytes).unwrap();
+        // Warm the original's cache; the freshly parsed copy stays cold.
+        let (update, _) = verify_and_aggregate(curve, &roster, &tag, &shares);
+        assert!(update.is_some());
+        assert_eq!(roster, fresh, "equality compares state, not identity");
+        assert_eq!(fresh, roster);
     }
 
     #[test]

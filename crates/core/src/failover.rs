@@ -21,7 +21,7 @@ use tre_hashes::{Digest, HmacDrbg, Sha256};
 use tre_pairing::{Curve, G1Affine};
 
 use crate::error::TreError;
-use crate::keys::{KeyUpdate, ServerPublicKey, UserKeyPair};
+use crate::keys::{KeyUpdate, PreparedServerKey, ServerPublicKey, UserKeyPair};
 use crate::threshold::{self, ThresholdCiphertext};
 
 /// Domain string seeding the derandomized per-verdict batching exponents.
@@ -72,17 +72,7 @@ pub fn sanitize_updates<const L: usize>(
     updates: &[Option<KeyUpdate<L>>],
 ) -> (Vec<Option<KeyUpdate<L>>>, Vec<ServerVerdict>) {
     let _span = tre_obs::span("failover.sanitize");
-    // Phase 1: structural verdicts — no crypto.
-    let mut faults: Vec<Option<UpdateFault>> = updates
-        .iter()
-        .map(|maybe| match maybe {
-            None => Some(UpdateFault::Missing),
-            Some(u) if u.tag() != ct.tag() => Some(UpdateFault::TagMismatch),
-            Some(_) => None,
-        })
-        .collect();
-    // Phase 2: one batched signature check over the survivors, bisecting
-    // on failure to pin BadSignature on exactly the offending servers.
+    let mut faults = structural_faults(ct, updates);
     let candidates: Vec<usize> = faults
         .iter()
         .enumerate()
@@ -92,11 +82,77 @@ pub fn sanitize_updates<const L: usize>(
         let h = curve.hash_to_g1(ct.tag().h1_domain(), ct.tag().value());
         let e = verdict_exponents(curve, servers, updates, &candidates);
         let mut bad = Vec::new();
-        isolate_bad_servers(curve, servers, updates, &h, &e, &candidates, &mut bad);
+        isolate_by(
+            &|idxs| verdicts_hold(curve, servers, updates, &h, &e, idxs),
+            &candidates,
+            &mut bad,
+        );
         for i in bad {
             faults[i] = Some(UpdateFault::BadSignature);
         }
     }
+    finalize_verdicts(updates, faults)
+}
+
+/// [`sanitize_updates`] against *prepared* server keys: every pairing
+/// lane of the batched verdict check replays prepared Miller
+/// coefficients. Bilinearity shifts the batching exponent onto the
+/// update — `ê(−e_i·G_i, I_i) = ê(−G_i, e_i·I_i)` — so each server's
+/// fixed `−G_i` stays the prepared first argument, and the
+/// `Σ e_i·s_iG_i` lane accumulates through the keys' cached fixed-base
+/// tables. A client riding out faults epoch after epoch prepares its N
+/// server keys once.
+pub fn sanitize_updates_prepared<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[PreparedServerKey<L>],
+    ct: &ThresholdCiphertext<L>,
+    updates: &[Option<KeyUpdate<L>>],
+) -> (Vec<Option<KeyUpdate<L>>>, Vec<ServerVerdict>) {
+    let _span = tre_obs::span("failover.sanitize");
+    let mut faults = structural_faults(ct, updates);
+    let candidates: Vec<usize> = faults
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.is_none().then_some(i))
+        .collect();
+    if !candidates.is_empty() {
+        let keys: Vec<ServerPublicKey<L>> = servers.iter().map(|p| *p.key()).collect();
+        let h = curve.hash_to_g1(ct.tag().h1_domain(), ct.tag().value());
+        let e = verdict_exponents(curve, &keys, updates, &candidates);
+        let mut bad = Vec::new();
+        isolate_by(
+            &|idxs| verdicts_hold_prepared(curve, servers, updates, &h, &e, idxs),
+            &candidates,
+            &mut bad,
+        );
+        for i in bad {
+            faults[i] = Some(UpdateFault::BadSignature);
+        }
+    }
+    finalize_verdicts(updates, faults)
+}
+
+/// Phase 1 of sanitization: structural verdicts — no crypto.
+fn structural_faults<const L: usize>(
+    ct: &ThresholdCiphertext<L>,
+    updates: &[Option<KeyUpdate<L>>],
+) -> Vec<Option<UpdateFault>> {
+    updates
+        .iter()
+        .map(|maybe| match maybe {
+            None => Some(UpdateFault::Missing),
+            Some(u) if u.tag() != ct.tag() => Some(UpdateFault::TagMismatch),
+            Some(_) => None,
+        })
+        .collect()
+}
+
+/// Phase 3 of sanitization: fold the faults into the sanitized update
+/// set and per-server verdicts (with trace events).
+fn finalize_verdicts<const L: usize>(
+    updates: &[Option<KeyUpdate<L>>],
+    faults: Vec<Option<UpdateFault>>,
+) -> (Vec<Option<KeyUpdate<L>>>, Vec<ServerVerdict>) {
     let mut sanitized = Vec::with_capacity(updates.len());
     let mut verdicts = Vec::with_capacity(updates.len());
     for (index, (maybe, fault)) in updates.iter().zip(faults).enumerate() {
@@ -171,17 +227,39 @@ fn verdicts_hold<const L: usize>(
     curve.multi_pairing(&lanes).is_one(curve)
 }
 
-/// Bisects `idxs` until every server with an invalid signature is named.
-fn isolate_bad_servers<const L: usize>(
+/// [`verdicts_hold`] off prepared keys: per-server `(−G_i, e_i·I_i)`
+/// lanes replay prepared coefficients, the `Σ e_i·s_iG_i` lane runs
+/// off the cached `s_iG` tables, and one squaring chain plus one final
+/// exponentiation is shared by all `N + 1` lanes.
+fn verdicts_hold_prepared<const L: usize>(
     curve: &Curve<L>,
-    servers: &[ServerPublicKey<L>],
+    servers: &[PreparedServerKey<L>],
     updates: &[Option<KeyUpdate<L>>],
     h: &G1Affine<L>,
     e: &[U256],
     idxs: &[usize],
-    bad: &mut Vec<usize>,
-) {
-    if idxs.is_empty() || verdicts_hold(curve, servers, updates, h, e, idxs) {
+) -> bool {
+    if let [i] = idxs {
+        let u = updates[*i].as_ref().expect("candidate present");
+        let p = &servers[*i];
+        return curve.bls_verify_one_prepared(p.neg_g_prep(), p.s_g_prep(), h, u.sig());
+    }
+    let mut lhs = G1Affine::infinity(curve.fp());
+    let mut lanes = Vec::with_capacity(idxs.len());
+    for &i in idxs {
+        let u = updates[i].as_ref().expect("candidate present");
+        let p = &servers[i];
+        lhs = curve.g1_add(&lhs, &p.s_g_table().mul(curve, &e[i]));
+        lanes.push((p.neg_g_prep(), curve.g1_mul(u.sig(), &e[i])));
+    }
+    curve
+        .multi_pairing_mixed(&lanes, &[(lhs, *h)])
+        .is_one(curve)
+}
+
+/// Bisects `idxs` until every index whose batched check fails is named.
+fn isolate_by(holds: &impl Fn(&[usize]) -> bool, idxs: &[usize], bad: &mut Vec<usize>) {
+    if idxs.is_empty() || holds(idxs) {
         return;
     }
     if let [i] = idxs {
@@ -189,8 +267,8 @@ fn isolate_bad_servers<const L: usize>(
         return;
     }
     let mid = idxs.len() / 2;
-    isolate_bad_servers(curve, servers, updates, h, e, &idxs[..mid], bad);
-    isolate_bad_servers(curve, servers, updates, h, e, &idxs[mid..], bad);
+    isolate_by(holds, &idxs[..mid], bad);
+    isolate_by(holds, &idxs[mid..], bad);
 }
 
 /// Decrypts a threshold ciphertext while tolerating missing, mistagged,
@@ -228,6 +306,40 @@ pub fn decrypt_resilient<const L: usize>(
         });
     }
     let msg = threshold::decrypt(curve, servers, user, &sanitized, ct)?;
+    Ok((msg, verdicts))
+}
+
+/// [`decrypt_resilient`] against *prepared* server keys — the steady
+/// state of a long-lived k-of-N client, which prepares its server keys
+/// once and then rides every epoch's verdict pairings on the prepared
+/// coefficients (see [`sanitize_updates_prepared`]).
+///
+/// # Errors
+/// Same contract as [`decrypt_resilient`].
+pub fn decrypt_resilient_prepared<const L: usize>(
+    curve: &Curve<L>,
+    servers: &[PreparedServerKey<L>],
+    user: &UserKeyPair<L>,
+    updates: &[Option<KeyUpdate<L>>],
+    ct: &ThresholdCiphertext<L>,
+) -> Result<(Vec<u8>, Vec<ServerVerdict>), TreError> {
+    let _span = tre_obs::span("failover.decrypt_resilient");
+    if servers.len() != updates.len() {
+        return Err(TreError::ArityMismatch {
+            expected: servers.len(),
+            got: updates.len(),
+        });
+    }
+    let (sanitized, verdicts) = sanitize_updates_prepared(curve, servers, ct, updates);
+    let valid = sanitized.iter().flatten().count();
+    if valid < ct.threshold() as usize {
+        return Err(TreError::ArityMismatch {
+            expected: ct.threshold() as usize,
+            got: valid,
+        });
+    }
+    let keys: Vec<ServerPublicKey<L>> = servers.iter().map(|p| *p.key()).collect();
+    let msg = threshold::decrypt(curve, &keys, user, &sanitized, ct)?;
     Ok((msg, verdicts))
 }
 
@@ -499,6 +611,71 @@ mod tests {
         assert_eq!(verdicts[3].fault, None);
         assert_eq!(verdicts[4].fault, Some(UpdateFault::TagMismatch));
         assert_eq!(sanitized.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn prepared_sanitize_same_pairings_fewer_fp_muls() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, _user, mpk) = world(4);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        let prepared: Vec<_> = pks.iter().map(|pk| pk.prepare(curve)).collect();
+
+        tre_obs::enable();
+        let (_, generic_verdicts) = sanitize_updates(curve, &pks, &ct, &updates);
+        let generic = tre_obs::finish().total_ops();
+
+        tre_obs::enable();
+        let (sanitized, verdicts) = sanitize_updates_prepared(curve, &prepared, &ct, &updates);
+        let trace = tre_obs::finish();
+        let prep = trace.total_ops();
+
+        assert_eq!(verdicts, generic_verdicts);
+        assert_eq!(sanitized.iter().flatten().count(), 4);
+        assert_eq!(
+            trace.spans_named("failover.sanitize")[0].ops.pairings,
+            5,
+            "prepared path keeps the one (N+1)-lane check for N=4"
+        );
+        assert!(
+            prep.fp_muls < generic.fp_muls,
+            "prepared sanitize ({}) must spend fewer base-field muls than generic ({})",
+            prep.fp_muls,
+            generic.fp_muls
+        );
+    }
+
+    #[test]
+    fn prepared_resilient_decrypt_agrees_under_mixed_faults() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (servers, pks, user, mpk) = world(5);
+        let tag = ReleaseTag::time("t");
+        let ct = threshold::encrypt(curve, &pks, &mpk, 2, &tag, b"m", &mut rng).unwrap();
+        let mut updates: Vec<_> = servers
+            .iter()
+            .map(|s| Some(s.issue_update(curve, &tag)))
+            .collect();
+        updates[0] = None;
+        updates[2] = Some(forged(curve, &tag));
+        updates[4] = Some(servers[4].issue_update(curve, &ReleaseTag::time("t+1")));
+        let prepared: Vec<_> = pks.iter().map(|pk| pk.prepare(curve)).collect();
+
+        let (pt, verdicts) =
+            decrypt_resilient_prepared(curve, &prepared, &user, &updates, &ct).unwrap();
+        let (pt_generic, verdicts_generic) =
+            decrypt_resilient(curve, &pks, &user, &updates, &ct).unwrap();
+        assert_eq!(pt, b"m");
+        assert_eq!(pt, pt_generic);
+        assert_eq!(verdicts, verdicts_generic);
+        assert_eq!(verdicts[0].fault, Some(UpdateFault::Missing));
+        assert_eq!(verdicts[2].fault, Some(UpdateFault::BadSignature));
+        assert_eq!(verdicts[4].fault, Some(UpdateFault::TagMismatch));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Key material: time-server keys, user keys, and the self-authenticating
 //! time-bound key update `I_T = s·H1(T)` (§5.1 of the paper).
 
+use std::sync::Mutex;
+
 use rand::RngCore;
 use tre_bigint::U256;
 use tre_hashes::{Digest, HmacDrbg, Sha256};
-use tre_pairing::{Curve, G1Affine, G1Precomp};
+use tre_pairing::{Curve, G1Affine, G1Precomp, MillerPrecomp};
 
 use crate::error::TreError;
 use crate::tag::ReleaseTag;
@@ -178,6 +180,74 @@ impl<const L: usize> ServerPublicKey<L> {
     }
 }
 
+/// A [`ServerPublicKey`] with its pairing and scalar-multiplication
+/// precomputation attached: prepared Miller-loop coefficients for the
+/// two fixed first arguments of every verification equation (`sG` and
+/// `−G`) plus fixed-base windowed tables for `G` and `sG`.
+///
+/// Every check against a server key pairs with the *same* two points —
+/// `ê(sG, H1(T)) · ê(−G, I_T) = 1` — so a receiver that verifies a
+/// stream of epochs against one server amortizes the per-pairing
+/// point arithmetic down to zero by preparing both sides once.
+///
+/// Built by [`ServerPublicKey::prepare`]; consumed by
+/// [`KeyUpdate::verify_prepared`], the prepared batch verifiers, and
+/// [`SenderPrecomp::with_server`] (which reuses the `G` table instead
+/// of rebuilding it per receiver).
+#[derive(Clone, Debug)]
+pub struct PreparedServerKey<const L: usize> {
+    key: ServerPublicKey<L>,
+    s_g_prep: MillerPrecomp<L>,
+    neg_g_prep: MillerPrecomp<L>,
+    g_table: G1Precomp<L>,
+    s_g_table: G1Precomp<L>,
+}
+
+impl<const L: usize> ServerPublicKey<L> {
+    /// Precomputes the prepared Miller coefficients and fixed-base
+    /// tables for this key. One-time cost roughly comparable to two
+    /// pairings; every subsequent prepared verification skips all
+    /// Miller-loop point arithmetic on both lanes.
+    pub fn prepare(&self, curve: &Curve<L>) -> PreparedServerKey<L> {
+        let _span = tre_obs::span("tre.prepare_server_key");
+        PreparedServerKey {
+            key: *self,
+            s_g_prep: curve.prepare(&self.s_g),
+            neg_g_prep: curve.prepare(&curve.g1_neg(&self.g)),
+            g_table: G1Precomp::new(curve, &self.g),
+            s_g_table: G1Precomp::new(curve, &self.s_g),
+        }
+    }
+}
+
+impl<const L: usize> PreparedServerKey<L> {
+    /// The plain public key the precomputation is bound to.
+    pub fn key(&self) -> &ServerPublicKey<L> {
+        &self.key
+    }
+
+    /// Prepared Miller coefficients for first argument `sG`.
+    pub fn s_g_prep(&self) -> &MillerPrecomp<L> {
+        &self.s_g_prep
+    }
+
+    /// Prepared Miller coefficients for first argument `−G`.
+    pub fn neg_g_prep(&self) -> &MillerPrecomp<L> {
+        &self.neg_g_prep
+    }
+
+    /// Fixed-base table for the generator `G`.
+    pub fn g_table(&self) -> &G1Precomp<L> {
+        &self.g_table
+    }
+
+    /// Fixed-base table for `sG` (e.g. the `Σ e_i·s_iG` lane of batched
+    /// verdicts, where the 64-bit exponents walk only 16 windows).
+    pub fn s_g_table(&self) -> &G1Precomp<L> {
+        &self.s_g_table
+    }
+}
+
 impl<const L: usize> UserKeyPair<L> {
     /// User key generation bound to `server`: secret `a`, public
     /// `(aG, a·sG)` where `G, sG` come from the server's public key.
@@ -246,6 +316,39 @@ impl<const L: usize> UserPublicKey<L> {
         let lhs = curve.pairing(&self.a_g, server.s_g());
         let rhs = curve.pairing(server.g(), &self.a_s_g);
         if lhs == rhs {
+            Ok(())
+        } else {
+            Err(TreError::InvalidUserKey)
+        }
+    }
+
+    /// [`UserPublicKey::validate`] against a [`PreparedServerKey`]: the
+    /// same `ê(aG, sG) = ê(G, asG)` check, rewritten by Type-1 symmetry
+    /// as `ê(sG, aG) · ê(−G, asG) = 1` so both Miller loops run off the
+    /// server key's prepared coefficients and share one squaring chain
+    /// and final exponentiation.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the check fails.
+    pub fn validate_prepared(
+        &self,
+        curve: &Curve<L>,
+        server: &PreparedServerKey<L>,
+    ) -> Result<(), TreError> {
+        let _span = tre_obs::span("tre.validate_user_key");
+        if self.a_g.is_infinity() || self.a_s_g.is_infinity() {
+            return Err(TreError::InvalidUserKey);
+        }
+        let ok = curve
+            .multi_pairing_mixed(
+                &[
+                    (server.s_g_prep(), self.a_g),
+                    (server.neg_g_prep(), self.a_s_g),
+                ],
+                &[],
+            )
+            .is_one(curve);
+        if ok {
             Ok(())
         } else {
             Err(TreError::InvalidUserKey)
@@ -322,6 +425,16 @@ impl<const L: usize> KeyUpdate<L> {
         let _span = tre_obs::span("tre.verify");
         let h = curve.hash_to_g1(self.tag.h1_domain(), self.tag.value());
         curve.pairing(server.s_g(), &h) == curve.pairing(server.g(), &self.sig)
+    }
+
+    /// [`KeyUpdate::verify`] against a [`PreparedServerKey`]: both lanes
+    /// of `ê(sG, H1(T)) · ê(−G, I_T) = 1` replay prepared coefficients,
+    /// sharing one squaring chain and final exponentiation — no Miller
+    /// point arithmetic at all.
+    pub fn verify_prepared(&self, curve: &Curve<L>, server: &PreparedServerKey<L>) -> bool {
+        let _span = tre_obs::span("tre.verify");
+        let h = curve.hash_to_g1(self.tag.h1_domain(), self.tag.value());
+        curve.bls_verify_one_prepared(server.neg_g_prep(), server.s_g_prep(), &h, &self.sig)
     }
 
     /// Canonical body encoding `tag ‖ sig` (compressed point), appended
@@ -444,6 +557,36 @@ impl<const L: usize> KeyUpdate<L> {
         let mut rng = Self::batch_drbg(curve, server, updates);
         curve.bls_batch_isolate(server.g(), server.s_g(), &entries, &mut rng)
     }
+
+    /// [`KeyUpdate::batch_verify`] against a [`PreparedServerKey`]: the
+    /// same derandomized small-exponent test, with the two combined
+    /// pairing lanes replaying the key's prepared Miller coefficients.
+    pub fn batch_verify_prepared(
+        curve: &Curve<L>,
+        server: &PreparedServerKey<L>,
+        updates: &[Self],
+        threads: usize,
+    ) -> bool {
+        let _span = tre_obs::span("tre.batch_verify");
+        let entries = Self::batch_entries(curve, updates, threads);
+        let mut rng = Self::batch_drbg(curve, server.key(), updates);
+        curve.bls_batch_verify_prepared(server.neg_g_prep(), server.s_g_prep(), &entries, &mut rng)
+    }
+
+    /// [`KeyUpdate::batch_verify_isolate`] against a
+    /// [`PreparedServerKey`] — every batch check of the bisection runs
+    /// prepared.
+    pub fn batch_verify_isolate_prepared(
+        curve: &Curve<L>,
+        server: &PreparedServerKey<L>,
+        updates: &[Self],
+        threads: usize,
+    ) -> Result<(), Vec<usize>> {
+        let _span = tre_obs::span("tre.batch_verify");
+        let entries = Self::batch_entries(curve, updates, threads);
+        let mut rng = Self::batch_drbg(curve, server.key(), updates);
+        curve.bls_batch_isolate_prepared(server.neg_g_prep(), server.s_g_prep(), &entries, &mut rng)
+    }
 }
 
 /// Cached sender-side state for one `(server, receiver)` pair: the user
@@ -453,12 +596,31 @@ impl<const L: usize> KeyUpdate<L> {
 /// encrypting a stream of messages to the same receiver pays the table
 /// setup once and every subsequent [`crate::tre::encrypt_with`] call
 /// skips both the validation pairings and all doubling work.
-#[derive(Clone, Debug)]
+///
+/// A single-entry tag memo additionally caches the hash-to-curve point
+/// `H1(T)` of the most recent release tag *prepared* for the pairing
+/// (Type-1 symmetry puts the fixed `H1(T)` on the prepared side), so a
+/// stream of messages locked to one epoch pays the hashing and the
+/// Miller-loop point arithmetic once.
+#[derive(Debug)]
 pub struct SenderPrecomp<const L: usize> {
     server: ServerPublicKey<L>,
     user: UserPublicKey<L>,
     g_table: G1Precomp<L>,
     a_s_g_table: G1Precomp<L>,
+    tag_memo: Mutex<Option<(ReleaseTag, MillerPrecomp<L>)>>,
+}
+
+impl<const L: usize> Clone for SenderPrecomp<L> {
+    fn clone(&self) -> Self {
+        Self {
+            server: self.server,
+            user: self.user,
+            g_table: self.g_table.clone(),
+            a_s_g_table: self.a_s_g_table.clone(),
+            tag_memo: Mutex::new(self.tag_memo.lock().expect("memo poisoned").clone()),
+        }
+    }
 }
 
 impl<const L: usize> SenderPrecomp<L> {
@@ -480,7 +642,48 @@ impl<const L: usize> SenderPrecomp<L> {
             user: *user,
             g_table: G1Precomp::new(curve, server.g()),
             a_s_g_table: G1Precomp::new(curve, user.a_s_g()),
+            tag_memo: Mutex::new(None),
         })
+    }
+
+    /// [`SenderPrecomp::new`] against a [`PreparedServerKey`]: the
+    /// validation pairings replay the server key's prepared Miller
+    /// coefficients and the `G` table is **reused** from the prepared
+    /// key instead of being rebuilt — a hub encrypting to many
+    /// receivers under one server pays the generator table once.
+    ///
+    /// # Errors
+    /// Returns [`TreError::InvalidUserKey`] if the receiver key fails
+    /// `ê(aG, sG) = ê(G, asG)`.
+    pub fn with_server(
+        curve: &Curve<L>,
+        server: &PreparedServerKey<L>,
+        user: &UserPublicKey<L>,
+    ) -> Result<Self, TreError> {
+        let _span = tre_obs::span("tre.sender_precomp");
+        user.validate_prepared(curve, server)?;
+        Ok(Self {
+            server: *server.key(),
+            user: *user,
+            g_table: server.g_table().clone(),
+            a_s_g_table: G1Precomp::new(curve, user.a_s_g()),
+            tag_memo: Mutex::new(None),
+        })
+    }
+
+    /// The prepared `H1(tag)` for the sender-side pairing, served from
+    /// the single-entry memo (hash + prepare on first sighting of each
+    /// tag, a cheap clone while the tag repeats).
+    pub(crate) fn tag_prep(&self, curve: &Curve<L>, tag: &ReleaseTag) -> MillerPrecomp<L> {
+        let mut memo = self.tag_memo.lock().expect("memo poisoned");
+        match &*memo {
+            Some((t, prep)) if t == tag => prep.clone(),
+            _ => {
+                let prep = curve.prepare(&curve.hash_to_g1(tag.h1_domain(), tag.value()));
+                *memo = Some((tag.clone(), prep.clone()));
+                prep
+            }
+        }
     }
 
     /// The server key the tables are bound to.
@@ -738,6 +941,127 @@ mod tests {
             KeyUpdate::batch_verify_isolate(curve, server.public(), &updates, 1),
             Err(vec![5])
         );
+    }
+
+    #[test]
+    fn prepared_verify_agrees_with_generic() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let prepared = server.public().prepare(curve);
+        let update = server.issue_update(curve, &ReleaseTag::time("t"));
+        assert!(update.verify_prepared(curve, &prepared));
+        let forged = KeyUpdate::from_parts(
+            ReleaseTag::time("t"),
+            curve.g1_mul(
+                &curve.hash_to_g1(b"time", b"t"),
+                &curve.random_scalar(&mut rng),
+            ),
+        );
+        assert!(!forged.verify_prepared(curve, &prepared));
+
+        let mut updates = epoch_updates(&server, 16);
+        assert!(KeyUpdate::batch_verify_prepared(
+            curve, &prepared, &updates, 1
+        ));
+        updates[5] = KeyUpdate::from_parts(ReleaseTag::time("epoch-5"), *forged.sig());
+        assert!(!KeyUpdate::batch_verify_prepared(
+            curve, &prepared, &updates, 1
+        ));
+        assert_eq!(
+            KeyUpdate::batch_verify_isolate_prepared(curve, &prepared, &updates, 1),
+            KeyUpdate::batch_verify_isolate(curve, server.public(), &updates, 1),
+        );
+        assert_eq!(
+            KeyUpdate::batch_verify_isolate_prepared(curve, &prepared, &updates, 1),
+            Err(vec![5])
+        );
+    }
+
+    #[test]
+    fn prepared_verify_same_pairings_fewer_fp_muls() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let prepared = server.public().prepare(curve);
+        let update = server.issue_update(curve, &ReleaseTag::time("t"));
+
+        tre_obs::enable();
+        assert!(update.verify(curve, server.public()));
+        let generic = tre_obs::finish().total_ops();
+
+        tre_obs::enable();
+        assert!(update.verify_prepared(curve, &prepared));
+        let prep = tre_obs::finish().total_ops();
+
+        assert_eq!(generic.pairings, prep.pairings, "same pairing accounting");
+        assert!(
+            prep.fp_muls < generic.fp_muls,
+            "prepared verify ({}) must spend strictly fewer base-field muls \
+             than generic ({})",
+            prep.fp_muls,
+            generic.fp_muls
+        );
+    }
+
+    #[test]
+    fn prepared_user_key_validation_agrees() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let prepared = server.public().prepare(curve);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        assert!(user.public().validate_prepared(curve, &prepared).is_ok());
+        let bogus = UserPublicKey::from_points(
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+        );
+        assert_eq!(
+            bogus.validate_prepared(curve, &prepared),
+            Err(TreError::InvalidUserKey)
+        );
+    }
+
+    #[test]
+    fn sender_precomp_with_server_reuses_generator_table() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let server = ServerKeyPair::generate(curve, &mut rng);
+        let user = UserKeyPair::generate(curve, server.public(), &mut rng);
+        let prepared = server.public().prepare(curve);
+
+        tre_obs::enable();
+        let fresh = SenderPrecomp::new(curve, server.public(), user.public()).unwrap();
+        let cost_fresh = tre_obs::finish().total_ops().fp_muls;
+
+        tre_obs::enable();
+        let reused = SenderPrecomp::with_server(curve, &prepared, user.public()).unwrap();
+        let cost_reused = tre_obs::finish().total_ops().fp_muls;
+
+        assert!(
+            cost_reused < cost_fresh,
+            "reusing the prepared G table ({cost_reused} fp muls) must beat \
+             rebuilding it ({cost_fresh} fp muls)"
+        );
+        // Both precomps drive identical encryptions.
+        let r = curve.random_scalar(&mut rng);
+        assert_eq!(
+            fresh.g_table().mul(curve, &r),
+            reused.g_table().mul(curve, &r)
+        );
+        assert_eq!(
+            fresh.a_s_g_table().mul(curve, &r),
+            reused.a_s_g_table().mul(curve, &r)
+        );
+        // And the prepared validation still refuses malformed keys.
+        let bogus = UserPublicKey::from_points(
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+            curve.g1_mul(server.public().g(), &curve.random_scalar(&mut rng)),
+        );
+        assert!(matches!(
+            SenderPrecomp::with_server(curve, &prepared, &bogus),
+            Err(TreError::InvalidUserKey)
+        ));
     }
 
     #[test]

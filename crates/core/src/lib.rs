@@ -86,7 +86,8 @@ pub use committee::{
 };
 pub use error::TreError;
 pub use keys::{
-    KeyUpdate, SenderPrecomp, ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey,
+    KeyUpdate, PreparedServerKey, SenderPrecomp, ServerKeyPair, ServerPublicKey, UserKeyPair,
+    UserPublicKey,
 };
 pub use session::{Receiver, Sender};
 pub use tag::{ReleaseTag, TagKind};

@@ -19,12 +19,14 @@
 use std::collections::HashMap;
 
 use rand::RngCore;
-use tre_pairing::Curve;
+use tre_pairing::{Curve, MillerPrecomp};
 
 use crate::error::TreError;
-use crate::keys::{KeyUpdate, SenderPrecomp, ServerPublicKey, UserKeyPair, UserPublicKey};
+use crate::keys::{
+    KeyUpdate, PreparedServerKey, SenderPrecomp, ServerPublicKey, UserKeyPair, UserPublicKey,
+};
 use crate::tag::ReleaseTag;
-use crate::tre::{decrypt_trusted_impl, encrypt_with_impl, Ciphertext};
+use crate::tre::{decrypt_trusted_prepared_impl, encrypt_with_impl, Ciphertext};
 
 /// A sending session bound to one `(server, receiver)` pair.
 ///
@@ -98,20 +100,28 @@ impl<'c, const L: usize> Sender<'c, L> {
 #[derive(Clone, Debug)]
 pub struct Receiver<'c, const L: usize> {
     curve: &'c Curve<L>,
-    server: ServerPublicKey<L>,
+    server: PreparedServerKey<L>,
     keys: UserKeyPair<L>,
     verified: HashMap<ReleaseTag, KeyUpdate<L>>,
+    /// Prepared Miller coefficients for each cached update's signature
+    /// `I_T` — by Type-1 symmetry `ê(U, I_T) = ê(I_T, U)`, so every
+    /// open of an epoch replays them against the ciphertext's fresh
+    /// `U`. Kept in lockstep with `verified`.
+    prepared_sigs: HashMap<ReleaseTag, MillerPrecomp<L>>,
 }
 
 impl<'c, const L: usize> Receiver<'c, L> {
     /// Opens a receiving session for an existing key pair bound to
-    /// `server`.
+    /// `server`. The server key is prepared once here (Miller
+    /// coefficients for `sG` and `−G`), so every later update
+    /// verification skips its Miller-loop point arithmetic.
     pub fn new(curve: &'c Curve<L>, server: ServerPublicKey<L>, keys: UserKeyPair<L>) -> Self {
         Self {
             curve,
-            server,
+            server: server.prepare(curve),
             keys,
             verified: HashMap::new(),
+            prepared_sigs: HashMap::new(),
         }
     }
 
@@ -138,6 +148,12 @@ impl<'c, const L: usize> Receiver<'c, L> {
 
     /// The server key updates are verified against.
     pub fn server(&self) -> &ServerPublicKey<L> {
+        self.server.key()
+    }
+
+    /// The prepared form of the server key (e.g. to share with a
+    /// batched verifier front-end instead of re-preparing).
+    pub fn prepared_server(&self) -> &PreparedServerKey<L> {
         &self.server
     }
 
@@ -172,9 +188,11 @@ impl<'c, const L: usize> Receiver<'c, L> {
                 Err(TreError::Equivocation)
             };
         }
-        if !update.verify(self.curve, &self.server) {
+        if !update.verify_prepared(self.curve, &self.server) {
             return Err(TreError::InvalidUpdate);
         }
+        self.prepared_sigs
+            .insert(update.tag().clone(), self.curve.prepare(update.sig()));
         self.verified.insert(update.tag().clone(), update);
         Ok(true)
     }
@@ -199,6 +217,8 @@ impl<'c, const L: usize> Receiver<'c, L> {
                 Err(TreError::Equivocation)
             };
         }
+        self.prepared_sigs
+            .insert(update.tag().clone(), self.curve.prepare(update.sig()));
         self.verified.insert(update.tag().clone(), update);
         Ok(true)
     }
@@ -211,8 +231,13 @@ impl<'c, const L: usize> Receiver<'c, L> {
     /// ciphertext's tag has been observed — the release instant has not
     /// arrived (or its broadcast was missed).
     pub fn open(&self, ct: &Ciphertext<L>) -> Result<Vec<u8>, TreError> {
-        let update = self.verified.get(ct.tag()).ok_or(TreError::MissingUpdate)?;
-        decrypt_trusted_impl(self.curve, &self.keys, update, ct)
+        let prep = self
+            .prepared_sigs
+            .get(ct.tag())
+            .ok_or(TreError::MissingUpdate)?;
+        Ok(decrypt_trusted_prepared_impl(
+            self.curve, &self.keys, prep, ct,
+        ))
     }
 
     /// Convenience path for callers holding the update and the
@@ -255,14 +280,12 @@ impl<'c, const L: usize> Receiver<'c, L> {
         if cts.iter().any(|ct| ct.tag() != update.tag()) {
             return Err(TreError::UpdateTagMismatch);
         }
-        let update = &self.verified[update.tag()];
+        let prep = &self.prepared_sigs[update.tag()];
         let keys = &self.keys;
         let curve = self.curve;
-        tre_par::par_map(cts, threads, |ct| {
-            decrypt_trusted_impl(curve, keys, update, ct)
-        })
-        .into_iter()
-        .collect()
+        Ok(tre_par::par_map(cts, threads, |ct| {
+            decrypt_trusted_prepared_impl(curve, keys, prep, ct)
+        }))
     }
 }
 
@@ -406,6 +429,78 @@ mod tests {
             receiver.open_bulk(&update, &mixed, 1),
             Err(TreError::UpdateTagMismatch)
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn open_runs_prepared_and_beats_generic_decrypt() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("t");
+        let ct = sender.encrypt(&tag, b"m", &mut rng);
+        let update = server.issue_update(curve, &tag);
+        receiver.observe_update(update.clone()).unwrap();
+
+        tre_obs::enable();
+        let via_open = receiver.open(&ct).unwrap();
+        let prep_ops = tre_obs::finish().total_ops();
+
+        tre_obs::enable();
+        let via_free =
+            crate::tre::decrypt_trusted(curve, receiver.key_pair(), &update, &ct).unwrap();
+        let generic_ops = tre_obs::finish().total_ops();
+
+        assert_eq!(via_open, via_free);
+        assert_eq!(prep_ops.pairings, generic_ops.pairings);
+        assert!(
+            prep_ops.fp_muls < generic_ops.fp_muls,
+            "cached-prepared open ({}) must spend fewer base-field muls than \
+             the generic trusted decrypt ({})",
+            prep_ops.fp_muls,
+            generic_ops.fp_muls
+        );
+    }
+
+    #[test]
+    fn encrypt_memoizes_tag_hash_and_preparation() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let (server, mut receiver) = world();
+        let sender = Sender::new(curve, server.public(), receiver.public_key()).unwrap();
+        let tag = ReleaseTag::time("epoch-42");
+
+        tre_obs::enable();
+        let ct1 = sender.encrypt(&tag, b"first", &mut rng);
+        let first = tre_obs::finish().total_ops();
+
+        tre_obs::enable();
+        let ct2 = sender.encrypt(&tag, b"second", &mut rng);
+        let repeat = tre_obs::finish().total_ops();
+
+        assert!(first.h2c_iters >= 1, "first sighting hashes the tag");
+        assert_eq!(repeat.h2c_iters, 0, "repeat encryptions serve the memo");
+        assert!(
+            repeat.fp_muls < first.fp_muls,
+            "memoized tag must cut the per-message base-field work \
+             ({} vs {})",
+            repeat.fp_muls,
+            first.fp_muls
+        );
+
+        // Switching tags refreshes the single-entry memo; both decrypt.
+        let other = ReleaseTag::time("epoch-43");
+        let ct3 = sender.encrypt(&other, b"third", &mut rng);
+        receiver
+            .observe_update(server.issue_update(curve, &tag))
+            .unwrap();
+        receiver
+            .observe_update(server.issue_update(curve, &other))
+            .unwrap();
+        assert_eq!(receiver.open(&ct1).unwrap(), b"first");
+        assert_eq!(receiver.open(&ct2).unwrap(), b"second");
+        assert_eq!(receiver.open(&ct3).unwrap(), b"third");
     }
 
     #[test]

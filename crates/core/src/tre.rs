@@ -12,7 +12,7 @@
 
 use rand::RngCore;
 use tre_bigint::U256;
-use tre_pairing::{Curve, G1Affine, Gt};
+use tre_pairing::{Curve, G1Affine, Gt, MillerPrecomp};
 
 use crate::error::TreError;
 use crate::keys::{KeyUpdate, SenderPrecomp, ServerPublicKey, UserKeyPair, UserPublicKey};
@@ -134,6 +134,35 @@ pub(crate) fn receiver_key<const L: usize>(
     curve.pairing(u, update.sig()).pow_window(a, curve)
 }
 
+/// [`receiver_key`] with the update signature *prepared*: Type-1
+/// symmetry gives `ê(U, I_T) = ê(I_T, U)`, so the fixed `I_T` of an
+/// epoch goes on the prepared side and every ciphertext of that epoch
+/// replays the same Miller coefficients against its fresh `U`.
+pub(crate) fn receiver_key_prepared<const L: usize>(
+    curve: &Curve<L>,
+    prep_sig: &MillerPrecomp<L>,
+    u: &G1Affine<L>,
+    a: &U256,
+) -> Gt<L> {
+    curve.pairing_prepared(prep_sig, u).pow_window(a, curve)
+}
+
+/// [`decrypt_trusted_impl`] off a prepared update signature: same
+/// contract (the update must have been verified out of band, and its
+/// tag matched against the ciphertext by the caller), one prepared
+/// pairing per ciphertext.
+pub(crate) fn decrypt_trusted_prepared_impl<const L: usize>(
+    curve: &Curve<L>,
+    user: &UserKeyPair<L>,
+    prep_sig: &MillerPrecomp<L>,
+    ct: &Ciphertext<L>,
+) -> Vec<u8> {
+    let _span = tre_obs::span("tre.decrypt_trusted");
+    let k = receiver_key_prepared(curve, prep_sig, &ct.u, user.secret_scalar());
+    let mask = curve.gt_kdf(&k, MASK_DOMAIN, ct.v.len());
+    ct.v.iter().zip(&mask).map(|(c, k)| c ^ k).collect()
+}
+
 /// Encrypts `msg` to `user` with release tag `tag` (basic §5.1 scheme).
 ///
 /// The sender talks only to local data: the server's *public* key and the
@@ -207,9 +236,11 @@ pub(crate) fn encrypt_with_impl<const L: usize>(
 ) -> Ciphertext<L> {
     let _span = tre_obs::span("tre.encrypt");
     let r = curve.random_scalar(rng);
-    let h_t = curve.hash_to_g1(tag.h1_domain(), tag.value());
+    // ê(r·asG, H1(T)) = ê(H1(T), r·asG): the fixed (per-tag) point sits
+    // on the prepared side, served from the precomp's tag memo.
+    let prep_ht = pre.tag_prep(curve, tag);
     let r_asg = pre.a_s_g_table().mul(curve, &r);
-    let k = curve.pairing(&r_asg, &h_t);
+    let k = curve.pairing_prepared(&prep_ht, &r_asg);
     let mask = curve.gt_kdf(&k, MASK_DOMAIN, msg.len());
     Ciphertext {
         u: pre.g_table().mul(curve, &r),

@@ -40,6 +40,11 @@ pub struct CryptoOps {
     pub sym_bytes: u64,
     /// Bytes absorbed by the SHA-2 hash functions.
     pub hash_bytes: u64,
+    /// Base-field (`F_p`) Montgomery multiplications/squarings — the unit
+    /// cost underneath pairings and scalar mults, used to compare kernel
+    /// variants (e.g. prepared vs generic Miller loops) at fixed pairing
+    /// counts.
+    pub fp_muls: u64,
 }
 
 impl CryptoOps {
@@ -50,6 +55,7 @@ impl CryptoOps {
         self.h2c_iters += other.h2c_iters;
         self.sym_bytes += other.sym_bytes;
         self.hash_bytes += other.hash_bytes;
+        self.fp_muls += other.fp_muls;
     }
 
     /// Whether every counter is zero.
@@ -209,8 +215,8 @@ fn opt(v: &Option<u64>) -> String {
 
 fn ops_json(ops: &CryptoOps) -> String {
     format!(
-        "\"pairings\":{},\"scalar_mults\":{},\"h2c_iters\":{},\"sym_bytes\":{},\"hash_bytes\":{}",
-        ops.pairings, ops.scalar_mults, ops.h2c_iters, ops.sym_bytes, ops.hash_bytes
+        "\"pairings\":{},\"scalar_mults\":{},\"h2c_iters\":{},\"sym_bytes\":{},\"hash_bytes\":{},\"fp_muls\":{}",
+        ops.pairings, ops.scalar_mults, ops.h2c_iters, ops.sym_bytes, ops.hash_bytes, ops.fp_muls
     )
 }
 
@@ -447,6 +453,15 @@ pub fn record_scalar_mul() {
 #[inline]
 pub fn record_h2c_iter() {
     add_ops(|o| o.h2c_iters += 1);
+}
+
+/// Records `n` base-field Montgomery multiplications (hook for
+/// `tre-pairing`'s `Fp`/`Fp2` kernels). Like every hook this is a no-op
+/// unless a collector is installed on the current thread, so the per-mul
+/// call costs only a thread-local flag check on the hot path.
+#[inline]
+pub fn record_fp_muls(n: u64) {
+    add_ops(|o| o.fp_muls += n);
 }
 
 /// Records `n` bytes processed by the symmetric AEAD (hook for `tre-sym`).

@@ -23,6 +23,7 @@ use rand::RngCore;
 use tre_bigint::U256;
 
 use crate::curve::{Curve, G1Affine};
+use crate::pairing::MillerPrecomp;
 
 /// Bit length of the random batching exponents: soundness error is
 /// `2^-64` per batch check, at the cost of one ~64-bit scalar
@@ -74,6 +75,88 @@ impl<const L: usize> Curve<L> {
                 self.bls_verify_one(g, pk, &p, &s)
             }
         }
+    }
+
+    /// [`Curve::bls_verify_one`] with **prepared** fixed sides: both lanes
+    /// of the verification equation have a fixed first argument (`pk` and
+    /// `−g`), so a caller holding [`MillerPrecomp`] tables for them (built
+    /// once per key via [`Curve::prepare`]) pays only line evaluations —
+    /// no Jacobian point arithmetic — per verification.
+    pub fn bls_verify_one_prepared(
+        &self,
+        neg_g_prep: &MillerPrecomp<L>,
+        pk_prep: &MillerPrecomp<L>,
+        h: &G1Affine<L>,
+        sig: &G1Affine<L>,
+    ) -> bool {
+        self.multi_pairing_mixed(&[(pk_prep, *h), (neg_g_prep, *sig)], &[])
+            .is_one(self)
+    }
+
+    /// [`Curve::bls_batch_verify`] with prepared fixed sides. The
+    /// small-exponent combination is unchanged (the combined points vary
+    /// per batch); only the final 2-lane pairing check runs prepared.
+    pub fn bls_batch_verify_prepared(
+        &self,
+        neg_g_prep: &MillerPrecomp<L>,
+        pk_prep: &MillerPrecomp<L>,
+        entries: &[(G1Affine<L>, G1Affine<L>)],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> bool {
+        match entries {
+            [] => true,
+            [(h, sig)] => self.bls_verify_one_prepared(neg_g_prep, pk_prep, h, sig),
+            _ => {
+                let mut p = G1Affine::infinity(self.fp());
+                let mut s = G1Affine::infinity(self.fp());
+                for (h, sig) in entries {
+                    let e = U256::from_u64(rng.next_u64().max(1));
+                    p = self.g1_add(&p, &self.g1_mul(h, &e));
+                    s = self.g1_add(&s, &self.g1_mul(sig, &e));
+                }
+                self.bls_verify_one_prepared(neg_g_prep, pk_prep, &p, &s)
+            }
+        }
+    }
+
+    /// [`Curve::bls_batch_isolate`] with prepared fixed sides: the
+    /// preparation cost is amortized across every batch check the
+    /// bisection performs (`~2·bad·log2(N)` of them on failure).
+    pub fn bls_batch_isolate_prepared(
+        &self,
+        neg_g_prep: &MillerPrecomp<L>,
+        pk_prep: &MillerPrecomp<L>,
+        entries: &[(G1Affine<L>, G1Affine<L>)],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(), Vec<usize>> {
+        let mut bad = Vec::new();
+        self.isolate_rec_prepared(neg_g_prep, pk_prep, entries, 0, rng, &mut bad);
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    fn isolate_rec_prepared(
+        &self,
+        neg_g_prep: &MillerPrecomp<L>,
+        pk_prep: &MillerPrecomp<L>,
+        entries: &[(G1Affine<L>, G1Affine<L>)],
+        offset: usize,
+        rng: &mut (impl RngCore + ?Sized),
+        bad: &mut Vec<usize>,
+    ) {
+        if entries.is_empty() || self.bls_batch_verify_prepared(neg_g_prep, pk_prep, entries, rng) {
+            return;
+        }
+        if entries.len() == 1 {
+            bad.push(offset);
+            return;
+        }
+        let mid = entries.len() / 2;
+        self.isolate_rec_prepared(neg_g_prep, pk_prep, &entries[..mid], offset, rng, bad);
+        self.isolate_rec_prepared(neg_g_prep, pk_prep, &entries[mid..], offset + mid, rng, bad);
     }
 
     /// Batch verification with bisection fall-back: on success returns
@@ -204,6 +287,98 @@ mod tests {
             curve.bls_batch_isolate(&fx.g, &fx.pk, &clean, &mut rng),
             Ok(())
         );
+    }
+
+    #[test]
+    fn prepared_batch_agrees_with_generic() {
+        let curve = toy64();
+        let fx = fixture();
+        let mut rng = rand::thread_rng();
+        let neg_g_prep = curve.prepare(&curve.g1_neg(&fx.g));
+        let pk_prep = curve.prepare(&fx.pk);
+        let entries = signed(&fx, 12);
+
+        tre_obs::enable();
+        assert!(curve.bls_batch_verify_prepared(&neg_g_prep, &pk_prep, &entries, &mut rng));
+        let trace = tre_obs::finish();
+        assert_eq!(
+            trace.total_ops().pairings,
+            2,
+            "prepared batch is still 2 lanes"
+        );
+
+        let mut forged = entries.clone();
+        forged[4].1 = curve.g1_mul(&fx.g, &curve.random_scalar(&mut rng));
+        assert!(!curve.bls_batch_verify_prepared(&neg_g_prep, &pk_prep, &forged, &mut rng));
+        assert_eq!(
+            curve.bls_batch_isolate_prepared(&neg_g_prep, &pk_prep, &forged, &mut rng),
+            Err(vec![4])
+        );
+        // Singleton path.
+        assert!(curve.bls_verify_one_prepared(&neg_g_prep, &pk_prep, &entries[0].0, &entries[0].1));
+    }
+
+    #[test]
+    fn infinity_pair_still_isolates() {
+        // An infinity point in a batch entry is *dropped* by the
+        // multi-pairing lane filter (ê(·, ∞) = 1) — but the equation's
+        // other lane stays live, so the check fails and bisection names
+        // the entry rather than letting it pass vacuously.
+        let curve = toy64();
+        let fx = fixture();
+        let mut rng = rand::thread_rng();
+        let inf = G1Affine::infinity(curve.fp());
+
+        // Infinity signature.
+        let mut entries = signed(&fx, 8);
+        entries[5].1 = inf;
+        assert_eq!(
+            curve.bls_batch_isolate(&fx.g, &fx.pk, &entries, &mut rng),
+            Err(vec![5])
+        );
+        assert!(!curve.bls_verify_one(&fx.g, &fx.pk, &entries[5].0, &inf));
+
+        // Infinity message point with a non-trivial signature.
+        let mut entries = signed(&fx, 8);
+        entries[2].0 = inf;
+        assert_eq!(
+            curve.bls_batch_isolate(&fx.g, &fx.pk, &entries, &mut rng),
+            Err(vec![2])
+        );
+
+        // Prepared path agrees on the same degenerate input.
+        let neg_g_prep = curve.prepare(&curve.g1_neg(&fx.g));
+        let pk_prep = curve.prepare(&fx.pk);
+        assert_eq!(
+            curve.bls_batch_isolate_prepared(&neg_g_prep, &pk_prep, &entries, &mut rng),
+            Err(vec![2])
+        );
+    }
+
+    #[test]
+    fn small_exponent_combination_skips_high_bits() {
+        // The 64-bit batching exponents must cost ~64 bits of scalar-mul
+        // work, not a full-width walk (satellite op-counter guard).
+        let curve = toy64();
+        let fx = fixture();
+        let h = curve.hash_to_g1(b"batch-test", b"cost-probe");
+
+        tre_obs::enable();
+        let _ = curve.g1_mul(&h, &U256::from_u64(u64::MAX));
+        let small = tre_obs::finish().total_ops().fp_muls;
+
+        let full = curve.order().wrapping_sub(&U256::ONE);
+        tre_obs::enable();
+        let _ = curve.g1_mul(&h, &full);
+        let wide = tre_obs::finish().total_ops().fp_muls;
+
+        assert!(small > 0, "fp_mul accounting must be live");
+        assert!(
+            small * 2 < wide,
+            "64-bit exponent ({small} fp muls) must cost well under half of a \
+             full-width scalar ({wide} fp muls)"
+        );
+        let _ = fx;
     }
 
     #[test]

@@ -38,6 +38,6 @@ mod precomp;
 pub use batch::EXPONENT_BITS as BATCH_EXPONENT_BITS;
 pub use curve::{Curve, DecodePointError, G1Affine};
 pub use fp::{Fp, Fp2, FpCtx};
-pub use pairing::{Gt, GtPrecomp};
+pub use pairing::{Gt, GtPrecomp, MillerPrecomp};
 pub use params::{high128, mid96, toy64, CurveHigh128, CurveMid96, CurveToy64};
 pub use precomp::G1Precomp;

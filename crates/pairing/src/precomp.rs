@@ -67,12 +67,17 @@ impl<const L: usize> G1Precomp<L> {
 
     /// Fixed-base multiplication `k·P` — one mixed addition per non-zero
     /// window, zero doublings.
+    ///
+    /// Walks only the windows covering `k.bits()`, so small exponents (the
+    /// 64-bit coefficients of batched verification equations) pay for 16
+    /// windows, not 64.
     pub fn mul(&self, curve: &Curve<L>, k: &U256) -> G1Affine<L> {
         tre_obs::record_scalar_mul();
         let ctx = curve.fp();
         let mut acc = crate::curve::G1Jac::infinity(ctx);
         let mask = (1u64 << W) - 1;
-        for (i, window) in self.table.iter().enumerate() {
+        let live_windows = (k.bits().div_ceil(W) as usize).min(self.table.len());
+        for (i, window) in self.table[..live_windows].iter().enumerate() {
             let shift = (i as u32) * W;
             let limb = k.limbs()[(shift / 64) as usize];
             let d = ((limb >> (shift % 64)) & mask) as usize;
@@ -103,6 +108,35 @@ mod tests {
             let k = U256::from_u64(v);
             assert_eq!(table.mul(curve, &k), curve.g1_mul(&g, &k), "k={v}");
         }
+    }
+
+    #[test]
+    fn small_exponent_skips_high_windows() {
+        // A 64-bit batch exponent touches 16 windows, not all 64 — the
+        // fp-mul count must reflect that (satellite op-counter guard).
+        let curve = toy64();
+        let table = G1Precomp::new(curve, &curve.generator());
+
+        tre_obs::enable();
+        let _ = table.mul(curve, &U256::from_u64(u64::MAX));
+        let small = tre_obs::finish().total_ops().fp_muls;
+
+        let full = curve.order().wrapping_sub(&U256::ONE);
+        tre_obs::enable();
+        let _ = table.mul(curve, &full);
+        let wide = tre_obs::finish().total_ops().fp_muls;
+
+        assert!(small > 0, "fp_mul accounting must be live");
+        assert!(
+            small * 2 < wide,
+            "64-bit table mul ({small} fp muls) must cost well under half of a \
+             full-width one ({wide} fp muls)"
+        );
+        assert_eq!(
+            table.mul(curve, &U256::ZERO),
+            G1Affine::infinity(curve.fp()),
+            "zero exponent walks zero windows"
+        );
     }
 
     #[test]

@@ -67,6 +67,64 @@ proptest! {
     }
 
     #[test]
+    fn fp2_karatsuba_matches_schoolbook(a0 in any::<u64>(), a1 in any::<u64>(), b0 in any::<u64>(), b1 in any::<u64>()) {
+        // The lazy-reduction Karatsuba product is an exact drop-in for
+        // the four-mul schoolbook reference, coefficient for coefficient.
+        let ctx = toy64().fp();
+        let a = Fp2::new(ctx.from_u64(a0), ctx.from_u64(a1));
+        let b = Fp2::new(ctx.from_u64(b0), ctx.from_u64(b1));
+        prop_assert_eq!(a.mul(&b, ctx), a.mul_schoolbook(&b, ctx));
+        prop_assert_eq!(b.mul(&a, ctx), a.mul_schoolbook(&b, ctx));
+        prop_assert_eq!(a.square(ctx), a.mul_schoolbook(&a, ctx));
+    }
+
+    #[test]
+    fn pairing_prepared_matches_generic(ra in any::<[u64; 4]>(), rb in any::<[u64; 4]>()) {
+        let c = toy64();
+        let g = c.generator();
+        let p = c.g1_mul(&g, &scalar(ra)); // infinity when scalar(ra) == 0
+        let q = c.g1_mul(&g, &scalar(rb));
+        let prep = c.prepare(&p);
+        let want = c.pairing(&p, &q);
+        prop_assert_eq!(c.pairing_prepared(&prep, &q), want.clone());
+        // Type-1 symmetry: either argument may take the prepared side.
+        prop_assert_eq!(c.pairing_prepared(&c.prepare(&q), &p), want);
+
+        // Edges: infinity on both sides of the prepared slot…
+        let inf = c.g1_mul(&g, &tre_bigint::U256::ZERO);
+        prop_assert!(inf.is_infinity());
+        prop_assert_eq!(c.pairing_prepared(&prep, &inf), c.pairing(&p, &inf));
+        prop_assert_eq!(c.pairing_prepared(&c.prepare(&inf), &q), c.pairing(&inf, &q));
+
+        // …and the low-order point (0, 0) of order 2, which zeroes y_Q
+        // and exercises every stored-line coefficient degenerately.
+        let mut bytes = vec![0u8; c.point_len()];
+        bytes[0] = 2;
+        let two_torsion = c.g1_from_bytes(&bytes).unwrap();
+        prop_assert!(c.is_on_curve(&two_torsion) && !two_torsion.is_infinity());
+        prop_assert_eq!(
+            c.pairing_prepared(&prep, &two_torsion),
+            c.pairing(&p, &two_torsion)
+        );
+        prop_assert_eq!(
+            c.pairing_prepared(&c.prepare(&two_torsion), &q),
+            c.pairing(&two_torsion, &q)
+        );
+    }
+
+    #[test]
+    fn mixed_multi_pairing_matches_lane_product(ra in any::<[u64; 4]>(), rb in any::<[u64; 4]>(), rc in any::<[u64; 4]>(), rd in any::<[u64; 4]>()) {
+        let c = toy64();
+        let g = c.generator();
+        let (p1, q1) = (c.g1_mul(&g, &scalar(ra)), c.g1_mul(&g, &scalar(rb)));
+        let (p2, q2) = (c.g1_mul(&g, &scalar(rc)), c.g1_mul(&g, &scalar(rd)));
+        let prep1 = c.prepare(&p1);
+        let got = c.multi_pairing_mixed(&[(&prep1, q1)], &[(p2, q2)]);
+        let want = c.pairing(&p1, &q1).mul(&c.pairing(&p2, &q2), c);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
     fn hash_to_g1_always_valid(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
         let c = toy64();
         let p = c.hash_to_g1(b"prop", &msg);

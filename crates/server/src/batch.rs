@@ -10,7 +10,7 @@
 //! cost to a `client.batch_verify` span, and reports exactly which
 //! positions survived.
 
-use tre_core::{KeyUpdate, ServerPublicKey};
+use tre_core::{KeyUpdate, PreparedServerKey, ServerPublicKey};
 use tre_pairing::Curve;
 
 /// Which entries of one verified batch were accepted.
@@ -39,16 +39,19 @@ impl BatchVerdict {
 /// undercount worker-side ops.
 pub struct BatchVerifier<'c, const L: usize> {
     curve: &'c Curve<L>,
-    server_pk: ServerPublicKey<L>,
+    server_pk: PreparedServerKey<L>,
     threads: usize,
 }
 
 impl<'c, const L: usize> BatchVerifier<'c, L> {
-    /// A verifier for updates claiming to come from `server_pk`.
+    /// A verifier for updates claiming to come from `server_pk`. The
+    /// key is prepared once here (Miller coefficients for `sG` / `−G`),
+    /// so every burst's batch lanes — and every bisection re-check on a
+    /// poisoned burst — skip the pairing's point arithmetic.
     pub fn new(curve: &'c Curve<L>, server_pk: ServerPublicKey<L>) -> Self {
         Self {
             curve,
-            server_pk,
+            server_pk: server_pk.prepare(curve),
             threads: 1,
         }
     }
@@ -70,7 +73,7 @@ impl<'c, const L: usize> BatchVerifier<'c, L> {
     /// client runtime does this by byte comparison before batching).
     pub fn verify(&self, updates: &[KeyUpdate<L>]) -> BatchVerdict {
         let _span = tre_obs::span("client.batch_verify");
-        let verdict = match KeyUpdate::batch_verify_isolate(
+        let verdict = match KeyUpdate::batch_verify_isolate_prepared(
             self.curve,
             &self.server_pk,
             updates,
