@@ -92,25 +92,6 @@ impl<const L: usize> FoCiphertext<L> {
             tag,
         })
     }
-
-    /// Serializes as `tag ‖ U ‖ C2 ‖ len ‖ body`.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses the canonical encoding.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 fn derive_r<const L: usize>(

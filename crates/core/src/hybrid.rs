@@ -75,25 +75,6 @@ impl<const L: usize> HybridCiphertext<L> {
             tag,
         })
     }
-
-    /// Serializes as `tag ‖ U ‖ len ‖ body`.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses the canonical encoding.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 fn body_aad<const L: usize>(curve: &Curve<L>, tag: &ReleaseTag, u: &G1Affine<L>) -> Vec<u8> {

@@ -99,25 +99,6 @@ impl<const L: usize> IdCiphertext<L> {
             tag,
         })
     }
-
-    /// Serializes as `tag ‖ U ‖ len ‖ V`.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses the canonical encoding.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 /// ID-TRE encryption: `K_E = H1(ID) + H1(T)`, `K = ê(sG, K_E)^r`,

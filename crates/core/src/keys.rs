@@ -159,25 +159,6 @@ impl<const L: usize> ServerPublicKey<L> {
         }
         Ok(Self { g, s_g })
     }
-
-    /// Serializes as `G ‖ sG` (compressed points).
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses `G ‖ sG`, verifying both points.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on bad encodings.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 /// A [`ServerPublicKey`] with its pairing and scalar-multiplication
@@ -380,26 +361,6 @@ impl<const L: usize> UserPublicKey<L> {
             .map_err(|_| TreError::Malformed("user asG"))?;
         Ok(Self { a_g, a_s_g })
     }
-
-    /// Serializes as `aG ‖ asG` (compressed points).
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses `aG ‖ asG`.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on bad encodings. Does **not** run
-    /// the pairing validation; call [`UserPublicKey::validate`].
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 impl<const L: usize> KeyUpdate<L> {
@@ -460,25 +421,6 @@ impl<const L: usize> KeyUpdate<L> {
             .g1_from_bytes_checked(rest)
             .map_err(|_| TreError::Malformed("update signature"))?;
         Ok(Self { tag, sig })
-    }
-
-    /// Serializes as `tag ‖ sig` (compressed point).
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses `tag ‖ sig`.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on bad encodings.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
     }
 
     /// The derandomized exponent source for one batch: a DRBG seeded by
@@ -832,24 +774,6 @@ mod tests {
         assert!(ServerPublicKey::read_body(curve, &body!(curve, spk)[1..]).is_err());
         assert!(UserPublicKey::read_body(curve, &[]).is_err());
         assert!(KeyUpdate::read_body(curve, &body!(curve, &update)[..4]).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_body_codec() {
-        let curve = toy64();
-        let mut rng = rand::thread_rng();
-        let server = ServerKeyPair::generate(curve, &mut rng);
-        let spk = server.public();
-        let user = UserKeyPair::generate(curve, spk, &mut rng);
-        let update = server.issue_update(curve, &ReleaseTag::time("shim"));
-        assert_eq!(spk.to_bytes(curve), body!(curve, spk));
-        assert_eq!(user.public().to_bytes(curve), body!(curve, user.public()));
-        assert_eq!(update.to_bytes(curve), body!(curve, &update));
-        assert_eq!(
-            KeyUpdate::from_bytes(curve, &update.to_bytes(curve)).unwrap(),
-            update
-        );
     }
 
     #[test]

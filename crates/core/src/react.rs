@@ -90,25 +90,6 @@ impl<const L: usize> ReactCiphertext<L> {
         let c3: [u8; TAG_LEN] = bytes[off..].try_into().unwrap();
         Ok(Self { u, c1, c2, c3, tag })
     }
-
-    /// Serializes as `tag ‖ U ‖ C1 ‖ len ‖ C2 ‖ C3`.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses the canonical encoding.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 fn check_tag<const L: usize>(

@@ -89,25 +89,6 @@ impl<const L: usize> Ciphertext<L> {
             tag,
         })
     }
-
-    /// Serializes as `tag ‖ U ‖ len(V) ‖ V`.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `write_body` for the raw body encoding")]
-    pub fn to_bytes(&self, curve: &Curve<L>) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_body(curve, &mut out);
-        out
-    }
-
-    /// Parses the canonical encoding.
-    ///
-    /// # Errors
-    /// Returns [`TreError::Malformed`] on truncated or invalid input.
-    #[deprecated(note = "use the versioned `tre_wire::Wire` framing, or \
-                         `read_body` for the raw body encoding")]
-    pub fn from_bytes(curve: &Curve<L>, bytes: &[u8]) -> Result<Self, TreError> {
-        Self::read_body(curve, bytes)
-    }
 }
 
 /// Computes the sender-side pairing key `K = ê(r·asG, H1(T))`.
@@ -587,12 +568,13 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let bytes = ct.to_bytes(curve);
+        let mut bytes = Vec::new();
+        ct.write_body(curve, &mut bytes);
         assert_eq!(bytes.len(), ct.size(curve));
-        let parsed = Ciphertext::from_bytes(curve, &bytes).unwrap();
+        let parsed = Ciphertext::read_body(curve, &bytes).unwrap();
         assert_eq!(parsed, ct);
-        assert!(Ciphertext::<8>::from_bytes(curve, &bytes[..bytes.len() - 1]).is_err());
-        assert!(Ciphertext::<8>::from_bytes(curve, &[]).is_err());
+        assert!(Ciphertext::<8>::read_body(curve, &bytes[..bytes.len() - 1]).is_err());
+        assert!(Ciphertext::<8>::read_body(curve, &[]).is_err());
     }
 
     #[test]

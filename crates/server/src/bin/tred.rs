@@ -63,9 +63,9 @@ use tre_bigint::U256;
 use tre_core::{dealer_setup, CommitteeRoster, ServerKeyPair, ServerPublicKey};
 use tre_pairing::{toy64, Curve};
 use tre_server::{
-    CollectorConfig, CommitteeFeed, FsyncPolicy, Granularity, HealthSnapshot, JournalConfig,
-    SimClock, SupervisorConfig, TelemetryServer, TelemetrySnapshot, TimeServer, TraceSink,
-    Transport, Tred, TredConfig, TredStats, UpdateArchive,
+    CollectorConfig, CommitteeFeed, Feed, FsyncPolicy, Granularity, HealthSnapshot, JournalConfig,
+    SimClock, SupervisorConfig, TelemetryServer, TelemetrySnapshot, TimeServer, TraceSink, Tred,
+    TredConfig, TredStats, UpdateArchive,
 };
 use tre_wire::Wire;
 

@@ -43,15 +43,15 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use tre_core::KeyUpdate;
+use tre_core::{KeyUpdate, TreError};
 use tre_wire::Telemetry;
 
 use crate::clock::Granularity;
 use crate::faults::{fault_name, Fault, FaultEvent, FaultPlan};
+use crate::feed::Feed;
 use crate::net::SubscriberId;
 use crate::tcp::TcpFeed;
 use crate::telemetry::TraceSink;
-use crate::transport::Transport;
 
 /// Proxy counters (all monotone; readable while the proxy runs).
 #[derive(Debug, Default)]
@@ -441,14 +441,17 @@ struct SubState {
     retry_at: Option<Instant>,
     /// Earliest instant the next in-stream gap repair may be issued.
     next_repair_at: Option<Instant>,
+    /// Whether the cold-start catch-up (if configured) has been issued.
+    cold_started: bool,
 }
 
 /// A [`TcpFeed`] wrapped with reconnect supervision: dead connections
-/// are detected on [`Transport::poll`], re-dialed with jittered
+/// are detected on [`Feed::poll`], re-dialed with jittered
 /// exponential backoff, and repaired with an archive catch-up from the
-/// last epoch the subscriber saw. Implements [`Transport`], so a
-/// [`crate::ReceiverClient`] pumps it exactly like a bare feed — the
-/// supervision is invisible above the transport line.
+/// last epoch the subscriber saw. Implements [`Feed`], so a
+/// [`crate::ReceiverClient`] (or a relay's upstream pump) drives it
+/// exactly like a bare feed — the supervision is invisible above the
+/// feed line.
 pub struct SupervisedFeed<const L: usize> {
     feed: TcpFeed<L>,
     granularity: Granularity,
@@ -456,6 +459,9 @@ pub struct SupervisedFeed<const L: usize> {
     rng: StdRng,
     subs: HashMap<usize, SubState>,
     stats: SupervisorStats,
+    /// Cold-start epoch: each subscriber's first connected poll issues a
+    /// catch-up from here to the end of the upstream archive.
+    cold_start_from: Option<u64>,
 }
 
 impl<const L: usize> SupervisedFeed<L> {
@@ -474,7 +480,18 @@ impl<const L: usize> SupervisedFeed<L> {
             rng: StdRng::seed_from_u64(seed),
             subs: HashMap::new(),
             stats: SupervisorStats::default(),
+            cold_start_from: None,
         }
+    }
+
+    /// Arms cold-start catch-up: each subscriber's *first* connected
+    /// poll requests an archive replay from `epoch` to the end of
+    /// whatever the upstream holds, before live updates are relied on.
+    /// This is how a relay (or a client returning from long downtime)
+    /// backfills history it never saw — the daemon clamps the range to
+    /// its archive, so an open-ended request is harmless.
+    pub fn set_cold_start_from(&mut self, epoch: u64) {
+        self.cold_start_from = Some(epoch);
     }
 
     /// Supervision counters.
@@ -538,7 +555,7 @@ impl<const L: usize> SupervisedFeed<L> {
     }
 
     /// Registers a subscriber without dialing: the supervision loop's
-    /// next [`Transport::poll`] treats it as a dead connection and
+    /// next [`Feed::poll`] treats it as a dead connection and
     /// establishes it with the usual backoff machinery. Lets a
     /// `CommitteeFeed` start supervising members that are down (or not
     /// yet up) at construction time.
@@ -570,7 +587,7 @@ impl<const L: usize> SupervisedFeed<L> {
         self.feed.request_catch_up(id, from, to)
     }
 
-    /// [`Transport::poll`] plus committee shares: runs the normal
+    /// [`Feed::poll`] plus committee shares: runs the normal
     /// supervised poll (socket drain, reconnect supervision, gap
     /// repair), then drains the `(stamp, member, share)` triples the
     /// poll decoded. Share epochs feed the same gap tracker as plain
@@ -657,6 +674,29 @@ impl<const L: usize> SupervisedFeed<L> {
         }
     }
 
+    /// Issues the armed cold-start catch-up once per subscriber, on its
+    /// first connected poll: replay from `cold_start_from` to the end
+    /// of the upstream archive (`u64::MAX`; the daemon clamps).
+    fn cold_start(&mut self, id: SubscriberId) {
+        let Some(from) = self.cold_start_from else {
+            return;
+        };
+        let idx = id.index();
+        if self.subs.entry(idx).or_default().cold_started {
+            return;
+        }
+        if self.feed.request_catch_up(id, from, u64::MAX).is_ok() {
+            self.stats.gap_repairs += 1;
+            self.subs
+                .get_mut(&idx)
+                .expect("inserted above")
+                .cold_started = true;
+            if tre_obs::is_enabled() {
+                tre_obs::event("supervisor.cold_start", &format!("sub={idx} from={from}"));
+            }
+        }
+    }
+
     /// Requests a replay of any interior gaps (epochs missing from
     /// `0..=max_seen`) — the anti-entropy path that recovers updates a
     /// fault mangled *without* killing the connection. Rate-limited by
@@ -694,15 +734,15 @@ impl<const L: usize> SupervisedFeed<L> {
     }
 }
 
-impl<const L: usize> Transport<L> for SupervisedFeed<L> {
+impl<const L: usize> Feed<L> for SupervisedFeed<L> {
     fn subscribe(&mut self) -> SubscriberId {
-        let id = self.feed.subscribe();
+        let id = Feed::subscribe(&mut self.feed);
         self.subs.insert(id.index(), SubState::default());
         id
     }
 
     fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)> {
-        let updates = self.feed.poll(id);
+        let updates = Feed::poll(&mut self.feed, id);
         {
             let granularity = self.granularity;
             let state = self.subs.entry(id.index()).or_default();
@@ -714,11 +754,28 @@ impl<const L: usize> Transport<L> for SupervisedFeed<L> {
             }
         }
         if self.feed.is_connected(id) {
+            self.cold_start(id);
             self.repair_gaps(id);
         } else {
             self.supervise(id);
         }
         updates
+    }
+
+    fn request_catch_up(&mut self, id: SubscriberId, from: u64, to: u64) -> Result<(), TreError> {
+        SupervisedFeed::request_catch_up(self, id, from, to)
+    }
+
+    fn is_connected(&self, id: SubscriberId) -> bool {
+        SupervisedFeed::is_connected(self, id)
+    }
+
+    fn disconnect(&mut self, id: SubscriberId) {
+        self.feed.disconnect(id);
+    }
+
+    fn reconnect(&mut self, id: SubscriberId) -> Result<(), TreError> {
+        self.feed.reconnect(id)
     }
 }
 

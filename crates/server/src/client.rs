@@ -29,10 +29,10 @@ use tre_pairing::Curve;
 
 use crate::archive::UpdateArchive;
 use crate::batch::BatchVerifier;
+use crate::feed::Feed;
 use crate::metrics::ClientHealth;
 use crate::net::SubscriberId;
 use crate::telemetry::{Stage, TraceSink};
-use crate::transport::Transport;
 
 /// A message successfully opened by the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,8 +111,8 @@ pub struct BatchReport {
     pub rejected: usize,
 }
 
-/// A receiver endpoint, usable against any [`Transport`] (simulated
-/// broadcast or live TCP).
+/// A receiver endpoint, usable against any [`Feed`] (simulated
+/// broadcast, live TCP, supervised, or committee).
 ///
 /// The cryptographic state — user key pair, server binding, and the
 /// cache of *verified* updates — lives in a [`tre_core::Receiver`]
@@ -407,14 +407,15 @@ impl<'c, const L: usize> ReceiverClient<'c, L> {
         report
     }
 
-    /// Drains every deliverable update from a [`Transport`] subscription
+    /// Drains every deliverable update from a [`Feed`] subscription
     /// and feeds it through the burst-drain path: updates sharing a
     /// delivery stamp arrived together and are verified as one batch (2
     /// pairings per group instead of 2 each). This is the single receive
-    /// loop for both the simulated [`crate::BroadcastNet`] and the live
-    /// [`crate::TcpFeed`]. Returns how many messages opened.
-    pub fn pump(&mut self, transport: &mut impl Transport<L>, id: SubscriberId) -> usize {
-        let mut deliveries = transport.poll(id).into_iter().peekable();
+    /// loop for every feed — the simulated [`crate::BroadcastNet`], the
+    /// live [`crate::TcpFeed`], a [`crate::SupervisedFeed`], or a
+    /// [`crate::CommitteeFeed`]. Returns how many messages opened.
+    pub fn pump(&mut self, feed: &mut impl Feed<L>, id: SubscriberId) -> usize {
+        let mut deliveries = feed.poll(id).into_iter().peekable();
         let mut opened = 0;
         while let Some((at, first)) = deliveries.next() {
             let mut batch = vec![first];

@@ -17,11 +17,11 @@
 //! * [`CommitteeFeed`] — the live transport: one [`SupervisedFeed`] per
 //!   committee member (reconnect supervision, backoff, catch-up gap
 //!   repair — identical machinery to the single-server feed), a single
-//!   shared collector, and a [`Transport`] implementation that fans the
+//!   shared collector, and a [`Feed`] implementation that fans the
 //!   aggregated updates out to any number of logical subscribers. A
 //!   [`crate::ReceiverClient`] pumps a `CommitteeFeed` exactly as it
 //!   pumps a single-server [`crate::TcpFeed`] — the committee is
-//!   invisible above the transport line, just as it is to senders.
+//!   invisible above the feed line, just as it is to senders.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::SocketAddr;
@@ -33,10 +33,10 @@ use tre_pairing::Curve;
 
 use crate::chaos_tcp::{SupervisedFeed, SupervisorConfig};
 use crate::clock::{Granularity, SimClock};
+use crate::feed::Feed;
 use crate::metrics::LatencyHistogram;
 use crate::net::SubscriberId;
 use crate::tcp::TcpFeed;
-use crate::transport::Transport;
 
 /// Tuning knobs for the collector's quorum tracking.
 #[derive(Debug, Clone, Copy)]
@@ -440,7 +440,7 @@ struct MemberLink<const L: usize> {
 /// The live committee transport: supervises one connection per member,
 /// funnels their [`tre_wire::KeyUpdateShare`] streams through a single
 /// [`ShareCollector`], and hands the aggregated full updates to any
-/// number of logical subscribers via [`Transport`]. No single member —
+/// number of logical subscribers via [`Feed`]. No single member —
 /// and no `n−k` members together, crashed or Byzantine — can stop the
 /// stream or forge an update that survives verification.
 pub struct CommitteeFeed<const L: usize> {
@@ -614,7 +614,7 @@ impl<const L: usize> CommitteeFeed<L> {
     }
 }
 
-impl<const L: usize> Transport<L> for CommitteeFeed<L> {
+impl<const L: usize> Feed<L> for CommitteeFeed<L> {
     /// Registers a logical subscriber. Purely local: all n member
     /// connections are shared, so the committee's verification cost is
     /// paid once regardless of how many receivers subscribe — the same
@@ -628,6 +628,20 @@ impl<const L: usize> Transport<L> for CommitteeFeed<L> {
         self.polls += 1;
         self.pump_members();
         self.queues[id.index()].drain(..).collect()
+    }
+
+    /// Fans the request to every connected member link; the `id` is a
+    /// logical subscriber and carries no per-link meaning, so the range
+    /// goes to all n legs (shares are deduplicated by the collector).
+    fn request_catch_up(&mut self, _id: SubscriberId, from: u64, to: u64) -> Result<(), TreError> {
+        CommitteeFeed::request_catch_up(self, from, to)
+    }
+
+    /// Up if *any* member link is up — the committee stream survives
+    /// `n−k` legs being down, so a single live leg still makes progress
+    /// (quorum willing).
+    fn is_connected(&self, _id: SubscriberId) -> bool {
+        self.links.iter().any(|l| l.feed.is_connected(l.sub))
     }
 }
 

@@ -1,0 +1,792 @@
+//! The sharded readiness-polling event loop behind [`crate::Tred`] and
+//! [`crate::Relay`].
+//!
+//! The first daemon iteration spent two OS threads per subscriber (a
+//! blocking writer draining a bounded queue, a blocking reader answering
+//! control frames), which caps a process at a few thousand sockets long
+//! before the broadcast path itself is the bottleneck. This module
+//! replaces that with a fixed thread budget: **N shard threads**, each
+//! owning a disjoint set of nonblocking sockets it multiplexes with
+//! `poll(2)` (a thin `extern "C"` shim, like the rest of the stack —
+//! no external event-loop crate), plus one accept thread that
+//! round-robins new connections across shards. Thread count is
+//! `O(shards)`, never `O(subscribers)`, so one daemon holds 100k+
+//! sockets.
+//!
+//! Per socket the shard keeps a bounded queue of already-encoded frames
+//! (`Arc<Vec<u8>>`, shared across every subscriber — each broadcast is
+//! encoded once) and a partial-write offset. The slow-subscriber policy
+//! and the [`TredStats`] delivery-conservation accounting are preserved
+//! exactly from the thread-per-subscriber design:
+//!
+//! * every **offer** of a frame to a socket resolves into exactly one of
+//!   `frames_enqueued`, `evicted` (broadcast found the queue full:
+//!   the subscriber is too slow and its socket is dropped), or
+//!   `frames_dropped` (socket already closed, or a catch-up reply
+//!   overflowed — catch-up never evicts);
+//! * every **enqueued** frame resolves into `frames_written` (fully
+//!   flushed to the socket) or `frames_abandoned` (still queued when the
+//!   connection died or the daemon shut down).
+//!
+//! Inbound bytes are parsed incrementally in the owning shard —
+//! [`Hello`] version checks and [`CatchUpRequest`] archive replays run
+//! inline, and replies ride the same bounded queue as live broadcasts,
+//! so replayed history competes fairly with fresh updates.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tre_core::KeyUpdate;
+use tre_pairing::Curve;
+use tre_wire::{
+    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, Wire, HEADER_LEN,
+};
+
+use crate::archive::UpdateArchive;
+use crate::clock::Granularity;
+use crate::tcp::TredStats;
+use crate::telemetry::TraceSink;
+
+/// How long a shard sleeps in `poll(2)` when nothing is ready. Bounds
+/// the latency between a broadcast landing on the shard's command
+/// channel and the first byte hitting a socket.
+const SHARD_POLL_TIMEOUT_MS: i32 = 5;
+
+/// The `poll(2)` shim: readiness multiplexing over raw fds with no
+/// dependency beyond the platform libc already linked by `std`.
+#[cfg(unix)]
+pub(crate) mod sys {
+    /// Mirrors `struct pollfd` (POSIX guarantees this layout).
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Waits until a registered fd is ready or `timeout_ms` elapses.
+    /// Returns the number of ready fds (0 on timeout, <0 on EINTR-style
+    /// errors — callers just re-poll).
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        if fds.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+            return 0;
+        }
+        unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        }
+    }
+}
+
+/// Portable fallback: no readiness facility, so report every socket as
+/// ready each round and let the nonblocking reads/writes sort it out
+/// (`WouldBlock` is handled on every path). Costs a busy-poll at the
+/// shard cadence; correctness is identical.
+#[cfg(not(unix))]
+pub(crate) mod sys {
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(1) as u64));
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        fds.len() as i32
+    }
+}
+
+/// Applies a kernel send-buffer cap (`SO_SNDBUF`) to an accepted
+/// socket. Best effort: a failed setsockopt leaves the OS default in
+/// place. Without a cap the kernel autotunes the buffer into the
+/// megabytes, so a stalled subscriber can absorb minutes of broadcasts
+/// before the bounded queue ever fills and evicts it.
+#[cfg(target_os = "linux")]
+pub(crate) fn cap_send_buffer(stream: &TcpStream, bytes: u32) {
+    use std::os::unix::io::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    let val = bytes as i32;
+    unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&val as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        );
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn cap_send_buffer(_stream: &TcpStream, _bytes: u32) {}
+
+/// State shared by the accept thread, every shard, and the daemon
+/// front-end (`Tred` ticker or `Relay` upstream pump).
+pub(crate) struct ServeShared<const L: usize> {
+    pub curve: &'static Curve<L>,
+    /// The archive catch-up requests are served from.
+    pub archive: Arc<UpdateArchive<L>>,
+    pub stats: Arc<TredStats>,
+    pub shutdown: AtomicBool,
+    /// Outbound frames buffered per subscriber before eviction.
+    pub queue_capacity: usize,
+    pub send_buffer: Option<u32>,
+    /// `Some(i)`: committee mode — frames every update as a
+    /// [`KeyUpdateShare`] and greets subscribers with [`CommitteeHello`].
+    pub member: Option<u32>,
+    /// The epoch schedule, for deriving an update's epoch when stamping
+    /// its telemetry trailer.
+    pub granularity: Granularity,
+    /// `Some`: every outbound update carries a [`Telemetry`] trailer.
+    pub trace: Option<TraceSink>,
+    /// `true` on a relay: the trailer's `origin` is forwarded from the
+    /// upstream trace (the root daemon's identity) instead of being
+    /// this process's own member index — relays are transparent.
+    pub forward_origin: bool,
+}
+
+/// Encodes one update as this daemon's broadcast frame: a bare
+/// [`KeyUpdate`] normally, a member-tagged [`KeyUpdateShare`] in
+/// committee mode. With tracing enabled, a [`Telemetry`] trailer frame
+/// is appended in the same buffer — epoch, origin, the origin's publish
+/// stamp, and `hops` (how many process boundaries the update has
+/// crossed; bumped per relay level and on catch-up replay) — v1 peers
+/// skip the unknown tag.
+pub(crate) fn encode_update_frame<const L: usize>(
+    shared: &ServeShared<L>,
+    update: &KeyUpdate<L>,
+    hops: u8,
+) -> Arc<Vec<u8>> {
+    let mut bytes = match shared.member {
+        Some(member) => KeyUpdateShare {
+            member,
+            update: update.clone(),
+        }
+        .wire_bytes(shared.curve),
+        None => update.wire_bytes(shared.curve),
+    };
+    if let Some(sink) = &shared.trace {
+        if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
+            let origin = if shared.forward_origin {
+                sink.epoch_trace(epoch).map(|t| t.origin).unwrap_or(0)
+            } else {
+                shared.member.unwrap_or(0)
+            };
+            let trailer = Telemetry {
+                epoch,
+                origin,
+                publish_ns: sink.publish_ns(epoch).unwrap_or(0),
+                hops,
+            };
+            <Telemetry as Wire<L>>::wire_write(&trailer, shared.curve, &mut bytes);
+            sink.count_emitted();
+        }
+    }
+    Arc::new(bytes)
+}
+
+/// A replayed update has crossed one more process boundary than this
+/// daemon's live broadcast of the same epoch: the trailer hop count is
+/// whatever the daemon last stamped for the epoch, plus one. A root
+/// `tred` stamps live epochs at hop 0 so replays are hop 1; a relay one
+/// level down stamps live at 1 and replays at 2, and so on.
+fn replay_hops<const L: usize>(shared: &ServeShared<L>, epoch: u64) -> u8 {
+    let base = shared
+        .trace
+        .as_ref()
+        .and_then(|sink| sink.epoch_trace(epoch))
+        .map(|t| t.hops)
+        .unwrap_or(0);
+    base.saturating_add(1)
+}
+
+/// One socket's outbound side: the bounded frame queue, the partial
+/// write offset into its front frame, and the closed flag the sweep
+/// phase acts on. Separated from the socket so the eviction policy and
+/// its conservation accounting are unit-testable without fds.
+pub(crate) struct WriteQueue {
+    pub queue: VecDeque<Arc<Vec<u8>>>,
+    /// Bytes of `queue.front()` already written to the socket.
+    pub woff: usize,
+    pub closed: bool,
+}
+
+impl WriteQueue {
+    pub fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            woff: 0,
+            closed: false,
+        }
+    }
+}
+
+/// Offers one broadcast frame to a subscriber's queue. Every offer
+/// resolves into exactly one of enqueued / evicted / dropped, keeping
+/// the conservation identity (see [`TredStats::in_flight`])
+/// non-negative. A full queue at broadcast time means the subscriber is
+/// too slow: it is evicted (closed) rather than allowed to stall or
+/// skew the broadcast.
+pub(crate) fn offer_broadcast(
+    wq: &mut WriteQueue,
+    capacity: usize,
+    frame: &Arc<Vec<u8>>,
+    stats: &TredStats,
+) {
+    stats.frames_offered.fetch_add(1, Ordering::Relaxed);
+    if wq.closed {
+        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if wq.queue.len() >= capacity {
+        stats.evicted.fetch_add(1, Ordering::Relaxed);
+        wq.closed = true;
+        tre_obs::event("tred.evicted", "slow subscriber");
+        return;
+    }
+    stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+    wq.queue.push_back(Arc::clone(frame));
+}
+
+/// Enqueues one frame outside the broadcast path (committee greeting,
+/// catch-up replies) with the same offer/resolution accounting. Unlike
+/// a broadcast offer this never evicts: a subscriber whose queue cannot
+/// absorb its own catch-up response simply stops receiving the replay
+/// (and will be evicted by the next broadcast if it stays stalled).
+pub(crate) fn enqueue_direct(
+    wq: &mut WriteQueue,
+    capacity: usize,
+    frame: Arc<Vec<u8>>,
+    stats: &TredStats,
+) -> bool {
+    stats.frames_offered.fetch_add(1, Ordering::Relaxed);
+    if wq.closed || wq.queue.len() >= capacity {
+        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+    wq.queue.push_back(frame);
+    true
+}
+
+/// Resolves every frame still queued on a dying connection as
+/// abandoned, closing the conservation identity.
+fn abandon_queue(wq: &mut WriteQueue, stats: &TredStats) {
+    if !wq.queue.is_empty() {
+        stats
+            .frames_abandoned
+            .fetch_add(wq.queue.len() as u64, Ordering::Relaxed);
+        wq.queue.clear();
+    }
+    wq.woff = 0;
+    wq.closed = true;
+}
+
+/// One registered subscriber connection, owned by exactly one shard.
+struct Conn {
+    stream: TcpStream,
+    /// Buffered-but-unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    wq: WriteQueue,
+}
+
+/// Work handed to a shard: a new connection from the accept thread, or
+/// one already-encoded broadcast frame to offer to every socket.
+pub(crate) enum Cmd {
+    Accept(TcpStream),
+    Frame(Arc<Vec<u8>>),
+}
+
+/// A clonable front-end for pushing broadcasts into the shards; the
+/// ticker (or a relay's upstream pump) owns one while the
+/// [`Broadcaster`] itself stays with the daemon handle for shutdown.
+pub(crate) struct BroadcastHandle<const L: usize> {
+    shards: Vec<Sender<Cmd>>,
+    shared: Arc<ServeShared<L>>,
+}
+
+impl<const L: usize> Clone for BroadcastHandle<L> {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<const L: usize> BroadcastHandle<L> {
+    /// Encodes `update` once and offers the frame to every shard (and
+    /// thus every subscriber queue). `hops` is stamped into the
+    /// telemetry trailer when tracing is on.
+    pub fn broadcast(&self, update: &KeyUpdate<L>, hops: u8) {
+        let frame = encode_update_frame(&self.shared, update, hops);
+        self.shared.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        for tx in &self.shards {
+            let _ = tx.send(Cmd::Frame(Arc::clone(&frame)));
+        }
+    }
+}
+
+/// The bound listener plus its shard threads: the downstream serving
+/// core both `Tred` and `Relay` broadcast through.
+pub(crate) struct Broadcaster<const L: usize> {
+    addr: SocketAddr,
+    shards: Vec<Sender<Cmd>>,
+    live: Arc<AtomicUsize>,
+    shared: Arc<ServeShared<L>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl<const L: usize> Broadcaster<L> {
+    /// Binds `addr` and starts `shard_count` shard threads plus the
+    /// accept thread (total threads: `shard_count + 1`, independent of
+    /// the subscriber count).
+    pub fn bind(
+        addr: &str,
+        shared: Arc<ServeShared<L>>,
+        shard_count: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let live = Arc::new(AtomicUsize::new(0));
+        let shard_count = shard_count.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut shard_handles = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (tx, rx) = channel::<Cmd>();
+            let shared = Arc::clone(&shared);
+            let live = Arc::clone(&live);
+            let handle = std::thread::Builder::new()
+                .name(format!("tred-shard-{i}"))
+                .spawn(move || shard_loop(&shared, &rx, &live))
+                .expect("spawn shard thread");
+            shards.push(tx);
+            shard_handles.push(handle);
+        }
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let shards = shards.clone();
+            std::thread::Builder::new()
+                .name("tred-accept".into())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                            // Round-robin: shard ownership is decided
+                            // here and never migrates.
+                            let _ = shards[next % shards.len()].send(Cmd::Accept(stream));
+                            next = next.wrapping_add(1);
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Self {
+            addr: local,
+            shards,
+            live,
+            shared,
+            shard_handles,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live connections across all shards (post-eviction).
+    pub fn subscriber_count(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    pub fn handle(&self) -> BroadcastHandle<L> {
+        BroadcastHandle {
+            shards: self.shards.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the accept loop and every shard, closing all subscriber
+    /// sockets and joining the threads. The caller must already have
+    /// set `shared.shutdown`.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One shard's event loop: drain commands, poll readiness, service
+/// ready sockets, sweep the dead. Owns its connections exclusively —
+/// no locks on the data path.
+fn shard_loop<const L: usize>(shared: &ServeShared<L>, rx: &Receiver<Cmd>, live: &AtomicUsize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pollfds: Vec<sys::PollFd> = Vec::new();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::Relaxed);
+        let mut disconnected = false;
+        loop {
+            match rx.try_recv() {
+                Ok(Cmd::Accept(stream)) => {
+                    if !shutting_down {
+                        register_conn(shared, live, &mut conns, stream);
+                    }
+                }
+                Ok(Cmd::Frame(frame)) => {
+                    for conn in &mut conns {
+                        offer_broadcast(&mut conn.wq, shared.queue_capacity, &frame, &shared.stats);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if shutting_down || disconnected {
+            for mut conn in conns.drain(..) {
+                abandon_queue(&mut conn.wq, &shared.stats);
+                live.fetch_sub(1, Ordering::Relaxed);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            return;
+        }
+
+        pollfds.clear();
+        #[cfg(unix)]
+        use std::os::unix::io::AsRawFd;
+        for conn in &conns {
+            let mut events = sys::POLLIN;
+            if !conn.wq.queue.is_empty() {
+                events |= sys::POLLOUT;
+            }
+            #[cfg(unix)]
+            let fd = conn.stream.as_raw_fd();
+            #[cfg(not(unix))]
+            let fd = 0;
+            pollfds.push(sys::PollFd {
+                fd,
+                events,
+                revents: 0,
+            });
+        }
+        let ready = sys::poll_wait(&mut pollfds, SHARD_POLL_TIMEOUT_MS);
+        if ready > 0 {
+            for (conn, pfd) in conns.iter_mut().zip(&pollfds) {
+                if pfd.revents == 0 || conn.wq.closed {
+                    continue;
+                }
+                if pfd.revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                    service_read(shared, conn);
+                }
+                if !conn.wq.closed && pfd.revents & sys::POLLOUT != 0 {
+                    service_write(shared, conn);
+                }
+            }
+        }
+
+        conns.retain_mut(|conn| {
+            if conn.wq.closed {
+                abandon_queue(&mut conn.wq, &shared.stats);
+                live.fetch_sub(1, Ordering::Relaxed);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Registers a freshly accepted connection with this shard:
+/// nonblocking mode, the optional send-buffer cap, and — in committee
+/// mode — the [`CommitteeHello`] greeting as the first queued frame.
+fn register_conn<const L: usize>(
+    shared: &ServeShared<L>,
+    live: &AtomicUsize,
+    conns: &mut Vec<Conn>,
+    stream: TcpStream,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    if let Some(bytes) = shared.send_buffer {
+        cap_send_buffer(&stream, bytes);
+    }
+    let mut conn = Conn {
+        stream,
+        rbuf: Vec::new(),
+        wq: WriteQueue::new(),
+    };
+    if let Some(member) = shared.member {
+        // The greeting is the first frame on the wire, before any
+        // share, so the feed can vet the member identity.
+        let hello = CommitteeHello {
+            version: tre_wire::VERSION,
+            member,
+        };
+        let mut frame = Vec::new();
+        <CommitteeHello as Wire<L>>::wire_write(&hello, shared.curve, &mut frame);
+        enqueue_direct(
+            &mut conn.wq,
+            shared.queue_capacity,
+            Arc::new(frame),
+            &shared.stats,
+        );
+    }
+    live.fetch_add(1, Ordering::Relaxed);
+    conns.push(conn);
+}
+
+/// Drains readable bytes and parses every complete control frame. A
+/// non-TRE byte stream closes the connection (after counting the wire
+/// error); unknown-but-well-framed types are skipped for forward
+/// compatibility.
+fn service_read<const L: usize>(shared: &ServeShared<L>, conn: &mut Conn) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.wq.closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.wq.closed = true;
+                break;
+            }
+        }
+    }
+    let mut off = 0;
+    loop {
+        match peek_frame(&conn.rbuf[off..]) {
+            Ok(Some((header, body, _))) => {
+                handle_control_frame(shared, header.type_tag, body, &mut conn.wq);
+                off += HEADER_LEN + header.body_len;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // Not a TRE wire stream: drop the connection.
+                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                conn.wq.closed = true;
+                off = conn.rbuf.len();
+                break;
+            }
+        }
+    }
+    conn.rbuf.drain(..off);
+}
+
+fn handle_control_frame<const L: usize>(
+    shared: &ServeShared<L>,
+    type_tag: u8,
+    body: &[u8],
+    wq: &mut WriteQueue,
+) {
+    let curve = shared.curve;
+    if type_tag == <Hello as Wire<L>>::TYPE_TAG {
+        match <Hello as Wire<L>>::wire_read_body(curve, body) {
+            Ok(hello) if hello.version == tre_wire::VERSION => {}
+            _ => {
+                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        return;
+    }
+    if type_tag == <CatchUpRequest as Wire<L>>::TYPE_TAG {
+        let Ok(req) = <CatchUpRequest as Wire<L>>::wire_read_body(curve, body) else {
+            shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        shared
+            .stats
+            .catch_up_requests
+            .fetch_add(1, Ordering::Relaxed);
+        for (epoch, update) in shared.archive.range(req.from, req.to) {
+            let frame = encode_update_frame(shared, &update, replay_hops(shared, epoch));
+            // A subscriber whose queue cannot absorb its own catch-up
+            // response stops receiving the replay; the broadcast path
+            // will evict it if it stays stalled.
+            if !enqueue_direct(wq, shared.queue_capacity, frame, &shared.stats) {
+                break;
+            }
+            shared
+                .stats
+                .catch_up_replies
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Unknown-but-well-framed type: ignorable by design (forward compat).
+}
+
+/// Flushes as much of the write queue as the socket accepts, tracking
+/// the partial-write offset across rounds. A write error leaves the
+/// half-sent frame in the queue, where the sweep resolves it (and
+/// everything behind it) as abandoned.
+fn service_write<const L: usize>(shared: &ServeShared<L>, conn: &mut Conn) {
+    while let Some(front) = conn.wq.queue.front() {
+        match conn.stream.write(&front[conn.wq.woff..]) {
+            Ok(0) => {
+                conn.wq.closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.wq.woff += n;
+                if conn.wq.woff == front.len() {
+                    conn.wq.queue.pop_front();
+                    conn.wq.woff = 0;
+                    shared.stats.frames_written.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.wq.closed = true;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Queue-level eviction test: deterministic, no sockets involved.
+    /// A broadcast offer that finds the bounded queue full evicts the
+    /// subscriber; a healthy queue absorbs every frame.
+    #[test]
+    fn slow_subscriber_evicted_when_queue_fills() {
+        let stats = TredStats::default();
+        let mut slow = WriteQueue::new();
+        let mut fast = WriteQueue::new();
+        let frame = Arc::new(vec![1u8, 2, 3]);
+        for _ in 0..2 {
+            offer_broadcast(&mut slow, 2, &frame, &stats);
+            offer_broadcast(&mut fast, 16, &frame, &stats);
+            assert!(!slow.closed, "queue not yet full");
+        }
+        offer_broadcast(&mut slow, 2, &frame, &stats);
+        offer_broadcast(&mut fast, 16, &frame, &stats);
+        assert!(slow.closed, "slow subscriber evicted on overflow");
+        assert!(!fast.closed);
+        assert_eq!(stats.evicted.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            stats.frames_enqueued.load(Ordering::Relaxed),
+            2 + 3,
+            "2 to the slow queue before overflow, 3 to the fast one"
+        );
+        assert_eq!(fast.queue.len(), 3, "healthy subscriber got every frame");
+
+        // The sweep resolves the evicted subscriber's stranded frames.
+        abandon_queue(&mut slow, &stats);
+        assert_eq!(stats.frames_abandoned.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            stats.in_flight(),
+            3,
+            "only the healthy queue's frames remain unresolved"
+        );
+    }
+
+    /// Offers to an already-closed subscriber resolve as dropped, and
+    /// catch-up-style direct enqueues never evict.
+    #[test]
+    fn closed_queue_drops_and_direct_enqueue_never_evicts() {
+        let stats = TredStats::default();
+        let mut wq = WriteQueue::new();
+        wq.closed = true;
+        offer_broadcast(&mut wq, 4, &Arc::new(vec![0u8]), &stats);
+        assert_eq!(stats.frames_dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.evicted.load(Ordering::Relaxed), 0, "not an eviction");
+
+        let mut full = WriteQueue::new();
+        assert!(enqueue_direct(&mut full, 1, Arc::new(vec![1u8]), &stats));
+        assert!(
+            !enqueue_direct(&mut full, 1, Arc::new(vec![2u8]), &stats),
+            "catch-up overflow is refused"
+        );
+        assert!(!full.closed, "direct enqueue never evicts");
+        assert_eq!(stats.frames_dropped.load(Ordering::Relaxed), 2);
+        // Conservation: 3 offers = 1 enqueued + 2 dropped.
+        assert_eq!(stats.frames_offered.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.frames_enqueued.load(Ordering::Relaxed), 1);
+    }
+
+    /// The partial-write offset carries a frame across write rounds and
+    /// the conservation identity closes once the frame completes.
+    #[test]
+    fn conservation_identity_balances_through_abandonment() {
+        let stats = TredStats::default();
+        let mut wq = WriteQueue::new();
+        let frame = Arc::new(vec![7u8; 64]);
+        for _ in 0..5 {
+            offer_broadcast(&mut wq, 8, &frame, &stats);
+        }
+        // Simulate two delivered frames...
+        wq.queue.pop_front();
+        wq.queue.pop_front();
+        stats.frames_written.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(stats.in_flight(), 3);
+        // ...then the connection dies with three still queued.
+        abandon_queue(&mut wq, &stats);
+        assert_eq!(stats.frames_abandoned.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.in_flight(), 0, "identity balances at quiescence");
+    }
+}

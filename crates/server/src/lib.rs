@@ -26,12 +26,22 @@
 //!   liveness invariant checking (experiment E13);
 //! * [`LiveHub`] — a thread-based fan-out hub (crossbeam channels) for
 //!   running real server/receiver threads instead of the simulation;
-//! * [`Transport`] — the client-side transport abstraction both
-//!   [`BroadcastNet`] and [`TcpFeed`] implement, so
-//!   [`ReceiverClient::pump`] works against either;
-//! * [`Tred`] / [`TcpFeed`] — the real TCP broadcast daemon (bounded
-//!   per-subscriber queues, slow-subscriber eviction, archive catch-up
-//!   over the versioned `tre-wire` framing) and its subscriber feed;
+//! * [`Feed`] — the unified subscription surface ([`feed`] has the
+//!   builder entry points) that [`BroadcastNet`], [`TcpFeed`],
+//!   [`SupervisedFeed`], [`CommitteeFeed`], and the relay upstream all
+//!   implement, so [`ReceiverClient::pump`] and [`Relay`] are written
+//!   once against it ([`Transport`] is the deprecated forerunner,
+//!   blanket-shimmed for one release);
+//! * [`Tred`] / [`TcpFeed`] — the real TCP broadcast daemon (sharded
+//!   readiness-polling event loop, bounded per-subscriber write queues,
+//!   slow-subscriber eviction, archive catch-up over the versioned
+//!   `tre-wire` framing — O(shards) threads, not O(subscribers)) and
+//!   its subscriber feed;
+//! * [`Relay`] — the untrusted fan-out tier (`trerelay`): cold-starts
+//!   from a [`SupervisedFeed`] upstream via archive catch-up, verifies
+//!   each epoch exactly once with the prepared-pairing batch path, and
+//!   re-serves downstream through the same event loop with the
+//!   `Telemetry` hop counter incremented per tree level;
 //! * [`Journal`] — the durable append-only update log behind
 //!   [`UpdateArchive::open_durable`]: CRC32-framed records, configurable
 //!   fsync policy, torn-tail truncation and corruption quarantine on
@@ -77,11 +87,14 @@ mod chaos_tcp;
 mod client;
 mod clock;
 mod committee;
+mod evloop;
 mod faults;
+pub mod feed;
 mod journal;
 mod live;
 mod metrics;
 mod net;
+mod relay;
 mod server;
 mod sim;
 mod tcp;
@@ -98,6 +111,7 @@ pub use client::{
 pub use clock::{Granularity, SimClock};
 pub use committee::{CollectorConfig, CommitteeFeed, CommitteeStats, ShareCollector};
 pub use faults::{ChaosSim, Fault, FaultEvent, FaultPlan, InvariantReport};
+pub use feed::Feed;
 pub use journal::{
     FsyncPolicy, Journal, JournalConfig, JournalStats, ReplayReport, RECORD_HEADER_LEN,
     RECORD_MAGIC, RECORD_TRAILER_LEN,
@@ -105,10 +119,12 @@ pub use journal::{
 pub use live::LiveHub;
 pub use metrics::{ClientHealth, LatencyHistogram};
 pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
+pub use relay::{Relay, RelayConfig, RelayStats};
 pub use server::{FutureEpochError, TimeServer};
-pub use sim::{ClientId, Simulation};
+pub use sim::{ClientId, DeliveryReport, FanoutShape, RelayTreeSim, Simulation};
 pub use tcp::{FeedStats, TcpFeed, Tred, TredConfig, TredStats};
 pub use telemetry::{
     now_ns, EpochTrace, HealthSnapshot, Stage, TelemetryServer, TelemetrySnapshot, TraceSink,
 };
+#[allow(deprecated)]
 pub use transport::Transport;

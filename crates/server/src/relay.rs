@@ -1,0 +1,534 @@
+//! The untrusted relay tier: `trerelay`, a daemon that re-broadcasts
+//! another daemon's update stream one tree level down.
+//!
+//! The paper's server is *passive*: each epoch's key update
+//! `I_T = s·H1(T)` is one short, self-authenticating message, identical
+//! for every user. Anyone holding the server's public key can check
+//! `e(I_T, G) == e(H1(T), sG)` — so *anyone* can re-broadcast the
+//! stream with **zero added trust**. A relay cannot forge an update
+//! (that needs `s`), cannot target individual subscribers with
+//! different values (verification catches any mutation), and learns
+//! nothing about its subscribers' messages (updates are
+//! ciphertext-independent). The worst a malicious relay can do is go
+//! silent, and the feed layer's failover
+//! ([`crate::TcpFeed::add_fallback`])
+//! plus catch-up recovery already handle silence. That is what makes a
+//! CDN-style fan-out tree of *untrusted* relays the natural path to
+//! millions of subscribers.
+//!
+//! A [`Relay`] is three pieces wired back-to-back:
+//!
+//! * **upstream**: a [`SupervisedFeed`] (pointed at the root `tred` or
+//!   another relay) pumped by one thread — reconnect supervision, gap
+//!   repair, and cold-start archive catch-up all come from the feed
+//!   layer for free;
+//! * **verify once**: every *new* epoch is checked through the
+//!   prepared-pairing [`BatchVerifier`] exactly once per relay — the
+//!   per-burst cost is 2 pairings regardless of burst size, and
+//!   duplicates (catch-up overlap, upstream failover replays) are
+//!   deduplicated *before* the pairing, never verified twice;
+//! * **downstream**: the same sharded readiness event loop `tred`
+//!   serves through ([`crate::evloop`]), re-serving verified updates —
+//!   live and via archive catch-up — to `O(100k)` subscribers on
+//!   `O(shards)` threads.
+//!
+//! Telemetry is transparent: the relay forwards the *root's* origin and
+//! publish stamp from the upstream [`Telemetry`] trailer and stamps
+//! `hops = upstream_hops + 1`, so `tretop` attributes latency per tree
+//! level end-to-end. Catch-up replays served by this relay are stamped
+//! one hop higher still, exactly as on the root daemon.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tre_core::ServerPublicKey;
+use tre_pairing::Curve;
+use tre_wire::Telemetry;
+
+use crate::archive::UpdateArchive;
+use crate::batch::BatchVerifier;
+use crate::chaos_tcp::SupervisedFeed;
+use crate::clock::Granularity;
+use crate::evloop::{Broadcaster, ServeShared};
+use crate::feed::Feed;
+use crate::tcp::TredStats;
+use crate::telemetry::{Stage, TraceSink};
+
+/// Tuning knobs for a relay daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayConfig {
+    /// Outbound frames buffered per downstream subscriber before it is
+    /// evicted as too slow (same policy as [`crate::TredConfig`]).
+    pub queue_capacity: usize,
+    /// How often the pump thread polls the upstream feed.
+    pub poll_interval: Duration,
+    /// Kernel send-buffer cap per downstream socket (`SO_SNDBUF`;
+    /// Linux only). See [`crate::TredConfig::send_buffer`].
+    pub send_buffer: Option<u32>,
+    /// Downstream event-loop shard threads. Total relay threads:
+    /// `shards + 2` (accept + upstream pump), independent of the
+    /// subscriber count.
+    pub shards: usize,
+    /// The epoch schedule, for mapping update tags to epochs (dedup,
+    /// archive indexing, telemetry trailers).
+    pub granularity: Granularity,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            poll_interval: Duration::from_millis(5),
+            send_buffer: None,
+            shards: 4,
+            granularity: Granularity::Seconds,
+        }
+    }
+}
+
+/// Relay pump counters (all monotone; readable while the relay runs).
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Epochs verified and re-broadcast downstream.
+    pub epochs_relayed: AtomicU64,
+    /// Updates that failed self-authentication against the root key
+    /// (a Byzantine or buggy upstream) and were *not* relayed.
+    pub updates_rejected: AtomicU64,
+    /// Updates skipped as duplicates of an already-relayed epoch
+    /// (catch-up overlap, upstream failover) — never re-verified.
+    pub duplicates_skipped: AtomicU64,
+    /// Untagged updates (no epoch under the relay's granularity)
+    /// dropped: the relay cannot dedupe or archive what it cannot
+    /// index, so it refuses to forward it.
+    pub untagged_dropped: AtomicU64,
+    /// Batch-verification calls (2 pairings each when clean).
+    pub verify_batches: AtomicU64,
+}
+
+impl RelayStats {
+    /// Publishes the counters into a shared registry under
+    /// `<prefix>_<stat>` names. Absolute values, so re-export overwrites.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        let pairs = [
+            ("epochs_relayed", &self.epochs_relayed),
+            ("updates_rejected", &self.updates_rejected),
+            ("duplicates_skipped", &self.duplicates_skipped),
+            ("untagged_dropped", &self.untagged_dropped),
+            ("verify_batches", &self.verify_batches),
+        ];
+        for (name, counter) in pairs {
+            registry.counter_set(&format!("{prefix}_{name}"), counter.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// A running relay daemon: verifies an upstream daemon's stream once
+/// and re-serves it downstream through the sharded event loop. See the
+/// module docs for the trust argument.
+pub struct Relay<const L: usize> {
+    addr: SocketAddr,
+    public_key: ServerPublicKey<L>,
+    shared: Arc<ServeShared<L>>,
+    stats: Arc<RelayStats>,
+    sink: TraceSink,
+    broadcaster: Option<Broadcaster<L>>,
+    pump_handle: Option<JoinHandle<SupervisedFeed<L>>>,
+}
+
+impl<const L: usize> Relay<L> {
+    /// Binds `addr` for downstream subscribers and starts the upstream
+    /// pump. `upstream` should already be subscribed to nothing — the
+    /// relay registers its own subscription — and is typically built
+    /// with cold-start catch-up so the relay backfills the root archive
+    /// before (and alongside) live traffic:
+    ///
+    /// ```no_run
+    /// # use tre_server::{feed, Granularity, Relay, RelayConfig, SupervisorConfig};
+    /// # let curve = tre_pairing::toy64();
+    /// # let root: std::net::SocketAddr = "127.0.0.1:7878".parse().unwrap();
+    /// # let root_pk: tre_core::ServerPublicKey<8> = unimplemented!();
+    /// let upstream = feed::tcp::<8>(curve, root)
+    ///     .supervised(Granularity::Seconds, SupervisorConfig::default(), 7)
+    ///     .catch_up_from(0)
+    ///     .build();
+    /// let relay = Relay::bind("127.0.0.1:0", curve, root_pk, upstream, RelayConfig::default());
+    /// ```
+    ///
+    /// `root_pk` is the **root** time server's public key — the one
+    /// every update in the tree authenticates against, regardless of
+    /// how many relay levels sit between.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind.
+    pub fn bind(
+        addr: &str,
+        curve: &'static Curve<L>,
+        root_pk: ServerPublicKey<L>,
+        upstream: SupervisedFeed<L>,
+        config: RelayConfig,
+    ) -> std::io::Result<Self> {
+        // One sink spans both sides: the upstream feed folds decoded
+        // trailers into it (origin, root publish stamp, upstream hop
+        // count) and the downstream encoder reads them back out —
+        // that is what makes the relay telemetry-transparent.
+        let sink = TraceSink::new();
+        let mut upstream = upstream;
+        upstream.set_trace_sink(sink.clone());
+
+        let shared = Arc::new(ServeShared {
+            curve,
+            archive: Arc::new(UpdateArchive::new()),
+            stats: Arc::new(TredStats::default()),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: config.queue_capacity,
+            send_buffer: config.send_buffer,
+            member: None,
+            granularity: config.granularity,
+            trace: Some(sink.clone()),
+            forward_origin: true,
+        });
+        let broadcaster = Broadcaster::bind(addr, Arc::clone(&shared), config.shards)?;
+        let local = broadcaster.local_addr();
+        let handle = broadcaster.handle();
+        let stats = Arc::new(RelayStats::default());
+
+        let pump_handle = {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            let sink = sink.clone();
+            std::thread::Builder::new()
+                .name("trerelay-pump".into())
+                .spawn(move || {
+                    let verifier = BatchVerifier::new(curve, root_pk);
+                    // Lazy subscribe: if the upstream is down at bind,
+                    // the supervision loop dials it with backoff instead
+                    // of the pump thread panicking.
+                    let sub = upstream.subscribe_lazy();
+                    let mut relayed = std::collections::BTreeSet::new();
+                    while !shared.shutdown.load(Ordering::Relaxed) {
+                        pump_once(
+                            &shared,
+                            &stats,
+                            &sink,
+                            &verifier,
+                            &mut upstream,
+                            sub,
+                            &handle,
+                            &mut relayed,
+                        );
+                        std::thread::sleep(config.poll_interval);
+                    }
+                    upstream
+                })
+                .expect("spawn relay pump thread")
+        };
+
+        Ok(Self {
+            addr: local,
+            public_key: root_pk,
+            shared,
+            stats,
+            sink,
+            broadcaster: Some(broadcaster),
+            pump_handle: Some(pump_handle),
+        })
+    }
+
+    /// The bound downstream address (with the OS-assigned port when
+    /// bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The root server's public key the relay verifies against (and
+    /// what downstream subscribers should verify against too — the
+    /// relay introduces no key of its own).
+    pub fn public_key(&self) -> &ServerPublicKey<L> {
+        &self.public_key
+    }
+
+    /// Relay pump counters.
+    pub fn stats(&self) -> Arc<RelayStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Downstream serving counters (same shape as [`crate::Tred`]'s).
+    pub fn serve_stats(&self) -> Arc<TredStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Current downstream subscriber count (post-eviction).
+    pub fn subscriber_count(&self) -> usize {
+        self.broadcaster
+            .as_ref()
+            .map(Broadcaster::subscriber_count)
+            .unwrap_or(0)
+    }
+
+    /// The relay's local archive of verified updates — what its own
+    /// downstream catch-up requests are served from.
+    pub fn archive(&self) -> Arc<UpdateArchive<L>> {
+        Arc::clone(&self.shared.archive)
+    }
+
+    /// The shared trace sink (upstream trailer context + this relay's
+    /// broadcast stamps).
+    pub fn trace_sink(&self) -> TraceSink {
+        self.sink.clone()
+    }
+
+    /// Exports pump counters (`<prefix>_*`), downstream serving
+    /// counters (`<prefix>_serve_*`), the subscriber gauge, and the
+    /// trace histograms into a shared registry.
+    pub fn export_into(&self, registry: &mut tre_obs::Registry, prefix: &str) {
+        self.stats.export_into(registry, prefix);
+        self.shared
+            .stats
+            .export_into(registry, &format!("{prefix}_serve"));
+        registry.gauge_set(
+            &format!("{prefix}_subscribers"),
+            self.subscriber_count() as i64,
+        );
+        self.sink.export_into(registry, &format!("{prefix}_trace"));
+    }
+
+    /// Stops the upstream pump, the accept loop, and every shard;
+    /// closes all downstream sockets and joins the relay threads.
+    /// Returns the upstream feed so a caller can inspect its stats.
+    pub fn shutdown(mut self) -> Option<SupervisedFeed<L>> {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let upstream = self.pump_handle.take().and_then(|h| h.join().ok());
+        if let Some(broadcaster) = self.broadcaster.take() {
+            broadcaster.shutdown();
+        }
+        upstream
+    }
+}
+
+/// Screens one upstream burst down to the epochs worth verifying:
+/// untagged updates are dropped (the relay cannot dedupe or archive
+/// what it cannot index), and epochs already relayed — or repeated
+/// within the burst (catch-up overlap, upstream failover replays) —
+/// are skipped *before* the pairing, so each epoch is verified exactly
+/// once per relay.
+fn select_fresh<const L: usize>(
+    granularity: Granularity,
+    stats: &RelayStats,
+    relayed: &std::collections::BTreeSet<u64>,
+    deliveries: Vec<(u64, tre_core::KeyUpdate<L>)>,
+) -> (Vec<u64>, Vec<tre_core::KeyUpdate<L>>) {
+    let mut epochs = Vec::new();
+    let mut fresh = Vec::new();
+    for (_, update) in deliveries {
+        let Some(epoch) = granularity.epoch_of_tag(update.tag()) else {
+            stats.untagged_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        if relayed.contains(&epoch) || epochs.contains(&epoch) {
+            stats.duplicates_skipped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        epochs.push(epoch);
+        fresh.push(update);
+    }
+    (epochs, fresh)
+}
+
+/// One pump iteration: drain the upstream feed, verify every new epoch
+/// once, archive and re-broadcast the survivors.
+#[allow(clippy::too_many_arguments)]
+fn pump_once<const L: usize>(
+    shared: &ServeShared<L>,
+    stats: &RelayStats,
+    sink: &TraceSink,
+    verifier: &BatchVerifier<'static, L>,
+    upstream: &mut SupervisedFeed<L>,
+    sub: crate::net::SubscriberId,
+    handle: &crate::evloop::BroadcastHandle<L>,
+    relayed: &mut std::collections::BTreeSet<u64>,
+) {
+    let deliveries = Feed::poll(upstream, sub);
+    if deliveries.is_empty() {
+        return;
+    }
+    let (epochs, fresh) = select_fresh(shared.granularity, stats, relayed, deliveries);
+    if fresh.is_empty() {
+        return;
+    }
+    stats.verify_batches.fetch_add(1, Ordering::Relaxed);
+    let verdict = verifier.verify(&fresh);
+    stats
+        .updates_rejected
+        .fetch_add(verdict.invalid.len() as u64, Ordering::Relaxed);
+    for &i in &verdict.invalid {
+        tre_obs::event("relay.rejected", &format!("epoch={}", epochs[i]));
+    }
+    for &i in &verdict.valid {
+        let (epoch, update) = (epochs[i], &fresh[i]);
+        relayed.insert(epoch);
+        shared.archive.publish(epoch, update.clone());
+
+        // Hop accounting: the upstream trailer (already folded into the
+        // sink by the feed) says how many process boundaries the update
+        // crossed to reach us; our live broadcast is one more. Noting
+        // our own outgoing trailer back into the sink raises the
+        // epoch's stamped hop count to the outgoing value, so catch-up
+        // replays served by *this* relay are stamped one higher still —
+        // the same live/replay offset the root daemon has.
+        let trace = sink.epoch_trace(epoch);
+        let upstream_hops = trace.as_ref().map(|t| t.hops).unwrap_or(0);
+        let hops = upstream_hops.saturating_add(1);
+        handle.broadcast(update, hops);
+        sink.record_now(epoch, Stage::Broadcast);
+        sink.note_wire_trace(&Telemetry {
+            epoch,
+            origin: trace.as_ref().map(|t| t.origin).unwrap_or(0),
+            publish_ns: sink.publish_ns(epoch).unwrap_or(0),
+            hops,
+        });
+        stats.epochs_relayed.fetch_add(1, Ordering::Relaxed);
+        if tre_obs::is_enabled() {
+            tre_obs::event("relay.relayed", &format!("epoch={epoch} hops={hops}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos_tcp::SupervisorConfig;
+    use crate::clock::SimClock;
+    use crate::feed;
+    use crate::server::TimeServer;
+    use crate::tcp::{TcpFeed, Tred, TredConfig};
+    use std::time::Instant;
+    use tre_core::{KeyUpdate, ServerKeyPair};
+    use tre_pairing::toy64;
+
+    fn wait_until(mut done: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Root → relay → subscriber: updates cross both levels, verify
+    /// against the root key end-to-end, live broadcasts carry hop
+    /// count 1 (root stamps 0), and a catch-up replay served *by the
+    /// relay* is stamped one hop higher still (2).
+    #[test]
+    fn relay_re_serves_verified_updates_one_hop_down() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let root_pk = *keys.public();
+        let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+        let root_sink = TraceSink::new();
+        let tred = Tred::bind_traced(
+            "127.0.0.1:0",
+            curve,
+            server,
+            TredConfig {
+                shards: 1,
+                ..TredConfig::default()
+            },
+            root_sink,
+        )
+        .unwrap();
+
+        let upstream = feed::tcp::<8>(curve, tred.local_addr())
+            .supervised(Granularity::Seconds, SupervisorConfig::default(), 7)
+            .catch_up_from(0)
+            .build();
+        let relay = Relay::bind(
+            "127.0.0.1:0",
+            curve,
+            root_pk,
+            upstream,
+            RelayConfig {
+                shards: 1,
+                ..RelayConfig::default()
+            },
+        )
+        .unwrap();
+
+        // Let cold start finish (epoch 0 backfilled via catch-up) before
+        // advancing the clock, so epochs 1 and 2 reach the relay over the
+        // live path only — a catch-up reply racing the live broadcast
+        // would max-fold a replay hop count into the sink.
+        wait_until(|| relay.stats().epochs_relayed.load(Ordering::Relaxed) >= 1);
+
+        let mut feed: TcpFeed<8> = TcpFeed::new(curve, relay.local_addr());
+        let sub = Feed::subscribe(&mut feed);
+        wait_until(|| relay.subscriber_count() >= 1);
+
+        // Epochs 1 and 2 are broadcast while the downstream subscriber
+        // is registered, so they arrive live with the relay's hop stamp.
+        clock.advance(2);
+        let mut got: Vec<KeyUpdate<8>> = Vec::new();
+        wait_until(|| {
+            got.extend(Feed::poll(&mut feed, sub).into_iter().map(|(_, u)| u));
+            feed.trace_for(2).is_some()
+        });
+        assert!(got.len() >= 2, "epochs 1 and 2 crossed the relay live");
+        for u in &got {
+            assert!(u.verify(curve, &root_pk), "root key verifies end-to-end");
+        }
+        let live = feed.trace_for(2).expect("live trailer decoded");
+        assert_eq!(live.hops, 1, "live relay broadcast is one hop down");
+        assert!(
+            live.publish_ns > 0,
+            "root publish stamp forwarded through the relay"
+        );
+
+        // Re-request epoch 1 from the *relay's* archive. Replays are
+        // stamped one hop above the relay's live broadcast of the same
+        // epoch (1 live → 2 replayed), the same live/replay offset the
+        // root daemon applies.
+        wait_until(|| {
+            let _ = feed.request_catch_up(sub, 1, 1);
+            got.extend(Feed::poll(&mut feed, sub).into_iter().map(|(_, u)| u));
+            feed.trace_for(1).is_some_and(|t| t.hops == 2)
+        });
+        let replayed = feed.trace_for(1).expect("replay trailer decoded");
+        assert_eq!(replayed.hops, 2, "relay-served replay is live + 1 hop");
+
+        let stats = relay.stats();
+        assert!(stats.epochs_relayed.load(Ordering::Relaxed) >= 3);
+        assert_eq!(stats.updates_rejected.load(Ordering::Relaxed), 0);
+        relay.shutdown();
+        tred.shutdown();
+    }
+
+    /// The pre-pairing screen: duplicates (already relayed or repeated
+    /// within the burst) and untagged updates never reach the verifier,
+    /// so each epoch is verified exactly once per relay.
+    #[test]
+    fn burst_screen_dedupes_before_verification() {
+        let curve = toy64();
+        let mut rng = rand::thread_rng();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let stats = RelayStats::default();
+        let mut relayed = std::collections::BTreeSet::new();
+        relayed.insert(0u64);
+
+        let epoch = |e: u64| keys.issue_update(curve, &Granularity::Seconds.tag_for_epoch(e));
+        let untagged = keys.issue_update(curve, &tre_core::ReleaseTag::time("not/an/epoch"));
+        let deliveries = vec![
+            (1, epoch(0)), // already relayed
+            (1, epoch(1)),
+            (1, epoch(1)), // duplicate within the burst
+            (2, epoch(2)),
+            (2, untagged),
+        ];
+        let (epochs, fresh) = select_fresh::<8>(Granularity::Seconds, &stats, &relayed, deliveries);
+        assert_eq!(epochs, vec![1, 2], "only genuinely new epochs survive");
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(stats.duplicates_skipped.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.untagged_dropped.load(Ordering::Relaxed), 1);
+    }
+}

@@ -2,31 +2,33 @@
 //! [`TcpFeed`] subscriber feed.
 //!
 //! [`Tred`] serves the passive time server's broadcast duty over loopback
-//! or LAN TCP using the versioned `tre-wire` framing: a blocking accept
-//! loop, one writer thread per subscriber fed by a **bounded** outbound
-//! queue (a slow subscriber is evicted rather than allowed to stall the
-//! broadcast — the paper's server never blocks on a receiver), and a
-//! reader thread per connection that answers [`CatchUpRequest`] frames by
-//! replaying archived epochs. Each update is wire-encoded **once** per
-//! broadcast and shared by reference with every subscriber queue, so
-//! server-side cost stays independent of the subscriber count (the
-//! scalability claim, now measurable on a real socket).
+//! or LAN TCP using the versioned `tre-wire` framing, on top of the
+//! sharded readiness event loop in [`crate::evloop`]: N shard threads
+//! each multiplex their share of the subscriber sockets with `poll(2)`,
+//! so the daemon's thread count is `O(shards)` — never
+//! `O(subscribers)` — and one process holds 100k+ sockets. Each
+//! subscriber has a **bounded** outbound frame queue (a slow subscriber
+//! is evicted rather than allowed to stall the broadcast — the paper's
+//! server never blocks on a receiver), and [`CatchUpRequest`] frames
+//! are answered inline by replaying archived epochs. Each update is
+//! wire-encoded **once** per broadcast and shared by reference with
+//! every subscriber queue, so server-side cost stays independent of the
+//! subscriber count (the scalability claim, now measurable on a real
+//! socket).
 //!
 //! [`TcpFeed`] is the client side: it dials the daemon, speaks the
 //! [`Hello`] handshake, decodes the frame stream incrementally with
-//! [`tre_wire::peek_frame`], and implements [`Transport`] so a
+//! [`tre_wire::peek_frame`], and implements [`Feed`] so a
 //! [`crate::ReceiverClient`] pumps updates from it exactly as from the
 //! simulated [`crate::BroadcastNet`].
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use tre_core::{KeyUpdate, ServerPublicKey, TreError};
 use tre_pairing::Curve;
 use tre_wire::{
@@ -34,11 +36,11 @@ use tre_wire::{
 };
 
 use crate::archive::UpdateArchive;
-use crate::clock::Granularity;
+use crate::evloop::{Broadcaster, ServeShared};
+use crate::feed::Feed;
 use crate::net::SubscriberId;
 use crate::server::TimeServer;
 use crate::telemetry::{Stage, TraceSink};
-use crate::transport::Transport;
 
 /// Tuning knobs for the daemon.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +60,11 @@ pub struct TredConfig {
     /// slow peer pins and the delay until it is detected. `None` keeps
     /// the OS default.
     pub send_buffer: Option<u32>,
+    /// Event-loop shard threads. Each shard owns a disjoint set of
+    /// subscriber sockets and multiplexes them with `poll(2)`; the
+    /// daemon's total thread count is `shards + 2` (accept + ticker),
+    /// independent of the subscriber count.
+    pub shards: usize,
 }
 
 impl Default for TredConfig {
@@ -66,40 +73,10 @@ impl Default for TredConfig {
             queue_capacity: 64,
             poll_interval: Duration::from_millis(5),
             send_buffer: None,
+            shards: 4,
         }
     }
 }
-
-/// Applies [`TredConfig::send_buffer`] to an accepted socket. Best
-/// effort: a failed setsockopt leaves the OS default in place.
-#[cfg(target_os = "linux")]
-fn cap_send_buffer(stream: &TcpStream, bytes: u32) {
-    use std::os::unix::io::AsRawFd;
-    const SOL_SOCKET: i32 = 1;
-    const SO_SNDBUF: i32 = 7;
-    extern "C" {
-        fn setsockopt(
-            fd: i32,
-            level: i32,
-            optname: i32,
-            optval: *const core::ffi::c_void,
-            optlen: u32,
-        ) -> i32;
-    }
-    let val = bytes as i32;
-    unsafe {
-        setsockopt(
-            stream.as_raw_fd(),
-            SOL_SOCKET,
-            SO_SNDBUF,
-            (&val as *const i32).cast(),
-            std::mem::size_of::<i32>() as u32,
-        );
-    }
-}
-
-#[cfg(not(target_os = "linux"))]
-fn cap_send_buffer(_stream: &TcpStream, _bytes: u32) {}
 
 /// Daemon counters (all monotone; readable while the daemon runs).
 #[derive(Debug, Default)]
@@ -197,123 +174,14 @@ impl TredStats {
     }
 }
 
-/// One subscriber's send side: the bounded queue plus a close flag the
-/// writer thread observes (set on eviction or daemon shutdown).
-struct Slot {
-    tx: SyncSender<Arc<Vec<u8>>>,
-    closed: Arc<AtomicBool>,
-}
-
-/// Offers one already-encoded frame to every subscriber queue,
-/// evicting subscribers whose bounded queue is full or whose connection
-/// is gone. Extracted from the broadcast path so the eviction policy is
-/// unit-testable without sockets.
-fn offer_frame(slots: &mut Vec<Slot>, frame: &Arc<Vec<u8>>, stats: &TredStats) {
-    slots.retain(|slot| {
-        // Offer first, then resolve: every offer lands in exactly one
-        // of enqueued / evicted / dropped, keeping the conservation
-        // identity (see [`TredStats::in_flight`]) non-negative.
-        stats.frames_offered.fetch_add(1, Ordering::Relaxed);
-        if slot.closed.load(Ordering::Relaxed) {
-            stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        match slot.tx.try_send(Arc::clone(frame)) {
-            Ok(()) => {
-                stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            Err(TrySendError::Full(_)) => {
-                stats.evicted.fetch_add(1, Ordering::Relaxed);
-                slot.closed.store(true, Ordering::Relaxed);
-                tre_obs::event("tred.evicted", "slow subscriber");
-                false
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                false
-            }
-        }
-    });
-}
-
-/// Enqueues one frame onto a single subscriber's queue outside the
-/// broadcast path (the committee greeting, catch-up replies), keeping
-/// the offer/resolution accounting identical to [`offer_frame`].
-fn enqueue_direct(stats: &TredStats, tx: &SyncSender<Arc<Vec<u8>>>, frame: Arc<Vec<u8>>) -> bool {
-    stats.frames_offered.fetch_add(1, Ordering::Relaxed);
-    if tx.try_send(frame).is_ok() {
-        stats.frames_enqueued.fetch_add(1, Ordering::Relaxed);
-        true
-    } else {
-        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
-        false
-    }
-}
-
-struct Shared<const L: usize> {
-    curve: &'static Curve<L>,
-    slots: Mutex<Vec<Slot>>,
-    archive: Arc<UpdateArchive<L>>,
-    stats: Arc<TredStats>,
-    shutdown: AtomicBool,
-    queue_capacity: usize,
-    send_buffer: Option<u32>,
-    /// `Some(i)`: committee mode — this daemon is member `i` of a
-    /// threshold committee and frames every update (live and replayed)
-    /// as a [`KeyUpdateShare`] instead of a bare [`KeyUpdate`].
-    member: Option<u32>,
-    /// The epoch schedule, for deriving an update's epoch when
-    /// stamping its telemetry trailer.
-    granularity: Granularity,
-    /// `Some`: epoch-delivery tracing is on — every broadcast and
-    /// catch-up reply carries a [`Telemetry`] trailer frame and the
-    /// daemon stamps its pipeline stages into the sink.
-    trace: Option<TraceSink>,
-}
-
-/// Encodes one update as this daemon's broadcast frame: a bare
-/// [`KeyUpdate`] normally, a member-tagged [`KeyUpdateShare`] in
-/// committee mode. With tracing enabled, a [`Telemetry`] trailer frame
-/// is appended in the same buffer: epoch, origin (0 or the member
-/// index), the sink's publish stamp, and `hops` (0 live, bumped on
-/// catch-up replay) — v1 peers skip the unknown tag.
-fn encode_update_frame<const L: usize>(
-    shared: &Shared<L>,
-    update: &KeyUpdate<L>,
-    hops: u8,
-) -> Arc<Vec<u8>> {
-    let mut bytes = match shared.member {
-        Some(member) => KeyUpdateShare {
-            member,
-            update: update.clone(),
-        }
-        .wire_bytes(shared.curve),
-        None => update.wire_bytes(shared.curve),
-    };
-    if let Some(sink) = &shared.trace {
-        if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
-            let trailer = Telemetry {
-                epoch,
-                origin: shared.member.unwrap_or(0),
-                publish_ns: sink.publish_ns(epoch).unwrap_or(0),
-                hops,
-            };
-            <Telemetry as Wire<L>>::wire_write(&trailer, shared.curve, &mut bytes);
-            sink.count_emitted();
-        }
-    }
-    Arc::new(bytes)
-}
-
 /// A running broadcast daemon. Dropping without [`Tred::shutdown`]
 /// leaves the background threads running until process exit; tests and
 /// the `tred` binary always shut down explicitly.
 pub struct Tred<const L: usize> {
     addr: SocketAddr,
     public_key: ServerPublicKey<L>,
-    shared: Arc<Shared<L>>,
-    accept_handle: Option<JoinHandle<()>>,
+    shared: Arc<ServeShared<L>>,
+    broadcaster: Option<Broadcaster<L>>,
     ticker_handle: Option<JoinHandle<()>>,
 }
 
@@ -397,12 +265,9 @@ impl<const L: usize> Tred<L> {
         member: Option<u32>,
         trace: Option<TraceSink>,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
         let public_key = *server.public_key();
-        let shared = Arc::new(Shared {
+        let shared = Arc::new(ServeShared {
             curve,
-            slots: Mutex::new(Vec::new()),
             archive: server.archive_handle(),
             stats: Arc::new(TredStats::default()),
             shutdown: AtomicBool::new(false),
@@ -411,47 +276,38 @@ impl<const L: usize> Tred<L> {
             member,
             granularity: server.granularity(),
             trace,
+            forward_origin: false,
         });
+        let broadcaster = Broadcaster::bind(addr, Arc::clone(&shared), config.shards)?;
+        let local = broadcaster.local_addr();
+        let handle = broadcaster.handle();
 
         let ticker_handle = {
             let shared = Arc::clone(&shared);
             let mut server = server;
-            std::thread::spawn(move || {
-                while !shared.shutdown.load(Ordering::Relaxed) {
-                    for update in server.poll() {
-                        let frame = encode_update_frame(&shared, &update, 0);
-                        shared.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
-                        offer_frame(&mut shared.slots.lock(), &frame, &shared.stats);
-                        if let Some(sink) = &shared.trace {
-                            if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
-                                sink.record_now(epoch, Stage::Broadcast);
+            std::thread::Builder::new()
+                .name("tred-ticker".into())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::Relaxed) {
+                        for update in server.poll() {
+                            handle.broadcast(&update, 0);
+                            if let Some(sink) = &shared.trace {
+                                if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
+                                    sink.record_now(epoch, Stage::Broadcast);
+                                }
                             }
                         }
+                        std::thread::sleep(config.poll_interval);
                     }
-                    std::thread::sleep(config.poll_interval);
-                }
-            })
-        };
-
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        accept_subscriber(&shared, stream);
-                    }
-                }
-            })
+                })
+                .expect("spawn ticker thread")
         };
 
         Ok(Self {
             addr: local,
             public_key,
             shared,
-            accept_handle: Some(accept_handle),
+            broadcaster: Some(broadcaster),
             ticker_handle: Some(ticker_handle),
         })
     }
@@ -471,9 +327,12 @@ impl<const L: usize> Tred<L> {
         Arc::clone(&self.shared.stats)
     }
 
-    /// Current subscriber count (post-eviction).
+    /// Current subscriber count (post-eviction), summed across shards.
     pub fn subscriber_count(&self) -> usize {
-        self.shared.slots.lock().len()
+        self.broadcaster
+            .as_ref()
+            .map(Broadcaster::subscriber_count)
+            .unwrap_or(0)
     }
 
     /// The archive this daemon serves catch-ups from (durable when the
@@ -506,194 +365,17 @@ impl<const L: usize> Tred<L> {
         self.shared.trace.clone()
     }
 
-    /// Stops the ticker and accept loops, closes every subscriber, and
-    /// joins the daemon threads.
+    /// Stops the ticker, the accept loop, and every shard; closes every
+    /// subscriber socket and joins the daemon threads.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        for slot in self.shared.slots.lock().drain(..) {
-            slot.closed.store(true, Ordering::Relaxed);
-        }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        if let Some(broadcaster) = self.broadcaster.take() {
+            broadcaster.shutdown();
         }
         if let Some(h) = self.ticker_handle.take() {
             let _ = h.join();
         }
     }
-}
-
-/// Registers one accepted connection: a writer thread draining the
-/// subscriber's bounded queue onto the socket, and a reader thread
-/// handling [`Hello`] and [`CatchUpRequest`] frames.
-fn accept_subscriber<const L: usize>(shared: &Arc<Shared<L>>, stream: TcpStream) {
-    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-    if let Some(bytes) = shared.send_buffer {
-        cap_send_buffer(&stream, bytes);
-    }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = sync_channel::<Arc<Vec<u8>>>(shared.queue_capacity);
-    let closed = Arc::new(AtomicBool::new(false));
-    if let Some(member) = shared.member {
-        // Committee mode: the greeting is the first frame on the wire,
-        // before any share, so the feed can vet the member identity.
-        let hello = CommitteeHello {
-            version: tre_wire::VERSION,
-            member,
-        };
-        let mut frame = Vec::new();
-        <CommitteeHello as Wire<L>>::wire_write(&hello, shared.curve, &mut frame);
-        enqueue_direct(&shared.stats, &tx, Arc::new(frame));
-    }
-    shared.slots.lock().push(Slot {
-        tx: tx.clone(),
-        closed: Arc::clone(&closed),
-    });
-
-    {
-        let shared = Arc::clone(shared);
-        let closed = Arc::clone(&closed);
-        std::thread::spawn(move || writer_loop(&shared, stream, &rx, &closed));
-    }
-    {
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || {
-            reader_loop(&shared, read_half, &tx, &closed);
-            closed.store(true, Ordering::Relaxed);
-        });
-    }
-}
-
-/// Drains the subscriber queue onto the socket until eviction, daemon
-/// shutdown, disconnect, or a write error.
-fn writer_loop<const L: usize>(
-    shared: &Shared<L>,
-    mut stream: TcpStream,
-    rx: &Receiver<Arc<Vec<u8>>>,
-    closed: &AtomicBool,
-) {
-    loop {
-        if closed.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(frame) => {
-                if stream.write_all(&frame).is_err() {
-                    // The frame was consumed but not delivered.
-                    shared
-                        .stats
-                        .frames_abandoned
-                        .fetch_add(1, Ordering::Relaxed);
-                    closed.store(true, Ordering::Relaxed);
-                    break;
-                }
-                shared.stats.frames_written.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    // Resolve whatever is still queued so the conservation identity
-    // closes: these frames were enqueued but will never be written.
-    while rx.try_recv().is_ok() {
-        shared
-            .stats
-            .frames_abandoned
-            .fetch_add(1, Ordering::Relaxed);
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// Parses inbound control frames. A catch-up response rides the same
-/// bounded queue as live broadcasts, so replayed history competes
-/// fairly with fresh updates and a slow catch-up cannot stall anyone.
-fn reader_loop<const L: usize>(
-    shared: &Shared<L>,
-    mut stream: TcpStream,
-    tx: &SyncSender<Arc<Vec<u8>>>,
-    closed: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        if closed.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // peer closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        }
-        let mut off = 0;
-        loop {
-            match peek_frame(&buf[off..]) {
-                Ok(Some((header, body, _))) => {
-                    handle_control_frame(shared, header.type_tag, body, tx);
-                    off += HEADER_LEN + header.body_len;
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-                    return; // not a TRE wire stream: drop the connection
-                }
-            }
-        }
-        buf.drain(..off);
-    }
-}
-
-fn handle_control_frame<const L: usize>(
-    shared: &Shared<L>,
-    type_tag: u8,
-    body: &[u8],
-    tx: &SyncSender<Arc<Vec<u8>>>,
-) {
-    let curve = shared.curve;
-    if type_tag == <Hello as Wire<L>>::TYPE_TAG {
-        match <Hello as Wire<L>>::wire_read_body(curve, body) {
-            Ok(hello) if hello.version == tre_wire::VERSION => {}
-            _ => {
-                shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        return;
-    }
-    if type_tag == <CatchUpRequest as Wire<L>>::TYPE_TAG {
-        let Ok(req) = <CatchUpRequest as Wire<L>>::wire_read_body(curve, body) else {
-            shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        };
-        shared
-            .stats
-            .catch_up_requests
-            .fetch_add(1, Ordering::Relaxed);
-        for (_, update) in shared.archive.range(req.from, req.to) {
-            // A replayed update has crossed one more process boundary
-            // than a live broadcast: bump the trailer's hop count.
-            let frame = encode_update_frame(shared, &update, 1);
-            // try_send (via enqueue_direct): a subscriber whose queue
-            // cannot absorb its own catch-up response will be evicted
-            // by the next broadcast anyway; do not block the reader.
-            if !enqueue_direct(&shared.stats, tx, frame) {
-                break;
-            }
-            shared
-                .stats
-                .catch_up_replies
-                .fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    // Unknown-but-well-framed type: ignorable by design (forward compat).
 }
 
 /// Per-feed client counters.
@@ -754,16 +436,23 @@ impl<const L: usize> FeedConn<L> {
     }
 }
 
-/// A TCP subscriber feed: the client-side [`Transport`] over a running
-/// [`Tred`] daemon. Each [`Transport::subscribe`] call opens its own
-/// connection (so one feed can model several independent subscribers,
-/// mirroring [`crate::BroadcastNet`]); [`TcpFeed::disconnect`] /
-/// [`TcpFeed::reconnect`] model receiver downtime, and
-/// [`TcpFeed::request_catch_up`] asks the daemon to replay missed
-/// archived epochs into the normal update stream.
+/// A TCP subscriber feed: the client-side [`Feed`] over a running
+/// [`Tred`] (or relay) daemon. Each [`Feed::subscribe`] call opens its
+/// own connection (so one feed can model several independent
+/// subscribers, mirroring [`crate::BroadcastNet`]);
+/// [`TcpFeed::disconnect`] / [`TcpFeed::reconnect`] model receiver
+/// downtime, and [`TcpFeed::request_catch_up`] asks the daemon to
+/// replay missed archived epochs into the normal update stream. Extra
+/// upstream addresses added with [`TcpFeed::add_fallback`] are rotated
+/// through on reconnect, so a subscriber whose relay dies fails over to
+/// the next tree level — any daemon serving the same self-authenticated
+/// stream is interchangeable.
 pub struct TcpFeed<const L: usize> {
     curve: &'static Curve<L>,
-    addr: SocketAddr,
+    /// Upstream addresses in failover order; `addrs[active]` is dialed
+    /// first, the rest are tried in rotation when it refuses.
+    addrs: Vec<SocketAddr>,
+    active: usize,
     conns: Vec<FeedConn<L>>,
     clock: Option<crate::clock::SimClock>,
     polls: u64,
@@ -783,7 +472,8 @@ impl<const L: usize> TcpFeed<L> {
     pub fn new(curve: &'static Curve<L>, addr: SocketAddr) -> Self {
         Self {
             curve,
-            addr,
+            addrs: vec![addr],
+            active: 0,
             conns: Vec::new(),
             clock: None,
             polls: 0,
@@ -791,6 +481,26 @@ impl<const L: usize> TcpFeed<L> {
             trace: None,
             traces: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Adds a fallback upstream address tried (in rotation) when the
+    /// active address refuses a dial. The paper's self-authentication
+    /// property makes every daemon serving the stream interchangeable,
+    /// so failing over across relays — or all the way up to the root —
+    /// needs no extra trust.
+    pub fn add_fallback(&mut self, addr: SocketAddr) {
+        self.addrs.push(addr);
+    }
+
+    /// Builder-style [`TcpFeed::add_fallback`].
+    pub fn with_fallback(mut self, addr: SocketAddr) -> Self {
+        self.addrs.push(addr);
+        self
+    }
+
+    /// The upstream address currently dialed by new connections.
+    pub fn active_addr(&self) -> SocketAddr {
+        self.addrs[self.active]
     }
 
     /// Stamps deliveries with this clock instead of an internal poll
@@ -837,9 +547,24 @@ impl<const L: usize> TcpFeed<L> {
     }
 
     fn dial(&mut self) -> Result<TcpStream, TreError> {
-        let stream = TcpStream::connect(self.addr)?;
+        let mut last_err = None;
+        for i in 0..self.addrs.len() {
+            let idx = (self.active + i) % self.addrs.len();
+            match Self::dial_addr(self.curve, self.addrs[idx]) {
+                Ok(stream) => {
+                    self.active = idx;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one address"))
+    }
+
+    fn dial_addr(curve: &'static Curve<L>, addr: SocketAddr) -> Result<TcpStream, TreError> {
+        let stream = TcpStream::connect(addr)?;
         let mut hello = Vec::new();
-        <Hello as Wire<L>>::wire_write(&Hello::current(), self.curve, &mut hello);
+        <Hello as Wire<L>>::wire_write(&Hello::current(), curve, &mut hello);
         (&stream).write_all(&hello)?;
         stream.set_nonblocking(true)?;
         Ok(stream)
@@ -867,7 +592,7 @@ impl<const L: usize> TcpFeed<L> {
 
     /// Drains the committee key-update shares decoded on this
     /// subscriber's connection since the last call: `(stamp, member,
-    /// share)` in arrival order. Call after [`Transport::poll`] (which
+    /// share)` in arrival order. Call after [`Feed::poll`] (which
     /// does the socket draining and decoding).
     pub fn take_shares(&mut self, id: SubscriberId) -> Vec<(u64, u32, KeyUpdate<L>)> {
         std::mem::take(&mut self.conns[id.index()].shares)
@@ -890,7 +615,7 @@ impl<const L: usize> TcpFeed<L> {
     }
 
     /// Asks the daemon to replay archived epochs `from..=to`; the
-    /// replayed updates arrive through [`Transport::poll`] like any
+    /// replayed updates arrive through [`Feed::poll`] like any
     /// broadcast.
     ///
     /// # Errors
@@ -916,10 +641,10 @@ impl<const L: usize> TcpFeed<L> {
     }
 }
 
-impl<const L: usize> Transport<L> for TcpFeed<L> {
-    /// Dials a fresh connection. Panics on connect failure — transports
-    /// are infallible by trait; use [`TcpFeed::reconnect`]-style flows
-    /// for fallible recovery after the initial subscribe.
+impl<const L: usize> Feed<L> for TcpFeed<L> {
+    /// Dials a fresh connection. Panics on connect failure — subscribes
+    /// are infallible by trait; use [`TcpFeed::subscribe_lazy`] plus
+    /// [`TcpFeed::reconnect`]-style flows for fallible recovery.
     fn subscribe(&mut self) -> SubscriberId {
         let stream = self.dial().expect("tcp feed: initial subscribe failed");
         self.conns.push(FeedConn::new(Some(stream)));
@@ -1014,6 +739,22 @@ impl<const L: usize> Transport<L> for TcpFeed<L> {
         conn.buf.drain(..off);
         out
     }
+
+    fn request_catch_up(&mut self, id: SubscriberId, from: u64, to: u64) -> Result<(), TreError> {
+        TcpFeed::request_catch_up(self, id, from, to)
+    }
+
+    fn is_connected(&self, id: SubscriberId) -> bool {
+        TcpFeed::is_connected(self, id)
+    }
+
+    fn disconnect(&mut self, id: SubscriberId) {
+        TcpFeed::disconnect(self, id)
+    }
+
+    fn reconnect(&mut self, id: SubscriberId) -> Result<(), TreError> {
+        TcpFeed::reconnect(self, id)
+    }
 }
 
 #[cfg(test)]
@@ -1022,67 +763,6 @@ mod tests {
     use crate::clock::{Granularity, SimClock};
     use tre_core::ServerKeyPair;
     use tre_pairing::toy64;
-
-    /// Channel-level eviction test: deterministic, no sockets involved.
-    #[test]
-    fn slow_subscriber_evicted_when_queue_fills() {
-        let stats = TredStats::default();
-        let mut slots = Vec::new();
-        let mut fast_rxs = Vec::new();
-        // One slot with capacity 2 that nobody drains, one healthy slot.
-        let (slow_tx, _slow_rx) = sync_channel(2);
-        slots.push(Slot {
-            tx: slow_tx,
-            closed: Arc::new(AtomicBool::new(false)),
-        });
-        let (fast_tx, fast_rx) = sync_channel(16);
-        slots.push(Slot {
-            tx: fast_tx,
-            closed: Arc::new(AtomicBool::new(false)),
-        });
-        fast_rxs.push(fast_rx);
-
-        let frame = Arc::new(vec![1u8, 2, 3]);
-        for _ in 0..2 {
-            offer_frame(&mut slots, &frame, &stats);
-            assert_eq!(slots.len(), 2, "queue not yet full");
-        }
-        offer_frame(&mut slots, &frame, &stats);
-        assert_eq!(slots.len(), 1, "slow subscriber evicted on overflow");
-        assert!(!slots[0].closed.load(Ordering::Relaxed));
-        assert_eq!(stats.evicted.load(Ordering::Relaxed), 1);
-        assert_eq!(
-            stats.frames_enqueued.load(Ordering::Relaxed),
-            2 + 3,
-            "2 to the slow queue before overflow, 3 to the fast one"
-        );
-        assert_eq!(
-            fast_rxs[0].try_iter().count(),
-            3,
-            "healthy subscriber got every frame"
-        );
-    }
-
-    #[test]
-    fn closed_and_disconnected_slots_pruned() {
-        let stats = TredStats::default();
-        let mut slots = Vec::new();
-        let (tx1, _rx_keep) = sync_channel::<Arc<Vec<u8>>>(4);
-        slots.push(Slot {
-            tx: tx1,
-            // Marked closed (e.g. the reader thread saw EOF).
-            closed: Arc::new(AtomicBool::new(true)),
-        });
-        let (tx2, rx2) = sync_channel::<Arc<Vec<u8>>>(4);
-        drop(rx2); // receiver side gone entirely
-        slots.push(Slot {
-            tx: tx2,
-            closed: Arc::new(AtomicBool::new(false)),
-        });
-        offer_frame(&mut slots, &Arc::new(vec![0u8]), &stats);
-        assert!(slots.is_empty(), "both defunct slots pruned");
-        assert_eq!(stats.evicted.load(Ordering::Relaxed), 0, "not evictions");
-    }
 
     /// Full loopback round trip: daemon broadcasts two epochs, a TcpFeed
     /// subscriber receives and verifies them.

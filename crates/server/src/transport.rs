@@ -1,46 +1,57 @@
-//! The client-side transport abstraction.
+//! The original client-side transport abstraction, superseded by
+//! [`Feed`](crate::Feed).
 //!
-//! A [`Transport`] is anything a [`crate::ReceiverClient`] can drain key
-//! updates from: the deterministic in-process [`BroadcastNet`] simulation
-//! and the real TCP subscriber feed [`crate::TcpFeed`] implement the same
-//! two operations, so client code (and [`crate::Simulation`]-style
-//! orchestration) is written once and runs against either.
+//! [`Transport`] modeled only `subscribe`/`poll`; the relay tier needed
+//! catch-up ranges and connection lifecycle on the same surface, so the
+//! workspace moved to [`crate::Feed`] (see [`crate::feed`] for the
+//! builder entry points). The trait is kept for one release as a
+//! deprecated shim, blanket-implemented for every `Feed`, so external
+//! callers bound on `impl Transport` keep compiling while they migrate.
 
 use tre_core::KeyUpdate;
 
-use crate::net::{BroadcastNet, SubscriberId};
+use crate::feed::Feed;
+use crate::net::SubscriberId;
 
 /// A source of broadcast key updates with per-subscriber delivery.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `tre_server::Feed` — same `subscribe`/`poll` surface plus \
+            catch-up ranges and connection lifecycle"
+)]
 pub trait Transport<const L: usize> {
     /// Registers a new subscriber and returns its handle.
     fn subscribe(&mut self) -> SubscriberId;
 
     /// Drains every update currently deliverable to `id`, as
-    /// `(delivered_at, update)` pairs in delivery order. Updates sharing
-    /// a `delivered_at` stamp arrived together and may be batch-verified
-    /// as one burst (see [`crate::ReceiverClient::pump`]).
+    /// `(delivered_at, update)` pairs in delivery order.
     fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)>;
 }
 
-impl<const L: usize> Transport<L> for BroadcastNet<L> {
+/// Every [`Feed`] is a [`Transport`]: the shim that keeps pre-redesign
+/// callers compiling for one release.
+#[allow(deprecated)]
+impl<const L: usize, F: Feed<L>> Transport<L> for F {
     fn subscribe(&mut self) -> SubscriberId {
-        BroadcastNet::subscribe(self)
+        Feed::subscribe(self)
     }
 
     fn poll(&mut self, id: SubscriberId) -> Vec<(u64, KeyUpdate<L>)> {
-        BroadcastNet::poll(self, id)
+        Feed::poll(self, id)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::clock::SimClock;
-    use crate::net::NetConfig;
+    use crate::net::{BroadcastNet, NetConfig};
     use tre_core::{ReleaseTag, ServerKeyPair};
     use tre_pairing::toy64;
 
-    /// Generic over the trait — proves dynamic-free polymorphic use.
+    /// Generic over the deprecated trait — proves the blanket shim
+    /// still serves code that has not migrated to [`Feed`].
     fn drain_all<const L: usize, T: Transport<L>>(
         t: &mut T,
         id: SubscriberId,
@@ -49,7 +60,7 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_net_is_a_transport() {
+    fn every_feed_is_still_a_transport() {
         let curve = toy64();
         let mut rng = rand::thread_rng();
         let clock = SimClock::new();

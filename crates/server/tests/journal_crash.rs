@@ -12,8 +12,8 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use tre_server::{
-    FsyncPolicy, Granularity, JournalConfig, SimClock, SubscriberId, TcpFeed, TimeServer,
-    Transport, UpdateArchive,
+    Feed, FsyncPolicy, Granularity, JournalConfig, SimClock, SubscriberId, TcpFeed, TimeServer,
+    UpdateArchive,
 };
 use tre_wire::Wire;
 

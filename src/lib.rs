@@ -56,6 +56,6 @@ pub mod prelude {
         KeyUpdate, Receiver, ReleaseTag, Sender, ServerKeyPair, ServerPublicKey, TreError,
         UserKeyPair, UserPublicKey,
     };
-    pub use tre_server::{Granularity, ReceiverClient, SimClock, TimeServer, Transport};
+    pub use tre_server::{Feed, Granularity, ReceiverClient, SimClock, TimeServer};
     pub use tre_wire::Wire;
 }
