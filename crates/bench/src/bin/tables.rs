@@ -15,9 +15,10 @@ use tre_core::{fo, hybrid, insulated::EpochKey, multi_server, react, server_chan
 use tre_core::{KeyUpdate, Receiver, ReleaseTag, Sender, ServerKeyPair, UserKeyPair};
 use tre_pairing::{mid96, toy64, Curve};
 use tre_server::{
-    BroadcastNet, ChaosProxy, ChaosSim, Fault, FaultPlan, Feed, Granularity, JournalConfig,
-    NetConfig, ReceiverClient, SimClock, Stage, SupervisedFeed, SupervisorConfig, TcpFeed,
-    TimeServer, TraceSink, Tred, TredConfig, UpdateArchive,
+    BroadcastNet, CatchUpConfig, ChaosProxy, ChaosSim, Fault, FaultPlan, Feed, FsyncPolicy,
+    Granularity, JournalConfig, NetConfig, ReceiverClient, SegmentStore, SegmentStoreConfig,
+    SimClock, Stage, SupervisedFeed, SupervisorConfig, TcpFeed, TimeServer, TraceSink, Tred,
+    TredConfig, UpdateArchive,
 };
 
 /// Canonical body-encoding size of one key update (what the size tables
@@ -94,6 +95,9 @@ fn main() {
     }
     if want("e20") {
         e20();
+    }
+    if want("e21") {
+        e21();
     }
 }
 
@@ -2435,4 +2439,500 @@ fn e20() {
     let out = std::env::var("TRE_BENCH_E20_OUT").unwrap_or_else(|_| "BENCH_e20.json".to_string());
     let _ = std::fs::write(&out, &json);
     println!("artifacts: target/e20/e20.json, {out}\n");
+}
+
+/// E21: the reconnect storm. Every client cold-starts an open-ended
+/// deep catch-up at once against a durable archive whose history lives
+/// in many small sealed segment files. The daemon must clip the absurd
+/// spans, admit a bounded number of replays, shed the rest with `Busy`
+/// retry hints, and still deliver every epoch to every client — the
+/// supervised clients honor the hints and resume partial ranges instead
+/// of replaying them. A final point-lookup pass over the reopened
+/// segment store asserts the sparse index answers in O(log n) probes
+/// against the linear-scan baseline of records/2.
+/// One raw-socket client of the E21 storm tier: real connection-scale
+/// catch-up pressure with no client-side curve arithmetic — epochs are
+/// read straight off the frame's tag bytes, so a single core can drive
+/// a five-digit herd while the supervised cohort (full
+/// [`SupervisedFeed`]s) measures decode-and-verify latency. The state
+/// machine mirrors the paper's recovering receiver at the wire level:
+/// request a deep range, absorb `Busy`, retry after the hinted delay,
+/// and resume from the first missing epoch after a stall or redial.
+struct StormClient {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+    seen: Vec<u64>,
+    count: u64,
+    done_at: Option<std::time::Duration>,
+    retry_at: Option<std::time::Instant>,
+    last_progress: std::time::Instant,
+    requests: u64,
+    busy_seen: u64,
+    resumes: u64,
+    reconnects: u64,
+    dead: bool,
+}
+
+impl StormClient {
+    /// First epoch below `epochs` not yet covered by the bitmap.
+    fn next_missing(&self, epochs: u64) -> u64 {
+        for (w, &word) in self.seen.iter().enumerate() {
+            if word != u64::MAX {
+                let e = (w as u64) * 64 + word.trailing_ones() as u64;
+                if e < epochs {
+                    return e;
+                }
+            }
+        }
+        epochs
+    }
+}
+
+fn e21() {
+    use std::io::{Read, Write};
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+    use tre_wire::{peek_frame, CatchUpRequest, Hello, Wire, TAG_BUSY, TAG_KEY_UPDATE};
+
+    println!("## E21 — reconnect storm: overload-safe deep catch-up from the segment archive\n");
+    let quick = std::env::var("TRE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let epochs: u64 = 384;
+    let want_clients: usize = std::env::var("TRE_BENCH_E21_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 200 } else { 10_000 });
+    let deadline = Duration::from_secs(if quick { 120 } else { 900 });
+    let p99_bound_ms: u64 = if quick { 30_000 } else { 300_000 };
+    let stall_timeout = Duration::from_secs(10);
+
+    let curve = toy64();
+    let mut r = rng();
+    let dir = std::env::temp_dir().join(format!("tre-e21-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Tiny segments: the whole history lands in many sealed, indexed
+    // segment files, so the storm is served from disk, not the map.
+    let keys = ServerKeyPair::generate(curve, &mut r);
+    let spk = *keys.public();
+    let clock = SimClock::new();
+    let (archive, _) = UpdateArchive::open_durable(
+        &dir,
+        curve,
+        JournalConfig {
+            fsync: FsyncPolicy::OnClose,
+            max_segment_bytes: 2048,
+        },
+    )
+    .expect("durable archive");
+    let archive = std::sync::Arc::new(archive);
+    let server = {
+        let mut server = TimeServer::recover(
+            curve,
+            keys,
+            clock.clone(),
+            Granularity::Seconds,
+            archive.clone(),
+        );
+        clock.advance(epochs - 1);
+        assert_eq!(
+            server.poll().len() as u64,
+            epochs,
+            "epochs 0..={} archived before the storm",
+            epochs - 1
+        );
+        server
+    };
+    let sealed_segments = archive.segment_stats().expect("durable").segments_sealed;
+    assert!(
+        sealed_segments >= 8,
+        "tiny segments force many seals, saw {sealed_segments}"
+    );
+
+    // Both socket ends live here, as in the E20 rig.
+    let limit = raise_nofile(want_clients as u64 * 2 + 512);
+    let clients = want_clients.min(((limit.saturating_sub(512)) / 2) as usize);
+    if clients < want_clients {
+        println!("(fd limit {limit}: scaled storm down to {clients} clients)\n");
+    }
+    // Two tiers: a supervised cohort paying full decode+verify per
+    // update (the latency the paper's recovering receiver experiences),
+    // and a raw-socket storm supplying the rest of the herd's admission
+    // pressure at wire-parse cost only.
+    let cohort = clients.min(if quick { 50 } else { 200 });
+    let storm_n = clients - cohort;
+
+    let tred = Tred::bind(
+        "127.0.0.1:0",
+        curve,
+        server,
+        TredConfig {
+            shards: 4,
+            queue_capacity: 512,
+            catch_up: CatchUpConfig {
+                max_span: 512,
+                max_concurrent: 32,
+                chunk: 64,
+                retry_after_ms: 50,
+            },
+            ..TredConfig::default()
+        },
+    )
+    .expect("bind tred");
+
+    let addr = tred.local_addr();
+    let feed: TcpFeed<8> = TcpFeed::new(curve, addr);
+    let mut sup = SupervisedFeed::new(
+        feed,
+        Granularity::Seconds,
+        SupervisorConfig {
+            catch_up_timeout: stall_timeout,
+            catch_up_retries: 1_000_000,
+            ..SupervisorConfig::default()
+        },
+        21,
+    );
+    sup.set_cold_start_from(0);
+    let ids: Vec<_> = (0..cohort).map(|_| Feed::subscribe(&mut sup)).collect();
+
+    let hello = <Hello as Wire<8>>::wire_bytes(&Hello::current(), curve);
+    let request = |from: u64| {
+        <CatchUpRequest as Wire<8>>::wire_bytes(&CatchUpRequest { from, to: u64::MAX }, curve)
+    };
+    let words = (epochs as usize).div_ceil(64);
+    let t0 = Instant::now();
+
+    // The storm arrives: every raw client dials, greets, and demands the
+    // whole archive in one breath.
+    let mut storm: Vec<StormClient> = Vec::with_capacity(storm_n);
+    for _ in 0..storm_n {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect storm socket");
+        let _ = s.set_nodelay(true);
+        s.write_all(&hello).expect("storm hello");
+        s.write_all(&request(0)).expect("storm catch-up request");
+        s.set_nonblocking(true).expect("nonblocking storm socket");
+        storm.push(StormClient {
+            stream: s,
+            buf: Vec::new(),
+            seen: vec![0u64; words],
+            count: 0,
+            done_at: None,
+            retry_at: None,
+            last_progress: Instant::now(),
+            requests: 1,
+            busy_seen: 0,
+            resumes: 0,
+            reconnects: 0,
+            dead: false,
+        });
+    }
+
+    // Per-client epoch coverage as a bitmap; completion latency is
+    // storm-start to full coverage (the metric the paper's recovering
+    // receiver cares about).
+    let mut seen: Vec<Vec<u64>> = vec![vec![0u64; words]; cohort];
+    let mut counts: Vec<u64> = vec![0; cohort];
+    let mut done_at: Vec<Option<Duration>> = vec![None; cohort];
+    let mut completed = 0usize;
+    let mut dropped_cohort = 0usize;
+    let mut dropped_storm = 0usize;
+    let mut verified = 0u64;
+    let mut chunk = vec![0u8; 64 * 1024];
+    while completed < clients && t0.elapsed() < deadline {
+        for (i, &id) in ids.iter().enumerate() {
+            if done_at[i].is_some() {
+                continue;
+            }
+            for (_, update) in Feed::poll(&mut sup, id) {
+                if verified < 64 {
+                    assert!(update.verify(curve, &spk), "sampled update verifies");
+                    verified += 1;
+                }
+                if let Some(e) = Granularity::Seconds.epoch_of_tag(update.tag()) {
+                    if e < epochs {
+                        let (w, b) = ((e / 64) as usize, e % 64);
+                        if seen[i][w] & (1 << b) == 0 {
+                            seen[i][w] |= 1 << b;
+                            counts[i] += 1;
+                        }
+                    }
+                }
+            }
+            if counts[i] == epochs {
+                done_at[i] = Some(t0.elapsed());
+                completed += 1;
+            }
+        }
+
+        let now = Instant::now();
+        for (i, c) in storm.iter_mut().enumerate() {
+            if c.done_at.is_some() {
+                continue;
+            }
+            // Drain the socket; a dead one re-dials and resumes from the
+            // first missing epoch — never from scratch.
+            loop {
+                match c.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => c.buf.extend_from_slice(&chunk[..n]),
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            let mut consumed = 0usize;
+            while let Ok(Some((header, body, rest))) = peek_frame(&c.buf[consumed..]) {
+                match header.type_tag {
+                    TAG_KEY_UPDATE => {
+                        if let Some((tag, _)) = ReleaseTag::from_bytes(body) {
+                            if let Some(e) = Granularity::Seconds.epoch_of_tag(&tag) {
+                                if e < epochs {
+                                    let (w, b) = ((e / 64) as usize, e % 64);
+                                    if c.seen[w] & (1 << b) == 0 {
+                                        c.seen[w] |= 1 << b;
+                                        c.count += 1;
+                                        c.last_progress = now;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    TAG_BUSY if body.len() == 4 => {
+                        let ms = u64::from(u32::from_be_bytes(body.try_into().unwrap()));
+                        c.busy_seen += 1;
+                        c.last_progress = now;
+                        // Small per-client jitter keeps the shed herd
+                        // from re-arriving in lockstep.
+                        c.retry_at = Some(now + Duration::from_millis(ms + (i as u64 % 50)));
+                    }
+                    _ => {}
+                }
+                consumed = c.buf.len() - rest.len();
+            }
+            if consumed > 0 {
+                c.buf.drain(..consumed);
+            }
+            if c.count == epochs {
+                c.done_at = Some(t0.elapsed());
+                completed += 1;
+                continue;
+            }
+            if c.dead {
+                if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                    let _ = s.set_nodelay(true);
+                    let from = c.next_missing(epochs);
+                    if s.write_all(&hello).is_ok()
+                        && s.write_all(&request(from)).is_ok()
+                        && s.set_nonblocking(true).is_ok()
+                    {
+                        c.stream = s;
+                        c.buf.clear();
+                        c.dead = false;
+                        c.reconnects += 1;
+                        c.requests += 1;
+                        c.retry_at = None;
+                        c.last_progress = now;
+                    }
+                }
+                continue;
+            }
+            if let Some(at) = c.retry_at {
+                if now >= at {
+                    c.retry_at = None;
+                    let from = c.next_missing(epochs);
+                    if c.stream.write_all(&request(from)).is_ok() {
+                        c.requests += 1;
+                        c.last_progress = now;
+                    } else {
+                        c.dead = true;
+                    }
+                }
+            } else if now.duration_since(c.last_progress) > stall_timeout {
+                // Reply lost mid-stream (e.g. the churn killed the
+                // serving connection): ask again from the gap.
+                let from = c.next_missing(epochs);
+                if c.stream.write_all(&request(from)).is_ok() {
+                    c.requests += 1;
+                    c.resumes += 1;
+                    c.last_progress = now;
+                } else {
+                    c.dead = true;
+                }
+            }
+        }
+
+        // Mid-storm churn: once the storm is under way, kill every 10th
+        // straggler's socket once, in both tiers. The supervisor (and
+        // the raw tier's redial path) must come back and resume the
+        // partial range, not replay it from scratch.
+        if dropped_cohort + dropped_storm == 0 && completed >= (clients / 4).max(1) {
+            for (i, &id) in ids.iter().enumerate() {
+                if done_at[i].is_none() && i % 10 == 0 {
+                    Feed::disconnect(&mut sup, id);
+                    dropped_cohort += 1;
+                }
+            }
+            for (i, c) in storm.iter_mut().enumerate() {
+                if c.done_at.is_none() && i % 10 == 0 {
+                    let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                    dropped_storm += 1;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Zero missed epochs: every client in both tiers covered the range.
+    let incomplete = done_at.iter().filter(|d| d.is_none()).count()
+        + storm.iter().filter(|c| c.done_at.is_none()).count();
+    assert_eq!(
+        incomplete, 0,
+        "{incomplete} of {clients} clients missed epochs after {deadline:?}"
+    );
+    for &id in &ids {
+        assert!(sup.missing_epochs(id).is_empty(), "no interior gaps");
+    }
+
+    let mut lat_ms: Vec<u64> = done_at
+        .iter()
+        .map(|d| d.expect("complete").as_millis() as u64)
+        .chain(
+            storm
+                .iter()
+                .map(|c| c.done_at.expect("complete").as_millis() as u64),
+        )
+        .collect();
+    lat_ms.sort_unstable();
+    let at = |q: f64| lat_ms[((clients - 1) as f64 * q) as usize];
+    let (p50, p99, max) = (at(0.50), at(0.99), lat_ms[clients - 1]);
+    let storm_requests: u64 = storm.iter().map(|c| c.requests).sum();
+    let storm_busy: u64 = storm.iter().map(|c| c.busy_seen).sum();
+    let storm_resumes: u64 = storm.iter().map(|c| c.resumes).sum();
+    let storm_reconnects: u64 = storm.iter().map(|c| c.reconnects).sum();
+    drop(storm);
+
+    let tstats = tred.stats();
+    let requests = tstats.catch_up_requests.load(Ordering::Relaxed);
+    let clipped = tstats.catch_up_clipped.load(Ordering::Relaxed);
+    let shed = tstats.catch_up_shed.load(Ordering::Relaxed);
+    let sstats = sup.stats();
+    tred.shutdown();
+    let stats_snapshot = sstats;
+    drop(sup);
+
+    header(&[
+        "clients",
+        "cohort",
+        "epochs",
+        "p50 ms",
+        "p99 ms",
+        "max ms",
+        "requests",
+        "clipped",
+        "shed",
+        "retries",
+        "resumes",
+        "busy seen",
+        "reconnects",
+    ]);
+    row(&[
+        format!("{clients}"),
+        format!("{cohort}"),
+        format!("{epochs}"),
+        format!("{p50}"),
+        format!("{p99}"),
+        format!("{max}"),
+        format!("{requests}"),
+        format!("{clipped}"),
+        format!("{shed}"),
+        format!("{}", stats_snapshot.catch_up_retries),
+        format!("{}", stats_snapshot.catch_up_resumes + storm_resumes),
+        format!("{}", stats_snapshot.busy_sheds_seen + storm_busy),
+        format!("{}", stats_snapshot.reconnects + storm_reconnects),
+    ]);
+    assert!(
+        p99 <= p99_bound_ms,
+        "p99 catch-up latency {p99} ms blew the {p99_bound_ms} ms budget"
+    );
+    assert!(
+        clipped >= clients as u64,
+        "every open-ended cold start is clipped server-side"
+    );
+    assert!(
+        shed > 0 && stats_snapshot.busy_sheds_seen + storm_busy > 0,
+        "a storm of {clients} clients against 32 replay slots must shed"
+    );
+    if dropped_cohort > 0 {
+        assert!(
+            stats_snapshot.reconnects > 0,
+            "killed cohort sockets came back through the supervisor"
+        );
+    }
+    if dropped_storm > 0 {
+        assert!(
+            storm_reconnects > 0,
+            "killed storm sockets re-dialed and resumed"
+        );
+    }
+
+    // O(log n) probe evidence: reopen the sealed store and point-look-up
+    // a spread of epochs; compare probes/lookup against the linear-scan
+    // baseline of records/2.
+    let mut store =
+        SegmentStore::open(&dir, SegmentStoreConfig::default()).expect("reopen segment store");
+    let records = store.total_records();
+    let max_sealed = store.sealed_max_epoch().expect("sealed epochs");
+    let lookups: u64 = 128;
+    for k in 0..lookups {
+        let e = k * max_sealed / lookups.max(1);
+        assert!(
+            store.lookup(e).expect("lookup").is_some(),
+            "sealed epoch {e} resolves"
+        );
+    }
+    let pstats = store.stats();
+    let avg_probes = pstats.lookup_probes as f64 / pstats.lookups as f64;
+    let linear = records as f64 / 2.0;
+    assert!(
+        avg_probes * 4.0 <= linear,
+        "sparse-index lookups are sub-linear: {avg_probes:.1} probes vs {linear:.1} baseline"
+    );
+    println!(
+        "\n({records} sealed records in {} segments; {lookups} point lookups averaged \
+         {avg_probes:.1} probes\n vs a {linear:.1}-record linear-scan baseline — \
+         {:.1}x fewer, O(log n) asserted at 4x margin.)\n",
+        store.segment_count(),
+        linear / avg_probes
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e21\",\n  \"quick\": {quick},\n  \"clients\": {clients},\n  \
+         \"cohort\": {cohort},\n  \"storm\": {storm_n},\n  \"epochs\": {epochs},\n  \
+         \"dropped_mid_storm\": {},\n  \
+         \"latency_ms\": {{\"p50\": {p50}, \"p99\": {p99}, \"max\": {max}}},\n  \
+         \"server\": {{\"requests\": {requests}, \"clipped\": {clipped}, \"shed\": {shed}}},\n  \
+         \"cohort_stats\": {{\"retries\": {}, \"resumes\": {}, \"busy_sheds_seen\": {}, \"reconnects\": {}}},\n  \
+         \"storm_stats\": {{\"requests\": {storm_requests}, \"resumes\": {storm_resumes}, \
+         \"busy_sheds_seen\": {storm_busy}, \"reconnects\": {storm_reconnects}}},\n  \
+         \"probes\": {{\"lookups\": {lookups}, \"avg_probes\": {avg_probes:.2}, \
+         \"linear_baseline\": {linear:.1}, \"speedup\": {:.1}}}\n}}\n",
+        dropped_cohort + dropped_storm,
+        stats_snapshot.catch_up_retries,
+        stats_snapshot.catch_up_resumes,
+        stats_snapshot.busy_sheds_seen,
+        stats_snapshot.reconnects,
+        linear / avg_probes,
+    );
+    let out_dir = std::path::Path::new("target/e21");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let _ = std::fs::write(out_dir.join("e21.json"), &json);
+    }
+    let out = std::env::var("TRE_BENCH_E21_OUT").unwrap_or_else(|_| "BENCH_e21.json".to_string());
+    let _ = std::fs::write(&out, &json);
+    println!("artifacts: target/e21/e21.json, {out}\n");
+    let _ = std::fs::remove_dir_all(&dir);
 }

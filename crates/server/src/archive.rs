@@ -14,12 +14,16 @@ use tre_core::KeyUpdate;
 use tre_pairing::Curve;
 
 use crate::journal::{Journal, JournalConfig, JournalStats, ReplayReport};
+use crate::segments::{SegmentStore, SegmentStoreConfig, SegmentStoreStats};
 
-/// The on-disk backing of a durable archive: the append-only journal and
-/// the curve needed to encode / decode record bodies.
+/// The on-disk backing of a durable archive: the append-only journal
+/// (write path, source of truth), the epoch-indexed segment store (read
+/// path for deep ranges), and the curve needed to encode / decode
+/// record bodies.
 struct Durable<const L: usize> {
     curve: &'static Curve<L>,
     journal: Mutex<Journal>,
+    segments: Mutex<SegmentStore>,
 }
 
 impl<const L: usize> std::fmt::Debug for Durable<L> {
@@ -67,7 +71,11 @@ impl<const L: usize> UpdateArchive<L> {
         curve: &'static Curve<L>,
         config: JournalConfig,
     ) -> io::Result<(Self, ReplayReport)> {
-        let (journal, records, mut report) = Journal::open(dir, config)?;
+        let (journal, records, mut report) = Journal::open(&dir, config)?;
+        let mut segments = SegmentStore::open(&dir, SegmentStoreConfig::default())?;
+        // Adopt whatever the previous life sealed but never archived —
+        // this is also where a kill -9 mid-rotation heals.
+        let _ = segments.adopt_sealed(journal.active_segment());
         let mut map = BTreeMap::new();
         for (epoch, body) in records {
             match KeyUpdate::read_body(curve, &body) {
@@ -86,6 +94,7 @@ impl<const L: usize> UpdateArchive<L> {
             durable: Some(Durable {
                 curve,
                 journal: Mutex::new(journal),
+                segments: Mutex::new(segments),
             }),
         };
         Ok((archive, report))
@@ -99,6 +108,28 @@ impl<const L: usize> UpdateArchive<L> {
     /// Journal counters, when durable.
     pub fn journal_stats(&self) -> Option<JournalStats> {
         self.durable.as_ref().map(|d| d.journal.lock().stats())
+    }
+
+    /// Segment-store counters, when durable.
+    pub fn segment_stats(&self) -> Option<SegmentStoreStats> {
+        self.durable.as_ref().map(|d| d.segments.lock().stats())
+    }
+
+    /// Records held by sealed archive segments (0 when in-memory) —
+    /// the linear-scan baseline for the probe-count experiments.
+    pub fn sealed_records(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.segments.lock().total_records())
+    }
+
+    /// Arms segment-scoped I/O faults from `plan` on the underlying
+    /// [`SegmentStore`] (no-op for an in-memory archive). See
+    /// [`SegmentStore::set_fault_plan`].
+    pub fn set_segment_fault_plan(&self, plan: &crate::faults::FaultPlan) {
+        if let Some(d) = &self.durable {
+            d.segments.lock().set_fault_plan(plan);
+        }
     }
 
     /// Forces any buffered journal appends to stable storage (no-op for
@@ -120,7 +151,17 @@ impl<const L: usize> UpdateArchive<L> {
     /// occur (no-op).
     pub fn rotate_journal(&self) -> io::Result<()> {
         match &self.durable {
-            Some(d) => d.journal.lock().rotate(),
+            Some(d) => {
+                let active = {
+                    let mut j = d.journal.lock();
+                    j.rotate()?;
+                    j.active_segment()
+                };
+                // The just-sealed segment becomes an indexed archive
+                // segment; a failure here is retried on the next seal.
+                let _ = d.segments.lock().adopt_sealed(active);
+                Ok(())
+            }
             None => Ok(()),
         }
     }
@@ -134,7 +175,11 @@ impl<const L: usize> UpdateArchive<L> {
     /// Propagates filesystem errors.
     pub fn compact_journal(&self, horizon: u64) -> io::Result<u64> {
         match &self.durable {
-            Some(d) => d.journal.lock().compact(horizon),
+            Some(d) => {
+                let dropped = d.journal.lock().compact(horizon)?;
+                d.segments.lock().compact(horizon)?;
+                Ok(dropped)
+            }
             None => Ok(0),
         }
     }
@@ -155,10 +200,19 @@ impl<const L: usize> UpdateArchive<L> {
         if let Some(d) = &self.durable {
             let mut body = Vec::new();
             update.write_body(d.curve, &mut body);
-            d.journal
-                .lock()
-                .append(epoch, &body)
-                .expect("journal append failed: refusing to ack a non-durable update");
+            let (rotated, active) = {
+                let mut j = d.journal.lock();
+                let before = j.active_segment();
+                j.append(epoch, &body)
+                    .expect("journal append failed: refusing to ack a non-durable update");
+                (j.active_segment() != before, j.active_segment())
+            };
+            if rotated {
+                // The append sealed a segment; index it. Seal failures
+                // are counted and retried — the journal still has the
+                // records, so the publish is not at risk.
+                let _ = d.segments.lock().adopt_sealed(active);
+            }
         }
         self.entries.write().insert(epoch, update);
     }
@@ -196,13 +250,132 @@ impl<const L: usize> UpdateArchive<L> {
     }
 
     /// All updates in the inclusive epoch range (for catch-up after an
-    /// outage).
+    /// outage). Materialises the whole span — the serving path should
+    /// prefer [`read_range_chunk`](Self::read_range_chunk).
     pub fn range(&self, from: u64, to: u64) -> Vec<(u64, KeyUpdate<L>)> {
         self.entries
             .read()
             .range(from..=to)
             .map(|(e, u)| (*e, u.clone()))
             .collect()
+    }
+
+    /// Bounded chunk of the inclusive epoch range `[from, to]`: at most
+    /// `max` updates in ascending epoch order, plus the epoch to resume
+    /// from when the range has more (`None` when this chunk finishes
+    /// it). Sealed epochs stream straight off the segment files — no
+    /// full-span materialisation; epochs past the sealed horizon (and
+    /// in-memory archives, and segment read failures) are served from
+    /// the live map.
+    pub fn read_range_chunk(
+        &self,
+        from: u64,
+        to: u64,
+        max: usize,
+    ) -> (Vec<(u64, KeyUpdate<L>)>, Option<u64>) {
+        if max == 0 || from > to {
+            return (Vec::new(), None);
+        }
+        let mut out: Vec<(u64, KeyUpdate<L>)> = Vec::new();
+        if let Some(d) = &self.durable {
+            let mut store = d.segments.lock();
+            if let Some(sealed_max) = store.sealed_max_epoch() {
+                if from <= sealed_max {
+                    match store.read_range(from, to.min(sealed_max), max) {
+                        Ok(records) => {
+                            for (e, body) in records {
+                                if let Ok(u) = KeyUpdate::read_body(d.curve, &body) {
+                                    out.push((e, u));
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // Injected or real read failure: degrade to
+                            // the in-memory map below (counted in the
+                            // store's read_failures).
+                        }
+                    }
+                }
+            }
+        }
+        if out.len() < max {
+            let resume = out.last().map_or(from, |(e, _)| e + 1);
+            if resume <= to {
+                let entries = self.entries.read();
+                for (e, u) in entries.range(resume..=to) {
+                    out.push((*e, u.clone()));
+                    if out.len() >= max {
+                        break;
+                    }
+                }
+            }
+        }
+        let next = match out.last() {
+            Some((last, _)) if out.len() >= max && *last < to => Some(last + 1),
+            _ => None,
+        };
+        (out, next)
+    }
+
+    /// [`read_range_chunk`](Self::read_range_chunk) without the decode:
+    /// at most `max` *canonical body byte strings* in ascending epoch
+    /// order, plus the resume epoch. Sealed records are returned exactly
+    /// as stored (their CRC already vouched for them on read); epochs
+    /// past the sealed horizon are re-encoded from the live map — pure
+    /// serialization, no curve arithmetic either way.
+    ///
+    /// This is the serving path for deep catch-up replays: decoding a
+    /// stored body costs two compressed-point decompressions (a field
+    /// sqrt each), which at archive scale turns one replay into hundreds
+    /// of milliseconds of shard-thread CPU. Updates are
+    /// self-authenticating, so the server ships stored bytes verbatim
+    /// and receivers — who verify every update against the server key
+    /// anyway — reject anything mangled.
+    pub fn read_range_chunk_raw(
+        &self,
+        curve: &Curve<L>,
+        from: u64,
+        to: u64,
+        max: usize,
+    ) -> (Vec<(u64, Vec<u8>)>, Option<u64>) {
+        if max == 0 || from > to {
+            return (Vec::new(), None);
+        }
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+        if let Some(d) = &self.durable {
+            let mut store = d.segments.lock();
+            if let Some(sealed_max) = store.sealed_max_epoch() {
+                if from <= sealed_max {
+                    match store.read_range(from, to.min(sealed_max), max) {
+                        Ok(records) => out = records,
+                        Err(_) => {
+                            // Injected or real read failure: degrade to
+                            // the in-memory map below (counted in the
+                            // store's read_failures).
+                        }
+                    }
+                }
+            }
+        }
+        if out.len() < max {
+            let resume = out.last().map_or(from, |(e, _)| e + 1);
+            if resume <= to {
+                let entries = self.entries.read();
+                for (e, u) in entries.range(resume..=to) {
+                    let mut body = Vec::new();
+                    u.write_body(curve, &mut body);
+                    out.push((*e, body));
+                    if out.len() >= max {
+                        break;
+                    }
+                }
+            }
+        }
+        let next = match out.last() {
+            Some((last, _)) if out.len() >= max && *last < to => Some(last + 1),
+            _ => None,
+        };
+        (out, next)
     }
 
     /// Total bytes a client would download to fetch `from..=to` (framed

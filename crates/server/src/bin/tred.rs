@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! tred [--addr 127.0.0.1:7100] [--interval-ms 1000] [--epochs N]
-//!      [--journal DIR] [--fsync every|every=N|close] [--retain N]
+//!      [--journal DIR] [--fsync every|every=N|close] [--segment-bytes N] [--retain N]
 //! tred --committee-setup K,N --committee-dir DIR
 //! tred --member DIR/member-1.trek [--addr ...] [--interval-ms ...] [--epochs N]
 //! tred --watch DIR --members 1=HOST:PORT,2=HOST:PORT,... [--epochs N]
@@ -42,8 +42,11 @@
 //! persisted to `DIR/key.trek`, and a restart — even after `SIGKILL` —
 //! recovers the complete archive, the same public key, and resumes
 //! publishing at the next epoch. `--fsync` picks the journal durability
-//! policy (default `every`: fsync per record); `--retain N` compacts
-//! journal epochs older than `latest - N` as the daemon runs.
+//! policy (default `every`: fsync per record); `--segment-bytes N`
+//! shrinks the journal rotation threshold (sealed segments become
+//! epoch-indexed archive segments that deep catch-ups stream from);
+//! `--retain N` compacts journal epochs older than `latest - N` as the
+//! daemon runs.
 //!
 //! With `--epochs N` the daemon publishes epochs up to `N`, prints its
 //! counters, and exits (the CI smoke-test mode); without it the daemon
@@ -75,6 +78,7 @@ struct Args {
     epochs: Option<u64>,
     journal: Option<PathBuf>,
     fsync: FsyncPolicy,
+    segment_bytes: Option<u64>,
     retain: Option<u64>,
     committee_setup: Option<(u32, u32)>,
     committee_dir: Option<PathBuf>,
@@ -87,7 +91,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tred [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
-         [--journal DIR] [--fsync every|every=N|close] [--retain N] [--telemetry HOST:PORT]\n\
+         [--journal DIR] [--fsync every|every=N|close] [--segment-bytes N] [--retain N] \
+         [--telemetry HOST:PORT]\n\
          \x20      tred --committee-setup K,N --committee-dir DIR\n\
          \x20      tred --member FILE [--addr HOST:PORT] [--interval-ms MS] [--epochs N] \
          [--telemetry HOST:PORT]\n\
@@ -114,6 +119,7 @@ fn parse_args() -> Args {
         epochs: None,
         journal: None,
         fsync: FsyncPolicy::EveryRecord,
+        segment_bytes: None,
         retain: None,
         committee_setup: None,
         committee_dir: None,
@@ -133,6 +139,9 @@ fn parse_args() -> Args {
             "--epochs" => args.epochs = Some(value().parse().unwrap_or_else(|_| usage())),
             "--journal" => args.journal = Some(PathBuf::from(value())),
             "--fsync" => args.fsync = parse_fsync(&value()),
+            "--segment-bytes" => {
+                args.segment_bytes = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
             "--retain" => args.retain = Some(value().parse().unwrap_or_else(|_| usage())),
             "--committee-setup" => {
                 let v = value();
@@ -155,6 +164,10 @@ fn parse_args() -> Args {
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if args.journal.is_none() && args.segment_bytes.is_some() {
+        eprintln!("tred: --segment-bytes requires --journal");
+        exit(2);
     }
     if args.journal.is_none() && args.retain.is_some() {
         eprintln!("tred: --retain requires --journal");
@@ -512,10 +525,15 @@ fn main() {
 
     let server = match &args.journal {
         Some(dir) => {
-            let config = JournalConfig {
+            let mut config = JournalConfig {
                 fsync: args.fsync,
                 ..JournalConfig::default()
             };
+            if let Some(bytes) = args.segment_bytes {
+                // Small segments rotate (and seal archive segments)
+                // often — the crash-recovery tests lean on this.
+                config.max_segment_bytes = bytes;
+            }
             let (archive, report) = match UpdateArchive::open_durable(dir, curve, config) {
                 Ok(ok) => ok,
                 Err(e) => {

@@ -12,6 +12,9 @@
 //! * per-endpoint health (`/readyz`) and scrape status;
 //! * the delivery-conservation balance
 //!   (`offered == written + abandoned + evicted + dropped + in-flight`);
+//! * catch-up pressure: daemon-side requests/clipped/replies/shed and
+//!   segment-archive health next to client-side busy/retry/resume
+//!   counters, so an operator sees overload shedding as it happens;
 //! * the per-stage epoch-delivery latency table (p50/p99/max) from the
 //!   trace-sink histograms;
 //! * per-member committee rows (share rejections, arrival offsets,
@@ -184,6 +187,40 @@ fn render(sources: &[Source]) -> String {
         if offered == resolved + in_flight { "balanced" } else { "IMBALANCED" },
     ));
 
+    // Catch-up pressure: archive serving and shedding on the daemon
+    // side, retry/resume churn on the supervised-client side. The
+    // daemon and feed layers both export a `catch_up_requests`
+    // counter, so the suffix sum is split by subtracting the
+    // feed-prefixed slice back out.
+    let feed_requests = c("_feed_catch_up_requests");
+    let served_requests = c("_catch_up_requests").saturating_sub(feed_requests);
+    if served_requests + feed_requests + c("_catch_up_shed") > 0 {
+        out.push_str(&format!(
+            "catch-up: requests {} (clipped {})  replies {}  shed {}   archive: sealed {} segs / {} recs  resealed {}  torn-tail {}B  probes/lookup {}\n",
+            served_requests,
+            c("_catch_up_clipped"),
+            c("_catch_up_replies"),
+            c("_catch_up_shed"),
+            c("_segments_sealed"),
+            c("_records_sealed"),
+            c("_resealed_segments"),
+            c("_corrupt_tail_bytes"),
+            match c("_lookups") {
+                0 => "-".to_string(),
+                n => format!("{:.1}", c("_lookup_probes") as f64 / n as f64),
+            },
+        ));
+        out.push_str(&format!(
+            "clients:  requests {}  busy seen {}  retries {}  resumes {}  reconnects {}  gap repairs {}\n\n",
+            feed_requests,
+            c("_busy_seen") + c("_busy_sheds_seen"),
+            c("_catch_up_retries"),
+            c("_catch_up_resumes"),
+            c("_supervisor_reconnects"),
+            c("_gap_repairs"),
+        ));
+    }
+
     // Stage attribution table from the trace histograms, in pipeline
     // order (a BTreeMap would alphabetise the stages).
     let mut stage_rows: Vec<(String, &tre_obs::LatencyHistogram)> = merged
@@ -254,6 +291,69 @@ fn render(sources: &[Source]) -> String {
         out.push_str(&format!("member {idx}: {}\n", fields.join("  ")));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_up_section_splits_daemon_from_feed_requests() {
+        let mut registry = Registry::new();
+        // Daemon side: 10 requests total, 2 clipped, 1 shed.
+        registry.counter_set("tre_tred_catch_up_requests", 10);
+        registry.counter_set("tre_tred_catch_up_clipped", 2);
+        registry.counter_set("tre_tred_catch_up_replies", 300);
+        registry.counter_set("tre_tred_catch_up_shed", 1);
+        registry.counter_set("tre_tred_segments_segments_sealed", 4);
+        registry.counter_set("tre_tred_segments_records_sealed", 80);
+        registry.counter_set("tre_tred_segments_lookups", 8);
+        registry.counter_set("tre_tred_segments_lookup_probes", 24);
+        // Client side: the feed's own request counter must not inflate
+        // the daemon row.
+        registry.counter_set("tre_client_feed_catch_up_requests", 7);
+        registry.counter_set("tre_client_feed_busy_seen", 1);
+        registry.counter_set("tre_client_supervisor_catch_up_retries", 3);
+        registry.counter_set("tre_client_supervisor_catch_up_resumes", 2);
+        registry.counter_set("tre_client_supervisor_busy_sheds_seen", 1);
+        registry.counter_set("tre_client_supervisor_reconnects", 5);
+        let sources = [Source {
+            addr: "test".into(),
+            registry: Some(registry),
+            ready: Some(true),
+            error: None,
+        }];
+        let frame = render(&sources);
+        assert!(
+            frame.contains("catch-up: requests 10 (clipped 2)  replies 300  shed 1"),
+            "daemon row wrong in:\n{frame}"
+        );
+        assert!(
+            frame.contains("sealed 4 segs / 80 recs"),
+            "archive row wrong in:\n{frame}"
+        );
+        assert!(
+            frame.contains("probes/lookup 3.0"),
+            "probe average wrong in:\n{frame}"
+        );
+        assert!(
+            frame.contains("clients:  requests 7  busy seen 2  retries 3  resumes 2  reconnects 5"),
+            "client row wrong in:\n{frame}"
+        );
+    }
+
+    #[test]
+    fn catch_up_section_absent_when_idle() {
+        let mut registry = Registry::new();
+        registry.counter_set("tre_tred_broadcasts", 9);
+        let sources = [Source {
+            addr: "test".into(),
+            registry: Some(registry),
+            ready: Some(true),
+            error: None,
+        }];
+        assert!(!render(&sources).contains("catch-up:"));
+    }
 }
 
 fn main() {

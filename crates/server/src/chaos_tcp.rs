@@ -274,6 +274,9 @@ fn bridge(shared: &Arc<ProxyShared>, client: TcpStream) {
         let _ = client.shutdown(Shutdown::Both);
         return;
     };
+    // The proxy must not add Nagle latency on top of injected faults.
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
     let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
         return;
@@ -389,6 +392,15 @@ pub struct SupervisorConfig {
     /// Minimum spacing between in-stream gap-repair requests per
     /// subscriber (anti-entropy rate limit).
     pub repair_interval: Duration,
+    /// How long a supervised catch-up (cold start or post-reconnect
+    /// tail repair) may run without completing before it is re-issued
+    /// from the resume point (one past the highest epoch received so
+    /// far — progress is never replayed).
+    pub catch_up_timeout: Duration,
+    /// Re-issue budget per supervised catch-up before the supervisor
+    /// gives up on it (interior gap repair still runs afterwards, so
+    /// giving up degrades to the anti-entropy path, not to loss).
+    pub catch_up_retries: u32,
 }
 
 impl Default for SupervisorConfig {
@@ -398,6 +410,8 @@ impl Default for SupervisorConfig {
             max_delay: Duration::from_millis(500),
             catch_up_horizon: 1024,
             repair_interval: Duration::from_millis(100),
+            catch_up_timeout: Duration::from_secs(2),
+            catch_up_retries: 4,
         }
     }
 }
@@ -413,6 +427,14 @@ pub struct SupervisorStats {
     pub reconnects: u64,
     /// Gap-repair catch-up requests issued after a reconnect.
     pub gap_repairs: u64,
+    /// Supervised catch-ups re-issued after timing out or being shed.
+    pub catch_up_retries: u64,
+    /// Re-issues that resumed past already-received epochs instead of
+    /// replaying the whole range.
+    pub catch_up_resumes: u64,
+    /// `Busy` shed frames received from a saturated daemon (each delays
+    /// the next attempt by the daemon's retry hint).
+    pub busy_sheds_seen: u64,
 }
 
 impl SupervisorStats {
@@ -426,7 +448,28 @@ impl SupervisorStats {
         );
         registry.counter_set(&format!("{prefix}_reconnects"), self.reconnects);
         registry.counter_set(&format!("{prefix}_gap_repairs"), self.gap_repairs);
+        registry.counter_set(&format!("{prefix}_catch_up_retries"), self.catch_up_retries);
+        registry.counter_set(&format!("{prefix}_catch_up_resumes"), self.catch_up_resumes);
+        registry.counter_set(&format!("{prefix}_busy_sheds_seen"), self.busy_sheds_seen);
     }
+}
+
+/// A supervised catch-up in flight: cold start or post-reconnect tail
+/// repair, tracked so timeouts resume from the highest epoch received
+/// instead of replaying the range from scratch.
+#[derive(Debug, Clone, Copy)]
+struct PendingCatchUp {
+    /// Next epoch still owed (advanced past received epochs on re-issue).
+    next: u64,
+    /// Inclusive end of the supervised range.
+    to: u64,
+    /// When the current request was issued.
+    issued_at: Instant,
+    /// Earliest re-issue instant set by a `Busy` shed reply's retry
+    /// hint (overrides the timeout while armed).
+    retry_at: Option<Instant>,
+    /// Requests issued so far for this range.
+    attempts: u32,
 }
 
 #[derive(Debug, Default)]
@@ -443,6 +486,8 @@ struct SubState {
     next_repair_at: Option<Instant>,
     /// Whether the cold-start catch-up (if configured) has been issued.
     cold_started: bool,
+    /// The supervised catch-up currently awaited, if any.
+    pending: Option<PendingCatchUp>,
 }
 
 /// A [`TcpFeed`] wrapped with reconnect supervision: dead connections
@@ -656,6 +701,16 @@ impl<const L: usize> SupervisedFeed<L> {
                 let to = from + self.config.catch_up_horizon;
                 if self.feed.request_catch_up(id, from, to).is_ok() {
                     self.stats.gap_repairs += 1;
+                    self.subs
+                        .get_mut(&idx)
+                        .expect("state inserted above")
+                        .pending = Some(PendingCatchUp {
+                        next: from,
+                        to,
+                        issued_at: Instant::now(),
+                        retry_at: None,
+                        attempts: 1,
+                    });
                     if tre_obs::is_enabled() {
                         tre_obs::event(
                             "supervisor.gap_repair",
@@ -687,12 +742,90 @@ impl<const L: usize> SupervisedFeed<L> {
         }
         if self.feed.request_catch_up(id, from, u64::MAX).is_ok() {
             self.stats.gap_repairs += 1;
-            self.subs
-                .get_mut(&idx)
-                .expect("inserted above")
-                .cold_started = true;
+            let state = self.subs.get_mut(&idx).expect("inserted above");
+            state.cold_started = true;
+            state.pending = Some(PendingCatchUp {
+                next: from,
+                to: u64::MAX,
+                issued_at: Instant::now(),
+                retry_at: None,
+                attempts: 1,
+            });
             if tre_obs::is_enabled() {
                 tre_obs::event("supervisor.cold_start", &format!("sub={idx} from={from}"));
+            }
+        }
+    }
+
+    /// Drives the supervised catch-up state machine: honors `Busy`
+    /// retry hints from a saturated daemon, detects completion, and —
+    /// within the configured retry budget — re-issues a stalled request
+    /// from its resume point (one past the highest epoch received in
+    /// range), so a partial replay is never repeated from scratch.
+    fn pump_catch_up(&mut self, id: SubscriberId) {
+        let idx = id.index();
+        let now = Instant::now();
+        if let Some(ms) = self.feed.take_retry_after(id) {
+            self.stats.busy_sheds_seen += 1;
+            if let Some(p) = self
+                .subs
+                .get_mut(&idx)
+                .and_then(|state| state.pending.as_mut())
+            {
+                p.retry_at = Some(now + Duration::from_millis(u64::from(ms)));
+            }
+            if tre_obs::is_enabled() {
+                tre_obs::event("supervisor.busy_shed", &format!("sub={idx} retry_ms={ms}"));
+            }
+        }
+        let timeout = self.config.catch_up_timeout;
+        let budget = self.config.catch_up_retries;
+        let (from, to, resumed) = {
+            let Some(state) = self.subs.get_mut(&idx) else {
+                return;
+            };
+            let Some(p) = state.pending.as_mut() else {
+                return;
+            };
+            let resume = state
+                .seen
+                .range(p.next..=p.to)
+                .next_back()
+                .map_or(p.next, |&e| e.saturating_add(1));
+            if resume > p.to {
+                state.pending = None; // range fully received
+                return;
+            }
+            let due = match p.retry_at {
+                Some(at) => now >= at,
+                None => now.duration_since(p.issued_at) >= timeout,
+            };
+            if !due {
+                return;
+            }
+            if p.attempts > budget {
+                // Budget exhausted: stop supervising this range; the
+                // interior gap sweep remains as the recovery path.
+                state.pending = None;
+                return;
+            }
+            let resumed = resume > p.next;
+            p.next = resume;
+            p.attempts += 1;
+            p.issued_at = now;
+            p.retry_at = None;
+            (resume, p.to, resumed)
+        };
+        if self.feed.request_catch_up(id, from, to).is_ok() {
+            self.stats.catch_up_retries += 1;
+            if resumed {
+                self.stats.catch_up_resumes += 1;
+            }
+            if tre_obs::is_enabled() {
+                tre_obs::event(
+                    "supervisor.catch_up_retry",
+                    &format!("sub={idx} from={from} to={to} resumed={resumed}"),
+                );
             }
         }
     }
@@ -755,6 +888,7 @@ impl<const L: usize> Feed<L> for SupervisedFeed<L> {
         }
         if self.feed.is_connected(id) {
             self.cold_start(id);
+            self.pump_catch_up(id);
             self.repair_gaps(id);
         } else {
             self.supervise(id);
@@ -852,6 +986,7 @@ mod tests {
             max_delay: Duration::from_millis(100),
             catch_up_horizon: 16,
             repair_interval: Duration::from_millis(50),
+            ..SupervisorConfig::default()
         };
         let mut a = SupervisedFeed::new(feed, Granularity::Seconds, config, 7);
         let delays: Vec<u64> = (0..8).map(|n| a.backoff(n).as_millis() as u64).collect();
@@ -878,6 +1013,9 @@ mod tests {
             reconnect_attempts: 5,
             reconnects: 2,
             gap_repairs: 4,
+            catch_up_retries: 6,
+            catch_up_resumes: 1,
+            busy_sheds_seen: 2,
         };
         let mut reg = tre_obs::Registry::new();
         stats.export_into(&mut reg, "sup");
@@ -885,9 +1023,83 @@ mod tests {
         assert_eq!(reg.counter("sup_reconnect_attempts"), 5);
         assert_eq!(reg.counter("sup_reconnects"), 2);
         assert_eq!(reg.counter("sup_gap_repairs"), 4);
+        assert_eq!(reg.counter("sup_catch_up_retries"), 6);
+        assert_eq!(reg.counter("sup_catch_up_resumes"), 1);
+        assert_eq!(reg.counter("sup_busy_sheds_seen"), 2);
         // Re-export overwrites (absolute semantics), never accumulates.
         stats.export_into(&mut reg, "sup");
         assert_eq!(reg.counter("sup_gap_repairs"), 4);
+    }
+
+    /// A cold-start catch-up wider than the daemon's span cap is
+    /// clipped server-side; the supervisor's timeout machinery then
+    /// *resumes* from one past the highest epoch received — never
+    /// replaying progress — until the whole archive has arrived.
+    #[test]
+    fn clipped_catch_up_resumes_until_range_complete() {
+        use crate::clock::SimClock;
+        use crate::server::TimeServer;
+        use crate::tcp::{CatchUpConfig, Tred, TredConfig};
+        use tre_core::ServerKeyPair;
+
+        let curve = tre_pairing::toy64();
+        let mut rng = rand::thread_rng();
+        let clock = SimClock::new();
+        let keys = ServerKeyPair::generate(curve, &mut rng);
+        let server = TimeServer::new(curve, keys, clock.clone(), Granularity::Seconds);
+        clock.advance(9); // epochs 0..=9 archived before anyone connects
+        let tred = Tred::bind(
+            "127.0.0.1:0",
+            curve,
+            server,
+            TredConfig {
+                catch_up: CatchUpConfig {
+                    max_span: 3,
+                    ..CatchUpConfig::default()
+                },
+                ..TredConfig::default()
+            },
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while tred.stats().broadcasts.load(Ordering::Relaxed) < 10 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let feed: TcpFeed<8> = TcpFeed::new(curve, tred.local_addr());
+        let mut sup = SupervisedFeed::new(
+            feed,
+            Granularity::Seconds,
+            SupervisorConfig {
+                catch_up_timeout: Duration::from_millis(50),
+                catch_up_retries: 16,
+                ..SupervisorConfig::default()
+            },
+            7,
+        );
+        sup.set_cold_start_from(0);
+        let sub = Feed::subscribe(&mut sup);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            let _ = Feed::poll(&mut sup, sub);
+            if sup.last_epoch(sub) == Some(9) && sup.missing_epochs(sub).is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sup.last_epoch(sub), Some(9), "full archive recovered");
+        assert!(sup.missing_epochs(sub).is_empty(), "no interior gaps");
+        assert!(
+            sup.stats().catch_up_resumes >= 3,
+            "3-epoch clips of a 10-epoch archive force >= 3 resumes, saw {}",
+            sup.stats().catch_up_resumes
+        );
+        assert!(
+            tred.stats().catch_up_clipped.load(Ordering::Relaxed) >= 3,
+            "every over-wide request was clipped server-side"
+        );
+        tred.shutdown();
     }
 
     /// Clean proxy (empty plan) is a transparent relay: a feed through

@@ -44,12 +44,13 @@ use std::thread::JoinHandle;
 use tre_core::KeyUpdate;
 use tre_pairing::Curve;
 use tre_wire::{
-    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, Wire, HEADER_LEN,
+    frame_raw_body, peek_frame, Busy, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare,
+    Telemetry, Wire, HEADER_LEN, TAG_KEY_UPDATE, TAG_KEY_UPDATE_SHARE,
 };
 
 use crate::archive::UpdateArchive;
 use crate::clock::Granularity;
-use crate::tcp::TredStats;
+use crate::tcp::{CatchUpConfig, TredStats};
 use crate::telemetry::TraceSink;
 
 /// How long a shard sleeps in `poll(2)` when nothing is ready. Bounds
@@ -180,6 +181,11 @@ pub(crate) struct ServeShared<const L: usize> {
     /// upstream trace (the root daemon's identity) instead of being
     /// this process's own member index — relays are transparent.
     pub forward_origin: bool,
+    /// Admission control for archive catch-up service.
+    pub catch_up: CatchUpConfig,
+    /// Catch-up replays currently in flight across every shard; bounded
+    /// by [`CatchUpConfig::max_concurrent`] at admission.
+    pub active_catch_ups: AtomicUsize,
 }
 
 /// Encodes one update as this daemon's broadcast frame: a bare
@@ -202,24 +208,66 @@ pub(crate) fn encode_update_frame<const L: usize>(
         .wire_bytes(shared.curve),
         None => update.wire_bytes(shared.curve),
     };
-    if let Some(sink) = &shared.trace {
+    if shared.trace.is_some() {
         if let Some(epoch) = shared.granularity.epoch_of_tag(update.tag()) {
-            let origin = if shared.forward_origin {
-                sink.epoch_trace(epoch).map(|t| t.origin).unwrap_or(0)
-            } else {
-                shared.member.unwrap_or(0)
-            };
-            let trailer = Telemetry {
-                epoch,
-                origin,
-                publish_ns: sink.publish_ns(epoch).unwrap_or(0),
-                hops,
-            };
-            <Telemetry as Wire<L>>::wire_write(&trailer, shared.curve, &mut bytes);
-            sink.count_emitted();
+            append_telemetry_trailer(shared, epoch, hops, &mut bytes);
         }
     }
     Arc::new(bytes)
+}
+
+/// [`encode_update_frame`] for an *already-encoded* canonical update
+/// body (as the journal and archive segments store it): the body is
+/// framed verbatim — committee mode prepends the member index, which is
+/// all [`KeyUpdateShare`] adds on the wire — so replaying a stored
+/// update costs zero curve arithmetic. Decoding each body just to
+/// re-serialize it put two field sqrts (point decompressions) on the
+/// shard thread per replayed record, which at archive depth starved the
+/// write path for hundreds of milliseconds per admitted catch-up.
+fn encode_update_frame_raw<const L: usize>(
+    shared: &ServeShared<L>,
+    epoch: u64,
+    body: &[u8],
+    hops: u8,
+) -> Arc<Vec<u8>> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    match shared.member {
+        Some(member) => {
+            let mut share = Vec::with_capacity(4 + body.len());
+            share.extend_from_slice(&member.to_be_bytes());
+            share.extend_from_slice(body);
+            frame_raw_body(TAG_KEY_UPDATE_SHARE, &share, &mut bytes);
+        }
+        None => frame_raw_body(TAG_KEY_UPDATE, body, &mut bytes),
+    }
+    if shared.trace.is_some() {
+        append_telemetry_trailer(shared, epoch, hops, &mut bytes);
+    }
+    Arc::new(bytes)
+}
+
+/// Appends the [`Telemetry`] trailer frame for `epoch` and counts the
+/// emission; callers have already checked a trace sink is attached.
+fn append_telemetry_trailer<const L: usize>(
+    shared: &ServeShared<L>,
+    epoch: u64,
+    hops: u8,
+    bytes: &mut Vec<u8>,
+) {
+    let Some(sink) = &shared.trace else { return };
+    let origin = if shared.forward_origin {
+        sink.epoch_trace(epoch).map(|t| t.origin).unwrap_or(0)
+    } else {
+        shared.member.unwrap_or(0)
+    };
+    let trailer = Telemetry {
+        epoch,
+        origin,
+        publish_ns: sink.publish_ns(epoch).unwrap_or(0),
+        hops,
+    };
+    <Telemetry as Wire<L>>::wire_write(&trailer, shared.curve, bytes);
+    sink.count_emitted();
 }
 
 /// A replayed update has crossed one more process boundary than this
@@ -319,12 +367,33 @@ fn abandon_queue(wq: &mut WriteQueue, stats: &TredStats) {
     wq.closed = true;
 }
 
+/// An admitted catch-up replay in progress: the next epoch to stream
+/// and the (clipped) end of the requested range. The job advances
+/// chunk-by-chunk as the connection's bounded write queue has room, so
+/// a deep range never materialises at once and never starves live
+/// broadcasts sharing the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct CatchUpJob {
+    pub next: u64,
+    pub to: u64,
+}
+
 /// One registered subscriber connection, owned by exactly one shard.
 struct Conn {
     stream: TcpStream,
     /// Buffered-but-unparsed inbound bytes.
     rbuf: Vec<u8>,
     wq: WriteQueue,
+    /// The admitted catch-up replay this connection is draining, if any.
+    catch_up: Option<CatchUpJob>,
+}
+
+/// Releases a connection's admission slot when its replay ends (range
+/// complete, connection dying, or the request superseded).
+fn finish_catch_up<const L: usize>(shared: &ServeShared<L>, slot: &mut Option<CatchUpJob>) {
+    if slot.take().is_some() {
+        shared.active_catch_ups.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Work handed to a shard: a new connection from the accept thread, or
@@ -495,11 +564,21 @@ fn shard_loop<const L: usize>(shared: &ServeShared<L>, rx: &Receiver<Cmd>, live:
         }
         if shutting_down || disconnected {
             for mut conn in conns.drain(..) {
+                finish_catch_up(shared, &mut conn.catch_up);
                 abandon_queue(&mut conn.wq, &shared.stats);
                 live.fetch_sub(1, Ordering::Relaxed);
                 let _ = conn.stream.shutdown(Shutdown::Both);
             }
             return;
+        }
+
+        // Advance admitted catch-up replays while their write queues
+        // have room — the archive is read in bounded chunks, so one
+        // deep range costs many small rounds instead of one big burst.
+        for conn in &mut conns {
+            if conn.catch_up.is_some() && !conn.wq.closed {
+                service_catch_up(shared, &mut conn.wq, &mut conn.catch_up);
+            }
         }
 
         pollfds.clear();
@@ -537,6 +616,7 @@ fn shard_loop<const L: usize>(shared: &ServeShared<L>, rx: &Receiver<Cmd>, live:
 
         conns.retain_mut(|conn| {
             if conn.wq.closed {
+                finish_catch_up(shared, &mut conn.catch_up);
                 abandon_queue(&mut conn.wq, &shared.stats);
                 live.fetch_sub(1, Ordering::Relaxed);
                 let _ = conn.stream.shutdown(Shutdown::Both);
@@ -560,6 +640,11 @@ fn register_conn<const L: usize>(
     if stream.set_nonblocking(true).is_err() {
         return;
     }
+    // Catch-up replies are hundreds of small frames written back to
+    // back; with Nagle on, each burst sits in the send buffer waiting
+    // for the peer's delayed ACK and a deep replay ACK-clocks into
+    // tens-of-milliseconds stalls per chunk. Disable coalescing.
+    let _ = stream.set_nodelay(true);
     if let Some(bytes) = shared.send_buffer {
         cap_send_buffer(&stream, bytes);
     }
@@ -567,6 +652,7 @@ fn register_conn<const L: usize>(
         stream,
         rbuf: Vec::new(),
         wq: WriteQueue::new(),
+        catch_up: None,
     };
     if let Some(member) = shared.member {
         // The greeting is the first frame on the wire, before any
@@ -618,7 +704,13 @@ fn service_read<const L: usize>(shared: &ServeShared<L>, conn: &mut Conn) {
     loop {
         match peek_frame(&conn.rbuf[off..]) {
             Ok(Some((header, body, _))) => {
-                handle_control_frame(shared, header.type_tag, body, &mut conn.wq);
+                if let Some(job) = handle_control_frame(shared, header.type_tag, body, &mut conn.wq)
+                {
+                    // A new request supersedes any replay still in
+                    // flight on this connection (its slot is released).
+                    finish_catch_up(shared, &mut conn.catch_up);
+                    conn.catch_up = Some(job);
+                }
                 off += HEADER_LEN + header.body_len;
             }
             Ok(None) => break,
@@ -634,12 +726,17 @@ fn service_read<const L: usize>(shared: &ServeShared<L>, conn: &mut Conn) {
     conn.rbuf.drain(..off);
 }
 
+/// Parses one inbound control frame. A [`CatchUpRequest`] goes through
+/// admission control here — span clipping, then the concurrent-replay
+/// cap — and, when admitted, returns the [`CatchUpJob`] the shard
+/// drains incrementally; an over-capacity request is shed with a
+/// [`Busy`] frame carrying the retry hint instead.
 fn handle_control_frame<const L: usize>(
     shared: &ServeShared<L>,
     type_tag: u8,
     body: &[u8],
     wq: &mut WriteQueue,
-) {
+) -> Option<CatchUpJob> {
     let curve = shared.curve;
     if type_tag == <Hello as Wire<L>>::TYPE_TAG {
         match <Hello as Wire<L>>::wire_read_body(curve, body) {
@@ -648,32 +745,102 @@ fn handle_control_frame<const L: usize>(
                 shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
-        return;
+        return None;
     }
     if type_tag == <CatchUpRequest as Wire<L>>::TYPE_TAG {
         let Ok(req) = <CatchUpRequest as Wire<L>>::wire_read_body(curve, body) else {
             shared.stats.wire_errors.fetch_add(1, Ordering::Relaxed);
-            return;
+            return None;
         };
         shared
             .stats
             .catch_up_requests
             .fetch_add(1, Ordering::Relaxed);
-        for (epoch, update) in shared.archive.range(req.from, req.to) {
-            let frame = encode_update_frame(shared, &update, replay_hops(shared, epoch));
-            // A subscriber whose queue cannot absorb its own catch-up
-            // response stops receiving the replay; the broadcast path
-            // will evict it if it stays stalled.
+        if req.from > req.to {
+            // Empty range: nothing to replay, nothing to admit.
+            return None;
+        }
+        // Clip absurd spans instead of trusting the client: the reply
+        // stays bounded and the client resumes from where it ends.
+        let max_span = shared.catch_up.max_span.max(1);
+        let mut to = req.to;
+        if to - req.from >= max_span {
+            to = req.from + (max_span - 1);
+            shared
+                .stats
+                .catch_up_clipped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Admission: a bounded number of replays in flight daemon-wide.
+        // `fetch_add` then undo keeps the check race-free across shards.
+        let prior = shared.active_catch_ups.fetch_add(1, Ordering::Relaxed);
+        if prior >= shared.catch_up.max_concurrent.max(1) {
+            shared.active_catch_ups.fetch_sub(1, Ordering::Relaxed);
+            shared.stats.catch_up_shed.fetch_add(1, Ordering::Relaxed);
+            let busy = Busy {
+                retry_after_ms: shared.catch_up.retry_after_ms,
+            };
+            let mut frame = Vec::new();
+            <Busy as Wire<L>>::wire_write(&busy, curve, &mut frame);
+            enqueue_direct(wq, shared.queue_capacity, Arc::new(frame), &shared.stats);
+            tre_obs::event("tred.catch_up_shed", "admission controller at capacity");
+            return None;
+        }
+        return Some(CatchUpJob { next: req.from, to });
+    }
+    // Unknown-but-well-framed type: ignorable by design (forward compat).
+    None
+}
+
+/// Advances one connection's admitted replay: reads the archive in
+/// [`CatchUpConfig::chunk`]-sized pieces and enqueues the frames until
+/// the range completes or the bounded write queue refuses one — then
+/// the job pauses at that epoch and resumes on a later round once the
+/// socket drains (a subscriber that never drains is evicted by the
+/// broadcast path, which releases the slot).
+fn service_catch_up<const L: usize>(
+    shared: &ServeShared<L>,
+    wq: &mut WriteQueue,
+    slot: &mut Option<CatchUpJob>,
+) {
+    let Some(job) = *slot else { return };
+    if wq.queue.len() >= shared.queue_capacity {
+        return; // No room this round; retry after the writer drains.
+    }
+    let mut next = job.next;
+    let done = loop {
+        let chunk = shared.catch_up.chunk.max(1);
+        let (updates, more) =
+            shared
+                .archive
+                .read_range_chunk_raw(shared.curve, next, job.to, chunk);
+        let mut stalled = false;
+        for (epoch, body) in &updates {
+            let frame = encode_update_frame_raw(shared, *epoch, body, replay_hops(shared, *epoch));
             if !enqueue_direct(wq, shared.queue_capacity, frame, &shared.stats) {
+                next = *epoch;
+                stalled = true;
                 break;
             }
             shared
                 .stats
                 .catch_up_replies
                 .fetch_add(1, Ordering::Relaxed);
+            next = epoch.saturating_add(1);
         }
+        if stalled {
+            break false;
+        }
+        match more {
+            Some(resume) => next = resume,
+            None => break true,
+        }
+    };
+    if done {
+        finish_catch_up(shared, slot);
+    } else {
+        *slot = Some(CatchUpJob { next, to: job.to });
     }
-    // Unknown-but-well-framed type: ignorable by design (forward compat).
 }
 
 /// Flushes as much of the write queue as the socket accepts, tracking
@@ -708,6 +875,137 @@ fn service_write<const L: usize>(shared: &ServeShared<L>, conn: &mut Conn) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tre_core::ServerKeyPair;
+
+    fn test_shared(catch_up: CatchUpConfig, queue_capacity: usize) -> ServeShared<8> {
+        ServeShared {
+            curve: tre_pairing::toy64(),
+            archive: Arc::new(UpdateArchive::new()),
+            stats: Arc::new(TredStats::default()),
+            shutdown: AtomicBool::new(false),
+            queue_capacity,
+            send_buffer: None,
+            member: None,
+            granularity: Granularity::Seconds,
+            trace: None,
+            forward_origin: false,
+            catch_up,
+            active_catch_ups: AtomicUsize::new(0),
+        }
+    }
+
+    fn publish_epochs(shared: &ServeShared<8>, n: u64) {
+        let curve = tre_pairing::toy64();
+        let keys = ServerKeyPair::generate(curve, &mut rand::thread_rng());
+        for e in 0..n {
+            let u = keys.issue_update(curve, &Granularity::Seconds.tag_for_epoch(e));
+            shared.archive.publish(e, u);
+        }
+    }
+
+    fn catch_up_body(from: u64, to: u64) -> Vec<u8> {
+        let req = CatchUpRequest { from, to };
+        let frame = req.wire_bytes(tre_pairing::toy64());
+        frame[HEADER_LEN..].to_vec()
+    }
+
+    /// An absurd span is clipped server-side to `max_span` epochs from
+    /// `from`, counted, and still admitted as a (bounded) job.
+    #[test]
+    fn absurd_catch_up_span_is_clipped() {
+        let shared = test_shared(
+            CatchUpConfig {
+                max_span: 4,
+                ..CatchUpConfig::default()
+            },
+            16,
+        );
+        let mut wq = WriteQueue::new();
+        let body = catch_up_body(10, u64::MAX);
+        let tag = <CatchUpRequest as Wire<8>>::TYPE_TAG;
+        let job = handle_control_frame(&shared, tag, &body, &mut wq).expect("admitted");
+        assert_eq!(job, CatchUpJob { next: 10, to: 13 }, "span clipped to 4");
+        assert_eq!(shared.stats.catch_up_clipped.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.active_catch_ups.load(Ordering::Relaxed), 1);
+
+        // A sane span is admitted unclipped.
+        let job = handle_control_frame(&shared, tag, &catch_up_body(0, 3), &mut wq).unwrap();
+        assert_eq!(job, CatchUpJob { next: 0, to: 3 });
+        assert_eq!(shared.stats.catch_up_clipped.load(Ordering::Relaxed), 1);
+    }
+
+    /// At the concurrent-replay cap, a request is shed with a [`Busy`]
+    /// frame carrying the configured retry hint instead of being queued.
+    #[test]
+    fn saturated_admission_sheds_with_busy_frame() {
+        let shared = test_shared(
+            CatchUpConfig {
+                max_concurrent: 2,
+                retry_after_ms: 250,
+                ..CatchUpConfig::default()
+            },
+            16,
+        );
+        shared.active_catch_ups.store(2, Ordering::Relaxed);
+        let mut wq = WriteQueue::new();
+        let tag = <CatchUpRequest as Wire<8>>::TYPE_TAG;
+        let job = handle_control_frame(&shared, tag, &catch_up_body(0, 9), &mut wq);
+        assert!(job.is_none(), "over-capacity request is not admitted");
+        assert_eq!(shared.stats.catch_up_shed.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            shared.active_catch_ups.load(Ordering::Relaxed),
+            2,
+            "shed request holds no slot"
+        );
+        let frame = wq.queue.pop_front().expect("a Busy frame was enqueued");
+        let (header, body, _) = peek_frame(&frame).unwrap().unwrap();
+        assert_eq!(header.type_tag, <Busy as Wire<8>>::TYPE_TAG);
+        let busy = <Busy as Wire<8>>::wire_read_body(tre_pairing::toy64(), body).unwrap();
+        assert_eq!(busy.retry_after_ms, 250);
+    }
+
+    /// A replay that fills the bounded write queue pauses at the first
+    /// refused epoch and resumes — without loss or duplication — once
+    /// the queue drains, releasing its admission slot at the end.
+    #[test]
+    fn paused_catch_up_resumes_where_it_stalled() {
+        let shared = test_shared(
+            CatchUpConfig {
+                chunk: 2,
+                ..CatchUpConfig::default()
+            },
+            4,
+        );
+        publish_epochs(&shared, 10);
+        shared.active_catch_ups.store(1, Ordering::Relaxed);
+        let mut wq = WriteQueue::new();
+        let mut slot = Some(CatchUpJob { next: 0, to: 9 });
+
+        let mut drained = 0u64;
+        let mut rounds = 0;
+        while slot.is_some() && rounds < 100 {
+            service_catch_up(&shared, &mut wq, &mut slot);
+            assert!(wq.queue.len() <= 4, "never exceeds the bounded queue");
+            drained += wq.queue.len() as u64;
+            wq.queue.clear(); // simulate the writer flushing the socket
+            shared
+                .stats
+                .frames_written
+                .fetch_add(drained, Ordering::Relaxed);
+            rounds += 1;
+        }
+        assert_eq!(slot, None, "range completed");
+        assert_eq!(shared.stats.catch_up_replies.load(Ordering::Relaxed), 10);
+        assert_eq!(
+            shared.active_catch_ups.load(Ordering::Relaxed),
+            0,
+            "slot released on completion"
+        );
+        assert!(
+            rounds >= 3,
+            "a 10-epoch range through a 4-deep queue pauses"
+        );
+    }
 
     /// Queue-level eviction test: deterministic, no sockets involved.
     /// A broadcast offer that finds the bounded queue full evicts the

@@ -1,7 +1,7 @@
 //! The unified subscription surface: the [`Feed`] trait and its
 //! builder front-ends.
 //!
-//! The first transport abstraction ([`crate::Transport`]) modeled only
+//! The first transport abstraction (`Transport`, PR 4) modeled only
 //! `subscribe`/`poll` — enough for a client draining a lossless
 //! simulated channel, but not for the relay tier: a relay cold-starts
 //! by catching up an archive range, and both relays and resilient
@@ -12,8 +12,8 @@
 //! (reconnect supervision + gap repair), and [`crate::CommitteeFeed`]
 //! (t-of-n aggregation) — so [`crate::ReceiverClient::pump`] and the
 //! relay's upstream pump are written once against it. The old
-//! [`crate::Transport`] trait survives one release as a deprecated
-//! shim blanket-implemented for every `Feed`.
+//! `Transport` trait survived one release as a deprecated shim and has
+//! since been removed.
 //!
 //! The builder functions realize the `Feed::tcp(addr)`-style
 //! construction surface (Rust puts traits and types in one namespace,

@@ -217,18 +217,18 @@ impl std::fmt::Debug for Journal {
     }
 }
 
-fn segment_name(seq: u64) -> String {
+pub(crate) fn segment_name(seq: u64) -> String {
     format!("seg-{seq:010}.trej")
 }
 
-fn segment_seq(path: &Path) -> Option<u64> {
+pub(crate) fn segment_seq(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let digits = name.strip_prefix("seg-")?.strip_suffix(".trej")?;
     digits.parse().ok()
 }
 
 /// All segment files in `dir`, sorted by sequence number.
-fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -241,21 +241,21 @@ fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 }
 
 /// Outcome of scanning one segment's bytes.
-struct SegmentScan {
-    records: Vec<ReplayedRecord>,
+pub(crate) struct SegmentScan {
+    pub(crate) records: Vec<ReplayedRecord>,
     /// Byte ranges that failed CRC / framing, for the quarantine file.
-    quarantined: Vec<(usize, usize)>,
-    quarantined_records: u64,
+    pub(crate) quarantined: Vec<(usize, usize)>,
+    pub(crate) quarantined_records: u64,
     /// Length of the intact prefix — everything before a *trailing*
     /// partial record. Equals the full length when the tail is clean.
-    intact_len: usize,
+    pub(crate) intact_len: usize,
 }
 
 /// Scans one segment, recovering every intact record. Corruption is
 /// skipped with byte-level resynchronisation on the record magic; a
 /// partial record at the very end is reported as a torn tail via
 /// `intact_len` (not quarantined — the caller truncates it away).
-fn scan_segment(bytes: &[u8]) -> SegmentScan {
+pub(crate) fn scan_segment(bytes: &[u8]) -> SegmentScan {
     let mut scan = SegmentScan {
         records: Vec::new(),
         quarantined: Vec::new(),
@@ -343,7 +343,7 @@ fn find_magic(haystack: &[u8]) -> Option<usize> {
 }
 
 /// Encodes one record (header + body + CRC) into a fresh buffer.
-fn encode_record(epoch: u64, body: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_record(epoch: u64, body: &[u8]) -> Vec<u8> {
     assert!(body.len() <= MAX_RECORD_BODY, "journal body exceeds bound");
     let mut rec = Vec::with_capacity(RECORD_HEADER_LEN + body.len() + RECORD_TRAILER_LEN);
     rec.extend_from_slice(&RECORD_MAGIC);

@@ -30,8 +30,7 @@
 //!   builder entry points) that [`BroadcastNet`], [`TcpFeed`],
 //!   [`SupervisedFeed`], [`CommitteeFeed`], and the relay upstream all
 //!   implement, so [`ReceiverClient::pump`] and [`Relay`] are written
-//!   once against it ([`Transport`] is the deprecated forerunner,
-//!   blanket-shimmed for one release);
+//!   once against it;
 //! * [`Tred`] / [`TcpFeed`] — the real TCP broadcast daemon (sharded
 //!   readiness-polling event loop, bounded per-subscriber write queues,
 //!   slow-subscriber eviction, archive catch-up over the versioned
@@ -46,6 +45,12 @@
 //!   [`UpdateArchive::open_durable`]: CRC32-framed records, configurable
 //!   fsync policy, torn-tail truncation and corruption quarantine on
 //!   replay, segment rotation + retention compaction;
+//! * [`SegmentStore`] — the archive's read-optimised durable shape:
+//!   sealed journal segments are adopted into sorted, epoch-indexed,
+//!   CRC-framed `arch-*.tres` files (temp+rename crash consistency)
+//!   with a sparse in-memory offset index for O(log n) epoch lookup
+//!   and chunked range reads straight off disk — the storage side of
+//!   the overload-safe deep catch-up path;
 //! * [`ChaosProxy`] / [`SupervisedFeed`] — live-socket fault injection
 //!   (partitions, latency spikes, torn frames, byte corruption,
 //!   connection resets) between `tred` and its feeds, plus a reconnect
@@ -95,11 +100,11 @@ mod live;
 mod metrics;
 mod net;
 mod relay;
+mod segments;
 mod server;
 mod sim;
 mod tcp;
 mod telemetry;
-mod transport;
 
 pub use archive::UpdateArchive;
 pub use batch::{BatchVerdict, BatchVerifier};
@@ -120,11 +125,10 @@ pub use live::LiveHub;
 pub use metrics::{ClientHealth, LatencyHistogram};
 pub use net::{BroadcastNet, NetConfig, NetStats, SubscriberId};
 pub use relay::{Relay, RelayConfig, RelayStats};
+pub use segments::{SegmentStore, SegmentStoreConfig, SegmentStoreStats};
 pub use server::{FutureEpochError, TimeServer};
 pub use sim::{ClientId, DeliveryReport, FanoutShape, RelayTreeSim, Simulation};
-pub use tcp::{FeedStats, TcpFeed, Tred, TredConfig, TredStats};
+pub use tcp::{CatchUpConfig, FeedStats, TcpFeed, Tred, TredConfig, TredStats};
 pub use telemetry::{
     now_ns, EpochTrace, HealthSnapshot, Stage, TelemetryServer, TelemetrySnapshot, TraceSink,
 };
-#[allow(deprecated)]
-pub use transport::Transport;

@@ -54,7 +54,7 @@ use crate::chaos_tcp::SupervisedFeed;
 use crate::clock::Granularity;
 use crate::evloop::{Broadcaster, ServeShared};
 use crate::feed::Feed;
-use crate::tcp::TredStats;
+use crate::tcp::{CatchUpConfig, TredStats};
 use crate::telemetry::{Stage, TraceSink};
 
 /// Tuning knobs for a relay daemon.
@@ -75,6 +75,9 @@ pub struct RelayConfig {
     /// The epoch schedule, for mapping update tags to epochs (dedup,
     /// archive indexing, telemetry trailers).
     pub granularity: Granularity,
+    /// Admission control for the relay's own downstream catch-up
+    /// service (same policy as [`crate::TredConfig::catch_up`]).
+    pub catch_up: CatchUpConfig,
 }
 
 impl Default for RelayConfig {
@@ -85,6 +88,7 @@ impl Default for RelayConfig {
             send_buffer: None,
             shards: 4,
             granularity: Granularity::Seconds,
+            catch_up: CatchUpConfig::default(),
         }
     }
 }
@@ -189,6 +193,8 @@ impl<const L: usize> Relay<L> {
             granularity: config.granularity,
             trace: Some(sink.clone()),
             forward_origin: true,
+            catch_up: config.catch_up,
+            active_catch_ups: std::sync::atomic::AtomicUsize::new(0),
         });
         let broadcaster = Broadcaster::bind(addr, Arc::clone(&shared), config.shards)?;
         let local = broadcaster.local_addr();

@@ -32,7 +32,8 @@ use std::time::Duration;
 use tre_core::{KeyUpdate, ServerPublicKey, TreError};
 use tre_pairing::Curve;
 use tre_wire::{
-    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, Wire, HEADER_LEN,
+    peek_frame, Busy, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, Wire,
+    HEADER_LEN,
 };
 
 use crate::archive::UpdateArchive;
@@ -41,6 +42,41 @@ use crate::feed::Feed;
 use crate::net::SubscriberId;
 use crate::server::TimeServer;
 use crate::telemetry::{Stage, TraceSink};
+
+/// Admission control for archive catch-up service: the knobs that keep
+/// a reconnect storm of deep-history requests from materialising
+/// unbounded replies or starving the live broadcast path.
+#[derive(Debug, Clone, Copy)]
+pub struct CatchUpConfig {
+    /// Largest epoch span one [`CatchUpRequest`] may claim; wider
+    /// requests are clipped to `[from, from + max_span - 1]` (counted in
+    /// [`TredStats::catch_up_clipped`]) rather than rejected — the
+    /// client resumes from where the clipped replay ends.
+    pub max_span: u64,
+    /// Catch-up replays allowed to be in flight at once across the
+    /// whole daemon. Requests beyond this are shed with a [`Busy`]
+    /// frame (counted in [`TredStats::catch_up_shed`]) instead of
+    /// queueing unbounded archive reads.
+    pub max_concurrent: usize,
+    /// Archive records read (and frames encoded) per scheduling round
+    /// of one replay — the unit of fairness between a deep catch-up
+    /// and the live broadcast sharing the same bounded write queue.
+    pub chunk: usize,
+    /// The retry hint carried by [`Busy`] shed replies, in
+    /// milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for CatchUpConfig {
+    fn default() -> Self {
+        Self {
+            max_span: 4096,
+            max_concurrent: 32,
+            chunk: 64,
+            retry_after_ms: 100,
+        }
+    }
+}
 
 /// Tuning knobs for the daemon.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +101,8 @@ pub struct TredConfig {
     /// daemon's total thread count is `shards + 2` (accept + ticker),
     /// independent of the subscriber count.
     pub shards: usize,
+    /// Admission control for archive catch-up service.
+    pub catch_up: CatchUpConfig,
 }
 
 impl Default for TredConfig {
@@ -74,6 +112,7 @@ impl Default for TredConfig {
             poll_interval: Duration::from_millis(5),
             send_buffer: None,
             shards: 4,
+            catch_up: CatchUpConfig::default(),
         }
     }
 }
@@ -110,6 +149,13 @@ pub struct TredStats {
     pub catch_up_requests: AtomicU64,
     /// Archived updates replayed in catch-up responses.
     pub catch_up_replies: AtomicU64,
+    /// Catch-up requests whose span exceeded
+    /// [`CatchUpConfig::max_span`] and were clipped.
+    pub catch_up_clipped: AtomicU64,
+    /// Catch-up requests shed with a [`Busy`] frame because
+    /// [`CatchUpConfig::max_concurrent`] replays were already in
+    /// flight.
+    pub catch_up_shed: AtomicU64,
     /// Malformed or version-mismatched frames received.
     pub wire_errors: AtomicU64,
 }
@@ -164,6 +210,11 @@ impl TredStats {
                 "catch_up_replies",
                 self.catch_up_replies.load(Ordering::Relaxed),
             ),
+            (
+                "catch_up_clipped",
+                self.catch_up_clipped.load(Ordering::Relaxed),
+            ),
+            ("catch_up_shed", self.catch_up_shed.load(Ordering::Relaxed)),
             ("wire_errors", self.wire_errors.load(Ordering::Relaxed)),
         ];
         for (name, value) in pairs {
@@ -277,6 +328,8 @@ impl<const L: usize> Tred<L> {
             granularity: server.granularity(),
             trace,
             forward_origin: false,
+            catch_up: config.catch_up,
+            active_catch_ups: std::sync::atomic::AtomicUsize::new(0),
         });
         let broadcaster = Broadcaster::bind(addr, Arc::clone(&shared), config.shards)?;
         let local = broadcaster.local_addr();
@@ -354,6 +407,9 @@ impl<const L: usize> Tred<L> {
         if let Some(js) = self.shared.archive.journal_stats() {
             js.export_into(registry, &format!("{prefix}_journal"));
         }
+        if let Some(ss) = self.shared.archive.segment_stats() {
+            ss.export_into(registry, &format!("{prefix}_segments"));
+        }
         if let Some(sink) = &self.shared.trace {
             sink.export_into(registry, &format!("{prefix}_trace"));
         }
@@ -395,6 +451,9 @@ pub struct FeedStats {
     pub catch_up_requests: u64,
     /// [`Telemetry`] trailer frames decoded.
     pub traces_decoded: u64,
+    /// [`Busy`] shed frames received (the daemon refused a catch-up
+    /// under load and asked us to retry later).
+    pub busy_seen: u64,
 }
 
 impl FeedStats {
@@ -411,6 +470,7 @@ impl FeedStats {
             self.catch_up_requests,
         );
         registry.counter_set(&format!("{prefix}_traces_decoded"), self.traces_decoded);
+        registry.counter_set(&format!("{prefix}_busy_seen"), self.busy_seen);
     }
 }
 
@@ -423,6 +483,9 @@ struct FeedConn<const L: usize> {
     /// The member index this connection's peer announced in its
     /// [`CommitteeHello`], if any arrived yet.
     announced: Option<u32>,
+    /// The retry hint from the latest [`Busy`] shed frame, until taken
+    /// with [`TcpFeed::take_retry_after`].
+    retry_after_ms: Option<u32>,
 }
 
 impl<const L: usize> FeedConn<L> {
@@ -432,6 +495,7 @@ impl<const L: usize> FeedConn<L> {
             buf: Vec::new(),
             shares: Vec::new(),
             announced: None,
+            retry_after_ms: None,
         }
     }
 }
@@ -563,6 +627,9 @@ impl<const L: usize> TcpFeed<L> {
 
     fn dial_addr(curve: &'static Curve<L>, addr: SocketAddr) -> Result<TcpStream, TreError> {
         let stream = TcpStream::connect(addr)?;
+        // Interactive control frames (subscribes, catch-up requests)
+        // must not wait on Nagle coalescing.
+        let _ = stream.set_nodelay(true);
         let mut hello = Vec::new();
         <Hello as Wire<L>>::wire_write(&Hello::current(), curve, &mut hello);
         (&stream).write_all(&hello)?;
@@ -602,6 +669,14 @@ impl<const L: usize> TcpFeed<L> {
     /// [`CommitteeHello`], once one has been decoded.
     pub fn announced_member(&self, id: SubscriberId) -> Option<u32> {
         self.conns[id.index()].announced
+    }
+
+    /// Takes (and clears) the retry hint from the latest [`Busy`] shed
+    /// frame decoded on this subscriber's connection, if one arrived
+    /// since the last call. A supervising feed uses it to delay its
+    /// next catch-up attempt instead of hammering a saturated daemon.
+    pub fn take_retry_after(&mut self, id: SubscriberId) -> Option<u32> {
+        self.conns[id.index()].retry_after_ms.take()
     }
 
     /// Registers a subscriber slot *without* dialing: the connection
@@ -708,6 +783,14 @@ impl<const L: usize> Feed<L> for TcpFeed<L> {
                     } else if header.type_tag == <CommitteeHello as Wire<L>>::TYPE_TAG {
                         match <CommitteeHello as Wire<L>>::wire_read_body(curve, body) {
                             Ok(hello) => conn.announced = Some(hello.member),
+                            Err(_) => self.stats.wire_errors += 1,
+                        }
+                    } else if header.type_tag == <Busy as Wire<L>>::TYPE_TAG {
+                        match <Busy as Wire<L>>::wire_read_body(curve, body) {
+                            Ok(busy) => {
+                                self.stats.busy_seen += 1;
+                                conn.retry_after_ms = Some(busy.retry_after_ms);
+                            }
                             Err(_) => self.stats.wire_errors += 1,
                         }
                     } else if header.type_tag == <Telemetry as Wire<L>>::TYPE_TAG {

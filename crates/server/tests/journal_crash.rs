@@ -168,6 +168,83 @@ fn sigkill_and_restart_serves_complete_epoch_range() {
 }
 
 #[test]
+fn sigkill_during_segment_rotation_recovers_gap_free() {
+    let curve = tre_pairing::toy64();
+    let journal = tmp_dir("rotation");
+
+    // First life with tiny segments: every couple of epochs rotates the
+    // journal and seals an archive segment, so the SIGKILL lands with
+    // rotation/seal machinery constantly in flight.
+    let daemon = spawn_tred(&journal, &["--segment-bytes", "256"]);
+    let spk = decode_pubkey(&daemon.pubkey_hex);
+    let first_key = daemon.pubkey_hex.clone();
+
+    let mut feed: TcpFeed<8> = TcpFeed::new(curve, daemon.addr);
+    let sub = feed.subscribe();
+    let seen_before = drain_epochs(&mut feed, sub, &spk, |s| {
+        s.iter().next_back().copied().unwrap_or(0) >= 6
+    });
+    let max_before = *seen_before.iter().next_back().expect("epochs before kill");
+    assert!(max_before >= 6, "daemon published across several rotations");
+    drop(daemon); // SIGKILL mid-epoch, mid-rotation-cadence
+
+    let arch_count = std::fs::read_dir(&journal)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tres"))
+        .count();
+    assert!(arch_count >= 1, "tiny segments produced sealed archives");
+
+    // Worst-case rotation wreckage on top of whatever the kill left:
+    // a stray temp file from an interrupted seal, plus a torn tail on
+    // the newest sealed segment (its journal source still exists, so
+    // recovery must rebuild it whole, not just truncate).
+    std::fs::write(journal.join("arch-4294967295.tres.tmp"), b"torn mid-seal").unwrap();
+    let newest_arch = std::fs::read_dir(&journal)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "tres"))
+        .max()
+        .expect("a sealed segment");
+    let len = std::fs::metadata(&newest_arch).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest_arch)
+        .unwrap();
+    f.set_len(len.saturating_sub(5)).unwrap();
+    drop(f);
+
+    // Second life: same key, and a deep catch-up serves every epoch
+    // published before the kill plus new ones — no gap at any rotation
+    // boundary.
+    let daemon = spawn_tred(&journal, &["--segment-bytes", "256"]);
+    assert_eq!(
+        daemon.pubkey_hex, first_key,
+        "restart recovered the same server key"
+    );
+    let mut feed: TcpFeed<8> = TcpFeed::new(curve, daemon.addr);
+    let sub = feed.subscribe();
+    feed.request_catch_up(sub, 0, max_before + 64).unwrap();
+    let target = max_before + 2;
+    let seen_after = drain_epochs(&mut feed, sub, &spk, |s| {
+        (0..=target).all(|e| s.contains(&e))
+    });
+    for e in 0..=target {
+        assert!(
+            seen_after.contains(&e),
+            "epoch {e} missing after rotation crash (saw {seen_after:?})"
+        );
+    }
+    assert!(
+        !journal.join("arch-4294967295.tres.tmp").exists(),
+        "stray seal temp file was cleaned up on open"
+    );
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
 fn torn_final_record_replays_to_last_intact_epoch() {
     let curve = tre_pairing::toy64();
     let dir = tmp_dir("torn");

@@ -104,6 +104,8 @@ pub const TAG_KEY_UPDATE_SHARE: u8 = 0x12;
 pub const TAG_COMMITTEE_HELLO: u8 = 0x13;
 /// Type tag: [`Telemetry`] (epoch-delivery trace context).
 pub const TAG_TELEMETRY: u8 = 0x14;
+/// Type tag: [`Busy`] (transport control, load shedding).
+pub const TAG_BUSY: u8 = 0x15;
 
 /// A parsed frame header (magic and version already validated).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -196,6 +198,21 @@ fn patch_len(out: &mut [u8], len_at: usize) {
     let body_len = out.len() - (len_at + 4);
     assert!(body_len <= MAX_BODY_LEN, "wire body exceeds MAX_BODY_LEN");
     out[len_at..len_at + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+}
+
+/// Appends one complete frame around an *already-encoded* canonical
+/// body. This is the zero-decode replay path: the server's journal and
+/// archive segments store exactly the canonical body bytes, so serving
+/// a stored update needs no curve arithmetic — the body is framed
+/// verbatim and the receiver (who verifies the self-authenticating
+/// update anyway) is the one that decodes it.
+///
+/// # Panics
+/// If `body` exceeds [`MAX_BODY_LEN`].
+pub fn frame_raw_body(type_tag: u8, body: &[u8], out: &mut Vec<u8>) {
+    let len_at = write_header(type_tag, out);
+    out.extend_from_slice(body);
+    patch_len(out, len_at);
 }
 
 /// Versioned, type-tagged, length-prefixed serialization.
@@ -497,6 +514,44 @@ impl<const L: usize> Wire<L> for Telemetry {
     }
 }
 
+/// Transport control, load shedding: the daemon's admission controller
+/// refused a [`CatchUpRequest`] because too many deep range-reads are
+/// already in flight. The subscriber should hold its request and retry
+/// after `retry_after_ms` — an explicit, cheap "come back later" instead
+/// of unbounded server-side queueing.
+///
+/// Like [`Telemetry`], this is a standalone frame: version-1 peers that
+/// predate it skip it through the ordinary unknown-tag path, degrading
+/// to their own reconnect/backoff behaviour — no version bump required.
+///
+/// Body layout (fixed 4 bytes): `retry_after_ms` (u32, big-endian).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Busy {
+    /// How long the subscriber should wait before re-issuing the shed
+    /// catch-up request, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+/// [`Busy`] body length: retry_after_ms (4).
+pub const BUSY_BODY_LEN: usize = 4;
+
+impl<const L: usize> Wire<L> for Busy {
+    const TYPE_TAG: u8 = TAG_BUSY;
+
+    fn wire_body(&self, _curve: &Curve<L>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.retry_after_ms.to_be_bytes());
+    }
+
+    fn wire_read_body(_curve: &Curve<L>, body: &[u8]) -> Result<Self, TreError> {
+        if body.len() != BUSY_BODY_LEN {
+            return Err(TreError::Malformed("busy body"));
+        }
+        Ok(Self {
+            retry_after_ms: u32::from_be_bytes(body.try_into().unwrap()),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,6 +683,9 @@ mod tests {
             publish_ns: 1_234_567_890,
             hops: 2,
         });
+        roundtrip(&Busy {
+            retry_after_ms: 250,
+        });
 
         fuzz_frame(fx.server.public());
         fuzz_frame(fx.user.public());
@@ -650,6 +708,30 @@ mod tests {
             publish_ns: 1_234_567_890,
             hops: 2,
         });
+        fuzz_frame(&Busy {
+            retry_after_ms: 250,
+        });
+    }
+
+    /// Like the telemetry trailer, a `Busy` frame interleaved with
+    /// updates must be skippable by peers that predate it: the splitter
+    /// hands over a well-framed unknown tag and resumes on the next
+    /// frame.
+    #[test]
+    fn busy_frame_is_skippable_by_v1_peers() {
+        let curve = toy64();
+        let (fx, _) = fixture(13);
+        let update = fx.server.issue_update(curve, &ReleaseTag::time("t"));
+        let mut stream = Vec::new();
+        Busy { retry_after_ms: 50 }.wire_write(curve, &mut stream);
+        update.wire_write(curve, &mut stream);
+
+        let (h1, body1, rest) = peek_frame(&stream).unwrap().unwrap();
+        assert_eq!(h1.type_tag, TAG_BUSY);
+        assert_eq!(body1.len(), BUSY_BODY_LEN);
+        let (h2, _, rest) = peek_frame(rest).unwrap().unwrap();
+        assert_eq!(h2.type_tag, TAG_KEY_UPDATE);
+        assert!(rest.is_empty());
     }
 
     #[test]
@@ -849,6 +931,11 @@ mod tests {
             hops in any::<u8>(),
         ) {
             roundtrip(&Telemetry { epoch, origin, publish_ns, hops });
+        }
+
+        #[test]
+        fn prop_busy_frames_roundtrip(retry_after_ms in any::<u32>()) {
+            roundtrip(&Busy { retry_after_ms });
         }
 
         #[test]

@@ -15,7 +15,7 @@ use tre::core::{fo, hybrid, idtre, react};
 use tre::hashes::{hex, HmacDrbg};
 use tre::prelude::*;
 use tre::wire::{
-    peek_frame, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, HEADER_LEN,
+    peek_frame, Busy, CatchUpRequest, CommitteeHello, Hello, KeyUpdateShare, Telemetry, HEADER_LEN,
     VERSION,
 };
 
@@ -120,6 +120,13 @@ fn fixtures() -> Vec<(&'static str, u8, Vec<u8>, Vec<u8>)> {
                 origin: 2,
                 publish_ns: 1_234_567_890,
                 hops: 1,
+            }
+        ),
+        row!(
+            "busy",
+            Busy,
+            Busy {
+                retry_after_ms: 250,
             }
         ),
     ]
